@@ -1,0 +1,108 @@
+//! The agent's tunable parameters and the far-memory SLO.
+
+use serde::{Deserialize, Serialize};
+
+use sdfm_types::error::SdfmError;
+use sdfm_types::histogram::PageAge;
+use sdfm_types::rate::NormalizedPromotionRate;
+use sdfm_types::time::SimDuration;
+
+/// The two control-plane knobs the autotuner optimizes (§4.3, §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgentParams {
+    /// `K`: the percentile of the per-minute best-threshold pool used as
+    /// the operating threshold. The SLO is violated in roughly `(100−K)%`
+    /// of minutes at steady state.
+    pub k_percentile: f64,
+    /// `S`: zswap stays disabled for this long after job start, while the
+    /// histogram pool accumulates.
+    pub s_warmup: SimDuration,
+}
+
+impl AgentParams {
+    /// Creates validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdfmError::InvalidParameter`] unless
+    /// `0 <= k_percentile <= 100`.
+    pub fn new(k_percentile: f64, s_warmup: SimDuration) -> Result<Self, SdfmError> {
+        if !k_percentile.is_finite() || !(0.0..=100.0).contains(&k_percentile) {
+            return Err(SdfmError::invalid_parameter(format!(
+                "K percentile must be in [0, 100], got {k_percentile}"
+            )));
+        }
+        Ok(AgentParams {
+            k_percentile,
+            s_warmup,
+        })
+    }
+
+    /// A conservative hand-tuned starting point (the pre-autotuner
+    /// configuration of Figure 5's B–C phase). Manual A/B tuning is risky,
+    /// so humans park on the cautious side: a near-max percentile and a
+    /// long warmup.
+    pub fn hand_tuned() -> Self {
+        AgentParams {
+            k_percentile: 99.3,
+            s_warmup: SimDuration::from_mins(40),
+        }
+    }
+}
+
+impl Default for AgentParams {
+    fn default() -> Self {
+        AgentParams::hand_tuned()
+    }
+}
+
+/// The far-memory performance SLO (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloConfig {
+    /// Target normalized promotion rate `P` (fraction of working set per
+    /// minute).
+    pub target: NormalizedPromotionRate,
+    /// The minimum cold-age threshold; also defines the working set
+    /// (pages accessed within it). 120 s in production.
+    pub min_threshold: PageAge,
+}
+
+impl SloConfig {
+    /// The production SLO: `P = 0.2 %/min`, minimum threshold 120 s.
+    pub fn paper_default() -> Self {
+        SloConfig {
+            target: NormalizedPromotionRate::PAPER_SLO_TARGET,
+            min_threshold: PageAge::from_scans(1),
+        }
+    }
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_bounds_k() {
+        assert!(AgentParams::new(98.0, SimDuration::from_mins(5)).is_ok());
+        assert!(AgentParams::new(0.0, SimDuration::ZERO).is_ok());
+        assert!(AgentParams::new(100.0, SimDuration::ZERO).is_ok());
+        assert!(AgentParams::new(-0.1, SimDuration::ZERO).is_err());
+        assert!(AgentParams::new(100.1, SimDuration::ZERO).is_err());
+        assert!(AgentParams::new(f64::NAN, SimDuration::ZERO).is_err());
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let slo = SloConfig::default();
+        assert_eq!(slo.target, NormalizedPromotionRate::PAPER_SLO_TARGET);
+        assert_eq!(slo.min_threshold.as_duration().as_secs(), 120);
+        let p = AgentParams::default();
+        assert_eq!(p.k_percentile, 99.3);
+    }
+}

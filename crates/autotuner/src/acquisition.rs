@@ -1,0 +1,101 @@
+//! Acquisition functions: how the bandit chooses the next trial.
+//!
+//! GP-UCB (`μ + β·σ`) drives exploration/exploitation (the paper's GP
+//! Bandit follows Srinivas et al.); expected improvement is provided as an
+//! alternative; and a probability-of-feasibility factor folds in the SLO
+//! constraint (the p98 promotion rate must stay under target).
+
+/// The standard normal CDF via a rational erf approximation
+/// (Abramowitz & Stegun 7.1.26; max abs error ≈ 1.5e-7).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation.
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// The standard normal PDF.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Upper confidence bound for maximization: `μ + β·σ`.
+pub fn ucb(mean: f64, sd: f64, beta: f64) -> f64 {
+    mean + beta * sd
+}
+
+/// Expected improvement over the incumbent `best` (maximization).
+pub fn expected_improvement(mean: f64, sd: f64, best: f64) -> f64 {
+    if sd <= 0.0 {
+        return (mean - best).max(0.0);
+    }
+    let z = (mean - best) / sd;
+    (mean - best) * normal_cdf(z) + sd * normal_pdf(z)
+}
+
+/// Probability that a constraint with posterior `(mean, sd)` lies at or
+/// below `limit`.
+pub fn probability_feasible(mean: f64, sd: f64, limit: f64) -> f64 {
+    if sd <= 0.0 {
+        return if mean <= limit { 1.0 } else { 0.0 };
+    }
+    normal_cdf((limit - mean) / sd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999_999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut prev = 0.0;
+        for i in -40..=40 {
+            let v = normal_cdf(i as f64 / 10.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn ucb_trades_off_mean_and_uncertainty() {
+        assert_eq!(ucb(1.0, 0.5, 2.0), 2.0);
+        assert!(ucb(1.0, 1.0, 2.0) > ucb(1.5, 0.1, 2.0));
+    }
+
+    #[test]
+    fn expected_improvement_properties() {
+        // No uncertainty, below incumbent: zero.
+        assert_eq!(expected_improvement(1.0, 0.0, 2.0), 0.0);
+        // No uncertainty, above incumbent: the gap.
+        assert_eq!(expected_improvement(3.0, 0.0, 2.0), 1.0);
+        // Uncertainty adds value even below the incumbent.
+        assert!(expected_improvement(1.0, 1.0, 2.0) > 0.0);
+        // EI grows with sd at fixed mean.
+        assert!(expected_improvement(1.0, 2.0, 2.0) > expected_improvement(1.0, 0.5, 2.0));
+    }
+
+    #[test]
+    fn feasibility_probability() {
+        assert_eq!(probability_feasible(0.1, 0.0, 0.2), 1.0);
+        assert_eq!(probability_feasible(0.3, 0.0, 0.2), 0.0);
+        assert!((probability_feasible(0.2, 0.1, 0.2) - 0.5).abs() < 1e-7);
+        assert!(probability_feasible(0.0, 0.1, 0.2) > 0.97);
+    }
+}

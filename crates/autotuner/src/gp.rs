@@ -1,0 +1,171 @@
+//! Gaussian-process regression with a fixed RBF kernel.
+//!
+//! Standard exact GP: given observations `(X, y)`, the posterior at `x*` is
+//! `μ(x*) = k*ᵀ (K + σₙ²I)⁻¹ y` and
+//! `σ²(x*) = k(x*,x*) − k*ᵀ (K + σₙ²I)⁻¹ k*`, computed via Cholesky.
+//! Targets are standardized internally so the unit-variance kernel prior is
+//! reasonable regardless of the objective's scale.
+
+use crate::kernel::RbfKernel;
+use crate::linalg::{dot, Cholesky, Matrix, NotPositiveDefinite};
+
+/// A fitted Gaussian process.
+#[derive(Debug)]
+pub struct GaussianProcess {
+    kernel: RbfKernel,
+    x: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl GaussianProcess {
+    /// Fits a GP to `(x, y)` with observation noise `noise` (variance on
+    /// standardized targets).
+    ///
+    /// # Errors
+    ///
+    /// [`NotPositiveDefinite`] if the kernel matrix cannot be factored
+    /// (e.g. many duplicate points with zero noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is empty or `x.len() != y.len()`.
+    pub fn fit(
+        kernel: RbfKernel,
+        x: Vec<Vec<f64>>,
+        y: &[f64],
+        noise: f64,
+    ) -> Result<Self, NotPositiveDefinite> {
+        assert!(!x.is_empty(), "gp needs at least one observation");
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        let n = x.len();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let var = y.iter().map(|v| (v - y_mean) * (v - y_mean)).sum::<f64>() / n as f64;
+        let y_std = var.sqrt().max(1e-9);
+        let y_standardized: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+
+        let k = Matrix::from_fn(n, n, |i, j| {
+            kernel.eval(&x[i], &x[j]) + if i == j { noise } else { 0.0 }
+        });
+        let chol = Cholesky::factor(&k, 1e-8)?;
+        let alpha = chol.solve(&y_standardized);
+        Ok(GaussianProcess {
+            kernel,
+            x,
+            alpha,
+            chol,
+            y_mean,
+            y_std,
+        })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Always false — fitting requires at least one observation.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Posterior mean and standard deviation at `x` (in original target
+    /// units).
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let kstar: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mean_std = dot(&kstar, &self.alpha);
+        let v = self.chol.solve_lower(&kstar);
+        let var_std = (self.kernel.eval(x, x) - dot(&v, &v)).max(0.0);
+        (
+            mean_std * self.y_std + self.y_mean,
+            var_std.sqrt() * self.y_std,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit_1d(points: &[(f64, f64)], noise: f64) -> GaussianProcess {
+        let x: Vec<Vec<f64>> = points.iter().map(|&(x, _)| vec![x]).collect();
+        let y: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
+        GaussianProcess::fit(RbfKernel::default_for(1), x, &y, noise).unwrap()
+    }
+
+    #[test]
+    fn interpolates_observations_with_low_noise() {
+        let gp = fit_1d(&[(0.0, 1.0), (0.5, 3.0), (1.0, 2.0)], 1e-6);
+        for &(x, y) in &[(0.0, 1.0), (0.5, 3.0), (1.0, 2.0)] {
+            let (m, s) = gp.predict(&[x]);
+            assert!((m - y).abs() < 0.05, "at {x}: {m} vs {y}");
+            assert!(s < 0.1, "uncertainty at data point: {s}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let gp = fit_1d(&[(0.2, 1.0), (0.3, 1.2)], 1e-6);
+        let (_, s_near) = gp.predict(&[0.25]);
+        let (_, s_far) = gp.predict(&[0.9]);
+        assert!(s_far > s_near * 2.0, "near {s_near}, far {s_far}");
+    }
+
+    #[test]
+    fn prior_mean_far_from_data_reverts_to_sample_mean() {
+        let gp = fit_1d(&[(0.0, 10.0), (0.1, 12.0)], 1e-6);
+        // Multiple lengthscales away, the posterior reverts toward the
+        // standardized prior mean (the sample mean, 11).
+        let (m, _) = gp.predict(&[5.0]);
+        assert!((m - 11.0).abs() < 1.0, "far-field mean {m}");
+    }
+
+    #[test]
+    fn noise_smooths_fits() {
+        let noisy_points = [(0.0, 0.0), (0.001, 1.0)];
+        let rough = fit_1d(&noisy_points, 1e-6);
+        let smooth = fit_1d(&noisy_points, 1.0);
+        let (m_rough, _) = rough.predict(&[0.0]);
+        let (m_smooth, _) = smooth.predict(&[0.0]);
+        // The smooth fit pulls toward the mean 0.5.
+        assert!((m_smooth - 0.5).abs() < (m_rough - 0.5).abs());
+    }
+
+    #[test]
+    fn recovers_smooth_function_shape() {
+        // Fit y = sin(2πx) on a grid, check ranking of predictions.
+        let pts: Vec<(f64, f64)> = (0..=10)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                (x, (std::f64::consts::TAU * x).sin())
+            })
+            .collect();
+        let gp = fit_1d(&pts, 1e-6);
+        let (peak, _) = gp.predict(&[0.25]);
+        let (trough, _) = gp.predict(&[0.75]);
+        assert!(peak > 0.8 && trough < -0.8, "peak {peak} trough {trough}");
+    }
+
+    #[test]
+    fn multidimensional_fit() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ];
+        let y = [0.0, 1.0, 1.0, 2.0]; // x + y
+        let gp = GaussianProcess::fit(RbfKernel::default_for(2), x, &y, 1e-6).unwrap();
+        let (m, _) = gp.predict(&[0.5, 0.5]);
+        assert!((m - 1.0).abs() < 0.3, "center {m}");
+        assert_eq!(gp.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_fit_panics() {
+        let _ = GaussianProcess::fit(RbfKernel::default_for(1), vec![], &[], 1e-6);
+    }
+}

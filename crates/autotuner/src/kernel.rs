@@ -1,0 +1,107 @@
+//! Covariance kernels for Gaussian-process regression.
+
+use serde::{Deserialize, Serialize};
+
+/// The squared-exponential (RBF) kernel over normalized inputs:
+/// `k(x, x') = σ² · exp(−½ Σᵢ ((xᵢ − x'ᵢ) / ℓᵢ)²)`.
+///
+/// Inputs are expected in `[0, 1]` per dimension (the
+/// [`SearchSpace`](crate::space::SearchSpace) normalizes), so a default
+/// lengthscale of 0.25 means "a quarter of the range is one correlation
+/// length".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RbfKernel {
+    /// Signal variance σ².
+    pub variance: f64,
+    /// Per-dimension lengthscales ℓ.
+    pub lengthscales: Vec<f64>,
+}
+
+impl RbfKernel {
+    /// An isotropic kernel for `dims` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `variance > 0` and `lengthscale > 0`.
+    pub fn isotropic(dims: usize, lengthscale: f64, variance: f64) -> Self {
+        assert!(variance > 0.0, "variance must be positive");
+        assert!(lengthscale > 0.0, "lengthscale must be positive");
+        RbfKernel {
+            variance,
+            lengthscales: vec![lengthscale; dims],
+        }
+    }
+
+    /// The default kernel for a `dims`-dimensional normalized space.
+    pub fn default_for(dims: usize) -> Self {
+        Self::isotropic(dims, 0.25, 1.0)
+    }
+
+    /// Evaluates `k(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), self.lengthscales.len(), "dimension mismatch");
+        assert_eq!(b.len(), self.lengthscales.len(), "dimension mismatch");
+        let z: f64 = a
+            .iter()
+            .zip(b)
+            .zip(&self.lengthscales)
+            .map(|((x, y), l)| {
+                let d = (x - y) / l;
+                d * d
+            })
+            .sum();
+        self.variance * (-0.5 * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_max_at_zero_distance() {
+        let k = RbfKernel::default_for(2);
+        let x = [0.3, 0.7];
+        assert!((k.eval(&x, &x) - 1.0).abs() < 1e-12);
+        assert!(k.eval(&x, &[0.4, 0.7]) < 1.0);
+    }
+
+    #[test]
+    fn kernel_decays_monotonically_with_distance() {
+        let k = RbfKernel::default_for(1);
+        let mut prev = f64::INFINITY;
+        for i in 0..10 {
+            let v = k.eval(&[0.0], &[i as f64 / 10.0]);
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn lengthscale_controls_decay() {
+        let tight = RbfKernel::isotropic(1, 0.05, 1.0);
+        let loose = RbfKernel::isotropic(1, 0.5, 1.0);
+        let a = [0.0];
+        let b = [0.2];
+        assert!(tight.eval(&a, &b) < loose.eval(&a, &b));
+    }
+
+    #[test]
+    fn kernel_is_symmetric() {
+        let k = RbfKernel::isotropic(3, 0.3, 2.0);
+        let a = [0.1, 0.5, 0.9];
+        let b = [0.8, 0.2, 0.4];
+        assert_eq!(k.eval(&a, &b), k.eval(&b, &a));
+        assert!((k.eval(&a, &a) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengthscale must be positive")]
+    fn rejects_zero_lengthscale() {
+        let _ = RbfKernel::isotropic(1, 0.0, 1.0);
+    }
+}

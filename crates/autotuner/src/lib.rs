@@ -1,0 +1,58 @@
+//! The ML autotuner: Gaussian-Process Bandit optimization of the control
+//! plane's parameters (§5.3).
+//!
+//! Manual tuning of `K` and `S` takes months of risky A/B tests; the paper
+//! instead runs GP Bandit (the algorithm behind Google Vizier) against the
+//! fast far memory model: a Gaussian process learns the shape of the
+//! objective (fleet cold memory) and of the constraint (p98 promotion
+//! rate), and an upper-confidence-bound acquisition picks the next
+//! configuration to model — converging in tens of trials over a search
+//! space with hundreds of valid configurations.
+//!
+//! Everything here is from scratch: dense Cholesky-based [`linalg`], an
+//! RBF-kernel [`GaussianProcess`], UCB and
+//! expected-improvement [`acquisition`] functions with a
+//! probability-of-feasibility factor for the constraint, and the
+//! [`GpBandit`] suggest/observe loop. The
+//! [`rollout`] module models the staged deployment (§5.3: qualification →
+//! canary → production with rollback).
+//!
+//! # Examples
+//!
+//! ```
+//! use sdfm_autotuner::prelude::*;
+//!
+//! // Maximize a 1-D function under a trivially-true constraint.
+//! let space = SearchSpace::new(vec![ParamRange::new("x", 0.0, 10.0)?])?;
+//! let mut bandit = GpBandit::new(space, BanditConfig::default(), 7);
+//! for _ in 0..15 {
+//!     let x = bandit.suggest();
+//!     let y = -(x[0] - 3.0) * (x[0] - 3.0); // peak at x = 3
+//!     bandit.observe(x, y, 0.0);
+//! }
+//! let best = bandit.best_feasible().unwrap();
+//! assert!((best.point[0] - 3.0).abs() < 2.0);
+//! # Ok::<(), sdfm_types::error::SdfmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod acquisition;
+pub mod bandit;
+pub mod gp;
+pub mod kernel;
+pub mod linalg;
+pub mod rollout;
+pub mod space;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::acquisition::{expected_improvement, probability_feasible, ucb};
+    pub use crate::bandit::{BanditConfig, GpBandit, Observation};
+    pub use crate::gp::GaussianProcess;
+    pub use crate::kernel::RbfKernel;
+    pub use crate::rollout::{RolloutPipeline, RolloutStage};
+    pub use crate::space::{ParamRange, SearchSpace};
+}
+
+pub use prelude::*;

@@ -1,0 +1,299 @@
+//! Minimal dense linear algebra: just enough for Gaussian-process
+//! regression (symmetric positive-definite solves via Cholesky).
+
+// Triangular solves and factorization read clearer with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+use std::fmt;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| {
+                let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                row.iter().zip(v).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:10.4} ", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+/// The matrix was not positive definite even after jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotPositiveDefinite;
+
+impl fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is not positive definite")
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix. `jitter` is added to
+    /// the diagonal (standard GP practice to absorb numerical
+    /// near-singularity).
+    ///
+    /// # Errors
+    ///
+    /// [`NotPositiveDefinite`] when a pivot is non-positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn factor(a: &Matrix, jitter: f64) -> Result<Self, NotPositiveDefinite> {
+        assert_eq!(a.rows(), a.cols(), "cholesky needs a square matrix");
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                if i == j {
+                    sum += jitter;
+                }
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(NotPositiveDefinite);
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The factor dimension.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `L x = b` (forward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "dimension mismatch");
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l.get(i, k) * x[k];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        x
+    }
+
+    /// Solves `Lᵀ x = b` (back substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn solve_upper(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "dimension mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for k in i + 1..n {
+                sum -= self.l.get(k, i) * x[k];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        x
+    }
+
+    /// Solves `A x = b` via the factorization.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ B + I for B random-ish: guaranteed SPD.
+        Matrix::from_fn(3, 3, |i, j| {
+            let b = [[2.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 2.0]];
+            b[i][j]
+        })
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a, 0.0).unwrap();
+        // L Lᵀ == A.
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut v = 0.0;
+                for k in 0..3 {
+                    v += ch.l.get(i, k) * ch.l.get(j, k);
+                }
+                assert!((v - a.get(i, j)).abs() < 1e-12, "({i},{j}): {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let ch = Cholesky::factor(&a, 0.0).unwrap();
+        let x = ch.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let a = Matrix::from_fn(2, 2, |i, j| if i == j { -1.0 } else { 0.0 });
+        let r = Cholesky::factor(&a, 0.0);
+        assert!(matches!(r, Err(NotPositiveDefinite)));
+        assert_eq!(
+            NotPositiveDefinite.to_string(),
+            "matrix is not positive definite"
+        );
+    }
+
+    #[test]
+    fn jitter_rescues_near_singular() {
+        // Rank-1 matrix: singular without jitter.
+        let a = Matrix::from_fn(2, 2, |_, _| 1.0);
+        assert!(Cholesky::factor(&a, 0.0).is_err());
+        assert!(Cholesky::factor(&a, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn triangular_solves() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a, 0.0).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let y = ch.solve_lower(&b);
+        // L y == b.
+        for i in 0..3 {
+            let mut v = 0.0;
+            for k in 0..=i {
+                v += ch.l.get(i, k) * y[k];
+            }
+            assert!((v - b[i]).abs() < 1e-12);
+        }
+        let z = ch.solve_upper(&b);
+        for i in 0..3 {
+            let mut v = 0.0;
+            for k in i..3 {
+                v += ch.l.get(k, i) * z[k];
+            }
+            assert!((v - b[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matvec_and_dot() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 12.0]);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_checks_dims() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.matvec(&[1.0]);
+    }
+}

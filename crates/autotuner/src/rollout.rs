@@ -1,0 +1,205 @@
+//! Staged deployment of tuned configurations (§5.3).
+//!
+//! "The best parameter configuration found by the pipeline is periodically
+//! deployed to the entire WSC. The deployment happens in multiple stages
+//! from qualification to production with rigorous monitoring at each stage
+//! in order to detect bad configurations and roll back if necessary."
+//!
+//! [`RolloutPipeline`] is that state machine: a candidate advances through
+//! qualification → canary → production as healthy observations accumulate,
+//! and any unhealthy observation rolls it back to the previous good
+//! configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// The deployment stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RolloutStage {
+    /// Replay-only validation against the fast model.
+    Qualification,
+    /// A small slice of production machines.
+    Canary,
+    /// Fleet-wide.
+    Production,
+}
+
+impl RolloutStage {
+    fn next(self) -> Option<RolloutStage> {
+        match self {
+            RolloutStage::Qualification => Some(RolloutStage::Canary),
+            RolloutStage::Canary => Some(RolloutStage::Production),
+            RolloutStage::Production => None,
+        }
+    }
+}
+
+/// The rollout state machine for one parameter vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RolloutPipeline {
+    /// The configuration currently serving production.
+    production: Vec<f64>,
+    /// The candidate in flight, if any.
+    candidate: Option<Vec<f64>>,
+    stage: RolloutStage,
+    healthy_streak: u32,
+    /// Healthy observations required to advance a stage.
+    required_streak: u32,
+    rollbacks: u32,
+}
+
+impl RolloutPipeline {
+    /// Creates a pipeline with the current production configuration.
+    pub fn new(production: Vec<f64>, required_streak: u32) -> Self {
+        RolloutPipeline {
+            production,
+            candidate: None,
+            stage: RolloutStage::Qualification,
+            healthy_streak: 0,
+            required_streak: required_streak.max(1),
+            rollbacks: 0,
+        }
+    }
+
+    /// The configuration production machines should run right now.
+    pub fn active(&self) -> &[f64] {
+        match (&self.candidate, self.stage) {
+            (Some(c), RolloutStage::Production) => c,
+            _ => &self.production,
+        }
+    }
+
+    /// The configuration the current stage is exercising (the candidate
+    /// when one is in flight).
+    pub fn under_test(&self) -> &[f64] {
+        self.candidate.as_deref().unwrap_or(&self.production)
+    }
+
+    /// The current stage.
+    pub fn stage(&self) -> RolloutStage {
+        self.stage
+    }
+
+    /// Times a candidate was rolled back.
+    pub fn rollbacks(&self) -> u32 {
+        self.rollbacks
+    }
+
+    /// Whether a candidate is in flight.
+    pub fn in_flight(&self) -> bool {
+        self.candidate.is_some()
+    }
+
+    /// Starts deploying a new candidate (replacing any in flight).
+    pub fn propose(&mut self, candidate: Vec<f64>) {
+        self.candidate = Some(candidate);
+        self.stage = RolloutStage::Qualification;
+        self.healthy_streak = 0;
+    }
+
+    /// Feeds one monitoring observation for the current stage. Healthy
+    /// observations advance; an unhealthy one rolls the candidate back.
+    /// Returns the stage after the observation.
+    pub fn observe(&mut self, healthy: bool) -> RolloutStage {
+        if self.candidate.is_none() {
+            return self.stage;
+        }
+        if !healthy {
+            self.candidate = None;
+            self.stage = RolloutStage::Qualification;
+            self.healthy_streak = 0;
+            self.rollbacks += 1;
+            return self.stage;
+        }
+        self.healthy_streak += 1;
+        if self.healthy_streak >= self.required_streak {
+            match self.stage.next() {
+                Some(next) => {
+                    self.stage = next;
+                    self.healthy_streak = 0;
+                }
+                None => {
+                    // Fully proven in production: promote.
+                    self.production = self.candidate.take().expect("candidate in flight");
+                    self.stage = RolloutStage::Qualification;
+                    self.healthy_streak = 0;
+                }
+            }
+        }
+        self.stage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_candidate_promotes_through_all_stages() {
+        let mut p = RolloutPipeline::new(vec![98.0, 1200.0], 2);
+        p.propose(vec![90.0, 600.0]);
+        assert_eq!(p.stage(), RolloutStage::Qualification);
+        assert_eq!(p.active(), &[98.0, 1200.0], "candidate not yet serving");
+        // 2 healthy → canary, 2 → production, 2 → promoted.
+        for _ in 0..2 {
+            p.observe(true);
+        }
+        assert_eq!(p.stage(), RolloutStage::Canary);
+        for _ in 0..2 {
+            p.observe(true);
+        }
+        assert_eq!(p.stage(), RolloutStage::Production);
+        assert_eq!(
+            p.active(),
+            &[90.0, 600.0],
+            "candidate serves in production stage"
+        );
+        for _ in 0..2 {
+            p.observe(true);
+        }
+        assert!(!p.in_flight());
+        assert_eq!(p.active(), &[90.0, 600.0], "candidate promoted");
+        assert_eq!(p.rollbacks(), 0);
+    }
+
+    #[test]
+    fn unhealthy_observation_rolls_back() {
+        let mut p = RolloutPipeline::new(vec![98.0], 2);
+        p.propose(vec![50.0]);
+        p.observe(true);
+        p.observe(true); // canary
+        p.observe(false); // bad canary metrics
+        assert!(!p.in_flight());
+        assert_eq!(p.active(), &[98.0], "production config restored");
+        assert_eq!(p.rollbacks(), 1);
+    }
+
+    #[test]
+    fn rollback_in_production_stage_restores_old_config() {
+        let mut p = RolloutPipeline::new(vec![98.0], 1);
+        p.propose(vec![55.0]);
+        p.observe(true); // canary
+        p.observe(true); // production stage: candidate serving
+        assert_eq!(p.active(), &[55.0]);
+        p.observe(false);
+        assert_eq!(p.active(), &[98.0]);
+    }
+
+    #[test]
+    fn observations_without_candidate_are_noops() {
+        let mut p = RolloutPipeline::new(vec![1.0], 2);
+        assert_eq!(p.observe(true), RolloutStage::Qualification);
+        assert_eq!(p.observe(false), RolloutStage::Qualification);
+        assert_eq!(p.rollbacks(), 0);
+        assert_eq!(p.under_test(), &[1.0]);
+    }
+
+    #[test]
+    fn reproposing_replaces_candidate() {
+        let mut p = RolloutPipeline::new(vec![1.0], 3);
+        p.propose(vec![2.0]);
+        p.observe(true);
+        p.propose(vec![3.0]);
+        assert_eq!(p.under_test(), &[3.0]);
+        assert_eq!(p.stage(), RolloutStage::Qualification);
+    }
+}

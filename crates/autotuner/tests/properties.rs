@@ -1,0 +1,102 @@
+//! Property tests for the GP/linear-algebra layer.
+
+use proptest::prelude::*;
+use sdfm_autotuner::acquisition::{normal_cdf, probability_feasible};
+use sdfm_autotuner::gp::GaussianProcess;
+use sdfm_autotuner::kernel::RbfKernel;
+use sdfm_autotuner::linalg::{Cholesky, Matrix};
+use sdfm_autotuner::space::{ParamRange, SearchSpace};
+
+/// Builds a random SPD matrix A = BᵀB + εI from a square seed matrix.
+fn spd_from(values: &[f64], n: usize) -> Matrix {
+    let b = Matrix::from_fn(n, n, |i, j| values[i * n + j]);
+    Matrix::from_fn(n, n, |i, j| {
+        let mut s = 0.0;
+        for k in 0..n {
+            s += b.get(k, i) * b.get(k, j);
+        }
+        s + if i == j { 0.5 } else { 0.0 }
+    })
+}
+
+proptest! {
+    /// Cholesky solve inverts the matrix: ‖A·solve(b) − b‖ is tiny.
+    #[test]
+    fn cholesky_solve_inverts(
+        values in prop::collection::vec(-3f64..3.0, 16),
+        b in prop::collection::vec(-10f64..10.0, 4),
+    ) {
+        let a = spd_from(&values, 4);
+        let ch = Cholesky::factor(&a, 0.0).expect("SPD by construction");
+        let x = ch.solve(&b);
+        let back = a.matvec(&x);
+        for (bi, vi) in b.iter().zip(&back) {
+            prop_assert!((bi - vi).abs() < 1e-6, "residual {}", (bi - vi).abs());
+        }
+    }
+
+    /// The RBF kernel matrix over distinct points is positive definite
+    /// (with jitter), so GP fitting never fails on clean inputs.
+    #[test]
+    fn kernel_matrices_factor(points in prop::collection::hash_set(0u32..1_000, 2..12)) {
+        let xs: Vec<Vec<f64>> = points.iter().map(|&p| vec![p as f64 / 1_000.0]).collect();
+        let kernel = RbfKernel::default_for(1);
+        let k = Matrix::from_fn(xs.len(), xs.len(), |i, j| kernel.eval(&xs[i], &xs[j]));
+        prop_assert!(Cholesky::factor(&k, 1e-7).is_ok());
+    }
+
+    /// GP posterior: the predictive sd at an observed point is ≤ the sd far
+    /// from all data, and both are finite and non-negative.
+    #[test]
+    fn gp_uncertainty_ordering(
+        ys in prop::collection::vec(-100f64..100.0, 3..10),
+    ) {
+        let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64 * 0.05]).collect();
+        let gp = GaussianProcess::fit(RbfKernel::default_for(1), xs, &ys, 1e-6)
+            .expect("distinct points");
+        let (_, sd_at_data) = gp.predict(&[0.0]);
+        let (_, sd_far) = gp.predict(&[50.0]);
+        prop_assert!(sd_at_data.is_finite() && sd_at_data >= 0.0);
+        prop_assert!(sd_far >= sd_at_data, "far sd {sd_far} < data sd {sd_at_data}");
+    }
+
+    /// The normal CDF is a CDF: bounded, monotone, symmetric around 0.
+    #[test]
+    fn normal_cdf_properties(z in -6f64..6.0) {
+        let c = normal_cdf(z);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(normal_cdf(z + 0.1) >= c);
+        prop_assert!((normal_cdf(-z) - (1.0 - c)).abs() < 1e-6);
+    }
+
+    /// Feasibility probability is monotone in the limit and antitone in
+    /// the constraint mean.
+    #[test]
+    fn feasibility_monotonicity(mean in -5f64..5.0, sd in 0.01f64..3.0, limit in -5f64..5.0) {
+        let p = probability_feasible(mean, sd, limit);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(probability_feasible(mean, sd, limit + 0.5) >= p);
+        prop_assert!(probability_feasible(mean + 0.5, sd, limit) <= p);
+    }
+
+    /// Search-space normalization round-trips every in-range point.
+    #[test]
+    fn space_normalization_roundtrip(k in 50f64..=100.0, s in 0f64..=7_200.0) {
+        let space = SearchSpace::agent_params();
+        let raw = vec![k, s];
+        let back = space.denormalize(&space.normalize(&raw));
+        prop_assert!((back[0] - k).abs() < 1e-9);
+        prop_assert!((back[1] - s).abs() < 1e-6);
+    }
+
+    /// Grid points always lie inside their ranges.
+    #[test]
+    fn grid_stays_in_bounds(lo in -100f64..0.0, width in 1f64..100.0, per_dim in 2usize..6) {
+        let space = SearchSpace::new(vec![
+            ParamRange::new("x", lo, lo + width).unwrap(),
+        ]).unwrap();
+        for p in space.grid(per_dim) {
+            prop_assert!(p[0] >= lo - 1e-9 && p[0] <= lo + width + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Codec throughput and latency: the performance substrate behind
+//! Figure 9b and footnote 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdfm_compress::codec::CodecKind;
+use sdfm_compress::gen::{CompressibilityMix, PageClass, PageGenerator};
+use sdfm_types::size::PAGE_SIZE;
+
+fn corpus(n: usize) -> Vec<Vec<u8>> {
+    let mix = CompressibilityMix::fleet_default();
+    let mut gen = PageGenerator::new(0xC0DEC);
+    (0..n).map(|_| gen.generate_from_mix(&mix).1).collect()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let pages = corpus(64);
+    let mut group = c.benchmark_group("compress_4k_page");
+    group.throughput(Throughput::Bytes((pages.len() * PAGE_SIZE) as u64));
+    for kind in CodecKind::ALL {
+        let codec = kind.build();
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &pages, |b, pages| {
+            let mut buf = Vec::with_capacity(PAGE_SIZE * 2);
+            b.iter(|| {
+                for p in pages {
+                    codec.compress(p, &mut buf);
+                    std::hint::black_box(buf.len());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let pages = corpus(64);
+    let mut group = c.benchmark_group("decompress_4k_page");
+    group.throughput(Throughput::Bytes((pages.len() * PAGE_SIZE) as u64));
+    for kind in CodecKind::ALL {
+        let codec = kind.build();
+        let compressed: Vec<Vec<u8>> = pages
+            .iter()
+            .map(|p| {
+                let mut buf = Vec::new();
+                codec.compress(p, &mut buf);
+                buf
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &compressed, |b, bufs| {
+            let mut out = Vec::with_capacity(PAGE_SIZE);
+            b.iter(|| {
+                for buf in bufs {
+                    codec.decompress(buf, &mut out).expect("self-produced");
+                    std::hint::black_box(out.len());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_by_class(c: &mut Criterion) {
+    // Per-class compression latency: the cost model's inputs.
+    let codec = CodecKind::Lzo.build();
+    let mut gen = PageGenerator::new(7);
+    let mut group = c.benchmark_group("lzo_compress_by_class");
+    for class in PageClass::ALL {
+        let page = gen.generate(class);
+        group.bench_with_input(BenchmarkId::from_parameter(class), &page, |b, page| {
+            let mut buf = Vec::with_capacity(PAGE_SIZE * 2);
+            b.iter(|| {
+                codec.compress(page, &mut buf);
+                std::hint::black_box(buf.len());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress, bench_by_class);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Node-agent decision latency: one control decision per job per minute
+//! must be effectively free at tens-of-jobs-per-machine density.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdfm_agent::{best_threshold_for_window, AgentParams, JobController, SloConfig};
+use sdfm_types::histogram::{ColdAgeHistogram, PageAge, PromotionHistogram};
+use sdfm_types::size::PageCount;
+use sdfm_types::time::{SimTime, MINUTE};
+
+fn loaded_histograms() -> (ColdAgeHistogram, PromotionHistogram) {
+    let mut cold = ColdAgeHistogram::new();
+    let mut promo = PromotionHistogram::new();
+    for age in 0..=255u8 {
+        cold.record_page(PageAge::from_scans(age), 1_000 / (age as u64 + 1) + 7);
+        if age > 0 {
+            promo.record_promotion(PageAge::from_scans(age), 500 / (age as u64) + 1);
+        }
+    }
+    (cold, promo)
+}
+
+fn bench_best_threshold(c: &mut Criterion) {
+    let (_, promo) = loaded_histograms();
+    let empty = PromotionHistogram::new();
+    let slo = SloConfig::default();
+    c.bench_function("best_threshold_for_window", |b| {
+        b.iter(|| {
+            std::hint::black_box(best_threshold_for_window(
+                &promo,
+                &empty,
+                PageCount::new(50_000),
+                MINUTE,
+                &slo,
+            ))
+        });
+    });
+}
+
+fn bench_controller_minute(c: &mut Criterion) {
+    let (cold, mut promo) = loaded_histograms();
+    c.bench_function("job_controller_on_minute_with_1h_history", |b| {
+        let mut ctl =
+            JobController::new(AgentParams::default(), SloConfig::default(), SimTime::ZERO);
+        // Accumulate an hour of history first.
+        let mut now = SimTime::ZERO;
+        for _ in 0..60 {
+            now += MINUTE;
+            promo.record_promotion(PageAge::from_scans(3), 11);
+            ctl.on_minute(now, &cold, &promo);
+        }
+        b.iter(|| {
+            now += MINUTE;
+            promo.record_promotion(PageAge::from_scans(3), 11);
+            std::hint::black_box(ctl.on_minute(now, &cold, &promo))
+        });
+    });
+}
+
+criterion_group!(benches, bench_best_threshold, bench_controller_minute);
+criterion_main!(benches);

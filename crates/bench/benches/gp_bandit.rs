@@ -1,0 +1,51 @@
+//! GP Bandit suggestion latency as the observation pool grows (the GP fit
+//! is cubic in observations; the paper's pipeline runs tens of trials).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdfm_autotuner::{BanditConfig, GaussianProcess, GpBandit, RbfKernel, SearchSpace};
+
+fn bench_suggest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_bandit_suggest");
+    for observations in [10usize, 30, 60, 120] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(observations),
+            &observations,
+            |b, &n| {
+                let mut bandit = GpBandit::new(
+                    SearchSpace::agent_params(),
+                    BanditConfig::default().with_constraint_limit(0.002),
+                    42,
+                );
+                for i in 0..n {
+                    let x = 50.0 + (i as f64 * 7.3) % 50.0;
+                    let s = (i as f64 * 131.0) % 7_200.0;
+                    let obj = -(x - 98.0).abs() - s / 1_000.0;
+                    bandit.observe(vec![x, s], obj, 0.001);
+                }
+                b.iter(|| std::hint::black_box(bandit.suggest()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gp_fit_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_fit_and_predict");
+    for n in [20usize, 60, 120] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let x: Vec<Vec<f64>> = (0..n)
+                .map(|i| vec![(i as f64 * 0.37) % 1.0, (i as f64 * 0.11) % 1.0])
+                .collect();
+            let y: Vec<f64> = x.iter().map(|p| (p[0] - 0.5).sin() + p[1]).collect();
+            b.iter(|| {
+                let gp = GaussianProcess::fit(RbfKernel::default_for(2), x.clone(), &y, 1e-4)
+                    .expect("spd");
+                std::hint::black_box(gp.predict(&[0.3, 0.7]))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suggest, bench_gp_fit_predict);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! kstaled scan throughput: the paper bounds the scanner at ~11% of one
+//! logical core while walking every page every 120 s; this measures pages
+//! scanned per second in our simulated kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdfm_kernel::{Kernel, KernelConfig, PageContent};
+use sdfm_types::ids::JobId;
+use sdfm_types::size::PageCount;
+
+fn kernel_with_pages(pages: usize) -> Kernel {
+    let mut kernel = Kernel::new(KernelConfig {
+        capacity: PageCount::new(pages as u64 * 2),
+        ..KernelConfig::default()
+    });
+    let job = JobId::new(1);
+    kernel
+        .create_memcg(job, PageCount::new(pages as u64 * 2))
+        .expect("fresh");
+    kernel
+        .alloc_pages(job, pages, |i| {
+            PageContent::synthetic_of_len(400 + (i % 8) * 128)
+        })
+        .expect("capacity reserved");
+    kernel
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kstaled_scan");
+    for pages in [10_000usize, 100_000, 500_000] {
+        group.throughput(Throughput::Elements(pages as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(pages), &pages, |b, &pages| {
+            let mut kernel = kernel_with_pages(pages);
+            b.iter(|| std::hint::black_box(kernel.run_scan()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reclaim(c: &mut Criterion) {
+    use sdfm_types::histogram::PageAge;
+    c.bench_function("kreclaimd_reclaim_50k_cold_pages", |b| {
+        b.iter_batched(
+            || {
+                let mut kernel = kernel_with_pages(50_000);
+                kernel
+                    .set_zswap_enabled(JobId::new(1), true)
+                    .expect("job exists");
+                for _ in 0..4 {
+                    kernel.run_scan();
+                }
+                kernel
+            },
+            |mut kernel| {
+                std::hint::black_box(
+                    kernel
+                        .reclaim_job(JobId::new(1), PageAge::from_scans(2))
+                        .expect("job exists"),
+                )
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_scan, bench_reclaim);
+criterion_main!(benches);

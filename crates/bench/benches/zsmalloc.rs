@@ -1,0 +1,63 @@
+//! zsmalloc arena operations: allocation, free, and compaction.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdfm_compress::zsmalloc::ZsmallocArena;
+
+fn bench_alloc_free(c: &mut Criterion) {
+    c.bench_function("zsmalloc_alloc_free_cycle", |b| {
+        let mut arena = ZsmallocArena::new();
+        let sizes = [137usize, 512, 1_024, 2_048, 2_990, 64, 700];
+        b.iter(|| {
+            let handles: Vec<_> = sizes
+                .iter()
+                .map(|&s| arena.alloc_uninit(s).expect("valid size"))
+                .collect();
+            for h in handles {
+                arena.free(h).expect("live");
+            }
+        });
+    });
+}
+
+fn bench_alloc_with_payload(c: &mut Criterion) {
+    c.bench_function("zsmalloc_alloc_free_with_payload_1k", |b| {
+        let mut arena = ZsmallocArena::new();
+        let payload = Bytes::from(vec![0xAB; 1_024]);
+        b.iter(|| {
+            let h = arena.alloc(payload.clone()).expect("valid size");
+            std::hint::black_box(arena.get(h));
+            arena.free(h).expect("live");
+        });
+    });
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    c.bench_function("zsmalloc_compact_sparse_10k_objects", |b| {
+        b.iter_batched(
+            || {
+                // Build a badly fragmented arena: 10k objects, free 7 of 8.
+                let mut arena = ZsmallocArena::new();
+                let handles: Vec<_> = (0..10_000)
+                    .map(|i| arena.alloc_uninit(128 + (i % 16) * 64).expect("valid"))
+                    .collect();
+                for (i, h) in handles.iter().enumerate() {
+                    if i % 8 != 0 {
+                        arena.free(*h).expect("live");
+                    }
+                }
+                arena
+            },
+            |mut arena| std::hint::black_box(arena.compact()),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_alloc_free,
+    bench_alloc_with_payload,
+    bench_compaction
+);
+criterion_main!(benches);

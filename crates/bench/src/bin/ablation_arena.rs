@@ -1,0 +1,30 @@
+//! Ablation: one global zsmalloc arena vs per-memcg arenas (§5.1).
+
+use sdfm_bench::{emit, parse_options, pct};
+use sdfm_core::experiments::ablations::ablation_arena;
+
+fn main() {
+    let options = parse_options();
+    let (jobs, objects) = if options.scale.machines_per_cluster >= 20 {
+        (100, 2_000)
+    } else {
+        (40, 500)
+    };
+    let a = ablation_arena(jobs, objects, options.scale.seed);
+    emit(&options, &a, || {
+        println!("Ablation — global vs per-memcg zsmalloc arena ({jobs} jobs, {objects} objects each, 70% churn)\n");
+        println!(
+            "arena pages after churn:  global {:>8}   per-job {:>8}",
+            a.global_pages, a.per_job_pages
+        );
+        println!(
+            "external fragmentation:   global {:>8}   per-job {:>8}",
+            pct(a.global_fragmentation),
+            pct(a.per_job_fragmentation)
+        );
+        println!(
+            "\nper-job arenas waste {:.1}% more pages",
+            (a.per_job_pages as f64 / a.global_pages.max(1) as f64 - 1.0) * 100.0
+        );
+    });
+}

@@ -1,0 +1,23 @@
+//! Ablation: the §4.3 K-percentile + spike-override policy vs a naive
+//! last-window-best policy.
+
+use sdfm_bench::{emit, parse_options, pct};
+use sdfm_core::experiments::ablations::{ablation_controller, ablation_traces};
+
+fn main() {
+    let options = parse_options();
+    let traces = ablation_traces(&options.scale);
+    let a = ablation_controller(&traces, 98.0);
+    emit(&options, &a, || {
+        println!("Ablation — controller policy (K = 98)\n");
+        println!(
+            "SLO violation rate:  K-percentile {:>8}   last-best {:>8}",
+            pct(a.kp_violation_rate),
+            pct(a.naive_violation_rate)
+        );
+        println!(
+            "mean far pages/job:  K-percentile {:>8.0}   last-best {:>8.0}",
+            a.kp_cold_pages, a.naive_cold_pages
+        );
+    });
+}

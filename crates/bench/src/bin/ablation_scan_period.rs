@@ -1,0 +1,30 @@
+//! Ablation: kstaled scan cadence (§5.1's empirical scan-period tuning).
+
+use sdfm_bench::{emit, parse_options};
+use sdfm_core::experiments::ablations::ablation_scan_period;
+
+fn main() {
+    let options = parse_options();
+    let minutes = if options.scale.machines_per_cluster >= 20 {
+        480
+    } else {
+        180
+    };
+    let rows = ablation_scan_period(minutes, options.scale.seed);
+    emit(&options, &rows, || {
+        println!("Ablation — kstaled scan cadence ({minutes} simulated minutes)");
+        println!(
+            "(§5.1: the scan period trades CPU for histogram resolution; production uses 120 s)\n"
+        );
+        println!(
+            "{:>12} {:>16} {:>12} {:>14}",
+            "scan every", "pages walked", "mean saved", "promos/min"
+        );
+        for r in &rows {
+            println!(
+                "{:>9}min {:>16} {:>12.0} {:>14.1}",
+                r.scan_every_mins, r.pages_scanned, r.mean_saved, r.promotions_per_min
+            );
+        }
+    });
+}

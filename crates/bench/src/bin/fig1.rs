@@ -1,0 +1,23 @@
+//! Figure 1: fleet-average cold memory percentage and promotion rate under
+//! different cold-age thresholds.
+
+use sdfm_bench::{emit, parse_options, pct};
+use sdfm_core::experiments::coldness::figure1;
+
+fn main() {
+    let options = parse_options();
+    let rows = figure1(&options.scale);
+    emit(&options, &rows, || {
+        println!("Figure 1 — cold memory & promotion rate vs cold age threshold T");
+        println!("(paper anchors: 32% cold and ~15%/min of cold accessed at T = 120 s)\n");
+        println!("{:>12} {:>14} {:>26}", "T", "cold memory", "promotion rate");
+        for r in &rows {
+            println!(
+                "{:>11}s {:>14} {:>20}/min",
+                r.threshold_secs,
+                pct(r.cold_fraction),
+                pct(r.promotion_rate_per_min)
+            );
+        }
+    });
+}

@@ -1,0 +1,39 @@
+//! Figure 10: the Bigtable A/B case study.
+
+use sdfm_bench::{emit, parse_options, pct};
+use sdfm_core::experiments::bigtable::{figure10, Fig10Config};
+
+fn main() {
+    let options = parse_options();
+    let config = if options.scale.machines_per_cluster >= 20 {
+        Fig10Config {
+            machines_per_group: 8,
+            jobs_per_machine: 2,
+            hours: 24,
+            shrink: 20,
+            seed: options.scale.seed,
+        }
+    } else {
+        Fig10Config {
+            machines_per_group: 4,
+            jobs_per_machine: 2,
+            hours: 8,
+            shrink: 40,
+            seed: options.scale.seed,
+        }
+    };
+    let points = figure10(&config);
+    emit(&options, &points, || {
+        println!("Figure 10 — Bigtable A/B: coverage and user-level IPC delta");
+        println!("(paper: coverage 5–15% with diurnal swing; IPC delta within noise)\n");
+        println!("{:>6} {:>10} {:>12}", "hour", "coverage", "IPC delta");
+        for p in &points {
+            println!(
+                "{:>6.0} {:>10} {:>11.2}%",
+                p.hour,
+                pct(p.coverage),
+                p.ipc_delta_pct
+            );
+        }
+    });
+}

@@ -1,0 +1,30 @@
+//! Figure 2: cold-memory variation across machines in the top-10 clusters.
+
+use sdfm_bench::{emit, parse_options, pct};
+use sdfm_core::experiments::coldness::figure2;
+
+fn main() {
+    let options = parse_options();
+    let rows = figure2(&options.scale);
+    emit(&options, &rows, || {
+        println!("Figure 2 — per-machine cold memory % distribution per cluster");
+        println!("(paper: 1%–52% even within a cluster)\n");
+        println!(
+            "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}",
+            "cluster", "min", "q1", "median", "q3", "max", "n"
+        );
+        for r in &rows {
+            let s = &r.summary;
+            println!(
+                "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}",
+                r.cluster,
+                pct(s.min),
+                pct(s.q1),
+                pct(s.median),
+                pct(s.q3),
+                pct(s.max),
+                s.count
+            );
+        }
+    });
+}

@@ -1,0 +1,21 @@
+//! Figure 3: cumulative distribution of per-job cold memory percentage.
+
+use sdfm_bench::{emit, parse_options, pct};
+use sdfm_core::experiments::coldness::figure3;
+
+fn main() {
+    let options = parse_options();
+    let f = figure3(&options.scale);
+    emit(&options, &f, || {
+        println!("Figure 3 — CDF of per-job cold memory %");
+        println!(
+            "(paper: bottom decile < 9%, top decile ≥ 43%)\n\nbottom decile: {}\ntop decile:    {}\n",
+            pct(f.bottom_decile),
+            pct(f.top_decile)
+        );
+        println!("{:>14} {:>12}", "cold memory", "jobs ≤");
+        for (x, q) in f.cdf.iter().step_by(5) {
+            println!("{:>14} {:>12}", pct(*x), pct(*q));
+        }
+    });
+}

@@ -1,0 +1,29 @@
+//! Figure 6: cold-memory coverage distribution across machines per cluster.
+
+use sdfm_bench::{emit, parse_options, pct};
+use sdfm_core::experiments::rollout::figure6;
+
+fn main() {
+    let options = parse_options();
+    let rows = figure6(&options.scale);
+    emit(&options, &rows, || {
+        println!("Figure 6 — per-machine coverage distribution per cluster\n");
+        println!(
+            "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}",
+            "cluster", "min", "q1", "median", "q3", "max", "n"
+        );
+        for r in &rows {
+            let s = &r.summary;
+            println!(
+                "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}",
+                r.cluster,
+                pct(s.min),
+                pct(s.q1),
+                pct(s.median),
+                pct(s.q3),
+                pct(s.max),
+                s.count
+            );
+        }
+    });
+}

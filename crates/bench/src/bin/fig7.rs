@@ -1,0 +1,36 @@
+//! Figure 7: normalized promotion-rate distribution before and after the
+//! ML autotuner.
+
+use sdfm_bench::{emit, parse_options};
+use sdfm_core::experiments::rollout::{figure5, figure7};
+
+fn main() {
+    let options = parse_options();
+    // Obtain tuned parameters the same way figure 5 does.
+    let (_, tuned) = figure5(&options.scale);
+    let f = figure7(&options.scale, tuned);
+    emit(&options, &f, || {
+        println!("Figure 7 — normalized promotion rate CDF before/after autotuning");
+        println!("(paper: p98 stays below 0.2%/min in both; mid-percentiles rise after)\n");
+        println!(
+            "p50 before {:.4} %/min -> after {:.4} %/min",
+            f.p50_before, f.p50_after
+        );
+        println!(
+            "p98 before {:.4} %/min -> after {:.4} %/min (SLO 0.2)\n",
+            f.p98_before, f.p98_after
+        );
+        println!(
+            "{:>16} {:>16} {:>10}",
+            "before %/min", "after %/min", "jobs ≤"
+        );
+        for i in (0..f.before.len()).step_by(5) {
+            println!(
+                "{:>16.4} {:>16.4} {:>9.0}%",
+                f.before[i].0,
+                f.after[i].0,
+                f.before[i].1 * 100.0
+            );
+        }
+    });
+}

@@ -1,0 +1,39 @@
+//! Figure 8: CPU overhead of compression/decompression per job and per
+//! machine.
+
+use sdfm_bench::{emit, parse_options};
+use sdfm_core::experiments::overhead::figure8;
+
+fn main() {
+    let options = parse_options();
+    let f = figure8(&options.scale);
+    emit(&options, &f, || {
+        println!("Figure 8 — CPU cycles spent on compression work, as a fraction of CPU usage");
+        println!("(paper: per-job p98 ≈ 0.01% compress / 0.09% decompress;");
+        println!(" per-machine median ≈ 0.005% compress / 0.001% decompress)\n");
+        let fmt = |x: f64| format!("{:.4}%", x * 100.0);
+        println!("per-job     p98 compress:   {}", fmt(f.p98_job_compress));
+        println!("per-job     p98 decompress: {}", fmt(f.p98_job_decompress));
+        println!(
+            "per-machine p50 compress:   {}",
+            fmt(f.p50_machine_compress)
+        );
+        println!(
+            "per-machine p50 decompress: {}",
+            fmt(f.p50_machine_decompress)
+        );
+        println!();
+        println!(
+            "{:>18} {:>18} {:>8}",
+            "job compress %", "job decompress %", "jobs ≤"
+        );
+        for i in (0..f.job_compress.len()).step_by(5) {
+            println!(
+                "{:>18.5} {:>18.5} {:>7.0}%",
+                f.job_compress[i].0 * 100.0,
+                f.job_decompress[i].0 * 100.0,
+                f.job_compress[i].1 * 100.0
+            );
+        }
+    });
+}

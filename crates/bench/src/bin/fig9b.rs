@@ -1,0 +1,24 @@
+//! Figure 9b: decompression latency distribution (measured wall-clock).
+
+use sdfm_bench::{emit, parse_options};
+use sdfm_core::experiments::overhead::figure9b;
+
+fn main() {
+    let options = parse_options();
+    let samples = if options.scale.machines_per_cluster >= 20 {
+        20_000
+    } else {
+        4_000
+    };
+    let f = figure9b(samples, options.scale.seed);
+    emit(&options, &f, || {
+        println!("Figure 9b — decompression latency per 4 KiB page (measured on this host)");
+        println!("(paper: 6.4 µs median, 9.1 µs p98 on 2016-era servers)\n");
+        println!("p50: {:.2} µs", f.p50_us);
+        println!("p98: {:.2} µs\n", f.p98_us);
+        println!("{:>12} {:>10}", "latency µs", "pages ≤");
+        for (x, q) in f.cdf.iter().step_by(5) {
+            println!("{:>12.2} {:>9.0}%", x, q * 100.0);
+        }
+    });
+}

@@ -1,0 +1,26 @@
+//! T1: the headline TCO arithmetic, assembled from measured pieces.
+
+use sdfm_bench::{emit, parse_options, pct};
+use sdfm_core::experiments::coldness::figure1;
+use sdfm_core::experiments::overhead::figure9a;
+use sdfm_core::experiments::rollout::{figure5, phase_steady_coverage, RolloutPhase};
+use sdfm_core::experiments::tables::table1;
+
+fn main() {
+    let options = parse_options();
+    // Measured inputs: coverage from the rollout sim, cold ceiling from
+    // figure 1, ratio from figure 9a.
+    let (points, _) = figure5(&options.scale);
+    let coverage = phase_steady_coverage(&points, RolloutPhase::Autotuned).clamp(0.0, 1.0);
+    let ceiling = figure1(&options.scale)[0].cold_fraction.clamp(0.0, 1.0);
+    let ratio = figure9a(80, 50, options.scale.seed).median_ratio.max(1.01);
+    let t = table1(coverage, ceiling, ratio);
+    emit(&options, &t, || {
+        println!("T1 — headline TCO arithmetic (paper: 20% x 32% x 67% -> 4–5% DRAM savings)\n");
+        println!("measured coverage:        {}", pct(t.coverage));
+        println!("measured cold ceiling:    {}", pct(t.cold_ceiling));
+        println!("measured ratio:           {:.2}x", t.compression_ratio);
+        println!("page cost reduction:      {}", pct(t.page_cost_reduction));
+        println!("fleet DRAM savings:       {}", pct(t.dram_savings));
+    });
+}

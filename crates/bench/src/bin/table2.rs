@@ -1,0 +1,21 @@
+//! T2: the §4.3 promotion-histogram worked example.
+
+use sdfm_bench::{emit, parse_options};
+use sdfm_core::experiments::tables::table2;
+
+fn main() {
+    let options = parse_options();
+    let t = table2();
+    emit(&options, &t, || {
+        println!("T2 — §4.3 worked example: pages A (5 min idle) and B (10 min idle),");
+        println!("both accessed one minute ago.\n");
+        println!(
+            "T = 8 min -> {} promotion/min (paper: 1)",
+            t.promotions_per_min_t8
+        );
+        println!(
+            "T = 2 min -> {} promotions/min (paper: 2)",
+            t.promotions_per_min_t2
+        );
+    });
+}

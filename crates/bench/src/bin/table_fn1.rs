@@ -1,0 +1,33 @@
+//! FN1: the lzo / lz4 / snappy trade-off (§5.1 footnote 1).
+
+use sdfm_bench::{emit, parse_options};
+use sdfm_core::experiments::tables::table_fn1;
+
+fn main() {
+    let options = parse_options();
+    let pages = if options.scale.machines_per_cluster >= 20 {
+        4_000
+    } else {
+        800
+    };
+    let rows = table_fn1(pages, options.scale.seed);
+    emit(&options, &rows, || {
+        println!("FN1 — codec comparison on the fleet-mix corpus");
+        println!(
+            "(paper: \"lzo shows the best trade-off between compression speed and efficiency\")\n"
+        );
+        println!(
+            "{:>8} {:>8} {:>16} {:>18}",
+            "codec", "ratio", "compress MiB/s", "decompress MiB/s"
+        );
+        for r in &rows {
+            println!(
+                "{:>8} {:>7.2}x {:>16.0} {:>18.0}",
+                r.codec.to_string(),
+                r.ratio,
+                r.compress_mib_s,
+                r.decompress_mib_s
+            );
+        }
+    });
+}

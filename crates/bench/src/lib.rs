@@ -1,0 +1,91 @@
+//! Shared scaffolding for the experiment binaries.
+//!
+//! Every `fig*`/`table*`/`ablation_*` binary regenerates one figure or
+//! table from the paper. Each accepts:
+//!
+//! * `--paper` — run at paper-shaped scale (hundreds of machines, a
+//!   simulated day per phase); the default is a medium scale that finishes
+//!   in seconds;
+//! * `--small` — the unit-test scale;
+//! * `--json` — emit the raw data structure as JSON instead of a table.
+
+#![warn(missing_docs)]
+
+use sdfm_core::experiments::Scale;
+
+/// Parsed command-line options shared by the experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Emit JSON instead of human-readable rows.
+    pub json: bool,
+}
+
+/// The default (medium) scale: big enough for stable distributions, small
+/// enough to finish in seconds.
+pub fn medium_scale() -> Scale {
+    Scale {
+        machines_per_cluster: 6,
+        warmup_windows: 36,
+        measure_windows: 48,
+        seed: 42,
+    }
+}
+
+/// Parses the common flags from `std::env::args`.
+pub fn parse_options() -> Options {
+    let mut scale = medium_scale();
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--paper" => scale = Scale::paper(),
+            "--small" => scale = Scale::small(),
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("flags: --small | --paper (scale), --json (raw output)");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    Options { scale, json }
+}
+
+/// Prints a JSON value or runs the human-readable printer.
+pub fn emit<T: serde::Serialize>(options: &Options, value: &T, table: impl FnOnce()) {
+    if options.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(value).expect("experiment outputs serialize")
+        );
+    } else {
+        table();
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medium_scale_is_between_small_and_paper() {
+        let m = medium_scale();
+        assert!(m.machines_per_cluster > Scale::small().machines_per_cluster);
+        assert!(m.machines_per_cluster < Scale::paper().machines_per_cluster);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.2), "20.00%");
+        assert_eq!(pct(0.0426), "4.26%");
+    }
+}

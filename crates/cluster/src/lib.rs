@@ -1,0 +1,45 @@
+//! The cluster-management substrate: machines, scheduling, churn, and
+//! telemetry.
+//!
+//! The paper's system runs under Borg: a cluster scheduler places jobs on
+//! machines, each machine runs the node agent (`sdfm-agent`) against its
+//! kernel (`sdfm-kernel`), and job churn / evictions / diurnal load create
+//! the fleet dynamics the evaluation measures. This crate provides that
+//! substrate at simulation scale:
+//!
+//! * [`Machine`] — one host: kernel + node agent + per-job workload
+//!   drivers, stepped minute by minute;
+//! * [`BorgCluster`] — a set of machines with best-fit placement, a
+//!   pending queue, lifetime-based job exits, fail-fast OOM restarts, and
+//!   priority-ordered eviction under memory pressure;
+//! * [`EvictionTracker`] — the eviction-SLO bookkeeping (§4.2: the paper's
+//!   eviction SLO was never breached in 18 months);
+//! * [`TelemetryDb`] — the per-minute job/machine snapshots and 5-minute
+//!   trace records that the fast far memory model and the figures consume.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdfm_cluster::{BorgCluster, ClusterConfig};
+//! use sdfm_workloads::templates::JobTemplate;
+//! use rand::SeedableRng;
+//!
+//! let mut cluster = BorgCluster::new(ClusterConfig::small_test(), 42);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut profile = JobTemplate::WebFrontend.sample_profile(&mut rng);
+//! # for b in &mut profile.rate_buckets { b.pages = (b.pages / 100).max(1); }
+//! cluster.submit(profile);
+//! cluster.step_minute();
+//! ```
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod eviction;
+mod machine;
+mod telemetry;
+
+pub use cluster::{BorgCluster, ClusterConfig, MinuteReport};
+pub use eviction::EvictionTracker;
+pub use machine::{Machine, MachineReport};
+pub use telemetry::{JobSnapshot, MachineSnapshot, TelemetryDb};

@@ -1,0 +1,196 @@
+//! Telemetry: the external database the node agents export into (§5.2).
+//!
+//! Stores three streams: per-job per-minute snapshots (figures 7/8),
+//! per-machine per-minute snapshots (figures 2/6), and the 5-minute
+//! [`TraceRecord`]s that feed the fast far memory model (§5.3).
+
+use serde::{Deserialize, Serialize};
+
+use sdfm_agent::TraceRecord;
+use sdfm_types::ids::{ClusterId, JobId, MachineId};
+use sdfm_types::rate::NormalizedPromotionRate;
+use sdfm_types::size::PageCount;
+use sdfm_types::time::SimTime;
+
+/// One job's state at one minute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSnapshot {
+    /// When.
+    pub at: SimTime,
+    /// Which job.
+    pub job: JobId,
+    /// Hosting machine.
+    pub machine: MachineId,
+    /// Working-set estimate.
+    pub working_set: PageCount,
+    /// Cold pages under the minimum threshold.
+    pub cold_pages: PageCount,
+    /// Pages currently compressed.
+    pub zswapped_pages: u64,
+    /// Pages currently resident.
+    pub resident_pages: u64,
+    /// Observed normalized promotion rate over the last minute.
+    pub observed_rate: NormalizedPromotionRate,
+    /// Cumulative compressions.
+    pub compressions: u64,
+    /// Cumulative decompressions (actual promotions).
+    pub decompressions: u64,
+    /// The job's CPU footprint (cores), for overhead normalization.
+    pub cpu_cores: f64,
+}
+
+/// One machine's state at one minute.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineSnapshot {
+    /// When.
+    pub at: SimTime,
+    /// Which machine.
+    pub machine: MachineId,
+    /// Which cluster.
+    pub cluster: ClusterId,
+    /// Resident job pages.
+    pub resident: PageCount,
+    /// zswap arena footprint.
+    pub zswap_footprint: PageCount,
+    /// Pages stored compressed.
+    pub zswapped_pages: u64,
+    /// Cold pages across all jobs (minimum threshold).
+    pub cold_pages: PageCount,
+    /// Total memory used by jobs (resident + compressed pages).
+    pub used_pages: PageCount,
+    /// Machine-level compression CPU time so far (ns).
+    pub compress_ns: u64,
+    /// Machine-level decompression CPU time so far (ns).
+    pub decompress_ns: u64,
+    /// Jobs running.
+    pub jobs: usize,
+}
+
+impl MachineSnapshot {
+    /// Cold-memory coverage: compressed pages / cold pages (§6.1). `None`
+    /// when the machine has no cold memory.
+    pub fn coverage(&self) -> Option<f64> {
+        if self.cold_pages.is_zero() {
+            None
+        } else {
+            Some(self.zswapped_pages as f64 / self.cold_pages.get() as f64)
+        }
+    }
+
+    /// Fraction of used memory that is cold.
+    pub fn cold_fraction(&self) -> Option<f64> {
+        if self.used_pages.is_zero() {
+            None
+        } else {
+            Some(self.cold_pages.get() as f64 / self.used_pages.get() as f64)
+        }
+    }
+}
+
+/// The append-only telemetry store.
+#[derive(Debug, Default)]
+pub struct TelemetryDb {
+    jobs: Vec<JobSnapshot>,
+    machines: Vec<MachineSnapshot>,
+    traces: Vec<TraceRecord>,
+}
+
+impl TelemetryDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a job snapshot.
+    pub fn push_job(&mut self, s: JobSnapshot) {
+        self.jobs.push(s);
+    }
+
+    /// Appends a machine snapshot.
+    pub fn push_machine(&mut self, s: MachineSnapshot) {
+        self.machines.push(s);
+    }
+
+    /// Appends a trace record.
+    pub fn push_trace(&mut self, t: TraceRecord) {
+        self.traces.push(t);
+    }
+
+    /// All job snapshots, in insertion order.
+    pub fn job_snapshots(&self) -> &[JobSnapshot] {
+        &self.jobs
+    }
+
+    /// All machine snapshots.
+    pub fn machine_snapshots(&self) -> &[MachineSnapshot] {
+        &self.machines
+    }
+
+    /// All trace records.
+    pub fn traces(&self) -> &[TraceRecord] {
+        &self.traces
+    }
+
+    /// Drains the trace records (handing them to the model pipeline).
+    pub fn take_traces(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.traces)
+    }
+
+    /// Merges another database into this one.
+    pub fn merge(&mut self, other: TelemetryDb) {
+        self.jobs.extend(other.jobs);
+        self.machines.extend(other.machines);
+        self.traces.extend(other.traces);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine_snapshot(zswapped: u64, cold: u64, used: u64) -> MachineSnapshot {
+        MachineSnapshot {
+            at: SimTime::ZERO,
+            machine: MachineId::new(1),
+            cluster: ClusterId::new(0),
+            resident: PageCount::new(used - zswapped),
+            zswap_footprint: PageCount::new(zswapped / 3),
+            zswapped_pages: zswapped,
+            cold_pages: PageCount::new(cold),
+            used_pages: PageCount::new(used),
+            compress_ns: 0,
+            decompress_ns: 0,
+            jobs: 1,
+        }
+    }
+
+    #[test]
+    fn coverage_math() {
+        let s = machine_snapshot(200, 1000, 4000);
+        assert_eq!(s.coverage(), Some(0.2));
+        assert_eq!(s.cold_fraction(), Some(0.25));
+        let empty = machine_snapshot(0, 0, 0);
+        assert_eq!(empty.coverage(), None);
+        assert_eq!(empty.cold_fraction(), None);
+    }
+
+    #[test]
+    fn db_appends_and_takes() {
+        let mut db = TelemetryDb::new();
+        db.push_machine(machine_snapshot(1, 2, 3));
+        assert_eq!(db.machine_snapshots().len(), 1);
+        assert!(db.traces().is_empty());
+        let taken = db.take_traces();
+        assert!(taken.is_empty());
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = TelemetryDb::new();
+        a.push_machine(machine_snapshot(1, 2, 3));
+        let mut b = TelemetryDb::new();
+        b.push_machine(machine_snapshot(4, 5, 6));
+        a.merge(b);
+        assert_eq!(a.machine_snapshots().len(), 2);
+    }
+}

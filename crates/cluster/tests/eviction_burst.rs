@@ -1,0 +1,121 @@
+//! The §4.2 pressure path: "in the rare cases where aggressive or
+//! correlated decompression bursts cause the machine to run out of memory
+//! for decompressing compressed pages, we selectively evict low-priority
+//! jobs by killing them and rescheduling them on other machines."
+//!
+//! This test engineers exactly that: a best-effort job whose memory is
+//! mostly frozen gets compressed away, a latency-sensitive job fills the
+//! freed DRAM, and then a full-memory burst (GC-style) faults the frozen
+//! pages back — overcommitting the machine and forcing an eviction of the
+//! best-effort job, never the latency-sensitive one.
+
+use sdfm_agent::{AgentParams, SloConfig};
+use sdfm_cluster::{Machine, TelemetryDb};
+use sdfm_compress::gen::CompressibilityMix;
+use sdfm_kernel::KernelConfig;
+use sdfm_types::ids::{ClusterId, JobId, MachineId};
+use sdfm_types::size::PageCount;
+use sdfm_types::time::{SimDuration, SimTime, MINUTE};
+use sdfm_workloads::profile::{DiurnalPattern, JobPriority, JobProfile, RateBucket};
+
+fn profile(hot: u64, frozen: u64, priority: JobPriority, burst_mins: Option<u64>) -> JobProfile {
+    JobProfile {
+        template: "burst-test".into(),
+        rate_buckets: vec![
+            RateBucket {
+                pages: hot,
+                rate_per_sec: 0.5,
+            },
+            RateBucket {
+                pages: frozen,
+                rate_per_sec: 1e-9,
+            },
+        ],
+        diurnal: DiurnalPattern::FLAT,
+        mix: CompressibilityMix::fleet_default(),
+        cpu_cores: 1.0,
+        write_fraction: 0.1,
+        burst_interval: burst_mins.map(SimDuration::from_mins),
+        priority,
+        lifetime: SimDuration::from_hours(10_000),
+    }
+}
+
+#[test]
+fn decompression_burst_evicts_the_best_effort_job() {
+    let mut machine = Machine::new(
+        MachineId::new(0),
+        ClusterId::new(0),
+        KernelConfig {
+            capacity: PageCount::new(10_000),
+            ..KernelConfig::default()
+        },
+        AgentParams::new(95.0, SimDuration::from_mins(2)).expect("valid"),
+        SloConfig::default(),
+        SimDuration::from_secs(300),
+    );
+    let victim = JobId::new(1);
+    let protected = JobId::new(2);
+
+    // Best-effort job: 6.5k pages, 6k of them frozen, with a GC-style
+    // burst every ~20 minutes.
+    assert!(machine.try_place(
+        victim,
+        &profile(500, 6_000, JobPriority::BestEffort, Some(20)),
+        SimTime::ZERO,
+        1,
+    ));
+
+    let mut db = TelemetryDb::new();
+    // Phase 1: let the control plane compress the frozen bulk.
+    let mut minute = 0u64;
+    loop {
+        minute += 1;
+        assert!(minute < 60, "frozen pages never compressed");
+        machine.step_minute(SimTime::ZERO + MINUTE * minute, &mut db);
+        let s = machine.kernel().machine_stats();
+        if s.zswapped_pages > 3_500 {
+            break;
+        }
+    }
+
+    // Phase 2: a latency-sensitive job moves into the freed DRAM.
+    assert!(
+        machine.free_frames().get() > 4_000,
+        "compression freed too little: {}",
+        machine.free_frames()
+    );
+    assert!(machine.try_place(
+        protected,
+        &profile(3_800, 200, JobPriority::LatencySensitive, None),
+        SimTime::ZERO + MINUTE * minute,
+        2,
+    ));
+    assert_eq!(machine.job_count(), 2);
+
+    // Phase 3: keep running until the victim's burst faults its frozen
+    // memory back. The machine overcommits and must evict the
+    // best-effort job — and only it.
+    let mut evicted = Vec::new();
+    for m in minute + 1..minute + 200 {
+        let r = machine.step_minute(SimTime::ZERO + MINUTE * m, &mut db);
+        evicted.extend(r.evicted.into_iter().map(|(id, _)| id));
+        if !evicted.is_empty() {
+            break;
+        }
+    }
+    assert_eq!(
+        evicted,
+        vec![victim],
+        "the burst must evict exactly the best-effort job"
+    );
+    assert_eq!(machine.job_count(), 1);
+    assert!(
+        machine.kernel().memcg(protected).is_ok(),
+        "the latency-sensitive job must survive"
+    );
+    assert!(
+        !machine.overcommitted(),
+        "eviction must resolve the pressure"
+    );
+}

@@ -1,0 +1,140 @@
+//! Property tests: scheduler and cluster invariants under random job
+//! streams.
+
+use proptest::prelude::*;
+use sdfm_cluster::{BorgCluster, ClusterConfig};
+use sdfm_compress::gen::CompressibilityMix;
+use sdfm_kernel::KernelConfig;
+use sdfm_types::size::PageCount;
+use sdfm_types::time::SimDuration;
+use sdfm_workloads::profile::{DiurnalPattern, JobPriority, JobProfile, RateBucket};
+
+fn profile(pages: u64, lifetime_mins: u64, priority: JobPriority) -> JobProfile {
+    JobProfile {
+        template: "prop".into(),
+        rate_buckets: vec![
+            RateBucket {
+                pages: (pages / 4).max(1),
+                rate_per_sec: 0.3,
+            },
+            RateBucket {
+                pages: pages - (pages / 4).max(1),
+                rate_per_sec: 1e-9,
+            },
+        ],
+        diurnal: DiurnalPattern::FLAT,
+        mix: CompressibilityMix::fleet_default(),
+        cpu_cores: 1.0,
+        write_fraction: 0.1,
+        burst_interval: None,
+        priority,
+        lifetime: SimDuration::from_mins(lifetime_mins),
+    }
+}
+
+fn small_cluster(seed: u64) -> BorgCluster {
+    BorgCluster::new(
+        ClusterConfig {
+            machines: 3,
+            kernel: KernelConfig {
+                capacity: PageCount::new(20_000),
+                ..KernelConfig::default()
+            },
+            ..ClusterConfig::small_test()
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Job conservation: every submitted job is always in exactly one of
+    /// {running, pending, exited}; machines never host a job the cluster
+    /// does not know about; and no machine overcommits its DRAM with
+    /// resident pages.
+    #[test]
+    fn jobs_are_conserved_and_machines_never_overfill(
+        submissions in prop::collection::vec(
+            (500u64..6_000, 2u64..40, 0usize..3),
+            1..15,
+        ),
+        minutes in 5u64..40,
+    ) {
+        let mut cluster = small_cluster(7);
+        let priorities = [
+            JobPriority::BestEffort,
+            JobPriority::Batch,
+            JobPriority::LatencySensitive,
+        ];
+        let mut submitted = 0usize;
+        let mut exited = 0usize;
+        let mut iter = submissions.into_iter();
+        for m in 0..minutes {
+            if m % 2 == 0 {
+                if let Some((pages, life, pri)) = iter.next() {
+                    cluster.submit(profile(pages, life, priorities[pri]));
+                    submitted += 1;
+                }
+            }
+            let report = cluster.step_minute();
+            exited += report.exited.len();
+            let running = cluster.running_jobs();
+            let pending = report.pending;
+            prop_assert_eq!(
+                running + pending + exited,
+                submitted,
+                "conservation: {} running + {} pending + {} exited != {} submitted",
+                running, pending, exited, submitted
+            );
+            for machine in cluster.machines() {
+                let s = machine.kernel().machine_stats();
+                prop_assert!(
+                    s.resident + s.zswap_footprint <= s.capacity,
+                    "machine overcommitted: {:?}", s
+                );
+            }
+        }
+        // Drain remaining submissions to exercise the queue path.
+        for (pages, life, pri) in iter {
+            cluster.submit(profile(pages, life, priorities[pri]));
+            submitted += 1;
+        }
+        let report = cluster.step_minute();
+        prop_assert!(report.pending + cluster.running_jobs() <= submitted);
+    }
+
+    /// A job too large for any machine stays pending forever and never
+    /// destabilizes the cluster.
+    #[test]
+    fn oversized_jobs_never_place(minutes in 3u64..15) {
+        let mut cluster = small_cluster(11);
+        cluster.submit(profile(50_000, 100, JobPriority::Batch));
+        for _ in 0..minutes {
+            let r = cluster.step_minute();
+            prop_assert_eq!(r.pending, 1);
+            prop_assert_eq!(cluster.running_jobs(), 0);
+        }
+    }
+
+    /// Determinism: identical seeds and submissions produce identical
+    /// placement and telemetry counts.
+    #[test]
+    fn cluster_is_deterministic(seed in 0u64..1_000, n in 1usize..6) {
+        let run = |seed: u64| {
+            let mut c = small_cluster(seed);
+            for i in 0..n {
+                c.submit(profile(1_000 + i as u64 * 500, 30, JobPriority::Batch));
+            }
+            for _ in 0..10 {
+                c.step_minute();
+            }
+            (
+                c.running_jobs(),
+                c.telemetry().machine_snapshots().len(),
+                c.telemetry().job_snapshots().len(),
+            )
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,525 @@
+//! Synthetic page content with controlled compressibility.
+//!
+//! Figure 9a reports the fleet distribution of per-job compression ratios:
+//! 2–6× with a 3× median, with 31% of cold memory incompressible (multimedia
+//! and encrypted end-user data stay incompressible even when cold). We have
+//! no access to production page contents, so this module generates 4 KiB
+//! pages from six content classes whose LZ-compressibility spans the same
+//! range, plus a [`CompressibilityMix`] describing a job's page population.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use sdfm_types::error::SdfmError;
+use sdfm_types::size::PAGE_SIZE;
+
+/// A class of page content, ordered roughly from most to least compressible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageClass {
+    /// Mostly-zero pages (freshly faulted heap, sparse arrays).
+    ZeroDominated,
+    /// Serialized records with shared prefixes and small-domain fields.
+    StructuredRecords,
+    /// Natural-language text from a skewed word distribution.
+    Text,
+    /// Pointer-rich heap data: shared high bits, noisy low bits.
+    HeapPointers,
+    /// Media-like smooth noise (audio/video samples) — effectively
+    /// incompressible for byte-oriented LZ.
+    Multimedia,
+    /// Uniform random bytes (encrypted end-user content).
+    Encrypted,
+}
+
+impl PageClass {
+    /// All classes, most compressible first.
+    pub const ALL: [PageClass; 6] = [
+        PageClass::ZeroDominated,
+        PageClass::StructuredRecords,
+        PageClass::Text,
+        PageClass::HeapPointers,
+        PageClass::Multimedia,
+        PageClass::Encrypted,
+    ];
+
+    /// Whether pages of this class typically exceed the incompressible
+    /// cutoff (§5.1) under the production codecs.
+    pub fn is_typically_incompressible(self) -> bool {
+        matches!(self, PageClass::Multimedia | PageClass::Encrypted)
+    }
+}
+
+impl fmt::Display for PageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PageClass::ZeroDominated => "zero-dominated",
+            PageClass::StructuredRecords => "structured-records",
+            PageClass::Text => "text",
+            PageClass::HeapPointers => "heap-pointers",
+            PageClass::Multimedia => "multimedia",
+            PageClass::Encrypted => "encrypted",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A weighted mixture of page classes describing one job's memory contents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressibilityMix {
+    weights: Vec<(PageClass, f64)>,
+}
+
+impl CompressibilityMix {
+    /// Creates a mix from `(class, weight)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdfmError::InvalidParameter`] if any weight is negative or
+    /// non-finite, and [`SdfmError::EmptyInput`] if no weight is positive.
+    pub fn new(weights: Vec<(PageClass, f64)>) -> Result<Self, SdfmError> {
+        if weights.iter().any(|(_, w)| !w.is_finite() || *w < 0.0) {
+            return Err(SdfmError::invalid_parameter(
+                "mix weights must be finite and non-negative",
+            ));
+        }
+        if !weights.iter().any(|(_, w)| *w > 0.0) {
+            return Err(SdfmError::empty_input(
+                "mix needs at least one positive weight",
+            ));
+        }
+        Ok(CompressibilityMix { weights })
+    }
+
+    /// The fleet-average mix: calibrated so that roughly 31% of pages are
+    /// incompressible (Figure 9a) and compressible pages achieve a ~3×
+    /// median ratio spanning 2–6×.
+    pub fn fleet_default() -> Self {
+        CompressibilityMix {
+            weights: vec![
+                (PageClass::ZeroDominated, 0.05),
+                (PageClass::StructuredRecords, 0.14),
+                (PageClass::Text, 0.20),
+                (PageClass::HeapPointers, 0.30),
+                (PageClass::Multimedia, 0.13),
+                (PageClass::Encrypted, 0.18),
+            ],
+        }
+    }
+
+    /// All six classes, equally likely.
+    pub fn uniform() -> Self {
+        CompressibilityMix {
+            weights: PageClass::ALL.iter().map(|&c| (c, 1.0)).collect(),
+        }
+    }
+
+    /// A mix of a single class.
+    pub fn single(class: PageClass) -> Self {
+        CompressibilityMix {
+            weights: vec![(class, 1.0)],
+        }
+    }
+
+    /// The normalized weight of `class` in this mix.
+    pub fn weight(&self, class: PageClass) -> f64 {
+        let total: f64 = self.weights.iter().map(|(_, w)| w).sum();
+        self.weights
+            .iter()
+            .filter(|(c, _)| *c == class)
+            .map(|(_, w)| w)
+            .sum::<f64>()
+            / total
+    }
+
+    /// The expected fraction of typically-incompressible pages.
+    pub fn incompressible_fraction(&self) -> f64 {
+        PageClass::ALL
+            .iter()
+            .filter(|c| c.is_typically_incompressible())
+            .map(|&c| self.weight(c))
+            .sum()
+    }
+
+    /// Samples a class according to the weights.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> PageClass {
+        let dist = WeightedIndex::new(self.weights.iter().map(|(_, w)| *w))
+            .expect("weights validated at construction");
+        self.weights[dist.sample(rng)].0
+    }
+
+    /// The `(class, weight)` pairs.
+    pub fn entries(&self) -> &[(PageClass, f64)] {
+        &self.weights
+    }
+}
+
+impl Default for CompressibilityMix {
+    fn default() -> Self {
+        Self::fleet_default()
+    }
+}
+
+/// A deterministic generator of 4 KiB page contents.
+///
+/// # Examples
+///
+/// ```
+/// use sdfm_compress::gen::{PageGenerator, PageClass};
+///
+/// let mut g = PageGenerator::new(42);
+/// let page = g.generate(PageClass::Text);
+/// assert_eq!(page.len(), 4096);
+/// ```
+#[derive(Debug)]
+pub struct PageGenerator {
+    rng: StdRng,
+}
+
+const WORDS: [&str; 48] = [
+    "the", "of", "and", "to", "in", "that", "was", "his", "with", "for", "request", "server",
+    "memory", "page", "cache", "table", "value", "index", "shard", "query", "latency", "error",
+    "warning", "status", "user", "session", "token", "bucket", "record", "field", "string",
+    "number", "result", "batch", "stream", "worker", "thread", "queue", "event", "trace", "span",
+    "metric", "count", "total", "bytes", "time", "rate", "limit",
+];
+
+impl PageGenerator {
+    /// Creates a generator with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        PageGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates one page of the given class. Always exactly
+    /// [`PAGE_SIZE`] bytes.
+    pub fn generate(&mut self, class: PageClass) -> Vec<u8> {
+        let mut page = Vec::with_capacity(PAGE_SIZE);
+        match class {
+            PageClass::ZeroDominated => self.fill_zero_dominated(&mut page),
+            PageClass::StructuredRecords => self.fill_records(&mut page),
+            PageClass::Text => self.fill_text(&mut page),
+            PageClass::HeapPointers => self.fill_heap(&mut page),
+            PageClass::Multimedia => self.fill_multimedia(&mut page),
+            PageClass::Encrypted => self.fill_encrypted(&mut page),
+        }
+        page.truncate(PAGE_SIZE);
+        debug_assert_eq!(page.len(), PAGE_SIZE);
+        page
+    }
+
+    /// Samples a class from `mix` and generates a page of it.
+    pub fn generate_from_mix(&mut self, mix: &CompressibilityMix) -> (PageClass, Vec<u8>) {
+        let class = mix.sample(&mut self.rng);
+        (class, self.generate(class))
+    }
+
+    fn fill_zero_dominated(&mut self, page: &mut Vec<u8>) {
+        page.resize(PAGE_SIZE, 0);
+        // Sprinkle 2–6% non-zero bytes in small clusters.
+        let clusters = self.rng.gen_range(8..32);
+        for _ in 0..clusters {
+            let start = self.rng.gen_range(0..PAGE_SIZE - 8);
+            let len = self.rng.gen_range(1..8);
+            for b in &mut page[start..start + len] {
+                *b = self.rng.gen();
+            }
+        }
+    }
+
+    fn fill_records(&mut self, page: &mut Vec<u8>) {
+        // 64-byte records: shared 20-byte prefix, LE counter, enum-ish
+        // fields, and a payload drawn from a small per-page value pool —
+        // serialized caches repeat a handful of distinct values many times.
+        let mut prefix = [0u8; 20];
+        self.rng.fill(&mut prefix[..]);
+        let mut pool = [[0u8; 32]; 6];
+        for v in &mut pool {
+            for b in v.iter_mut() {
+                *b = b"abcdefgh01234567"[self.rng.gen_range(0..16)];
+            }
+        }
+        let mut counter: u64 = self.rng.gen_range(0..1_000_000);
+        while page.len() < PAGE_SIZE {
+            page.extend_from_slice(&prefix);
+            page.extend_from_slice(&counter.to_le_bytes());
+            counter += 1;
+            let status: u8 = self.rng.gen_range(0..4);
+            page.extend_from_slice(&[status, 0, 0, 0]);
+            page.extend_from_slice(&pool[self.rng.gen_range(0..pool.len())]);
+        }
+    }
+
+    fn fill_text(&mut self, page: &mut Vec<u8>) {
+        // Logs and serialized text repeat multi-word phrases, not just
+        // words: occasionally re-emit a recent span of the page.
+        while page.len() < PAGE_SIZE {
+            if page.len() > 200 && self.rng.gen_ratio(1, 10) {
+                let span = self.rng.gen_range(30..110usize).min(page.len());
+                let start = page.len() - span;
+                page.extend_from_within(start..start + span);
+                continue;
+            }
+            // Zipf-ish: cube a uniform to skew toward low indices.
+            let u: f64 = self.rng.gen();
+            let idx = ((u * u * u) * WORDS.len() as f64) as usize;
+            page.extend_from_slice(WORDS[idx.min(WORDS.len() - 1)].as_bytes());
+            match self.rng.gen_range(0..16) {
+                0 => page.extend_from_slice(b".\n"),
+                1 => page.extend_from_slice(b", "),
+                _ => page.push(b' '),
+            }
+        }
+    }
+
+    fn fill_heap(&mut self, page: &mut Vec<u8>) {
+        // 8-byte words: a page references a bounded set of live objects, so
+        // draw pointers from a small per-page pool plus small integers and
+        // one-hot flag words.
+        let base: u64 = 0x7F00_0000_0000 | (self.rng.gen::<u64>() & 0xFFFF_0000);
+        let pool: Vec<u64> = (0..24)
+            .map(|_| base + self.rng.gen_range(0..4096u64) * 64)
+            .collect();
+        while page.len() < PAGE_SIZE {
+            match self.rng.gen_range(0..8) {
+                0..=3 => {
+                    let ptr = pool[self.rng.gen_range(0..pool.len())];
+                    page.extend_from_slice(&ptr.to_le_bytes());
+                }
+                4 | 5 => {
+                    let small: u64 = self.rng.gen_range(0..256);
+                    page.extend_from_slice(&small.to_le_bytes());
+                }
+                6 => {
+                    let flags: u64 = 1 << self.rng.gen_range(0..16);
+                    page.extend_from_slice(&flags.to_le_bytes());
+                }
+                _ => page.extend_from_slice(&[0u8; 8]),
+            }
+        }
+    }
+
+    fn fill_multimedia(&mut self, page: &mut Vec<u8>) {
+        // A bounded random walk: locally smooth but globally aperiodic, so
+        // 4-byte LZ matches are rare — like quantized media samples.
+        let mut v: i16 = self.rng.gen_range(-128..128);
+        for _ in 0..PAGE_SIZE {
+            v = (v + self.rng.gen_range(-24i16..=24)).clamp(-127, 127);
+            page.push((v as i8) as u8);
+        }
+    }
+
+    fn fill_encrypted(&mut self, page: &mut Vec<u8>) {
+        page.resize(PAGE_SIZE, 0);
+        self.rng.fill(&mut page[..]);
+    }
+
+    /// Samples a plausible compressed-payload size for a page of `class`
+    /// *without* generating and compressing content.
+    ///
+    /// Large-scale simulations track payload sizes statistically instead of
+    /// compressing billions of synthetic pages; these ranges are calibrated
+    /// against [`LzoCodec`](crate::codec::LzoCodec) on this module's
+    /// generators (see the `synthetic_sizes_match_real_compression` test).
+    /// Sizes above the incompressible cutoff model pages zswap rejects.
+    pub fn sample_payload_len(&mut self, class: PageClass) -> usize {
+        let (lo, hi) = match class {
+            PageClass::ZeroDominated => (120, 420),
+            PageClass::StructuredRecords => (600, 1000),
+            PageClass::Text => (520, 1150),
+            PageClass::HeapPointers => (1250, 1950),
+            PageClass::Multimedia => (3900, 4300),
+            PageClass::Encrypted => (4150, 4300),
+        };
+        self.rng.gen_range(lo..=hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{LzoCodec, PageCodec};
+    use crate::page::{compress_page, CompressedPage};
+
+    #[test]
+    fn pages_are_page_sized() {
+        let mut g = PageGenerator::new(1);
+        for class in PageClass::ALL {
+            assert_eq!(g.generate(class).len(), PAGE_SIZE, "{class}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = PageGenerator::new(7);
+        let mut b = PageGenerator::new(7);
+        for class in PageClass::ALL {
+            assert_eq!(a.generate(class), b.generate(class));
+        }
+        let mut c = PageGenerator::new(8);
+        assert_ne!(
+            PageGenerator::new(7).generate(PageClass::Encrypted),
+            c.generate(PageClass::Encrypted)
+        );
+    }
+
+    #[test]
+    fn class_compressibility_ordering_holds() {
+        let codec = LzoCodec::new();
+        let mut g = PageGenerator::new(11);
+        let avg_len = |g: &mut PageGenerator, class: PageClass| -> f64 {
+            let mut total = 0usize;
+            for _ in 0..20 {
+                let page = g.generate(class);
+                let mut buf = Vec::new();
+                codec.compress(&page, &mut buf);
+                total += buf.len();
+            }
+            total as f64 / 20.0
+        };
+        let zero = avg_len(&mut g, PageClass::ZeroDominated);
+        let text = avg_len(&mut g, PageClass::Text);
+        let enc = avg_len(&mut g, PageClass::Encrypted);
+        assert!(zero < text, "zero ({zero}) must beat text ({text})");
+        assert!(text < enc, "text ({text}) must beat encrypted ({enc})");
+    }
+
+    #[test]
+    fn incompressible_classes_exceed_cutoff() {
+        let codec = LzoCodec::new();
+        let mut g = PageGenerator::new(13);
+        for class in [PageClass::Multimedia, PageClass::Encrypted] {
+            let mut incompressible = 0;
+            for _ in 0..20 {
+                let page = g.generate(class);
+                if matches!(
+                    compress_page(&codec, &page),
+                    CompressedPage::Incompressible { .. }
+                ) {
+                    incompressible += 1;
+                }
+            }
+            assert!(
+                incompressible >= 18,
+                "{class}: only {incompressible}/20 incompressible"
+            );
+        }
+    }
+
+    #[test]
+    fn compressible_classes_stay_under_cutoff() {
+        let codec = LzoCodec::new();
+        let mut g = PageGenerator::new(17);
+        for class in [
+            PageClass::ZeroDominated,
+            PageClass::StructuredRecords,
+            PageClass::Text,
+        ] {
+            for _ in 0..20 {
+                let page = g.generate(class);
+                assert!(
+                    matches!(compress_page(&codec, &page), CompressedPage::Stored { .. }),
+                    "{class}: page failed to store"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_mix_incompressible_fraction_matches_paper() {
+        let mix = CompressibilityMix::fleet_default();
+        let f = mix.incompressible_fraction();
+        assert!(
+            (0.25..=0.37).contains(&f),
+            "fleet mix incompressible fraction {f} outside paper's ~31%"
+        );
+    }
+
+    #[test]
+    fn mix_sampling_respects_weights() {
+        let mix =
+            CompressibilityMix::new(vec![(PageClass::Text, 3.0), (PageClass::Encrypted, 1.0)])
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 4000;
+        let text = (0..n)
+            .filter(|_| mix.sample(&mut rng) == PageClass::Text)
+            .count();
+        let frac = text as f64 / n as f64;
+        assert!((0.70..0.80).contains(&frac), "text fraction {frac}");
+        assert_eq!(mix.weight(PageClass::Text), 0.75);
+    }
+
+    #[test]
+    fn mix_validation() {
+        assert!(CompressibilityMix::new(vec![]).is_err());
+        assert!(CompressibilityMix::new(vec![(PageClass::Text, -1.0)]).is_err());
+        assert!(CompressibilityMix::new(vec![(PageClass::Text, f64::NAN)]).is_err());
+        assert!(CompressibilityMix::new(vec![(PageClass::Text, 0.0)]).is_err());
+        assert!(CompressibilityMix::new(vec![(PageClass::Text, 1.0)]).is_ok());
+    }
+
+    #[test]
+    fn single_mix_always_samples_that_class() {
+        let mix = CompressibilityMix::single(PageClass::HeapPointers);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert_eq!(mix.sample(&mut rng), PageClass::HeapPointers);
+        }
+        assert_eq!(mix.incompressible_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PageClass::Text.to_string(), "text");
+        assert_eq!(PageClass::Encrypted.to_string(), "encrypted");
+    }
+
+    #[test]
+    fn synthetic_sizes_match_real_compression() {
+        // The statistical payload-size model must track what the real codec
+        // does on real generated content, class by class.
+        let codec = LzoCodec::new();
+        for class in PageClass::ALL {
+            let mut g = PageGenerator::new(23);
+            let mut real = 0usize;
+            let n = 30;
+            for _ in 0..n {
+                let page = g.generate(class);
+                let mut buf = Vec::new();
+                codec.compress(&page, &mut buf);
+                real += buf.len();
+            }
+            let real_mean = real as f64 / n as f64;
+            let mut synth = 0usize;
+            for _ in 0..200 {
+                synth += g.sample_payload_len(class);
+            }
+            let synth_mean = synth as f64 / 200.0;
+            let rel = (synth_mean - real_mean).abs() / real_mean;
+            assert!(
+                rel < 0.35,
+                "{class}: synthetic mean {synth_mean:.0} vs real {real_mean:.0} ({rel:.2} rel err)"
+            );
+        }
+    }
+
+    #[test]
+    fn synthetic_incompressibility_matches_cutoff() {
+        use crate::page::MAX_COMPRESSED_PAYLOAD;
+        let mut g = PageGenerator::new(29);
+        for class in PageClass::ALL {
+            for _ in 0..50 {
+                let len = g.sample_payload_len(class);
+                assert_eq!(
+                    len > MAX_COMPRESSED_PAYLOAD,
+                    class.is_typically_incompressible(),
+                    "{class}: sampled {len}"
+                );
+            }
+        }
+    }
+}

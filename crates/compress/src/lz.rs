@@ -1,0 +1,181 @@
+//! Shared LZ77 match-finding machinery used by all three codecs.
+//!
+//! The codecs differ only in their token encodings; they share the same
+//! greedy match finder: a single-probe hash table over 4-byte sequences,
+//! sized for page-scale inputs (4 KiB). One probe per position keeps the
+//! compressor in the "spend as few cycles as possible" regime the paper's
+//! production deployment chose (lzo over stronger codecs, §5.1 footnote).
+
+/// A back-reference found by the match finder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Distance back from the current position (1-based).
+    pub offset: usize,
+    /// Length of the match in bytes.
+    pub len: usize,
+}
+
+/// Multiplicative hash over the 4 bytes at `src[pos..pos+4]`.
+#[inline]
+pub fn hash4(src: &[u8], pos: usize, bits: u32) -> usize {
+    let v = u32::from_le_bytes([src[pos], src[pos + 1], src[pos + 2], src[pos + 3]]);
+    (v.wrapping_mul(2654435761) >> (32 - bits)) as usize
+}
+
+/// Length of the common prefix of `src[a..]` and `src[b..]`, scanning at
+/// most up to `limit` (exclusive end index for the `b` cursor).
+#[inline]
+pub fn match_length(src: &[u8], mut a: usize, mut b: usize, limit: usize) -> usize {
+    let start = b;
+    while b < limit && src[a] == src[b] {
+        a += 1;
+        b += 1;
+    }
+    b - start
+}
+
+/// A single-probe hash-table match finder for one input block.
+///
+/// Positions are stored +1 so that 0 means "empty slot"; the table is
+/// reset per block.
+#[derive(Debug)]
+pub struct MatchFinder {
+    table: Vec<u32>,
+    bits: u32,
+}
+
+impl MatchFinder {
+    /// Creates a finder with a `2^bits`-entry table. 12 bits (4096 slots)
+    /// is a good fit for 4 KiB pages.
+    pub fn new(bits: u32) -> Self {
+        assert!((8..=16).contains(&bits), "hash bits must be in [8, 16]");
+        MatchFinder {
+            table: vec![0; 1 << bits],
+            bits,
+        }
+    }
+
+    /// Clears the table for a new block (codecs that reuse one finder
+    /// across blocks call this between inputs).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn reset(&mut self) {
+        self.table.fill(0);
+    }
+
+    /// Inserts `pos` into the table and returns the best match at `pos`
+    /// against the previous occupant, if it is at least `min_match` long
+    /// and within `max_offset`.
+    ///
+    /// `match_limit` is the exclusive end index matches may extend to
+    /// (callers use it to reserve end-of-block literals).
+    #[inline]
+    pub fn find_and_insert(
+        &mut self,
+        src: &[u8],
+        pos: usize,
+        min_match: usize,
+        max_offset: usize,
+        match_limit: usize,
+    ) -> Option<Match> {
+        if pos + 4 > src.len() {
+            return None;
+        }
+        let h = hash4(src, pos, self.bits);
+        let candidate = self.table[h];
+        self.table[h] = (pos + 1) as u32;
+        if candidate == 0 {
+            return None;
+        }
+        let cand = (candidate - 1) as usize;
+        let offset = pos - cand;
+        if offset == 0 || offset > max_offset {
+            return None;
+        }
+        let len = match_length(src, cand, pos, match_limit.min(src.len()));
+        if len >= min_match {
+            Some(Match { offset, len })
+        } else {
+            None
+        }
+    }
+
+    /// Inserts a position without searching (used to keep the table warm
+    /// while skipping over an emitted match).
+    #[inline]
+    pub fn insert(&mut self, src: &[u8], pos: usize) {
+        if pos + 4 <= src.len() {
+            let h = hash4(src, pos, self.bits);
+            self.table[h] = (pos + 1) as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_length_counts_common_prefix() {
+        let src = b"abcabcabx";
+        assert_eq!(match_length(src, 0, 3, src.len()), 5); // "abcab"
+        assert_eq!(match_length(src, 0, 6, src.len()), 2); // "ab"
+    }
+
+    #[test]
+    fn match_length_respects_limit() {
+        let src = b"aaaaaaaa";
+        assert_eq!(match_length(src, 0, 1, 4), 3);
+    }
+
+    #[test]
+    fn finder_detects_repeat() {
+        let src = b"0123456789_0123456789";
+        let mut f = MatchFinder::new(12);
+        let mut found = None;
+        for pos in 0..src.len().saturating_sub(4) {
+            if let Some(m) = f.find_and_insert(src, pos, 4, 65535, src.len()) {
+                found = Some((pos, m));
+                break;
+            }
+        }
+        let (pos, m) = found.expect("repeat must be found");
+        assert_eq!(pos, 11);
+        assert_eq!(m.offset, 11);
+        assert_eq!(m.len, 10);
+    }
+
+    #[test]
+    fn finder_ignores_too_distant_matches() {
+        let mut src = vec![0u8; 1000];
+        src[0..8].copy_from_slice(b"ABCDEFGH");
+        // unique filler so no accidental matches
+        for (i, b) in src[8..992].iter_mut().enumerate() {
+            *b = (i % 251) as u8 ^ ((i / 251) as u8).wrapping_mul(31) | 0x80;
+        }
+        src[992..1000].copy_from_slice(b"ABCDEFGH");
+        let mut f = MatchFinder::new(12);
+        for pos in 0..src.len() - 4 {
+            if let Some(m) = f.find_and_insert(&src, pos, 4, 100, src.len()) {
+                assert!(m.offset <= 100, "offset {} exceeds cap", m.offset);
+            }
+        }
+    }
+
+    #[test]
+    fn finder_resets_cleanly() {
+        let src = b"xyzwxyzw";
+        let mut f = MatchFinder::new(12);
+        for pos in 0..src.len() - 4 {
+            f.find_and_insert(src, pos, 4, 64, src.len());
+        }
+        f.reset();
+        // After reset, the first probe finds nothing again.
+        assert_eq!(f.find_and_insert(src, 0, 4, 64, src.len()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "hash bits")]
+    fn finder_rejects_tiny_tables() {
+        let _ = MatchFinder::new(4);
+    }
+}

@@ -1,0 +1,721 @@
+//! A zsmalloc-style size-class allocator for compressed page payloads.
+//!
+//! zswap stores each compressed payload in zsmalloc, a slab allocator whose
+//! size classes pack odd-sized objects into *zspages* — groups of one to
+//! four physical pages chosen per class to minimize tail waste. The paper
+//! runs **one global arena per machine** with an explicit compaction
+//! interface triggered by the node agent, having found that per-memcg
+//! arenas fragment badly when machines pack tens to hundreds of jobs
+//! (§5.1). This module reproduces that allocator faithfully enough to
+//! measure the same fragmentation effects:
+//!
+//! * size classes every 16 bytes from 32 to 4096, each with a
+//!   pages-per-zspage choice (1–4) minimizing per-zspage waste;
+//! * a handle table indirection so objects can be migrated;
+//! * [`compact`](ZsmallocArena::compact), which migrates objects out of
+//!   sparse zspages and frees the emptied ones;
+//! * internal/external fragmentation accounting for the arena ablation
+//!   experiment.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+use sdfm_types::size::{ByteSize, PageCount, PAGE_SIZE};
+
+/// Smallest object size (bytes) served by the arena.
+const MIN_CLASS_SIZE: u32 = 32;
+/// Largest object size: one full page.
+const MAX_CLASS_SIZE: u32 = PAGE_SIZE as u32;
+/// Spacing between consecutive size classes.
+const CLASS_STEP: u32 = 16;
+/// Maximum physical pages grouped into one zspage.
+const MAX_PAGES_PER_ZSPAGE: u32 = 4;
+
+/// Errors from arena operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ZsmallocError {
+    /// Requested size is zero or exceeds one page.
+    InvalidSize {
+        /// The rejected size.
+        size: usize,
+    },
+    /// The handle does not name a live object (freed, stale, or foreign).
+    BadHandle,
+}
+
+impl fmt::Display for ZsmallocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZsmallocError::InvalidSize { size } => {
+                write!(f, "object size {size} outside 1..={MAX_CLASS_SIZE}")
+            }
+            ZsmallocError::BadHandle => write!(f, "stale or invalid zsmalloc handle"),
+        }
+    }
+}
+
+impl Error for ZsmallocError {}
+
+/// An opaque handle to an object in the arena.
+///
+/// Handles survive compaction (the arena moves the object, not the handle)
+/// and detect use-after-free via an embedded generation counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ZsHandle {
+    idx: u32,
+    gen: u32,
+}
+
+const FREE_SLOT: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct Zspage {
+    /// Occupied slots hold the handle-table index of the resident object.
+    slots: Vec<u32>,
+    used: u32,
+}
+
+impl Zspage {
+    fn new(capacity: u32) -> Self {
+        Zspage {
+            slots: vec![FREE_SLOT; capacity as usize],
+            used: 0,
+        }
+    }
+
+    fn find_free_slot(&self) -> Option<u32> {
+        self.slots
+            .iter()
+            .position(|&s| s == FREE_SLOT)
+            .map(|i| i as u32)
+    }
+
+    fn is_full(&self) -> bool {
+        self.used as usize == self.slots.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.used == 0
+    }
+}
+
+#[derive(Debug)]
+struct SizeClass {
+    /// Object size served by this class.
+    size: u32,
+    /// Physical pages per zspage (1..=4), chosen to minimize waste.
+    pages_per_zspage: u32,
+    /// Objects per zspage.
+    objs_per_zspage: u32,
+    /// Live zspages (`None` = destroyed slot, reusable).
+    zspages: Vec<Option<Zspage>>,
+    /// Reusable indices into `zspages`.
+    free_zspage_ids: Vec<u32>,
+    /// Candidate zspages that may have free slots (lazily maintained).
+    partial: Vec<u32>,
+}
+
+impl SizeClass {
+    fn new(size: u32) -> Self {
+        // Choose pages-per-zspage minimizing the unusable tail, preferring
+        // fewer pages on ties (exactly zsmalloc's policy).
+        let mut best = (1u32, (PAGE_SIZE as u32) % size);
+        for p in 2..=MAX_PAGES_PER_ZSPAGE {
+            let waste = (p * PAGE_SIZE as u32) % size;
+            if waste < best.1 {
+                best = (p, waste);
+            }
+        }
+        let pages_per_zspage = best.0;
+        SizeClass {
+            size,
+            pages_per_zspage,
+            objs_per_zspage: pages_per_zspage * PAGE_SIZE as u32 / size,
+            zspages: Vec::new(),
+            free_zspage_ids: Vec::new(),
+            partial: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Object {
+    class: u16,
+    zspage: u32,
+    slot: u32,
+    requested: u32,
+    payload: Bytes,
+    gen: u32,
+}
+
+/// Aggregate arena statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ZsmallocStats {
+    /// Live objects.
+    pub objects: u64,
+    /// Sum of requested object sizes.
+    pub stored_bytes: u64,
+    /// Sum of size-class sizes of live objects (stored + internal frag).
+    pub class_bytes: u64,
+    /// Physical pages currently held by zspages.
+    pub zspage_pages: u64,
+}
+
+impl ZsmallocStats {
+    /// Bytes of DRAM the arena occupies.
+    pub fn footprint(&self) -> ByteSize {
+        ByteSize::new(self.zspage_pages * PAGE_SIZE as u64)
+    }
+
+    /// Fraction of class bytes lost to size-class rounding.
+    pub fn internal_fragmentation(&self) -> f64 {
+        if self.class_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.stored_bytes as f64 / self.class_bytes as f64
+        }
+    }
+
+    /// Fraction of the page footprint not covered by live class bytes —
+    /// the sparse-zspage waste that compaction reclaims.
+    pub fn external_fragmentation(&self) -> f64 {
+        let cap = self.zspage_pages * PAGE_SIZE as u64;
+        if cap == 0 {
+            0.0
+        } else {
+            1.0 - self.class_bytes as f64 / cap as f64
+        }
+    }
+
+    /// Overall efficiency: stored bytes per footprint byte.
+    pub fn efficiency(&self) -> f64 {
+        let cap = self.zspage_pages * PAGE_SIZE as u64;
+        if cap == 0 {
+            1.0
+        } else {
+            self.stored_bytes as f64 / cap as f64
+        }
+    }
+}
+
+/// A zsmalloc-style arena storing compressed payloads.
+///
+/// # Examples
+///
+/// ```
+/// use sdfm_compress::zsmalloc::ZsmallocArena;
+/// use bytes::Bytes;
+///
+/// let mut arena = ZsmallocArena::new();
+/// let h = arena.alloc(Bytes::from(vec![1u8; 100]))?;
+/// assert_eq!(arena.get(h).unwrap().len(), 100);
+/// arena.free(h)?;
+/// assert!(arena.get(h).is_none());
+/// # Ok::<(), sdfm_compress::zsmalloc::ZsmallocError>(())
+/// ```
+#[derive(Debug)]
+pub struct ZsmallocArena {
+    classes: Vec<SizeClass>,
+    objects: Vec<Option<Object>>,
+    free_object_ids: Vec<u32>,
+    next_gen: u32,
+    stats: ZsmallocStats,
+}
+
+impl ZsmallocArena {
+    /// Creates an empty arena with the default size classes (32..=4096,
+    /// step 16).
+    pub fn new() -> Self {
+        let classes = (MIN_CLASS_SIZE..=MAX_CLASS_SIZE)
+            .step_by(CLASS_STEP as usize)
+            .map(SizeClass::new)
+            .collect();
+        ZsmallocArena {
+            classes,
+            objects: Vec::new(),
+            free_object_ids: Vec::new(),
+            next_gen: 1,
+            stats: ZsmallocStats::default(),
+        }
+    }
+
+    fn class_for(&self, size: usize) -> Result<u16, ZsmallocError> {
+        if size == 0 || size > MAX_CLASS_SIZE as usize {
+            return Err(ZsmallocError::InvalidSize { size });
+        }
+        let size = (size as u32).max(MIN_CLASS_SIZE);
+        let idx = (size - MIN_CLASS_SIZE).div_ceil(CLASS_STEP);
+        Ok(idx as u16)
+    }
+
+    /// Stores `payload`, returning a handle. The object's size is the
+    /// payload length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZsmallocError::InvalidSize`] when the payload is empty or
+    /// larger than one page.
+    pub fn alloc(&mut self, payload: Bytes) -> Result<ZsHandle, ZsmallocError> {
+        let size = payload.len();
+        self.alloc_inner(size, payload)
+    }
+
+    /// Reserves space for an object of `size` bytes without retaining any
+    /// payload bytes — used by statistical simulations that track sizes
+    /// only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZsmallocError::InvalidSize`] when `size` is zero or larger
+    /// than one page.
+    pub fn alloc_uninit(&mut self, size: usize) -> Result<ZsHandle, ZsmallocError> {
+        self.alloc_inner(size, Bytes::new())
+    }
+
+    fn alloc_inner(&mut self, size: usize, payload: Bytes) -> Result<ZsHandle, ZsmallocError> {
+        let class_idx = self.class_for(size)?;
+        let (zspage_id, slot) = self.take_slot(class_idx);
+        let gen = self.next_gen;
+        self.next_gen = self.next_gen.wrapping_add(1).max(1);
+        let obj = Object {
+            class: class_idx,
+            zspage: zspage_id,
+            slot,
+            requested: size as u32,
+            payload,
+            gen,
+        };
+        let idx = match self.free_object_ids.pop() {
+            Some(i) => {
+                self.objects[i as usize] = Some(obj);
+                i
+            }
+            None => {
+                self.objects.push(Some(obj));
+                (self.objects.len() - 1) as u32
+            }
+        };
+        let class = &mut self.classes[class_idx as usize];
+        class.zspages[zspage_id as usize]
+            .as_mut()
+            .expect("slot taken from live zspage")
+            .slots[slot as usize] = idx;
+        self.stats.objects += 1;
+        self.stats.stored_bytes += size as u64;
+        self.stats.class_bytes += class.size as u64;
+        Ok(ZsHandle { idx, gen })
+    }
+
+    /// Finds (or creates) a zspage with a free slot in `class_idx` and
+    /// claims the slot (increments `used`; caller writes the slot).
+    fn take_slot(&mut self, class_idx: u16) -> (u32, u32) {
+        let class = &mut self.classes[class_idx as usize];
+        // Pop stale entries off the partial list until a usable one shows.
+        while let Some(&zid) = class.partial.last() {
+            match class.zspages.get(zid as usize).and_then(|z| z.as_ref()) {
+                Some(z) if !z.is_full() => {
+                    let slot = z.find_free_slot().expect("non-full zspage has a slot");
+                    let z = class.zspages[zid as usize].as_mut().expect("checked live");
+                    z.used += 1;
+                    if z.is_full() {
+                        class.partial.pop();
+                    }
+                    return (zid, slot);
+                }
+                _ => {
+                    class.partial.pop();
+                }
+            }
+        }
+        // No partial zspage: grow.
+        let zspage = Zspage::new(class.objs_per_zspage);
+        let zid = match class.free_zspage_ids.pop() {
+            Some(i) => {
+                class.zspages[i as usize] = Some(zspage);
+                i
+            }
+            None => {
+                class.zspages.push(Some(zspage));
+                (class.zspages.len() - 1) as u32
+            }
+        };
+        let z = class.zspages[zid as usize].as_mut().expect("just created");
+        z.used = 1;
+        if class.objs_per_zspage > 1 {
+            class.partial.push(zid);
+        }
+        self.stats.zspage_pages += class.pages_per_zspage as u64;
+        (zid, 0)
+    }
+
+    fn lookup(&self, handle: ZsHandle) -> Option<&Object> {
+        self.objects
+            .get(handle.idx as usize)?
+            .as_ref()
+            .filter(|o| o.gen == handle.gen)
+    }
+
+    /// The payload stored under `handle`, or `None` if the handle is stale.
+    pub fn get(&self, handle: ZsHandle) -> Option<&Bytes> {
+        self.lookup(handle).map(|o| &o.payload)
+    }
+
+    /// The requested size of the object under `handle`.
+    pub fn size_of(&self, handle: ZsHandle) -> Option<usize> {
+        self.lookup(handle).map(|o| o.requested as usize)
+    }
+
+    /// Frees the object under `handle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZsmallocError::BadHandle`] for stale or invalid handles
+    /// (including double frees).
+    pub fn free(&mut self, handle: ZsHandle) -> Result<(), ZsmallocError> {
+        let slot_ref = self
+            .objects
+            .get_mut(handle.idx as usize)
+            .ok_or(ZsmallocError::BadHandle)?;
+        match slot_ref {
+            Some(o) if o.gen == handle.gen => {}
+            _ => return Err(ZsmallocError::BadHandle),
+        }
+        let obj = slot_ref.take().expect("checked above");
+        self.free_object_ids.push(handle.idx);
+
+        let class = &mut self.classes[obj.class as usize];
+        let zspage = class.zspages[obj.zspage as usize]
+            .as_mut()
+            .expect("object lives in a live zspage");
+        zspage.slots[obj.slot as usize] = FREE_SLOT;
+        let was_full = zspage.is_full();
+        zspage.used -= 1;
+        if zspage.is_empty() {
+            class.zspages[obj.zspage as usize] = None;
+            class.free_zspage_ids.push(obj.zspage);
+            self.stats.zspage_pages -= class.pages_per_zspage as u64;
+        } else if was_full {
+            class.partial.push(obj.zspage);
+        }
+        self.stats.objects -= 1;
+        self.stats.stored_bytes -= obj.requested as u64;
+        self.stats.class_bytes -= class.size as u64;
+        Ok(())
+    }
+
+    /// Current aggregate statistics.
+    pub fn stats(&self) -> ZsmallocStats {
+        self.stats
+    }
+
+    /// Migrates objects out of sparsely used zspages into fuller ones and
+    /// frees the emptied zspages, returning the number of physical pages
+    /// reclaimed. This is the explicit compaction interface the node agent
+    /// triggers (§5.1).
+    pub fn compact(&mut self) -> PageCount {
+        let mut freed_pages = 0u64;
+        for class_idx in 0..self.classes.len() {
+            freed_pages += self.compact_class(class_idx);
+        }
+        self.stats.zspage_pages -= freed_pages;
+        PageCount::new(freed_pages)
+    }
+
+    fn compact_class(&mut self, class_idx: usize) -> u64 {
+        let class = &mut self.classes[class_idx];
+        if class.objs_per_zspage == 1 {
+            return 0; // singleton zspages cannot fragment externally
+        }
+        // Collect live, partially filled zspages sorted emptiest-first.
+        let mut partials: Vec<u32> = class
+            .zspages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, z)| match z {
+                Some(z) if !z.is_full() && !z.is_empty() => Some(i as u32),
+                _ => None,
+            })
+            .collect();
+        partials.sort_by_key(|&i| {
+            class.zspages[i as usize]
+                .as_ref()
+                .expect("filtered live")
+                .used
+        });
+
+        let mut freed = 0u64;
+        let (mut lo, mut hi) = (0usize, partials.len());
+        // Drain the emptiest zspage (lo) into the fullest partials
+        // (hi - 1, hi - 2, ...) until the pointers meet.
+        'outer: while lo + 1 < hi {
+            let src_id = partials[lo];
+            loop {
+                let src = class.zspages[src_id as usize].as_ref().expect("live");
+                if src.is_empty() {
+                    break;
+                }
+                let src_slot = src
+                    .slots
+                    .iter()
+                    .position(|&s| s != FREE_SLOT)
+                    .expect("non-empty zspage") as u32;
+                // Find a destination with room, searching from the fullest.
+                let mut dst_id = None;
+                while hi > lo + 1 {
+                    let cand = partials[hi - 1];
+                    let z = class.zspages[cand as usize].as_ref().expect("live");
+                    if z.is_full() {
+                        hi -= 1;
+                        continue;
+                    }
+                    dst_id = Some(cand);
+                    break;
+                }
+                let Some(dst_id) = dst_id else { break 'outer };
+                let dst = class.zspages[dst_id as usize].as_ref().expect("live");
+                let dst_slot = dst.find_free_slot().expect("non-full zspage");
+
+                let obj_idx =
+                    class.zspages[src_id as usize].as_ref().expect("live").slots[src_slot as usize];
+                // Move the object.
+                {
+                    let z = class.zspages[src_id as usize].as_mut().expect("live");
+                    z.slots[src_slot as usize] = FREE_SLOT;
+                    z.used -= 1;
+                }
+                {
+                    let z = class.zspages[dst_id as usize].as_mut().expect("live");
+                    z.slots[dst_slot as usize] = obj_idx;
+                    z.used += 1;
+                }
+                let obj = self.objects[obj_idx as usize]
+                    .as_mut()
+                    .expect("slot names a live object");
+                obj.zspage = dst_id;
+                obj.slot = dst_slot;
+            }
+            // Source drained: destroy it.
+            class.zspages[src_id as usize] = None;
+            class.free_zspage_ids.push(src_id);
+            freed += class.pages_per_zspage as u64;
+            lo += 1;
+        }
+        // Rebuild the partial list for this class.
+        class.partial = class
+            .zspages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, z)| match z {
+                Some(z) if !z.is_full() && !z.is_empty() => Some(i as u32),
+                _ => None,
+            })
+            .collect();
+        freed
+    }
+}
+
+impl Default for ZsmallocArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Bytes {
+        Bytes::from(vec![0xAA; n])
+    }
+
+    #[test]
+    fn alloc_get_free_roundtrip() {
+        let mut a = ZsmallocArena::new();
+        let h = a.alloc(payload(777)).unwrap();
+        assert_eq!(a.get(h).unwrap().len(), 777);
+        assert_eq!(a.size_of(h), Some(777));
+        a.free(h).unwrap();
+        assert!(a.get(h).is_none());
+        assert_eq!(a.free(h), Err(ZsmallocError::BadHandle));
+    }
+
+    #[test]
+    fn rejects_invalid_sizes() {
+        let mut a = ZsmallocArena::new();
+        assert_eq!(
+            a.alloc(Bytes::new()),
+            Err(ZsmallocError::InvalidSize { size: 0 })
+        );
+        assert_eq!(
+            a.alloc_uninit(4097),
+            Err(ZsmallocError::InvalidSize { size: 4097 })
+        );
+        assert!(a.alloc_uninit(4096).is_ok());
+        assert!(a.alloc_uninit(1).is_ok()); // rounds up to the 32-byte class
+    }
+
+    #[test]
+    fn stale_handles_from_reused_slots_rejected() {
+        let mut a = ZsmallocArena::new();
+        let h1 = a.alloc(payload(64)).unwrap();
+        a.free(h1).unwrap();
+        let h2 = a.alloc(payload(64)).unwrap();
+        // h1 and h2 may share the table slot but differ in generation.
+        assert!(a.get(h1).is_none());
+        assert!(a.get(h2).is_some());
+        assert_eq!(a.free(h1), Err(ZsmallocError::BadHandle));
+        a.free(h2).unwrap();
+    }
+
+    #[test]
+    fn stats_track_objects_and_bytes() {
+        let mut a = ZsmallocArena::new();
+        let h1 = a.alloc_uninit(100).unwrap(); // class 112
+        let _h2 = a.alloc_uninit(2000).unwrap(); // class 2000 exactly
+        let s = a.stats();
+        assert_eq!(s.objects, 2);
+        assert_eq!(s.stored_bytes, 2100);
+        assert!(s.class_bytes >= 2100);
+        assert!(s.zspage_pages > 0);
+        assert!(s.internal_fragmentation() >= 0.0);
+        a.free(h1).unwrap();
+        assert_eq!(a.stats().objects, 1);
+    }
+
+    #[test]
+    fn class_rounding_is_tight() {
+        let a = ZsmallocArena::new();
+        // 100 rounds to 112 (32 + k*16).
+        let c = a.class_for(100).unwrap();
+        assert_eq!(a.classes[c as usize].size, 112);
+        let c = a.class_for(32).unwrap();
+        assert_eq!(a.classes[c as usize].size, 32);
+        let c = a.class_for(33).unwrap();
+        assert_eq!(a.classes[c as usize].size, 48);
+        let c = a.class_for(4096).unwrap();
+        assert_eq!(a.classes[c as usize].size, 4096);
+    }
+
+    #[test]
+    fn zspage_geometry_minimizes_waste() {
+        let a = ZsmallocArena::new();
+        for class in &a.classes {
+            let chosen_waste = (class.pages_per_zspage * PAGE_SIZE as u32) % class.size;
+            for p in 1..=MAX_PAGES_PER_ZSPAGE {
+                let waste = (p * PAGE_SIZE as u32) % class.size;
+                assert!(
+                    chosen_waste <= waste,
+                    "class {}: chose {} pages (waste {}), {} pages wastes {}",
+                    class.size,
+                    class.pages_per_zspage,
+                    chosen_waste,
+                    p,
+                    waste
+                );
+            }
+            assert_eq!(
+                class.objs_per_zspage,
+                class.pages_per_zspage * PAGE_SIZE as u32 / class.size
+            );
+        }
+    }
+
+    #[test]
+    fn empty_zspages_are_freed_immediately() {
+        let mut a = ZsmallocArena::new();
+        let hs: Vec<_> = (0..10).map(|_| a.alloc_uninit(64).unwrap()).collect();
+        let pages_with_objects = a.stats().zspage_pages;
+        assert!(pages_with_objects > 0);
+        for h in hs {
+            a.free(h).unwrap();
+        }
+        assert_eq!(a.stats().zspage_pages, 0);
+        assert_eq!(a.stats().objects, 0);
+    }
+
+    #[test]
+    fn fragmentation_builds_and_compaction_reclaims() {
+        let mut a = ZsmallocArena::new();
+        // Fill many zspages of one class, then free most objects, leaving
+        // each zspage sparsely occupied.
+        let handles: Vec<_> = (0..2048).map(|_| a.alloc_uninit(128).unwrap()).collect();
+        let full_pages = a.stats().zspage_pages;
+        // Free 31 of every 32 objects (128-byte class: 32 objs/zspage).
+        for (i, h) in handles.iter().enumerate() {
+            if i % 32 != 0 {
+                a.free(*h).unwrap();
+            }
+        }
+        let sparse = a.stats();
+        assert_eq!(sparse.zspage_pages, full_pages, "no zspage became empty");
+        assert!(
+            sparse.external_fragmentation() > 0.9,
+            "external fragmentation {} too low",
+            sparse.external_fragmentation()
+        );
+        let freed = a.compact();
+        assert!(freed.get() > 0, "compaction reclaimed nothing");
+        let compacted = a.stats();
+        assert!(compacted.zspage_pages < full_pages);
+        assert!(compacted.external_fragmentation() < sparse.external_fragmentation());
+        // All survivors still resolve.
+        for (i, h) in handles.iter().enumerate() {
+            if i % 32 == 0 {
+                assert!(a.get(*h).is_some(), "object {i} lost in compaction");
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_payloads() {
+        let mut a = ZsmallocArena::new();
+        let mut kept = Vec::new();
+        for i in 0..512u32 {
+            let body = Bytes::from(i.to_le_bytes().repeat(16)); // 64 bytes
+            let h = a.alloc(body.clone()).unwrap();
+            if i % 7 == 0 {
+                kept.push((h, body));
+            }
+        }
+        // Free everything not kept.
+        // (Handles not kept were dropped; re-derive by generation scan is
+        // not possible, so re-allocate differently: free by index sweep.)
+        let all: Vec<ZsHandle> = (0..a.objects.len() as u32)
+            .filter_map(|idx| {
+                a.objects[idx as usize]
+                    .as_ref()
+                    .map(|o| ZsHandle { idx, gen: o.gen })
+            })
+            .collect();
+        for h in all {
+            if !kept.iter().any(|(k, _)| *k == h) {
+                a.free(h).unwrap();
+            }
+        }
+        a.compact();
+        for (h, body) in &kept {
+            assert_eq!(a.get(*h), Some(body));
+        }
+    }
+
+    #[test]
+    fn compact_on_empty_arena_is_noop() {
+        let mut a = ZsmallocArena::new();
+        assert_eq!(a.compact().get(), 0);
+        assert_eq!(a.stats(), ZsmallocStats::default());
+    }
+
+    #[test]
+    fn stats_efficiency_bounds() {
+        let mut a = ZsmallocArena::new();
+        for _ in 0..100 {
+            a.alloc_uninit(1000).unwrap();
+        }
+        let s = a.stats();
+        assert!(s.efficiency() > 0.5 && s.efficiency() <= 1.0);
+        assert!(s.footprint().get() >= s.stored_bytes);
+    }
+}

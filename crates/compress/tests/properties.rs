@@ -1,0 +1,113 @@
+//! Property tests: codec roundtrips on adversarial inputs, decoder
+//! panic-freedom on garbage, and zsmalloc conservation invariants.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use sdfm_compress::codec::CodecKind;
+use sdfm_compress::zsmalloc::ZsmallocArena;
+
+/// Inputs that stress LZ parsing: mixes of runs, repeats, and noise.
+fn lz_stressor() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop_oneof![
+            // A run of one byte.
+            (any::<u8>(), 1usize..300).prop_map(|(b, n)| vec![b; n]),
+            // A short random motif repeated.
+            (prop::collection::vec(any::<u8>(), 1..12), 1usize..40).prop_map(|(m, n)| m.repeat(n)),
+            // Pure noise.
+            prop::collection::vec(any::<u8>(), 0..200),
+        ],
+        0..12,
+    )
+    .prop_map(|chunks| chunks.concat())
+    .prop_filter("cap block size", |v| v.len() <= 16384)
+}
+
+proptest! {
+    /// Every codec roundtrips every input exactly.
+    #[test]
+    fn codecs_roundtrip_exactly(data in lz_stressor()) {
+        for kind in CodecKind::ALL {
+            let codec = kind.build();
+            let mut compressed = Vec::new();
+            codec.compress(&data, &mut compressed);
+            prop_assert!(
+                compressed.len() <= codec.max_compressed_len(data.len()),
+                "{kind}: {} > bound {}", compressed.len(), codec.max_compressed_len(data.len())
+            );
+            let mut out = Vec::new();
+            codec.decompress(&compressed, &mut out)
+                .map_err(|e| TestCaseError::fail(format!("{kind}: {e}")))?;
+            prop_assert_eq!(&out, &data, "{} roundtrip mismatch", kind);
+        }
+    }
+
+    /// Decoders never panic on arbitrary bytes; they error or produce
+    /// bounded output.
+    #[test]
+    fn decoders_are_panic_free(garbage in prop::collection::vec(any::<u8>(), 0..2048)) {
+        for kind in CodecKind::ALL {
+            let codec = kind.build();
+            let mut out = Vec::new();
+            let _ = codec.decompress(&garbage, &mut out);
+        }
+    }
+
+    /// Flipping one byte of a Snappy stream is always detected or changes
+    /// the output (the length preamble pins the output size).
+    #[test]
+    fn snappy_length_check_catches_output_size_changes(
+        data in prop::collection::vec(any::<u8>(), 1..512),
+        flip in any::<(usize, u8)>(),
+    ) {
+        let codec = CodecKind::Snappy.build();
+        let mut compressed = Vec::new();
+        codec.compress(&data, &mut compressed);
+        let (pos, xor) = flip;
+        let pos = pos % compressed.len();
+        let xor = if xor == 0 { 1 } else { xor };
+        compressed[pos] ^= xor;
+        let mut out = Vec::new();
+        match codec.decompress(&compressed, &mut out) {
+            Err(_) => {}
+            Ok(()) => prop_assert_eq!(out.len(), data.len(),
+                "snappy accepted a stream with a different output size"),
+        }
+    }
+
+    /// zsmalloc conserves objects and bytes through arbitrary alloc/free
+    /// sequences, and compaction changes neither.
+    #[test]
+    fn zsmalloc_conservation(ops in prop::collection::vec((1usize..=4096, any::<bool>()), 1..200)) {
+        let mut arena = ZsmallocArena::new();
+        let mut live: Vec<(sdfm_compress::ZsHandle, usize)> = Vec::new();
+        let mut expected_bytes = 0u64;
+        for (size, is_free) in ops {
+            if is_free && !live.is_empty() {
+                let (h, sz) = live.swap_remove(size % live.len());
+                arena.free(h).unwrap();
+                expected_bytes -= sz as u64;
+            } else {
+                let h = arena.alloc(Bytes::from(vec![0u8; size])).unwrap();
+                live.push((h, size));
+                expected_bytes += size as u64;
+            }
+            let s = arena.stats();
+            prop_assert_eq!(s.objects, live.len() as u64);
+            prop_assert_eq!(s.stored_bytes, expected_bytes);
+            prop_assert!(s.class_bytes >= s.stored_bytes);
+            prop_assert!(s.zspage_pages * 4096 >= s.class_bytes);
+        }
+        let before = arena.stats();
+        arena.compact();
+        let after = arena.stats();
+        prop_assert_eq!(after.objects, before.objects);
+        prop_assert_eq!(after.stored_bytes, before.stored_bytes);
+        prop_assert_eq!(after.class_bytes, before.class_bytes);
+        prop_assert!(after.zspage_pages <= before.zspage_pages);
+        // Every live handle still resolves with the right size.
+        for (h, sz) in &live {
+            prop_assert_eq!(arena.size_of(*h), Some(*sz));
+        }
+    }
+}

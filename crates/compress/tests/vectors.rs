@@ -1,0 +1,172 @@
+//! Hand-crafted format vectors: the decoders must accept streams built
+//! byte-by-byte from the LZ4 block / Snappy specifications (not just
+//! streams our own encoders produced).
+
+use sdfm_compress::codec::{CodecKind, DecompressError};
+
+fn decode(kind: CodecKind, stream: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let codec = kind.build();
+    let mut out = Vec::new();
+    codec.decompress(stream, &mut out).map(|()| out)
+}
+
+// ---------------------------------------------------------------------------
+// LZ4 block format (spec: token nibbles, LE u16 offsets, +4 match base)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lz4_literals_only_block() {
+    // token 0x80: 8 literals, no match (final sequence).
+    let stream = [&[0x80u8][..], b"abcdefgh"].concat();
+    assert_eq!(decode(CodecKind::Lz4, &stream).unwrap(), b"abcdefgh");
+}
+
+#[test]
+fn lz4_sequence_with_overlapping_match() {
+    // Sequence 1: token 0x14 = 1 literal, match code 4 (= length 8);
+    // literal 'X'; offset 0x0001 -> overlapping RLE copy of 'X' × 8.
+    // Sequence 2 (final): token 0x50 = 5 literals "ABCDE".
+    let stream = [
+        &[0x14u8][..],
+        b"X",
+        &[0x01, 0x00][..],
+        &[0x50][..],
+        b"ABCDE",
+    ]
+    .concat();
+    assert_eq!(decode(CodecKind::Lz4, &stream).unwrap(), b"XXXXXXXXXABCDE");
+}
+
+#[test]
+fn lz4_extended_literal_and_match_lengths() {
+    // 20 literals: token 0xF?, extension byte 5 (15 + 5 = 20).
+    // Then match: code 15 + extension 3 => match length 15+3+4 = 22,
+    // offset 20 (copies the whole literal block and wraps).
+    // Final sequence: 5 literals.
+    let lits: Vec<u8> = (b'a'..b'a' + 20).collect();
+    let stream = [
+        &[0xFF, 0x05][..], // 15+5 literals, match code 15
+        &lits,
+        &[20, 0][..], // offset 20
+        &[0x03][..],  // match extension: 15+3+4 = 22 bytes
+        &[0x50][..],
+        b"VWXYZ",
+    ]
+    .concat();
+    let out = decode(CodecKind::Lz4, &stream).unwrap();
+    let mut expected = lits.clone();
+    for i in 0..22 {
+        expected.push(lits[i % 20]);
+    }
+    expected.extend_from_slice(b"VWXYZ");
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn lz4_empty_block() {
+    assert_eq!(decode(CodecKind::Lz4, &[0x00]).unwrap(), b"");
+}
+
+#[test]
+fn lz4_rejects_offset_zero() {
+    // token 0x04: 0 literals, match length 8, offset 0 — illegal.
+    let r = decode(CodecKind::Lz4, &[0x04, 0x00, 0x00]);
+    assert!(matches!(r, Err(DecompressError::InvalidOffset { .. })));
+}
+
+// ---------------------------------------------------------------------------
+// Snappy raw format (spec: varint preamble, tagged elements)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn snappy_literal_then_copy() {
+    // Preamble: 11. Literal len 6 ("snappy"): tag (6-1)<<2 = 0x14.
+    // Copy, 2-byte offset: len 5 -> tag ((5-1)<<2)|2 = 0x12, offset 6.
+    let stream = [&[11u8][..], &[0x14][..], b"snappy", &[0x12, 0x06, 0x00][..]].concat();
+    assert_eq!(decode(CodecKind::Snappy, &stream).unwrap(), b"snappysnapp");
+}
+
+#[test]
+fn snappy_one_byte_offset_copy() {
+    // Preamble 10; literal "ab" (tag 0x04); copy-1: len 8 -> tag
+    // ((8-4)<<2)|1 = 0x11, offset 2 (low bits; high bits in tag are 0).
+    let stream = [&[10u8][..], &[0x04][..], b"ab", &[0x11, 0x02][..]].concat();
+    assert_eq!(
+        decode(CodecKind::Snappy, &stream).unwrap(),
+        b"abababababab"[..10].to_vec()
+    );
+}
+
+#[test]
+fn snappy_long_literal_with_length_byte() {
+    // 100 literals: code 60 (1 extra length byte = 99).
+    let lits: Vec<u8> = (0..100u8).collect();
+    let stream = [&[100u8][..], &[60 << 2, 99][..], &lits].concat();
+    assert_eq!(decode(CodecKind::Snappy, &stream).unwrap(), lits);
+}
+
+#[test]
+fn snappy_rejects_length_mismatch() {
+    // Preamble says 5 bytes, stream provides 2.
+    let stream = [&[5u8][..], &[0x04][..], b"ab"].concat();
+    assert!(matches!(
+        decode(CodecKind::Snappy, &stream),
+        Err(DecompressError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn snappy_empty_stream() {
+    assert_eq!(decode(CodecKind::Snappy, &[0x00]).unwrap(), b"");
+}
+
+// ---------------------------------------------------------------------------
+// LZO-class format (this crate's own spec, documented on LzoCodec)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lzo_literal_run_then_match() {
+    // Control 0x02: literal run of 3 ("abc"); control 0x20 | offset-high 0,
+    // offset-low 2 -> offset 3, match code 1 -> length 3: copies "abc".
+    let stream = [&[0x02u8][..], b"abc", &[0x20, 0x02][..]].concat();
+    assert_eq!(decode(CodecKind::Lzo, &stream).unwrap(), b"abcabc");
+}
+
+#[test]
+fn lzo_extended_match_length() {
+    // Literal "z"; control 0xE0 (code 7 = extended) + extension byte 12
+    // (length 8 + 12 = 20) + offset low 0 -> offset 1: 'z' × 20.
+    let stream = [&[0x00u8][..], b"z", &[0xE0, 12, 0x00][..]].concat();
+    let mut expected = vec![b'z'];
+    expected.extend(std::iter::repeat_n(b'z', 20));
+    assert_eq!(decode(CodecKind::Lzo, &stream).unwrap(), expected);
+}
+
+#[test]
+fn lzo_empty_stream_is_empty_output() {
+    assert_eq!(decode(CodecKind::Lzo, &[]).unwrap(), b"");
+}
+
+// ---------------------------------------------------------------------------
+// Cross-codec: our encoders' streams decode under the same vectors' rules
+// (sanity that encoder and spec-level decoder agree on a fixed corpus).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn encoders_agree_with_format_expectations() {
+    let inputs: [&[u8]; 4] = [
+        b"",
+        b"a",
+        b"the quick brown fox jumps over the lazy dog",
+        &[0xAB; 1000],
+    ];
+    for kind in CodecKind::ALL {
+        let codec = kind.build();
+        for input in inputs {
+            let mut compressed = Vec::new();
+            codec.compress(input, &mut compressed);
+            let out = decode(kind, &compressed).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(out, input, "{kind} corpus mismatch");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The end-to-end autotuning pipeline (§5.3).
+//!
+//! Iterates the paper's three steps: (1) GP Bandit proposes a `(K, S)`
+//! configuration from the observations so far; (2) the fast far memory
+//! model replays the fleet trace under it, producing the objective (fleet
+//! cold memory) and the constraint (p98 normalized promotion rate);
+//! (3) the result joins the observation pool. The best feasible
+//! configuration is then handed to the staged rollout.
+
+use sdfm_agent::{AgentParams, SloConfig};
+use sdfm_autotuner::{BanditConfig, GpBandit, SearchSpace};
+use sdfm_model::{FarMemoryModel, ModelConfig};
+use sdfm_types::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One completed tuning trial.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TuneTrial {
+    /// The configuration evaluated.
+    pub k_percentile: f64,
+    /// Warmup seconds.
+    pub s_warmup_secs: f64,
+    /// Fleet cold memory under it (pages; the objective).
+    pub cold_pages: f64,
+    /// p98 normalized promotion rate (fraction of WSS per minute; the
+    /// constraint).
+    pub p98_rate: f64,
+    /// Whether the constraint held.
+    pub feasible: bool,
+}
+
+/// GP Bandit over the fast far memory model.
+#[derive(Debug)]
+pub struct AutotunePipeline {
+    bandit: GpBandit,
+    model: FarMemoryModel,
+    slo: SloConfig,
+    trials: Vec<TuneTrial>,
+}
+
+impl AutotunePipeline {
+    /// Creates a pipeline over a trace-backed model.
+    pub fn new(model: FarMemoryModel, slo: SloConfig, seed: u64) -> Self {
+        let space = SearchSpace::agent_params();
+        let config = BanditConfig::default().with_constraint_limit(slo.target.fraction_per_min());
+        AutotunePipeline {
+            bandit: GpBandit::new(space, config, seed),
+            model,
+            slo,
+            trials: Vec::new(),
+        }
+    }
+
+    /// Runs `iterations` suggest→model→observe steps.
+    pub fn run(&mut self, iterations: usize) -> &[TuneTrial] {
+        for _ in 0..iterations {
+            self.step();
+        }
+        &self.trials
+    }
+
+    /// One pipeline iteration.
+    pub fn step(&mut self) -> TuneTrial {
+        let point = self.bandit.suggest();
+        let params = Self::params_from_point(&point);
+        let result = self.model.evaluate(&ModelConfig {
+            params,
+            slo: self.slo,
+        });
+        let constraint = result.p98_normalized_rate.fraction_per_min();
+        self.bandit
+            .observe(point.clone(), result.avg_cold_pages, constraint);
+        let trial = TuneTrial {
+            k_percentile: point[0],
+            s_warmup_secs: point[1],
+            cold_pages: result.avg_cold_pages,
+            p98_rate: constraint,
+            feasible: result.meets_slo(self.slo.target),
+        };
+        self.trials.push(trial);
+        trial
+    }
+
+    /// Completed trials.
+    pub fn trials(&self) -> &[TuneTrial] {
+        &self.trials
+    }
+
+    /// The best feasible parameters found, if any.
+    pub fn best_params(&self) -> Option<AgentParams> {
+        self.bandit
+            .best_feasible()
+            .map(|o| Self::params_from_point(&o.point))
+    }
+
+    fn params_from_point(point: &[f64]) -> AgentParams {
+        AgentParams::new(
+            point[0].clamp(0.0, 100.0),
+            SimDuration::from_secs(point[1].max(0.0) as u64),
+        )
+        .expect("search space stays within valid parameter bounds")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfm_agent::TraceRecord;
+    use sdfm_model::JobTrace;
+    use sdfm_types::histogram::{ColdAgeHistogram, PageAge, PromotionHistogram};
+    use sdfm_types::ids::JobId;
+    use sdfm_types::size::PageCount;
+    use sdfm_types::time::SimTime;
+
+    /// A synthetic fleet trace where warmup time matters: savings accrue
+    /// only after warmup, so lower S wins, and promotions are mild so the
+    /// constraint is easy.
+    fn traces() -> Vec<JobTrace> {
+        (1..=12)
+            .map(|job| {
+                let records = (1..=24)
+                    .map(|i| {
+                        let mut cold = ColdAgeHistogram::new();
+                        cold.record_page(PageAge::from_scans(0), 4_000);
+                        cold.record_page(PageAge::from_scans(6), 2_000 + 100 * job);
+                        let mut promo = PromotionHistogram::new();
+                        promo.record_promotion(PageAge::from_scans(2), 20);
+                        TraceRecord {
+                            job: JobId::new(job),
+                            at: SimTime::from_secs(i * 300),
+                            window: SimDuration::from_secs(300),
+                            working_set: PageCount::new(4_000),
+                            cold_hist: cold,
+                            promo_delta: promo,
+                            incompressible_fraction: 0.0,
+                        }
+                    })
+                    .collect();
+                JobTrace::new(JobId::new(job), records)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_finds_feasible_configuration() {
+        let model = FarMemoryModel::new(traces()).with_threads(2);
+        let mut pipe = AutotunePipeline::new(model, SloConfig::default(), 11);
+        pipe.run(20);
+        assert_eq!(pipe.trials().len(), 20);
+        let best = pipe.best_params().expect("a feasible point exists");
+        assert!((0.0..=100.0).contains(&best.k_percentile));
+        // With easy constraints, the tuner should prefer short warmups.
+        assert!(
+            best.s_warmup.as_secs() <= 5_400,
+            "best warmup {} suspiciously long",
+            best.s_warmup
+        );
+    }
+
+    #[test]
+    fn trials_record_objective_and_constraint() {
+        let model = FarMemoryModel::new(traces()).with_threads(1);
+        let mut pipe = AutotunePipeline::new(model, SloConfig::default(), 3);
+        let t = pipe.step();
+        assert!(t.cold_pages >= 0.0);
+        assert!(t.p98_rate >= 0.0);
+        assert_eq!(pipe.trials().len(), 1);
+    }
+
+    #[test]
+    fn tuned_beats_conservative_hand_tuning() {
+        // The §6.1 comparison: the autotuner should find ≥ the cold memory
+        // of an intentionally conservative hand-tuned configuration.
+        let model = FarMemoryModel::new(traces()).with_threads(2);
+        let hand = ModelConfig::new(AgentParams::new(99.5, SimDuration::from_mins(40)).unwrap());
+        let hand_result = model.evaluate(&hand);
+        let mut pipe = AutotunePipeline::new(model, SloConfig::default(), 17);
+        pipe.run(25);
+        let best = pipe
+            .trials()
+            .iter()
+            .filter(|t| t.feasible)
+            .map(|t| t.cold_pages)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            best >= hand_result.avg_cold_pages,
+            "tuned {best} < hand-tuned {}",
+            hand_result.avg_cold_pages
+        );
+    }
+}

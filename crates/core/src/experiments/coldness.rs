@@ -1,0 +1,200 @@
+//! Figures 1–3: the fleet cold-memory characterization (§2.2).
+
+use super::{build_stat_fleet, Scale};
+use sdfm_types::histogram::PageAge;
+use sdfm_types::stats::{Cdf, FiveNumberSummary};
+use sdfm_types::time::{SimDuration, SimTime, DAY};
+use sdfm_workloads::fleet::FleetSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One Figure-1 point: fleet behavior at one cold-age threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Row {
+    /// The threshold T, seconds.
+    pub threshold_secs: u64,
+    /// Fleet-average fraction of memory cold at T.
+    pub cold_fraction: f64,
+    /// Fleet-average promotion rate: fraction of cold memory accessed per
+    /// minute.
+    pub promotion_rate_per_min: f64,
+}
+
+/// The Figure-1 threshold sweep: T from 120 s to 8 h.
+pub const FIG1_THRESHOLDS: [u64; 9] = [120, 240, 480, 960, 1_920, 3_840, 7_680, 14_400, 28_800];
+
+/// Figure 1: % of cold memory and promotion rate under different cold-age
+/// thresholds (fleet average).
+pub fn figure1(scale: &Scale) -> Vec<Fig1Row> {
+    let spec = FleetSpec::paper_default(scale.machines_per_cluster);
+    let mut fleet = build_stat_fleet(&spec, scale.seed, 0.1);
+    let window = SimDuration::from_secs(300);
+    let measure_at = SimTime::ZERO + DAY + window * (scale.warmup_windows as u64 + 1);
+
+    let mut total_pages = 0u64;
+    let mut cold_at = vec![0u64; FIG1_THRESHOLDS.len()];
+    let mut promos_at = vec![0u64; FIG1_THRESHOLDS.len()];
+    for (_, _, model) in fleet.iter_mut() {
+        let obs = model.observe(measure_at, window);
+        total_pages += obs.cold_hist.total_pages();
+        for (i, &t) in FIG1_THRESHOLDS.iter().enumerate() {
+            let age = PageAge::from_duration(SimDuration::from_secs(t));
+            cold_at[i] += obs.cold_hist.pages_colder_than(age);
+            promos_at[i] += obs.promo_delta.promotions_colder_than(age);
+        }
+    }
+    let window_mins = window.as_mins_f64();
+    FIG1_THRESHOLDS
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| Fig1Row {
+            threshold_secs: t,
+            cold_fraction: cold_at[i] as f64 / total_pages.max(1) as f64,
+            promotion_rate_per_min: if cold_at[i] == 0 {
+                0.0
+            } else {
+                promos_at[i] as f64 / window_mins / cold_at[i] as f64
+            },
+        })
+        .collect()
+}
+
+/// One cluster's per-machine distribution (Figures 2 and 6 are drawn from
+/// this shape).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterDistribution {
+    /// Cluster index (0 = largest).
+    pub cluster: usize,
+    /// Five-number summary (plus whiskers) across machines.
+    pub summary: FiveNumberSummary,
+}
+
+/// Figure 2: distribution of per-machine cold-memory percentage across the
+/// top-10 clusters at T = 120 s.
+pub fn figure2(scale: &Scale) -> Vec<ClusterDistribution> {
+    let spec = FleetSpec::paper_default(scale.machines_per_cluster);
+    let mut fleet = build_stat_fleet(&spec, scale.seed, 0.25);
+    let window = SimDuration::from_secs(300);
+    let measure_at = SimTime::ZERO + DAY + window * (scale.warmup_windows as u64 + 1);
+    let t = PageAge::from_scans(1);
+
+    // (cluster, machine) -> (cold, total)
+    let mut per_machine: BTreeMap<(usize, usize), (u64, u64)> = BTreeMap::new();
+    for (ci, mi, model) in fleet.iter_mut() {
+        let obs = model.observe(measure_at, window);
+        let e = per_machine.entry((*ci, *mi)).or_insert((0, 0));
+        e.0 += obs.cold_hist.pages_colder_than(t);
+        e.1 += obs.cold_hist.total_pages();
+    }
+    let mut by_cluster: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+    for ((ci, _), (cold, total)) in per_machine {
+        if total > 0 {
+            by_cluster
+                .entry(ci)
+                .or_default()
+                .push(cold as f64 / total as f64);
+        }
+    }
+    by_cluster
+        .into_iter()
+        .map(|(cluster, fractions)| ClusterDistribution {
+            cluster,
+            summary: FiveNumberSummary::from_samples(&fractions)
+                .expect("every cluster has machines"),
+        })
+        .collect()
+}
+
+/// Figure 3 output: the per-job cold-fraction CDF plus the paper's decile
+/// checkpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3 {
+    /// `(cold fraction, cumulative job fraction)` series.
+    pub cdf: Vec<(f64, f64)>,
+    /// Cold fraction at the 10th percentile of jobs (paper: < 9%).
+    pub bottom_decile: f64,
+    /// Cold fraction at the 90th percentile of jobs (paper: ≥ 43%).
+    pub top_decile: f64,
+}
+
+/// Figure 3: cumulative distribution of per-job cold memory percentage.
+pub fn figure3(scale: &Scale) -> Fig3 {
+    let spec = FleetSpec::paper_default(scale.machines_per_cluster);
+    let mut fleet = build_stat_fleet(&spec, scale.seed, 0.2);
+    let window = SimDuration::from_secs(300);
+    let measure_at = SimTime::ZERO + DAY + window * (scale.warmup_windows as u64 + 1);
+    let t = PageAge::from_scans(1);
+    let fractions: Vec<f64> = fleet
+        .iter_mut()
+        .map(|(_, _, model)| {
+            let obs = model.observe(measure_at, window);
+            let total = obs.cold_hist.total_pages().max(1);
+            obs.cold_hist.pages_colder_than(t) as f64 / total as f64
+        })
+        .collect();
+    let cdf = Cdf::from_samples(&fractions).expect("fleet is non-empty");
+    Fig3 {
+        cdf: cdf.series(50),
+        bottom_decile: cdf.value_at(sdfm_types::stats::Percentile::new(10.0).expect("valid")),
+        top_decile: cdf.value_at(sdfm_types::stats::Percentile::P90),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_matches_paper_shape() {
+        let rows = figure1(&Scale::small());
+        assert_eq!(rows.len(), FIG1_THRESHOLDS.len());
+        // Cold fraction decreases with T; promotion rate decreases with T.
+        for w in rows.windows(2) {
+            assert!(w[1].cold_fraction <= w[0].cold_fraction + 1e-9);
+            assert!(
+                w[1].promotion_rate_per_min <= w[0].promotion_rate_per_min + 0.02,
+                "promotion rate not falling: {w:?}"
+            );
+        }
+        // Paper anchors: ~32% cold at T=120 s, ~15%/min promotion rate.
+        let t120 = &rows[0];
+        assert!(
+            (0.20..=0.45).contains(&t120.cold_fraction),
+            "cold at 120 s = {}",
+            t120.cold_fraction
+        );
+        assert!(
+            (0.05..=0.35).contains(&t120.promotion_rate_per_min),
+            "promotion rate at 120 s = {}",
+            t120.promotion_rate_per_min
+        );
+        // At 8 h, cold memory should be down to the frozen core.
+        assert!(rows.last().unwrap().cold_fraction < t120.cold_fraction * 0.9);
+    }
+
+    #[test]
+    fn figure2_shows_intra_cluster_spread() {
+        let rows = figure2(&Scale::small());
+        assert_eq!(rows.len(), 10);
+        // Clusters must differ (inter-cluster heterogeneity)...
+        let medians: Vec<f64> = rows.iter().map(|r| r.summary.median).collect();
+        let spread = medians.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - medians.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.1, "cluster medians too uniform: {medians:?}");
+        for r in &rows {
+            assert!(r.summary.min >= 0.0 && r.summary.max <= 1.0);
+        }
+    }
+
+    #[test]
+    fn figure3_deciles_match_paper_ordering() {
+        let f = figure3(&Scale::small());
+        assert!(f.bottom_decile < 0.25, "bottom decile {}", f.bottom_decile);
+        assert!(f.top_decile > 0.35, "top decile {}", f.top_decile);
+        assert!(f.top_decile > f.bottom_decile + 0.2);
+        // CDF is monotone.
+        for w in f.cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+    }
+}

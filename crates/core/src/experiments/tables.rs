@@ -1,0 +1,163 @@
+//! The paper's headline scalar results (T1), the §4.3 worked example
+//! (T2), and the footnote-1 codec comparison (FN1).
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+use crate::tco::TcoModel;
+use sdfm_compress::codec::CodecKind;
+use sdfm_compress::gen::{CompressibilityMix, PageGenerator};
+use sdfm_types::histogram::{PageAge, PromotionHistogram};
+use sdfm_types::size::PAGE_SIZE;
+use sdfm_types::time::SimDuration;
+
+/// T1: the headline TCO arithmetic assembled from measured quantities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Cold-memory coverage used (paper: 0.20).
+    pub coverage: f64,
+    /// Cold-memory ceiling at the minimum threshold (paper: 0.32).
+    pub cold_ceiling: f64,
+    /// Compression ratio (paper: 3×).
+    pub compression_ratio: f64,
+    /// Per-compressed-page memory cost reduction (paper: 67%).
+    pub page_cost_reduction: f64,
+    /// Fleet DRAM savings fraction (paper: 4–5%).
+    pub dram_savings: f64,
+}
+
+/// Computes T1 from measured inputs.
+///
+/// # Panics
+///
+/// Panics if `coverage`/`cold_ceiling` are outside `[0, 1]` or the ratio
+/// is not > 1.
+pub fn table1(coverage: f64, cold_ceiling: f64, compression_ratio: f64) -> Table1 {
+    let tco =
+        TcoModel::new(compression_ratio, 1.0, 0.0).expect("ratio validated by caller contract");
+    Table1 {
+        coverage,
+        cold_ceiling,
+        compression_ratio,
+        page_cost_reduction: tco.compressed_page_cost_reduction(),
+        dram_savings: tco.dram_savings_fraction(coverage, cold_ceiling),
+    }
+}
+
+/// T2: the §4.3 worked example.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Promotions/min the histogram reports under T = 8 min (paper: 1).
+    pub promotions_per_min_t8: f64,
+    /// Promotions/min under T = 2 min (paper: 2).
+    pub promotions_per_min_t2: f64,
+}
+
+/// Reproduces the worked example: pages A and B idle 5 and 10 minutes,
+/// both accessed one minute ago; the promotion histogram answers both
+/// thresholds from the same data.
+pub fn table2() -> Table2 {
+    let mut h = PromotionHistogram::new();
+    h.record_promotion(PageAge::from_duration(SimDuration::from_mins(5)), 1); // A
+    h.record_promotion(PageAge::from_duration(SimDuration::from_mins(10)), 1); // B
+    let window_mins = 1.0;
+    let at = |mins: u64| {
+        h.promotions_colder_than(PageAge::from_duration(SimDuration::from_mins(mins))) as f64
+            / window_mins
+    };
+    Table2 {
+        promotions_per_min_t8: at(8),
+        promotions_per_min_t2: at(2),
+    }
+}
+
+/// One codec's measured trade-off (FN1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CodecRow {
+    /// Which codec.
+    pub codec: CodecKind,
+    /// Bytes-weighted compression ratio on the compressible corpus.
+    pub ratio: f64,
+    /// Compression throughput, MiB/s.
+    pub compress_mib_s: f64,
+    /// Decompression throughput, MiB/s.
+    pub decompress_mib_s: f64,
+}
+
+/// FN1: measures all three codec families on the same fleet-mix page
+/// corpus ("we compared several compression algorithms, including lzo,
+/// lz4, and snappy").
+pub fn table_fn1(pages: usize, seed: u64) -> Vec<CodecRow> {
+    let mix = CompressibilityMix::fleet_default();
+    let mut gen = PageGenerator::new(seed);
+    let corpus: Vec<Vec<u8>> = (0..pages.max(16))
+        .map(|_| gen.generate_from_mix(&mix).1)
+        .collect();
+    let total_bytes = (corpus.len() * PAGE_SIZE) as f64;
+
+    CodecKind::ALL
+        .iter()
+        .map(|&kind| {
+            let codec = kind.build();
+            let mut bufs = Vec::with_capacity(corpus.len());
+            let t0 = Instant::now();
+            for page in &corpus {
+                let mut buf = Vec::new();
+                codec.compress(page, &mut buf);
+                bufs.push(buf);
+            }
+            let compress_secs = t0.elapsed().as_secs_f64();
+            let compressed_bytes: usize = bufs.iter().map(|b| b.len()).sum();
+            let mut out = Vec::new();
+            let t1 = Instant::now();
+            for buf in &bufs {
+                codec.decompress(buf, &mut out).expect("self-produced");
+            }
+            let decompress_secs = t1.elapsed().as_secs_f64();
+            CodecRow {
+                codec: kind,
+                ratio: total_bytes / compressed_bytes as f64,
+                compress_mib_s: total_bytes / (1 << 20) as f64 / compress_secs.max(1e-9),
+                decompress_mib_s: total_bytes / (1 << 20) as f64 / decompress_secs.max(1e-9),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces_headline_numbers() {
+        let t = table1(0.20, 0.32, 3.0);
+        assert!((t.page_cost_reduction - 0.667).abs() < 0.01, "67% claim");
+        assert!(
+            (0.04..0.05).contains(&t.dram_savings),
+            "4–5% claim, got {}",
+            t.dram_savings
+        );
+    }
+
+    #[test]
+    fn table2_matches_worked_example() {
+        let t = table2();
+        assert_eq!(t.promotions_per_min_t8, 1.0);
+        assert_eq!(t.promotions_per_min_t2, 2.0);
+    }
+
+    #[test]
+    fn fn1_compares_all_codecs_sanely() {
+        let rows = table_fn1(32, 3);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.ratio > 1.0, "{}: ratio {}", r.codec, r.ratio);
+            assert!(r.compress_mib_s > 0.0);
+            assert!(
+                r.decompress_mib_s >= r.compress_mib_s * 0.5,
+                "{}: decompression should not be much slower than compression",
+                r.codec
+            );
+        }
+    }
+}

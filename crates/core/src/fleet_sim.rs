@@ -1,0 +1,468 @@
+//! The fleet-scale longitudinal simulator.
+//!
+//! Drives thousands of statistically-modeled jobs (`sdfm-workloads`'
+//! analytic model, validated against the page-level kernel) through the
+//! *real* §4.3 controller (`sdfm-agent`'s [`JobController`]), window by
+//! window, across the ten-cluster synthetic fleet. Far-memory occupancy,
+//! coverage, promotion rates, and compression CPU are derived per job per
+//! window; churn replaces expired jobs with fresh samples from their
+//! cluster's mix.
+//!
+//! Every fleet-level figure (1, 2, 3, 5, 6, 7, 8) is computed from this
+//! simulator's output.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use sdfm_agent::{AgentParams, JobController, SloConfig};
+use sdfm_kernel::CostModel;
+use sdfm_types::histogram::{PageAge, PromotionHistogram};
+use sdfm_types::ids::{ClusterId, JobId};
+use sdfm_types::rate::PromotionRate;
+use sdfm_types::time::{SimDuration, SimTime, DAY};
+use sdfm_workloads::fleet::FleetSpec;
+use sdfm_workloads::profile::JobProfile;
+use sdfm_workloads::StatJobModel;
+
+/// Fleet simulation parameters.
+#[derive(Debug, Clone)]
+pub struct FleetSimConfig {
+    /// The fleet blueprint.
+    pub spec: FleetSpec,
+    /// Initial agent parameters.
+    pub params: AgentParams,
+    /// The SLO.
+    pub slo: SloConfig,
+    /// Control/observation window (the paper's trace granularity is 5
+    /// minutes).
+    pub window: SimDuration,
+    /// Per-bucket rate noise (0 = deterministic expectations).
+    pub noise_sigma: f64,
+    /// Replace expired jobs with fresh samples.
+    pub churn: bool,
+    /// Per-page compression costs for CPU accounting.
+    pub cost: CostModel,
+}
+
+impl FleetSimConfig {
+    /// A small default fleet (10 clusters × `machines_per_cluster`).
+    pub fn new(machines_per_cluster: usize) -> Self {
+        FleetSimConfig {
+            spec: FleetSpec::paper_default(machines_per_cluster),
+            params: AgentParams::default(),
+            slo: SloConfig::default(),
+            window: SimDuration::from_secs(300),
+            noise_sigma: StatJobModel::DEFAULT_SIGMA,
+            churn: true,
+            cost: CostModel::PAPER_DEFAULT,
+        }
+    }
+}
+
+/// One job's outcome in one window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobWindowStat {
+    /// The job.
+    pub job: JobId,
+    /// Hosting cluster.
+    pub cluster: ClusterId,
+    /// Machine index within the cluster.
+    pub machine: usize,
+    /// Total pages.
+    pub total_pages: u64,
+    /// Working set.
+    pub working_set: u64,
+    /// Cold pages at the minimum threshold.
+    pub cold_pages: u64,
+    /// Pages held in far memory this window.
+    pub far_pages: u64,
+    /// Promotions this window.
+    pub promotions: u64,
+    /// The threshold in force (scans).
+    pub threshold_scans: u8,
+    /// Whether zswap was active (past warmup).
+    pub enabled: bool,
+    /// Normalized promotion rate (fraction of WSS per minute).
+    pub normalized_rate: f64,
+    /// Compression events charged this window.
+    pub compress_events: u64,
+    /// Decompression events charged this window.
+    pub decompress_events: u64,
+    /// The job's CPU footprint (cores).
+    pub cpu_cores: f64,
+}
+
+/// Fleet-wide aggregates for one window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetWindowStats {
+    /// Window end.
+    pub at: SimTime,
+    /// Sum of job memory (pages).
+    pub total_pages: u64,
+    /// Sum of cold pages at the minimum threshold.
+    pub cold_pages: u64,
+    /// Sum of far-memory pages.
+    pub far_pages: u64,
+    /// Per-job detail.
+    pub per_job: Vec<JobWindowStat>,
+}
+
+impl FleetWindowStats {
+    /// Fleet cold-memory coverage this window.
+    pub fn coverage(&self) -> f64 {
+        if self.cold_pages == 0 {
+            0.0
+        } else {
+            self.far_pages as f64 / self.cold_pages as f64
+        }
+    }
+
+    /// Fleet cold fraction (cold / total).
+    pub fn cold_fraction(&self) -> f64 {
+        if self.total_pages == 0 {
+            0.0
+        } else {
+            self.cold_pages as f64 / self.total_pages as f64
+        }
+    }
+}
+
+struct SimJob {
+    id: JobId,
+    cluster: ClusterId,
+    cluster_idx: usize,
+    machine: usize,
+    model: StatJobModel,
+    controller: JobController,
+    cumulative_promo: PromotionHistogram,
+    expires: SimTime,
+    incompressible: f64,
+    cpu_cores: f64,
+    total_pages: u64,
+    was_enabled: bool,
+}
+
+/// The simulator.
+pub struct FleetSim {
+    config: FleetSimConfig,
+    jobs: Vec<SimJob>,
+    now: SimTime,
+    next_id: u64,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for FleetSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetSim")
+            .field("jobs", &self.jobs.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl FleetSim {
+    /// Builds the initial job population.
+    pub fn new(config: FleetSimConfig, seed: u64) -> Self {
+        let mut sim = FleetSim {
+            config,
+            jobs: Vec::new(),
+            // Start the clock one day in so that a stationary population
+            // of job ages fits strictly in the past.
+            now: SimTime::ZERO + DAY,
+            next_id: 1,
+            rng: StdRng::seed_from_u64(seed),
+        };
+        let clusters = sim.config.spec.clusters.clone();
+        for (ci, cluster) in clusters.iter().enumerate() {
+            for machine in 0..cluster.machines {
+                let (lo, hi) = cluster.jobs_per_machine;
+                let count = sim.rng.gen_range(lo..=hi);
+                for _ in 0..count {
+                    let template = cluster.sample_template(&mut sim.rng);
+                    let profile = template.sample_profile(&mut sim.rng);
+                    sim.spawn_job(ci, machine, profile, true);
+                }
+            }
+        }
+        sim
+    }
+
+    fn spawn_job(
+        &mut self,
+        cluster_idx: usize,
+        machine: usize,
+        profile: JobProfile,
+        stagger: bool,
+    ) {
+        let id = JobId::new(self.next_id);
+        self.next_id += 1;
+        let seed = self.rng.gen();
+        // The initial population must look stationary: job ages are spread
+        // over their lifetimes (capped at a day). Churn replacements start
+        // fresh.
+        let age_head_start = if stagger {
+            let span = profile.lifetime.as_secs().min(DAY.as_secs()).max(1);
+            self.rng.gen_range(0..span)
+        } else {
+            0
+        };
+        let started = SimTime::from_secs(self.now.as_secs().saturating_sub(age_head_start));
+        let expires = started + profile.lifetime;
+        let incompressible = profile.mix.incompressible_fraction();
+        let cpu_cores = profile.cpu_cores;
+        let total_pages = profile.total_pages().get();
+        let cluster = self.config.spec.clusters[cluster_idx].id;
+        let mut model = StatJobModel::with_noise(profile, seed, self.config.noise_sigma);
+        model.set_start(started);
+        self.jobs.push(SimJob {
+            id,
+            cluster,
+            cluster_idx,
+            machine,
+            model,
+            controller: JobController::new(self.config.params, self.config.slo, started),
+            cumulative_promo: PromotionHistogram::new(),
+            expires,
+            incompressible,
+            cpu_cores,
+            total_pages,
+            was_enabled: false,
+        });
+    }
+
+    /// Current time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Jobs alive.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Rolls out new agent parameters fleet-wide (takes effect at the next
+    /// window).
+    pub fn set_params(&mut self, params: AgentParams) {
+        self.config.params = params;
+        for j in &mut self.jobs {
+            j.controller.set_params(params);
+        }
+    }
+
+    /// Advances one window and returns the fleet stats.
+    pub fn step_window(&mut self) -> FleetWindowStats {
+        self.now += self.config.window;
+        let window = self.config.window;
+        let min_threshold = self.config.slo.min_threshold;
+        let mut stats = FleetWindowStats {
+            at: self.now,
+            total_pages: 0,
+            cold_pages: 0,
+            far_pages: 0,
+            per_job: Vec::with_capacity(self.jobs.len()),
+        };
+
+        for j in &mut self.jobs {
+            let obs = j.model.observe(self.now, window);
+            j.cumulative_promo.merge(&obs.promo_delta);
+            let decision = j
+                .controller
+                .on_minute(self.now, &obs.cold_hist, &j.cumulative_promo);
+            let cold_min = obs.cold_hist.pages_colder_than(min_threshold);
+            let enabled = decision.zswap_enabled;
+            let threshold = decision.threshold;
+            let compressible = 1.0 - j.incompressible;
+            let (far, promos) = if enabled {
+                let cold_at_thr = obs.cold_hist.pages_colder_than(threshold);
+                let promos_at_thr = obs.promo_delta.promotions_colder_than(threshold);
+                (
+                    (cold_at_thr as f64 * compressible) as u64,
+                    (promos_at_thr as f64 * compressible) as u64,
+                )
+            } else {
+                (0, 0)
+            };
+            // CPU events: on enable, the initial cold mass compresses; in
+            // steady state pages re-enter far memory at the promotion rate.
+            let compress_events = if enabled && !j.was_enabled {
+                far + promos
+            } else if enabled {
+                promos
+            } else {
+                0
+            };
+            j.was_enabled = enabled;
+            let rate = PromotionRate::from_count(promos, window)
+                .normalized(decision.working_set)
+                .fraction_per_min();
+
+            stats.total_pages += j.total_pages;
+            stats.cold_pages += cold_min;
+            stats.far_pages += far;
+            stats.per_job.push(JobWindowStat {
+                job: j.id,
+                cluster: j.cluster,
+                machine: j.machine,
+                total_pages: j.total_pages,
+                working_set: decision.working_set.get(),
+                cold_pages: cold_min,
+                far_pages: far,
+                promotions: promos,
+                threshold_scans: threshold.as_scans(),
+                enabled,
+                normalized_rate: rate,
+                compress_events,
+                decompress_events: promos,
+                cpu_cores: j.cpu_cores,
+            });
+        }
+
+        // Churn: replace expired jobs.
+        if self.config.churn {
+            let expired: Vec<usize> = self
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| self.now >= j.expires)
+                .map(|(i, _)| i)
+                .collect();
+            for i in expired.into_iter().rev() {
+                let old = self.jobs.swap_remove(i);
+                let cluster = self.config.spec.clusters[old.cluster_idx].clone();
+                let template = cluster.sample_template(&mut self.rng);
+                let profile = template.sample_profile(&mut self.rng);
+                self.spawn_job(old.cluster_idx, old.machine, profile, false);
+            }
+        }
+        stats
+    }
+
+    /// Runs `windows` windows, returning all stats (callers doing long
+    /// runs should prefer folding over [`step_window`](Self::step_window)).
+    pub fn run_windows(&mut self, windows: usize) -> Vec<FleetWindowStats> {
+        (0..windows).map(|_| self.step_window()).collect()
+    }
+
+    /// The minimum threshold in force (for reporting).
+    pub fn min_threshold(&self) -> PageAge {
+        self.config.slo.min_threshold
+    }
+
+    /// The cost model in force.
+    pub fn cost(&self) -> CostModel {
+        self.config.cost
+    }
+
+    /// The window length.
+    pub fn window(&self) -> SimDuration {
+        self.config.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfm_types::rate::NormalizedPromotionRate;
+    use sdfm_types::stats::{percentile, Percentile};
+
+    fn small_sim(seed: u64) -> FleetSim {
+        let mut cfg = FleetSimConfig::new(2);
+        cfg.noise_sigma = 0.1;
+        FleetSim::new(cfg, seed)
+    }
+
+    #[test]
+    fn population_spans_all_clusters() {
+        let sim = small_sim(1);
+        // 10 clusters × 2 machines × 6..=14 jobs.
+        assert!(sim.job_count() >= 120 && sim.job_count() <= 280);
+    }
+
+    #[test]
+    fn coverage_builds_up_after_warmup() {
+        let mut sim = small_sim(2);
+        let mut last = None;
+        for _ in 0..24 {
+            last = Some(sim.step_window());
+        }
+        let s = last.unwrap();
+        assert!(
+            s.cold_fraction() > 0.15 && s.cold_fraction() < 0.55,
+            "fleet cold fraction {} off paper scale",
+            s.cold_fraction()
+        );
+        assert!(
+            s.coverage() > 0.05,
+            "coverage {} never materialized",
+            s.coverage()
+        );
+        assert!(s.coverage() < 0.75, "coverage {} too high", s.coverage());
+    }
+
+    #[test]
+    fn p98_promotion_rate_respects_slo_scale() {
+        let mut sim = small_sim(3);
+        // Warm up two hours, then observe one hour.
+        for _ in 0..24 {
+            sim.step_window();
+        }
+        let mut rates = Vec::new();
+        for _ in 0..12 {
+            let s = sim.step_window();
+            rates.extend(
+                s.per_job
+                    .iter()
+                    .filter(|j| j.enabled)
+                    .map(|j| j.normalized_rate),
+            );
+        }
+        let p98 = percentile(&rates, Percentile::P98).unwrap();
+        let target = NormalizedPromotionRate::PAPER_SLO_TARGET.fraction_per_min();
+        assert!(
+            p98 <= target * 3.0,
+            "p98 rate {p98} far above the SLO target {target}"
+        );
+    }
+
+    #[test]
+    fn churn_replaces_expired_jobs() {
+        let mut cfg = FleetSimConfig::new(1);
+        cfg.churn = true;
+        let mut sim = FleetSim::new(cfg, 4);
+        let initial: Vec<JobId> = sim.jobs.iter().map(|j| j.id).collect();
+        // Batch jobs live as little as an hour; run a simulated day.
+        for _ in 0..288 {
+            sim.step_window();
+        }
+        let now: Vec<JobId> = sim.jobs.iter().map(|j| j.id).collect();
+        let survivors = now.iter().filter(|id| initial.contains(id)).count();
+        assert!(survivors < initial.len(), "no churn over a simulated day");
+        assert_eq!(now.len(), initial.len(), "population size preserved");
+    }
+
+    #[test]
+    fn param_rollout_changes_behavior() {
+        let mut a = small_sim(5);
+        let mut b = small_sim(5);
+        // b gets an extreme warmup: zswap effectively always off.
+        b.set_params(AgentParams::new(98.0, SimDuration::from_hours(10_000)).unwrap());
+        let mut far_a = 0u64;
+        let mut far_b = 0u64;
+        for _ in 0..12 {
+            far_a += a.step_window().far_pages;
+            far_b += b.step_window().far_pages;
+        }
+        assert!(far_a > 0);
+        assert_eq!(far_b, 0, "infinite warmup must disable far memory");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = small_sim(7);
+        let mut b = small_sim(7);
+        for _ in 0..3 {
+            assert_eq!(a.step_window(), b.step_window());
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The single-machine far-memory system facade.
+
+use sdfm_agent::TraceRecord;
+use sdfm_agent::{AgentParams, SloConfig};
+use sdfm_cluster::{Machine, TelemetryDb};
+use sdfm_kernel::{KernelConfig, MachineStats, MemcgStats};
+use sdfm_types::error::SdfmError;
+use sdfm_types::ids::{ClusterId, JobId, MachineId};
+use sdfm_types::size::ByteSize;
+use sdfm_types::time::{SimDuration, SimTime, MINUTE};
+use sdfm_workloads::profile::JobProfile;
+
+/// Configuration for a [`FarMemorySystem`].
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Machine/kernel parameters.
+    pub kernel: KernelConfig,
+    /// Node-agent control parameters.
+    pub agent: AgentParams,
+    /// The far-memory SLO.
+    pub slo: SloConfig,
+    /// Trace export period.
+    pub export_period: SimDuration,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            kernel: KernelConfig::default(),
+            agent: AgentParams::default(),
+            slo: SloConfig::default(),
+            export_period: SimDuration::from_secs(300),
+        }
+    }
+}
+
+/// One machine running software-defined far memory over simulated jobs.
+///
+/// This is the embedding-facing API: submit jobs, advance time, observe
+/// savings. Internally it is the same kernel + node agent stack the
+/// cluster simulation runs.
+#[derive(Debug)]
+pub struct FarMemorySystem {
+    machine: Machine,
+    telemetry: TelemetryDb,
+    now: SimTime,
+    next_job: u64,
+}
+
+impl FarMemorySystem {
+    /// Boots a system.
+    pub fn new(config: SystemConfig) -> Self {
+        FarMemorySystem {
+            machine: Machine::new(
+                MachineId::new(0),
+                ClusterId::new(0),
+                config.kernel,
+                config.agent,
+                config.slo,
+                config.export_period,
+            ),
+            telemetry: TelemetryDb::new(),
+            now: SimTime::ZERO,
+            next_job: 1,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Admits a job described by `profile`.
+    ///
+    /// # Errors
+    ///
+    /// [`SdfmError::InvalidParameter`] when the profile fails validation or
+    /// the machine lacks capacity.
+    pub fn add_job(&mut self, profile: JobProfile) -> Result<JobId, SdfmError> {
+        profile.validate()?;
+        let id = JobId::new(self.next_job);
+        if !self
+            .machine
+            .try_place(id, &profile, self.now, 0x5DF0 ^ self.next_job)
+        {
+            return Err(SdfmError::invalid_parameter(format!(
+                "machine cannot host {} ({} free)",
+                profile.total_pages(),
+                self.machine.free_frames()
+            )));
+        }
+        self.next_job += 1;
+        Ok(id)
+    }
+
+    /// Removes a job immediately.
+    pub fn remove_job(&mut self, job: JobId) {
+        self.machine.remove_job(job);
+    }
+
+    /// Advances one minute: workload accesses, kstaled/kreclaimd on their
+    /// cadences, the agent's control decision, telemetry.
+    pub fn step_minute(&mut self) {
+        self.now += MINUTE;
+        self.machine.step_minute(self.now, &mut self.telemetry);
+    }
+
+    /// Advances `minutes` minutes.
+    pub fn run_minutes(&mut self, minutes: u64) {
+        for _ in 0..minutes {
+            self.step_minute();
+        }
+    }
+
+    /// Machine-level memory accounting.
+    pub fn machine_stats(&self) -> MachineStats {
+        self.machine.kernel().machine_stats()
+    }
+
+    /// DRAM currently saved by compression.
+    pub fn memory_saved(&self) -> ByteSize {
+        self.machine_stats().bytes_saved()
+    }
+
+    /// A job's kernel counters.
+    ///
+    /// # Errors
+    ///
+    /// [`SdfmError::InvalidParameter`] when the job is not running here.
+    pub fn job_stats(&self, job: JobId) -> Result<MemcgStats, SdfmError> {
+        self.machine
+            .kernel()
+            .memcg(job)
+            .map(|cg| cg.stats())
+            .map_err(|e| SdfmError::invalid_parameter(e.to_string()))
+    }
+
+    /// Accumulated telemetry.
+    pub fn telemetry(&self) -> &TelemetryDb {
+        &self.telemetry
+    }
+
+    /// Drains exported trace records (for the offline model).
+    pub fn take_traces(&mut self) -> Vec<TraceRecord> {
+        self.telemetry.take_traces()
+    }
+
+    /// Rolls out new agent parameters.
+    pub fn set_agent_params(&mut self, params: AgentParams) {
+        self.machine.set_agent_params(params);
+    }
+
+    /// Jobs currently running.
+    pub fn job_count(&self) -> usize {
+        self.machine.job_count()
+    }
+}
+
+impl Default for FarMemorySystem {
+    fn default() -> Self {
+        Self::new(SystemConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfm_compress::gen::CompressibilityMix;
+    use sdfm_workloads::profile::{DiurnalPattern, JobPriority, RateBucket};
+
+    fn profile(pages: u64) -> JobProfile {
+        JobProfile {
+            template: "test".into(),
+            rate_buckets: vec![
+                RateBucket {
+                    pages: pages / 5,
+                    rate_per_sec: 0.5,
+                },
+                RateBucket {
+                    pages: pages - pages / 5,
+                    rate_per_sec: 1e-9,
+                },
+            ],
+            diurnal: DiurnalPattern::FLAT,
+            mix: CompressibilityMix::fleet_default(),
+            cpu_cores: 2.0,
+            write_fraction: 0.1,
+            burst_interval: None,
+            priority: JobPriority::Batch,
+            lifetime: SimDuration::from_hours(100),
+        }
+    }
+
+    #[test]
+    fn end_to_end_savings_materialize() {
+        let mut sys = FarMemorySystem::new(SystemConfig {
+            agent: AgentParams::new(95.0, SimDuration::from_mins(4)).unwrap(),
+            ..SystemConfig::default()
+        });
+        let job = sys.add_job(profile(5_000)).unwrap();
+        sys.run_minutes(30);
+        let saved = sys.memory_saved();
+        assert!(
+            saved.get() > 2_000 * 4096 / 2,
+            "saved only {saved} after 30 minutes"
+        );
+        let js = sys.job_stats(job).unwrap();
+        assert!(js.zswapped_pages > 1_000);
+        assert!(!sys.telemetry().machine_snapshots().is_empty());
+        assert!(!sys.take_traces().is_empty());
+    }
+
+    #[test]
+    fn add_job_validates_and_checks_capacity() {
+        let mut sys = FarMemorySystem::default();
+        let mut bad = profile(100);
+        bad.cpu_cores = 0.0;
+        assert!(sys.add_job(bad).is_err());
+        let too_big = profile(10_000_000);
+        assert!(sys.add_job(too_big).is_err());
+        assert_eq!(sys.job_count(), 0);
+    }
+
+    #[test]
+    fn remove_job_frees_capacity() {
+        let mut sys = FarMemorySystem::default();
+        let before = sys.machine_stats().free;
+        let job = sys.add_job(profile(1_000)).unwrap();
+        assert!(sys.machine_stats().free < before);
+        sys.remove_job(job);
+        assert_eq!(sys.machine_stats().free, before);
+        assert!(sys.job_stats(job).is_err());
+    }
+
+    #[test]
+    fn clock_advances_per_minute() {
+        let mut sys = FarMemorySystem::default();
+        sys.run_minutes(7);
+        assert_eq!(sys.now().as_secs(), 7 * 60);
+    }
+}

@@ -1,0 +1,164 @@
+//! The total-cost-of-ownership model (§6.1, §6.3).
+//!
+//! The paper's arithmetic: with cold-memory coverage `C` (fraction of cold
+//! memory actually stored in far memory), a cold-memory ceiling `F`
+//! (fraction of total memory that is cold at the minimum threshold — 32%
+//! fleet-wide), and compression ratio `r`, the DRAM freed is
+//! `C × F × (1 − 1/r)` of total capacity. At the paper's measured points
+//! (`C = 20%`, `F = 32%`, `r = 3`) that is 4.3% — "4–5% savings in memory
+//! TCO", with compressed pages being "67% or higher memory cost reduction"
+//! (`1 − 1/3`).
+
+use serde::{Deserialize, Serialize};
+
+use sdfm_types::error::SdfmError;
+
+/// TCO arithmetic for a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcoModel {
+    /// Effective compression ratio of stored pages.
+    pub compression_ratio: f64,
+    /// DRAM cost per GiB (arbitrary currency; only ratios matter).
+    pub dram_cost_per_gib: f64,
+    /// CPU cost per core-second, for netting out compression overhead.
+    pub cpu_cost_per_core_sec: f64,
+}
+
+impl TcoModel {
+    /// The paper's measured operating point: 3× ratio.
+    pub fn paper_default() -> Self {
+        TcoModel {
+            compression_ratio: 3.0,
+            dram_cost_per_gib: 5.0,
+            cpu_cost_per_core_sec: 1e-5,
+        }
+    }
+
+    /// Creates a validated model.
+    ///
+    /// # Errors
+    ///
+    /// [`SdfmError::InvalidParameter`] unless `compression_ratio > 1` and
+    /// the costs are non-negative.
+    pub fn new(
+        compression_ratio: f64,
+        dram_cost_per_gib: f64,
+        cpu_cost_per_core_sec: f64,
+    ) -> Result<Self, SdfmError> {
+        if compression_ratio <= 1.0 || !compression_ratio.is_finite() {
+            return Err(SdfmError::invalid_parameter(format!(
+                "compression ratio {compression_ratio} must exceed 1"
+            )));
+        }
+        if dram_cost_per_gib < 0.0 || cpu_cost_per_core_sec < 0.0 {
+            return Err(SdfmError::invalid_parameter("costs must be non-negative"));
+        }
+        Ok(TcoModel {
+            compression_ratio,
+            dram_cost_per_gib,
+            cpu_cost_per_core_sec,
+        })
+    }
+
+    /// Memory-cost reduction of a compressed page: `1 − 1/r` (the
+    /// headline "67% or higher" at `r = 3`).
+    pub fn compressed_page_cost_reduction(&self) -> f64 {
+        1.0 - 1.0 / self.compression_ratio
+    }
+
+    /// Fraction of total DRAM freed given coverage `C` and cold ceiling
+    /// `F` (both fractions).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are in `[0, 1]`.
+    pub fn dram_savings_fraction(&self, coverage: f64, cold_ceiling: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&coverage), "coverage {coverage}");
+        assert!(
+            (0.0..=1.0).contains(&cold_ceiling),
+            "cold ceiling {cold_ceiling}"
+        );
+        coverage * cold_ceiling * self.compressed_page_cost_reduction()
+    }
+
+    /// Absolute DRAM savings for a fleet of `total_gib` memory.
+    pub fn dram_savings_cost(&self, coverage: f64, cold_ceiling: f64, total_gib: f64) -> f64 {
+        self.dram_savings_fraction(coverage, cold_ceiling) * total_gib * self.dram_cost_per_gib
+    }
+
+    /// CPU cost of compression work: `core_seconds` spent compressing and
+    /// decompressing.
+    pub fn cpu_overhead_cost(&self, core_seconds: f64) -> f64 {
+        core_seconds * self.cpu_cost_per_core_sec
+    }
+
+    /// Net saving: DRAM saved minus CPU spent.
+    pub fn net_savings(
+        &self,
+        coverage: f64,
+        cold_ceiling: f64,
+        total_gib: f64,
+        cpu_core_seconds: f64,
+    ) -> f64 {
+        self.dram_savings_cost(coverage, cold_ceiling, total_gib)
+            - self.cpu_overhead_cost(cpu_core_seconds)
+    }
+}
+
+impl Default for TcoModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_numbers() {
+        let m = TcoModel::paper_default();
+        // 3× ratio → 67% per-page cost reduction.
+        assert!((m.compressed_page_cost_reduction() - 2.0 / 3.0).abs() < 1e-12);
+        // 20% coverage × 32% ceiling × 67% → 4.3% — the paper's "4–5%".
+        let savings = m.dram_savings_fraction(0.20, 0.32);
+        assert!(
+            (0.04..0.05).contains(&savings),
+            "savings {savings} outside 4–5%"
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(TcoModel::new(1.0, 1.0, 0.0).is_err());
+        assert!(TcoModel::new(f64::NAN, 1.0, 0.0).is_err());
+        assert!(TcoModel::new(2.0, -1.0, 0.0).is_err());
+        assert!(TcoModel::new(2.0, 1.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn savings_scale_linearly() {
+        let m = TcoModel::paper_default();
+        let a = m.dram_savings_fraction(0.10, 0.32);
+        let b = m.dram_savings_fraction(0.20, 0.32);
+        assert!((b - 2.0 * a).abs() < 1e-12);
+        // Cost in currency: 1000 GiB fleet.
+        let cost = m.dram_savings_cost(0.20, 0.32, 1_000.0);
+        assert!((cost - 0.0426666 * 1_000.0 * 5.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn net_savings_subtract_cpu() {
+        let m = TcoModel::paper_default();
+        let gross = m.dram_savings_cost(0.2, 0.32, 1_000.0);
+        let net = m.net_savings(0.2, 0.32, 1_000.0, 1e6);
+        assert!(net < gross);
+        assert!((gross - net - m.cpu_overhead_cost(1e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage")]
+    fn coverage_out_of_range_panics() {
+        TcoModel::paper_default().dram_savings_fraction(1.5, 0.3);
+    }
+}

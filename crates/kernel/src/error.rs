@@ -1,0 +1,96 @@
+//! Kernel-layer errors.
+
+use std::error::Error;
+use std::fmt;
+
+use sdfm_types::ids::{JobId, PageId};
+use sdfm_types::size::PageCount;
+
+/// Errors from kernel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// No memcg exists for the job.
+    NoSuchMemcg {
+        /// The missing job.
+        job: JobId,
+    },
+    /// A memcg already exists for the job.
+    MemcgExists {
+        /// The duplicate job.
+        job: JobId,
+    },
+    /// A page index is out of range for the job's memcg.
+    NoSuchPage {
+        /// The job whose memcg was addressed.
+        job: JobId,
+        /// The out-of-range page.
+        page: PageId,
+    },
+    /// The allocation would push the memcg over its limit; the paper's
+    /// fail-fast policy applies (§5.1) — the job should be killed and
+    /// rescheduled, not squeezed into zswap.
+    MemcgOverLimit {
+        /// The job at its limit.
+        job: JobId,
+        /// The memcg limit.
+        limit: PageCount,
+        /// Usage the allocation would have reached.
+        attempted: PageCount,
+    },
+    /// The machine has no free frames left even after direct reclaim.
+    OutOfMemory {
+        /// Frames requested.
+        requested: PageCount,
+        /// Frames free.
+        free: PageCount,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NoSuchMemcg { job } => write!(f, "no memcg for {job}"),
+            KernelError::MemcgExists { job } => write!(f, "memcg for {job} already exists"),
+            KernelError::NoSuchPage { job, page } => {
+                write!(f, "{job} has no page {page}")
+            }
+            KernelError::MemcgOverLimit {
+                job,
+                limit,
+                attempted,
+            } => write!(
+                f,
+                "{job} over memcg limit: {attempted} > {limit} (fail-fast)"
+            ),
+            KernelError::OutOfMemory { requested, free } => {
+                write!(f, "machine out of memory: need {requested}, {free} free")
+            }
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = KernelError::NoSuchMemcg { job: JobId::new(3) };
+        assert_eq!(e.to_string(), "no memcg for job-3");
+        let e = KernelError::MemcgOverLimit {
+            job: JobId::new(1),
+            limit: PageCount::new(10),
+            attempted: PageCount::new(11),
+        };
+        assert!(e.to_string().contains("fail-fast"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<KernelError>();
+    }
+}

@@ -1,0 +1,851 @@
+//! The per-machine kernel facade tying memcgs, kstaled, kreclaimd, and the
+//! zswap store together.
+
+use std::collections::BTreeMap;
+
+use crate::cost::{CostModel, CpuAccounting};
+use crate::error::KernelError;
+use crate::kreclaimd::{self, ReclaimOutcome};
+use crate::kstaled::{self, ScanOutcome};
+use crate::memcg::{MemCgroup, MemcgStats};
+use crate::page::{Page, PageContent, PageState};
+use crate::tiering::{Tier1Config, Tier1Stats, Tier1Store};
+use crate::zswap::ZswapStore;
+use sdfm_compress::codec::CodecKind;
+use sdfm_types::histogram::PageAge;
+use sdfm_types::ids::{JobId, PageId};
+use sdfm_types::size::{ByteSize, PageCount};
+use serde::{Deserialize, Serialize};
+
+/// Machine-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Physical DRAM frames.
+    pub capacity: PageCount,
+    /// Codec backing the zswap store.
+    pub codec: CodecKind,
+    /// Per-page compression costs.
+    pub cost: CostModel,
+}
+
+impl Default for KernelConfig {
+    /// One simulated GiB of DRAM with the production lzo-class codec.
+    fn default() -> Self {
+        KernelConfig {
+            capacity: PageCount::new(262_144),
+            codec: CodecKind::Lzo,
+            cost: CostModel::PAPER_DEFAULT,
+        }
+    }
+}
+
+/// A machine-level snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineStats {
+    /// Physical frames.
+    pub capacity: PageCount,
+    /// Frames holding resident (uncompressed) job pages.
+    pub resident: PageCount,
+    /// Frames held by the zswap arena.
+    pub zswap_footprint: PageCount,
+    /// Pages stored compressed.
+    pub zswapped_pages: u64,
+    /// Pages stored in the NVM-like tier-1 device (off-DRAM entirely).
+    pub tier1_pages: u64,
+    /// Free frames.
+    pub free: PageCount,
+    /// Live memcgs.
+    pub jobs: usize,
+}
+
+impl MachineStats {
+    /// DRAM saved by compression right now: pages stored in zswap minus
+    /// the arena frames holding them.
+    pub fn pages_saved(&self) -> PageCount {
+        PageCount::new(self.zswapped_pages).saturating_sub(self.zswap_footprint)
+    }
+
+    /// DRAM saved including tier-1 demotions (tier-1 pages leave DRAM
+    /// wholesale; the NVM cost is accounted separately in the TCO model).
+    pub fn pages_saved_with_tier1(&self) -> PageCount {
+        self.pages_saved() + PageCount::new(self.tier1_pages)
+    }
+
+    /// Bytes saved.
+    pub fn bytes_saved(&self) -> ByteSize {
+        self.pages_saved().bytes()
+    }
+}
+
+/// One simulated machine's kernel.
+#[derive(Debug)]
+pub struct Kernel {
+    config: KernelConfig,
+    zswap: ZswapStore,
+    tier1: Option<Tier1Store>,
+    memcgs: BTreeMap<JobId, MemCgroup>,
+    cpu: CpuAccounting,
+    scans: u64,
+}
+
+impl Kernel {
+    /// Boots a kernel.
+    pub fn new(config: KernelConfig) -> Self {
+        Kernel {
+            zswap: ZswapStore::new(config.codec),
+            tier1: None,
+            config,
+            memcgs: BTreeMap::new(),
+            cpu: CpuAccounting::default(),
+            scans: 0,
+        }
+    }
+
+    /// Attaches an NVM-like tier-1 device (two-tier far memory, §8).
+    pub fn enable_tier1(&mut self, config: Tier1Config) {
+        self.tier1 = Some(Tier1Store::new(config));
+    }
+
+    /// Tier-1 device counters, if a device is attached.
+    pub fn tier1_stats(&self) -> Option<Tier1Stats> {
+        self.tier1.as_ref().map(|t| t.stats())
+    }
+
+    /// The configuration this kernel booted with.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// Creates a memcg for `job` with the given hard limit.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::MemcgExists`] if the job already has one.
+    pub fn create_memcg(&mut self, job: JobId, limit: PageCount) -> Result<(), KernelError> {
+        if self.memcgs.contains_key(&job) {
+            return Err(KernelError::MemcgExists { job });
+        }
+        self.memcgs.insert(job, MemCgroup::new(job, limit));
+        Ok(())
+    }
+
+    /// Tears down `job`'s memcg, discarding its compressed pages, and
+    /// returns its final counters.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchMemcg`] if the job has no memcg.
+    pub fn remove_memcg(&mut self, job: JobId) -> Result<MemcgStats, KernelError> {
+        let cg = self
+            .memcgs
+            .remove(&job)
+            .ok_or(KernelError::NoSuchMemcg { job })?;
+        for page in &cg.pages {
+            match page.state {
+                PageState::Zswapped(h) => self.zswap.discard(h),
+                PageState::Tier1 => self
+                    .tier1
+                    .as_mut()
+                    .expect("tier-1 pages exist only with a device")
+                    .discard(),
+                PageState::Resident => {}
+            }
+        }
+        Ok(cg.stats())
+    }
+
+    /// Immutable access to a job's memcg.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchMemcg`] if the job has no memcg.
+    pub fn memcg(&self, job: JobId) -> Result<&MemCgroup, KernelError> {
+        self.memcgs
+            .get(&job)
+            .ok_or(KernelError::NoSuchMemcg { job })
+    }
+
+    fn memcg_mut(&mut self, job: JobId) -> Result<&mut MemCgroup, KernelError> {
+        self.memcgs
+            .get_mut(&job)
+            .ok_or(KernelError::NoSuchMemcg { job })
+    }
+
+    /// Mutable memcg access for out-of-band instrumentation (e.g. the
+    /// Thermostat sampling baseline, which poisons pages directly). Not
+    /// part of the control-plane surface.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchMemcg`] if the job has no memcg.
+    pub fn memcg_mut_for_experiments(&mut self, job: JobId) -> Result<&mut MemCgroup, KernelError> {
+        self.memcg_mut(job)
+    }
+
+    /// Jobs with live memcgs.
+    pub fn jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.memcgs.keys().copied()
+    }
+
+    /// Sets a job's soft limit (working-set protection).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchMemcg`] if the job has no memcg.
+    pub fn set_soft_limit(&mut self, job: JobId, pages: PageCount) -> Result<(), KernelError> {
+        self.memcg_mut(job)?.set_soft_limit(pages);
+        Ok(())
+    }
+
+    /// Enables/disables proactive zswap for a job.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchMemcg`] if the job has no memcg.
+    pub fn set_zswap_enabled(&mut self, job: JobId, enabled: bool) -> Result<(), KernelError> {
+        self.memcg_mut(job)?.set_zswap_enabled(enabled);
+        Ok(())
+    }
+
+    /// Allocates `n` pages to `job`, with contents supplied per page index.
+    /// Runs direct reclaim if the machine is short on frames.
+    ///
+    /// # Errors
+    ///
+    /// * [`KernelError::MemcgOverLimit`] — the job would exceed its limit;
+    ///   per the fail-fast policy this also disables the job's zswap;
+    /// * [`KernelError::OutOfMemory`] — the machine cannot free enough
+    ///   frames even with direct reclaim.
+    pub fn alloc_pages(
+        &mut self,
+        job: JobId,
+        n: usize,
+        mut content: impl FnMut(usize) -> PageContent,
+    ) -> Result<(), KernelError> {
+        let limit = self.memcg(job)?.limit();
+        let usage = self.memcg(job)?.usage();
+        let attempted = usage + PageCount::new(n as u64);
+        if attempted > limit {
+            self.memcg_mut(job)?.set_zswap_enabled(false);
+            return Err(KernelError::MemcgOverLimit {
+                job,
+                limit,
+                attempted,
+            });
+        }
+        let needed = PageCount::new(n as u64);
+        if self.free_frames() < needed {
+            let shortfall = needed.saturating_sub(self.free_frames());
+            self.direct_reclaim(shortfall);
+        }
+        if self.free_frames() < needed {
+            return Err(KernelError::OutOfMemory {
+                requested: needed,
+                free: self.free_frames(),
+            });
+        }
+        let cg = self.memcg_mut(job)?;
+        for i in 0..n {
+            cg.pages.push(Page::new(content(i)));
+        }
+        cg.stats.resident_pages += n as u64;
+        Ok(())
+    }
+
+    /// Allocates `n_huge` 2 MiB huge pages to `job` (each maps
+    /// [`crate::page::HUGE_SPAN`] frames). Huge pages age and reclaim at
+    /// 2 MiB granularity until kreclaimd splits them.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`alloc_pages`](Self::alloc_pages).
+    pub fn alloc_huge_pages(
+        &mut self,
+        job: JobId,
+        n_huge: usize,
+        mut content: impl FnMut(usize) -> PageContent,
+    ) -> Result<(), KernelError> {
+        let span = crate::page::HUGE_SPAN as u64;
+        let frames = PageCount::new(n_huge as u64 * span);
+        let limit = self.memcg(job)?.limit();
+        let usage = self.memcg(job)?.usage();
+        let attempted = usage + frames;
+        if attempted > limit {
+            self.memcg_mut(job)?.set_zswap_enabled(false);
+            return Err(KernelError::MemcgOverLimit {
+                job,
+                limit,
+                attempted,
+            });
+        }
+        if self.free_frames() < frames {
+            let shortfall = frames.saturating_sub(self.free_frames());
+            self.direct_reclaim(shortfall);
+        }
+        if self.free_frames() < frames {
+            return Err(KernelError::OutOfMemory {
+                requested: frames,
+                free: self.free_frames(),
+            });
+        }
+        let cg = self.memcg_mut(job)?;
+        for i in 0..n_huge {
+            cg.pages.push(Page::new_huge(content(i)));
+        }
+        cg.stats.resident_pages += n_huge as u64 * span;
+        Ok(())
+    }
+
+    /// Frees the job's `n` most recently allocated pages.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchMemcg`] if the job has no memcg. Freeing more
+    /// pages than the job holds frees them all.
+    pub fn free_pages(&mut self, job: JobId, n: usize) -> Result<(), KernelError> {
+        // Split borrows: take pages out, then discard handles.
+        let cg = self
+            .memcgs
+            .get_mut(&job)
+            .ok_or(KernelError::NoSuchMemcg { job })?;
+        let n = n.min(cg.pages.len());
+        for _ in 0..n {
+            let page = cg.pages.pop().expect("bounded by len");
+            match page.state {
+                PageState::Zswapped(h) => {
+                    cg.stats.zswapped_pages -= 1;
+                    cg.stats.zswapped_bytes -=
+                        self.zswap.stored_size(h).expect("live handle") as u64;
+                    self.zswap.discard(h);
+                }
+                PageState::Tier1 => {
+                    cg.stats.tier1_pages -= 1;
+                    self.tier1
+                        .as_mut()
+                        .expect("tier-1 pages exist only with a device")
+                        .discard();
+                }
+                PageState::Resident => cg.stats.resident_pages -= page.span as u64,
+            }
+            if page.flags.incompressible {
+                cg.stats.incompressible_marked = cg.stats.incompressible_marked.saturating_sub(1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulates an access to a page. Returns `true` when the access
+    /// faulted on a compressed page (an actual promotion: the page is
+    /// decompressed and made resident, and decompression cost is charged).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchMemcg`] / [`KernelError::NoSuchPage`].
+    pub fn touch(&mut self, job: JobId, page: PageId, write: bool) -> Result<bool, KernelError> {
+        let cost = self.config.cost;
+        let cg = self
+            .memcgs
+            .get_mut(&job)
+            .ok_or(KernelError::NoSuchMemcg { job })?;
+        let p = cg
+            .pages
+            .get_mut(page.index())
+            .ok_or(KernelError::NoSuchPage { job, page })?;
+        let promoted = match p.state {
+            PageState::Zswapped(h) => {
+                let size = self.zswap.stored_size(h).expect("live handle") as u64;
+                let bytes = self.zswap.load(h);
+                if let (Some(loaded), PageContent::Real(original)) = (&bytes, &p.content) {
+                    assert_eq!(loaded, original, "zswap corrupted page contents");
+                }
+                p.state = PageState::Resident;
+                cg.stats.zswapped_pages -= 1;
+                cg.stats.zswapped_bytes -= size;
+                cg.stats.resident_pages += 1;
+                cg.stats.decompressions += 1;
+                self.cpu.charge_decompress(&cost);
+                true
+            }
+            PageState::Tier1 => {
+                self.tier1
+                    .as_mut()
+                    .expect("tier-1 pages exist only with a device")
+                    .load();
+                p.state = PageState::Resident;
+                cg.stats.tier1_pages -= 1;
+                cg.stats.resident_pages += 1;
+                cg.stats.tier1_loads += 1;
+                true
+            }
+            PageState::Resident => false,
+        };
+        p.flags.accessed = true;
+        if write {
+            p.flags.dirty = true;
+        }
+        if p.flags.poisoned {
+            // Thermostat-style sampling: the poisoned page soft-faulted.
+            p.flags.poisoned = false;
+            p.sample_faulted = true;
+        }
+        Ok(promoted)
+    }
+
+    /// Runs one kstaled scan over every memcg.
+    pub fn run_scan(&mut self) -> ScanOutcome {
+        self.scans += 1;
+        let mut total = ScanOutcome::default();
+        for cg in self.memcgs.values_mut() {
+            let o = kstaled::scan_memcg(cg);
+            total.pages_scanned += o.pages_scanned;
+            total.pages_accessed += o.pages_accessed;
+            total.would_be_promotions += o.would_be_promotions;
+            total.incompressible_cleared += o.incompressible_cleared;
+        }
+        total
+    }
+
+    /// Number of kstaled scans run.
+    pub fn scan_count(&self) -> u64 {
+        self.scans
+    }
+
+    /// Runs kreclaimd for one job at the given threshold.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchMemcg`] if the job has no memcg.
+    pub fn reclaim_job(
+        &mut self,
+        job: JobId,
+        threshold: PageAge,
+    ) -> Result<ReclaimOutcome, KernelError> {
+        let cost = self.config.cost;
+        let cg = self
+            .memcgs
+            .get_mut(&job)
+            .ok_or(KernelError::NoSuchMemcg { job })?;
+        Ok(kreclaimd::reclaim_memcg(
+            cg,
+            &mut self.zswap,
+            threshold,
+            &cost,
+            &mut self.cpu,
+        ))
+    }
+
+    /// Two-tier reclaim (§8): pages at age ≥ `t2_threshold` compress into
+    /// zswap; pages at age ≥ `t1_threshold` (but younger than `t2`) demote
+    /// uncompressed into the tier-1 device while it has room. Tier-1 pages
+    /// that age past `t2_threshold` overflow into zswap, keeping the fixed
+    /// device available for the warm end of the cold spectrum.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchMemcg`] if the job has no memcg.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tier-1 device is attached (call
+    /// [`enable_tier1`](Self::enable_tier1) first).
+    pub fn reclaim_job_tiered(
+        &mut self,
+        job: JobId,
+        t1_threshold: PageAge,
+        t2_threshold: PageAge,
+    ) -> Result<ReclaimOutcome, KernelError> {
+        assert!(
+            self.tier1.is_some(),
+            "reclaim_job_tiered requires an attached tier-1 device"
+        );
+        assert!(
+            t1_threshold <= t2_threshold,
+            "tier-1 threshold must not exceed tier-2's"
+        );
+        let cost = self.config.cost;
+        let cg = self
+            .memcgs
+            .get_mut(&job)
+            .ok_or(KernelError::NoSuchMemcg { job })?;
+        let mut outcome = ReclaimOutcome::default();
+        if !cg.zswap_enabled() || t1_threshold == PageAge::HOT {
+            return Ok(outcome);
+        }
+        let tier1 = self.tier1.as_mut().expect("checked above");
+        let mut stranded_this_pass = false;
+        let mut i = 0;
+        while i < cg.pages.len() {
+            // Huge pages split before entering either tier (neither the
+            // zswap store nor the page-granular device takes a 2 MiB
+            // mapping whole).
+            if cg.pages[i].is_huge()
+                && cg.pages[i].tier1_eligible(t1_threshold)
+                && cg.split_huge_page(i)
+            {
+                outcome.huge_splits += 1;
+            }
+            let page = &mut cg.pages[i];
+            i += 1;
+            outcome.examined += 1;
+            // Overflow: tier-1 residents that aged past the zswap threshold.
+            if matches!(page.state, PageState::Tier1) && page.age >= t2_threshold {
+                self.cpu.charge_compress(&cost);
+                cg.stats.compressions += 1;
+                match self.zswap.store(&page.content) {
+                    crate::zswap::StoreOutcome::Stored(h) => {
+                        tier1.discard();
+                        page.state = PageState::Zswapped(h);
+                        cg.stats.tier1_pages -= 1;
+                        cg.stats.zswapped_pages += 1;
+                        cg.stats.zswapped_bytes +=
+                            self.zswap.stored_size(h).expect("just stored") as u64;
+                        outcome.reclaimed += 1;
+                    }
+                    crate::zswap::StoreOutcome::Rejected { .. } => {
+                        // Incompressible: it stays in tier-1 (NVM holds raw
+                        // pages happily).
+                        cg.stats.rejections += 1;
+                        outcome.rejected += 1;
+                    }
+                }
+                continue;
+            }
+            // DRAM → zswap for the deep-cold.
+            if page.reclaim_eligible(t2_threshold) {
+                self.cpu.charge_compress(&cost);
+                cg.stats.compressions += 1;
+                match self.zswap.store(&page.content) {
+                    crate::zswap::StoreOutcome::Stored(h) => {
+                        page.state = PageState::Zswapped(h);
+                        cg.stats.resident_pages -= 1;
+                        cg.stats.zswapped_pages += 1;
+                        cg.stats.zswapped_bytes +=
+                            self.zswap.stored_size(h).expect("just stored") as u64;
+                        outcome.reclaimed += 1;
+                    }
+                    crate::zswap::StoreOutcome::Rejected { .. } => {
+                        page.flags.incompressible = true;
+                        cg.stats.incompressible_marked += 1;
+                        cg.stats.rejections += 1;
+                        outcome.rejected += 1;
+                    }
+                }
+                continue;
+            }
+            // DRAM → tier-1 for the warm-cold, capacity permitting.
+            if page.tier1_eligible(t1_threshold) {
+                if tier1.free().get() > 0 && tier1.store() {
+                    page.state = PageState::Tier1;
+                    cg.stats.resident_pages -= 1;
+                    cg.stats.tier1_pages += 1;
+                    outcome.reclaimed += 1;
+                } else if !stranded_this_pass {
+                    // Demand exists but the fixed device is full: one
+                    // stranding event per pass (§2.1's provisioning risk).
+                    tier1.record_stranding();
+                    stranded_this_pass = true;
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Direct reclaim under machine memory pressure: compresses the oldest
+    /// eligible pages of each memcg — never pushing a memcg below its soft
+    /// limit — until `needed` frames are free or candidates run out.
+    /// Returns the frames actually freed.
+    pub fn direct_reclaim(&mut self, needed: PageCount) -> PageCount {
+        let before = self.free_frames();
+        let cost = self.config.cost;
+        let jobs: Vec<JobId> = self.memcgs.keys().copied().collect();
+        'outer: for job in jobs {
+            loop {
+                if self.free_frames() >= before + needed {
+                    break 'outer;
+                }
+                let cg = self.memcgs.get_mut(&job).expect("listed above");
+                if PageCount::new(cg.stats.resident_pages) <= cg.soft_limit() {
+                    break;
+                }
+                // Oldest eligible resident page (direct reclaim reuses the
+                // ages kstaled already reaped, §5.1).
+                let candidate = cg
+                    .pages
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.reclaim_eligible(PageAge::from_scans(1)))
+                    .max_by_key(|(_, p)| p.age);
+                let Some((idx, _)) = candidate else { break };
+                // Direct reclaim splits huge pages like the swap path does.
+                cg.split_huge_page(idx);
+                self.cpu.charge_compress(&cost);
+                cg.stats.compressions += 1;
+                let page = &mut cg.pages[idx];
+                match self.zswap.store(&page.content) {
+                    crate::zswap::StoreOutcome::Stored(h) => {
+                        page.state = PageState::Zswapped(h);
+                        cg.stats.resident_pages -= 1;
+                        cg.stats.zswapped_pages += 1;
+                        cg.stats.zswapped_bytes +=
+                            self.zswap.stored_size(h).expect("just stored") as u64;
+                    }
+                    crate::zswap::StoreOutcome::Rejected { .. } => {
+                        page.flags.incompressible = true;
+                        cg.stats.incompressible_marked += 1;
+                        cg.stats.rejections += 1;
+                    }
+                }
+            }
+        }
+        self.free_frames().saturating_sub(before)
+    }
+
+    /// Compacts the zswap arena; returns frames reclaimed.
+    pub fn compact_zswap(&mut self) -> PageCount {
+        self.zswap.compact()
+    }
+
+    /// Free physical frames right now.
+    pub fn free_frames(&self) -> PageCount {
+        let resident: u64 = self
+            .memcgs
+            .values()
+            .map(|cg| cg.stats().resident_pages)
+            .sum();
+        let used = resident + self.zswap.footprint_pages().get();
+        self.config.capacity.saturating_sub(PageCount::new(used))
+    }
+
+    /// Machine-level snapshot.
+    pub fn machine_stats(&self) -> MachineStats {
+        let resident: u64 = self
+            .memcgs
+            .values()
+            .map(|cg| cg.stats().resident_pages)
+            .sum();
+        let zswapped: u64 = self
+            .memcgs
+            .values()
+            .map(|cg| cg.stats().zswapped_pages)
+            .sum();
+        let tier1_pages: u64 = self.memcgs.values().map(|cg| cg.stats().tier1_pages).sum();
+        MachineStats {
+            capacity: self.config.capacity,
+            resident: PageCount::new(resident),
+            zswap_footprint: self.zswap.footprint_pages(),
+            zswapped_pages: zswapped,
+            tier1_pages,
+            free: self.free_frames(),
+            jobs: self.memcgs.len(),
+        }
+    }
+
+    /// Machine-level CPU time charged to compression work.
+    pub fn cpu_accounting(&self) -> CpuAccounting {
+        self.cpu
+    }
+
+    /// The zswap store (read access for stats and experiments).
+    pub fn zswap(&self) -> &ZswapStore {
+        &self.zswap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_with_job(capacity: u64, limit: u64) -> (Kernel, JobId) {
+        let mut k = Kernel::new(KernelConfig {
+            capacity: PageCount::new(capacity),
+            ..KernelConfig::default()
+        });
+        let job = JobId::new(1);
+        k.create_memcg(job, PageCount::new(limit)).unwrap();
+        (k, job)
+    }
+
+    #[test]
+    fn memcg_lifecycle() {
+        let (mut k, job) = kernel_with_job(1000, 100);
+        assert!(matches!(
+            k.create_memcg(job, PageCount::new(5)),
+            Err(KernelError::MemcgExists { .. })
+        ));
+        k.alloc_pages(job, 10, |_| PageContent::synthetic_of_len(500))
+            .unwrap();
+        let stats = k.remove_memcg(job).unwrap();
+        assert_eq!(stats.resident_pages, 10);
+        assert!(matches!(
+            k.remove_memcg(job),
+            Err(KernelError::NoSuchMemcg { .. })
+        ));
+    }
+
+    #[test]
+    fn memcg_limit_fails_fast_and_disables_zswap() {
+        let (mut k, job) = kernel_with_job(1000, 8);
+        k.set_zswap_enabled(job, true).unwrap();
+        k.alloc_pages(job, 8, |_| PageContent::synthetic_of_len(500))
+            .unwrap();
+        let err = k
+            .alloc_pages(job, 1, |_| PageContent::synthetic_of_len(500))
+            .unwrap_err();
+        assert!(matches!(err, KernelError::MemcgOverLimit { .. }));
+        assert!(!k.memcg(job).unwrap().zswap_enabled());
+    }
+
+    #[test]
+    fn touch_faults_promote_compressed_pages() {
+        let (mut k, job) = kernel_with_job(10_000, 10_000);
+        k.set_zswap_enabled(job, true).unwrap();
+        k.alloc_pages(job, 4, |_| PageContent::synthetic_of_len(700))
+            .unwrap();
+        for _ in 0..4 {
+            k.run_scan();
+        }
+        let o = k.reclaim_job(job, PageAge::from_scans(2)).unwrap();
+        assert_eq!(o.reclaimed, 4);
+        assert_eq!(k.memcg(job).unwrap().stats().zswapped_pages, 4);
+
+        let promoted = k.touch(job, PageId::new(0), false).unwrap();
+        assert!(promoted);
+        let s = k.memcg(job).unwrap().stats();
+        assert_eq!(s.zswapped_pages, 3);
+        assert_eq!(s.decompressions, 1);
+        assert_eq!(k.cpu_accounting().decompress_events, 1);
+        // Second touch on the same page is a plain access.
+        assert!(!k.touch(job, PageId::new(0), false).unwrap());
+    }
+
+    #[test]
+    fn touch_errors() {
+        let (mut k, job) = kernel_with_job(100, 100);
+        assert!(matches!(
+            k.touch(JobId::new(9), PageId::new(0), false),
+            Err(KernelError::NoSuchMemcg { .. })
+        ));
+        assert!(matches!(
+            k.touch(job, PageId::new(0), false),
+            Err(KernelError::NoSuchPage { .. })
+        ));
+    }
+
+    #[test]
+    fn free_pages_releases_zswap_slots() {
+        let (mut k, job) = kernel_with_job(10_000, 10_000);
+        k.set_zswap_enabled(job, true).unwrap();
+        k.alloc_pages(job, 10, |_| PageContent::synthetic_of_len(700))
+            .unwrap();
+        for _ in 0..3 {
+            k.run_scan();
+        }
+        k.reclaim_job(job, PageAge::from_scans(2)).unwrap();
+        assert_eq!(k.zswap().resident_objects(), 10);
+        k.free_pages(job, 10).unwrap();
+        assert_eq!(k.zswap().resident_objects(), 0);
+        assert_eq!(k.memcg(job).unwrap().usage(), PageCount::ZERO);
+    }
+
+    #[test]
+    fn machine_stats_account_compression_savings() {
+        let (mut k, job) = kernel_with_job(10_000, 10_000);
+        k.set_zswap_enabled(job, true).unwrap();
+        k.alloc_pages(job, 100, |_| PageContent::synthetic_of_len(400))
+            .unwrap();
+        let before = k.machine_stats();
+        assert_eq!(before.resident.get(), 100);
+        assert_eq!(before.free.get(), 10_000 - 100);
+        for _ in 0..3 {
+            k.run_scan();
+        }
+        k.reclaim_job(job, PageAge::from_scans(2)).unwrap();
+        let after = k.machine_stats();
+        assert_eq!(after.resident.get(), 0);
+        assert_eq!(after.zswapped_pages, 100);
+        // ~100 pages × 400 B ≈ 10 frames of arena vs 100 frames freed.
+        assert!(after.zswap_footprint.get() < 20);
+        assert!(after.free > before.free);
+        assert!(after.pages_saved().get() >= 80);
+    }
+
+    #[test]
+    fn direct_reclaim_respects_soft_limits() {
+        let (mut k, job) = kernel_with_job(10_000, 10_000);
+        // Direct reclaim works even when proactive zswap is off.
+        k.alloc_pages(job, 100, |_| PageContent::synthetic_of_len(400))
+            .unwrap();
+        k.set_soft_limit(job, PageCount::new(90)).unwrap();
+        for _ in 0..3 {
+            k.run_scan();
+        }
+        let freed = k.direct_reclaim(PageCount::new(50));
+        assert!(freed.get() > 0);
+        let s = k.memcg(job).unwrap().stats();
+        assert!(
+            s.resident_pages >= 90,
+            "direct reclaim went below the soft limit: {}",
+            s.resident_pages
+        );
+    }
+
+    #[test]
+    fn alloc_triggers_direct_reclaim_before_oom() {
+        let mut k = Kernel::new(KernelConfig {
+            capacity: PageCount::new(120),
+            ..KernelConfig::default()
+        });
+        let job = JobId::new(1);
+        k.create_memcg(job, PageCount::new(1_000)).unwrap();
+        k.alloc_pages(job, 100, |_| PageContent::synthetic_of_len(200))
+            .unwrap();
+        for _ in 0..3 {
+            k.run_scan();
+        }
+        // 20 frames free, requesting 40: direct reclaim must kick in and
+        // compress cold pages to make room.
+        k.alloc_pages(job, 40, |_| PageContent::synthetic_of_len(200))
+            .unwrap();
+        let s = k.memcg(job).unwrap().stats();
+        assert!(s.zswapped_pages > 0, "direct reclaim compressed nothing");
+    }
+
+    #[test]
+    fn oom_when_nothing_reclaimable() {
+        let mut k = Kernel::new(KernelConfig {
+            capacity: PageCount::new(50),
+            ..KernelConfig::default()
+        });
+        let job = JobId::new(1);
+        k.create_memcg(job, PageCount::new(1_000)).unwrap();
+        k.alloc_pages(job, 50, |_| PageContent::synthetic_of_len(200))
+            .unwrap();
+        // Pages are hot (just allocated, never scanned): nothing to reclaim.
+        let err = k
+            .alloc_pages(job, 10, |_| PageContent::synthetic_of_len(200))
+            .unwrap_err();
+        assert!(matches!(err, KernelError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn real_content_roundtrips_through_fault() {
+        use sdfm_compress::gen::{PageClass, PageGenerator};
+        let (mut k, job) = kernel_with_job(10_000, 10_000);
+        k.set_zswap_enabled(job, true).unwrap();
+        let mut g = PageGenerator::new(5);
+        let pages: Vec<bytes::Bytes> = (0..4)
+            .map(|_| bytes::Bytes::from(g.generate(PageClass::Text)))
+            .collect();
+        let contents = pages.clone();
+        k.alloc_pages(job, 4, |i| PageContent::Real(contents[i].clone()))
+            .unwrap();
+        for _ in 0..4 {
+            k.run_scan();
+        }
+        k.reclaim_job(job, PageAge::from_scans(2)).unwrap();
+        // touch() internally asserts decompressed bytes == original.
+        for i in 0..4 {
+            assert!(k.touch(job, PageId::new(i), false).unwrap());
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! kreclaimd: moves cold pages into the zswap store (§5.1).
+//!
+//! Once the node agent sets a memcg's cold-age threshold, kreclaimd walks
+//! the memcg and reclaims every eligible page whose age meets the
+//! threshold: resident, evictable, not freshly accessed, and not marked
+//! incompressible. Compression attempts that exceed the payload cutoff
+//! mark the page incompressible so the cycles are not wasted again until
+//! the page is dirtied (§5.1).
+
+use crate::cost::{CostModel, CpuAccounting};
+use crate::memcg::MemCgroup;
+use crate::page::PageState;
+use crate::zswap::{StoreOutcome, ZswapStore};
+use sdfm_types::histogram::PageAge;
+
+/// Counters from one kreclaimd pass over one memcg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReclaimOutcome {
+    /// Pages moved to the zswap store.
+    pub reclaimed: u64,
+    /// Compression attempts rejected (pages newly marked incompressible).
+    pub rejected: u64,
+    /// Pages examined.
+    pub examined: u64,
+    /// Huge pages split into base pages before compression.
+    pub huge_splits: u64,
+}
+
+/// Reclaims every eligible page at or above `threshold` in `cg` into
+/// `store`, charging compression costs to `cpu`.
+///
+/// A threshold of [`PageAge::HOT`] (zero) reclaims nothing: the control
+/// plane never classifies just-touched pages as cold.
+pub fn reclaim_memcg(
+    cg: &mut MemCgroup,
+    store: &mut ZswapStore,
+    threshold: PageAge,
+    cost: &CostModel,
+    cpu: &mut CpuAccounting,
+) -> ReclaimOutcome {
+    let mut outcome = ReclaimOutcome::default();
+    if !cg.zswap_enabled() || threshold == PageAge::HOT {
+        return outcome;
+    }
+    // Index loop: splitting a huge page appends its base pages at the end
+    // of the vector (preserving existing page ids), and the growing length
+    // lets this same pass compress them.
+    let mut i = 0;
+    while i < cg.pages.len() {
+        outcome.examined += 1;
+        if !cg.pages[i].reclaim_eligible(threshold) {
+            i += 1;
+            continue;
+        }
+        // zswap works at base-page granularity: split first, then fall
+        // through to compress the (now base) page at `i`.
+        if cg.split_huge_page(i) {
+            outcome.huge_splits += 1;
+        }
+        cpu.charge_compress(cost);
+        cg.stats.compressions += 1;
+        let page = &mut cg.pages[i];
+        match store.store(&page.content) {
+            StoreOutcome::Stored(handle) => {
+                page.state = PageState::Zswapped(handle);
+                outcome.reclaimed += 1;
+                cg.stats.resident_pages -= 1;
+                cg.stats.zswapped_pages += 1;
+                cg.stats.zswapped_bytes += store.stored_size(handle).expect("just stored") as u64;
+            }
+            StoreOutcome::Rejected { .. } => {
+                page.flags.incompressible = true;
+                cg.stats.incompressible_marked += 1;
+                cg.stats.rejections += 1;
+                outcome.rejected += 1;
+            }
+        }
+        i += 1;
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kstaled::scan_memcg;
+    use crate::page::{Page, PageContent};
+    use sdfm_compress::codec::CodecKind;
+    use sdfm_types::ids::JobId;
+    use sdfm_types::size::PageCount;
+
+    fn setup(n: usize, payload_len: usize) -> (MemCgroup, ZswapStore) {
+        let mut cg = MemCgroup::new(JobId::new(1), PageCount::new(1 << 20));
+        cg.set_zswap_enabled(true);
+        for _ in 0..n {
+            cg.pages
+                .push(Page::new(PageContent::synthetic_of_len(payload_len)));
+            cg.stats.resident_pages += 1;
+        }
+        (cg, ZswapStore::new(CodecKind::Lzo))
+    }
+
+    fn age_by_scans(cg: &mut MemCgroup, scans: usize) {
+        for _ in 0..scans {
+            scan_memcg(cg);
+        }
+    }
+
+    #[test]
+    fn reclaims_pages_past_threshold() {
+        let (mut cg, mut store) = setup(10, 600);
+        age_by_scans(&mut cg, 4); // all pages at age 3
+        let mut cpu = CpuAccounting::default();
+        let o = reclaim_memcg(
+            &mut cg,
+            &mut store,
+            PageAge::from_scans(3),
+            &CostModel::PAPER_DEFAULT,
+            &mut cpu,
+        );
+        assert_eq!(o.reclaimed, 10);
+        assert_eq!(o.rejected, 0);
+        assert_eq!(cg.stats().zswapped_pages, 10);
+        assert_eq!(cg.stats().resident_pages, 0);
+        assert_eq!(store.resident_objects(), 10);
+        assert_eq!(cpu.compress_events, 10);
+    }
+
+    #[test]
+    fn threshold_filters_by_age() {
+        let (mut cg, mut store) = setup(4, 600);
+        age_by_scans(&mut cg, 3); // age 2
+                                  // Touch two pages so they reset at the next scan.
+        cg.pages[0].flags.accessed = true;
+        cg.pages[1].flags.accessed = true;
+        scan_memcg(&mut cg); // pages 0,1 at age 0; 2,3 at age 3
+        let mut cpu = CpuAccounting::default();
+        let o = reclaim_memcg(
+            &mut cg,
+            &mut store,
+            PageAge::from_scans(2),
+            &CostModel::PAPER_DEFAULT,
+            &mut cpu,
+        );
+        assert_eq!(o.reclaimed, 2);
+        assert!(cg.pages[0].state == PageState::Resident);
+        assert!(cg.pages[2].is_zswapped());
+    }
+
+    #[test]
+    fn disabled_zswap_reclaims_nothing() {
+        let (mut cg, mut store) = setup(5, 600);
+        cg.set_zswap_enabled(false);
+        age_by_scans(&mut cg, 10);
+        let mut cpu = CpuAccounting::default();
+        let o = reclaim_memcg(
+            &mut cg,
+            &mut store,
+            PageAge::from_scans(1),
+            &CostModel::PAPER_DEFAULT,
+            &mut cpu,
+        );
+        assert_eq!(o, ReclaimOutcome::default());
+        assert_eq!(cpu.compress_events, 0);
+    }
+
+    #[test]
+    fn zero_threshold_reclaims_nothing() {
+        let (mut cg, mut store) = setup(5, 600);
+        age_by_scans(&mut cg, 10);
+        let mut cpu = CpuAccounting::default();
+        let o = reclaim_memcg(
+            &mut cg,
+            &mut store,
+            PageAge::HOT,
+            &CostModel::PAPER_DEFAULT,
+            &mut cpu,
+        );
+        assert_eq!(o.reclaimed, 0);
+    }
+
+    #[test]
+    fn incompressible_pages_rejected_once_then_skipped() {
+        let (mut cg, mut store) = setup(3, 3500); // above the cutoff
+        age_by_scans(&mut cg, 4);
+        let mut cpu = CpuAccounting::default();
+        let o = reclaim_memcg(
+            &mut cg,
+            &mut store,
+            PageAge::from_scans(2),
+            &CostModel::PAPER_DEFAULT,
+            &mut cpu,
+        );
+        assert_eq!(o.rejected, 3);
+        assert_eq!(cg.stats().rejections, 3);
+        assert_eq!(cpu.compress_events, 3, "wasted cycles are still charged");
+        // Second pass: pages are marked, no new attempts.
+        let o2 = reclaim_memcg(
+            &mut cg,
+            &mut store,
+            PageAge::from_scans(2),
+            &CostModel::PAPER_DEFAULT,
+            &mut cpu,
+        );
+        assert_eq!(o2.rejected, 0);
+        assert_eq!(cpu.compress_events, 3);
+    }
+
+    #[test]
+    fn already_zswapped_pages_are_skipped() {
+        let (mut cg, mut store) = setup(2, 600);
+        age_by_scans(&mut cg, 4);
+        let mut cpu = CpuAccounting::default();
+        reclaim_memcg(
+            &mut cg,
+            &mut store,
+            PageAge::from_scans(1),
+            &CostModel::PAPER_DEFAULT,
+            &mut cpu,
+        );
+        let o = reclaim_memcg(
+            &mut cg,
+            &mut store,
+            PageAge::from_scans(1),
+            &CostModel::PAPER_DEFAULT,
+            &mut cpu,
+        );
+        assert_eq!(o.reclaimed, 0);
+        assert_eq!(store.resident_objects(), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! kstaled: the page-age scanner (§5.1).
+//!
+//! Every scan period (120 s), kstaled walks each memcg's pages, reads and
+//! clears the accessed bit, and updates per-page ages:
+//!
+//! * accessed since the last scan → record the pre-reset age in the
+//!   **promotion histogram** (this is the "age of the page when it is
+//!   accessed"), then reset the age to zero. If the page was dirtied, clear
+//!   its incompressible mark (its contents changed, so it may compress
+//!   now);
+//! * untouched → increment the age (saturating at 255 scans).
+//!
+//! After the walk it rebuilds the **cold-age histogram** from the new ages.
+//! Pages already in zswap continue to age (they are unaccessed by
+//! construction) and appear in the cold-age histogram — so the coverage
+//! metric "zswap size / cold size" is well defined.
+
+use crate::memcg::MemCgroup;
+use sdfm_types::histogram::PageAge;
+
+/// Counters from one kstaled pass over one memcg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanOutcome {
+    /// Pages walked.
+    pub pages_scanned: u64,
+    /// Pages observed accessed since the previous scan.
+    pub pages_accessed: u64,
+    /// Accesses recorded in the promotion histogram (age ≥ 1 at access).
+    pub would_be_promotions: u64,
+    /// Incompressible marks cleared because the page was dirtied.
+    pub incompressible_cleared: u64,
+}
+
+/// Runs one kstaled scan over a memcg, updating ages and both histograms.
+pub fn scan_memcg(cg: &mut MemCgroup) -> ScanOutcome {
+    let mut outcome = ScanOutcome::default();
+    cg.cold_hist.clear();
+    let mut incompressible_marked = 0u64;
+    for page in &mut cg.pages {
+        outcome.pages_scanned += 1;
+        if page.flags.accessed {
+            outcome.pages_accessed += 1;
+            if page.age > PageAge::HOT {
+                // Huge entries carry one accessed bit for all their
+                // frames: an access is span would-be promotions (had the
+                // region been split and compressed at base granularity).
+                cg.promo_hist.record_promotion(page.age, page.span as u64);
+                outcome.would_be_promotions += page.span as u64;
+            }
+            page.age = PageAge::HOT;
+            page.flags.accessed = false;
+            if page.flags.dirty {
+                if page.flags.incompressible {
+                    page.flags.incompressible = false;
+                    outcome.incompressible_cleared += 1;
+                }
+                page.flags.dirty = false;
+            }
+        } else {
+            page.age = page.age.incremented();
+        }
+        if page.flags.incompressible {
+            incompressible_marked += 1;
+        }
+        cg.cold_hist.record_page(page.age, page.span as u64);
+    }
+    cg.stats.incompressible_marked = incompressible_marked;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{Page, PageContent};
+    use sdfm_types::ids::JobId;
+    use sdfm_types::size::PageCount;
+
+    fn memcg_with_pages(n: usize) -> MemCgroup {
+        let mut cg = MemCgroup::new(JobId::new(1), PageCount::new(1 << 20));
+        for _ in 0..n {
+            cg.pages.push(Page::new(PageContent::synthetic_of_len(500)));
+        }
+        cg
+    }
+
+    #[test]
+    fn untouched_pages_age_one_scan_per_scan() {
+        let mut cg = memcg_with_pages(4);
+        // First scan: all pages were just allocated (accessed), so they
+        // reset to age 0.
+        scan_memcg(&mut cg);
+        assert_eq!(cg.cold_pages(PageAge::from_scans(1)).get(), 0);
+        // Three more scans without accesses: age 3.
+        for _ in 0..3 {
+            scan_memcg(&mut cg);
+        }
+        assert_eq!(cg.cold_pages(PageAge::from_scans(3)).get(), 4);
+        assert_eq!(cg.cold_pages(PageAge::from_scans(4)).get(), 0);
+    }
+
+    #[test]
+    fn access_resets_age_and_records_promotion() {
+        let mut cg = memcg_with_pages(2);
+        scan_memcg(&mut cg);
+        for _ in 0..5 {
+            scan_memcg(&mut cg);
+        }
+        // Touch page 0 only.
+        cg.pages[0].flags.accessed = true;
+        let o = scan_memcg(&mut cg);
+        assert_eq!(o.pages_accessed, 1);
+        assert_eq!(o.would_be_promotions, 1);
+        // The promotion was recorded at age 5.
+        assert_eq!(
+            cg.promotion_histogram()
+                .promotions_colder_than(PageAge::from_scans(5)),
+            1
+        );
+        assert_eq!(
+            cg.promotion_histogram()
+                .promotions_colder_than(PageAge::from_scans(6)),
+            0
+        );
+        // Page 0 is hot again; page 1 kept aging.
+        assert_eq!(cg.cold_pages(PageAge::from_scans(6)).get(), 1);
+        assert_eq!(cg.working_set(PageAge::from_scans(1)).get(), 1);
+    }
+
+    #[test]
+    fn access_at_age_zero_is_not_a_promotion() {
+        let mut cg = memcg_with_pages(1);
+        scan_memcg(&mut cg); // resets the allocation access
+        cg.pages[0].flags.accessed = true; // hot-page access
+        let o = scan_memcg(&mut cg);
+        assert_eq!(o.pages_accessed, 1);
+        assert_eq!(o.would_be_promotions, 0);
+        assert!(cg.promotion_histogram().is_empty());
+    }
+
+    #[test]
+    fn dirty_access_clears_incompressible_mark() {
+        let mut cg = memcg_with_pages(1);
+        scan_memcg(&mut cg);
+        cg.pages[0].flags.incompressible = true;
+        // Read access alone does not clear the mark.
+        cg.pages[0].flags.accessed = true;
+        let o = scan_memcg(&mut cg);
+        assert_eq!(o.incompressible_cleared, 0);
+        assert!(cg.pages[0].flags.incompressible);
+        assert_eq!(cg.stats().incompressible_marked, 1);
+        // A write does.
+        cg.pages[0].flags.accessed = true;
+        cg.pages[0].flags.dirty = true;
+        let o = scan_memcg(&mut cg);
+        assert_eq!(o.incompressible_cleared, 1);
+        assert!(!cg.pages[0].flags.incompressible);
+        assert_eq!(cg.stats().incompressible_marked, 0);
+    }
+
+    #[test]
+    fn ages_saturate_at_255() {
+        let mut cg = memcg_with_pages(1);
+        for _ in 0..300 {
+            scan_memcg(&mut cg);
+        }
+        assert_eq!(cg.cold_pages(PageAge::MAX).get(), 1);
+    }
+
+    #[test]
+    fn cold_histogram_is_rebuilt_not_accumulated() {
+        let mut cg = memcg_with_pages(3);
+        scan_memcg(&mut cg);
+        scan_memcg(&mut cg);
+        // Total pages in the histogram must equal the page count, not grow.
+        assert_eq!(cg.cold_age_histogram().total_pages(), 3);
+    }
+}

@@ -1,0 +1,246 @@
+//! Per-page metadata: the simulated `struct page`.
+//!
+//! The paper packs an 8-bit age into the existing `struct page` (§5.1 —
+//! "we do not incur any storage overhead for tracking the ages"). Our
+//! simulated page descriptor carries the same age plus the flag bits the
+//! control plane reads: accessed, dirty, unevictable/mlocked, and the
+//! incompressible mark set when zswap rejects a page.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use sdfm_compress::gen::PageClass;
+use sdfm_compress::zsmalloc::ZsHandle;
+use sdfm_types::histogram::PageAge;
+
+/// Base pages per 2 MiB huge page on x86-64.
+pub const HUGE_SPAN: u16 = 512;
+
+/// Where a page's data currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// In DRAM (near memory).
+    Resident,
+    /// Compressed in the zswap store (far memory); the handle locates the
+    /// payload in the zsmalloc arena.
+    Zswapped(ZsHandle),
+    /// Stored uncompressed in the NVM-like tier-1 device (two-tier
+    /// configuration, §8 future work).
+    Tier1,
+}
+
+/// The bytes (or statistical description) backing a page.
+///
+/// Functional simulations carry real 4 KiB contents so the zswap store
+/// actually compresses and decompresses them; fleet-scale simulations carry
+/// a synthetic descriptor — the page class and a pre-sampled compressed
+/// payload length — so millions of page events stay cheap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageContent {
+    /// Real page contents (must be exactly 4 KiB when stored).
+    Real(Bytes),
+    /// Statistical contents: class plus the payload size the codec would
+    /// produce.
+    Synthetic {
+        /// The content class (for reporting).
+        class: PageClass,
+        /// The compressed payload length the codec would produce.
+        payload_len: u16,
+    },
+}
+
+impl PageContent {
+    /// Synthetic content with an explicit payload length and an unspecified
+    /// class (structured records, the most common compressible class).
+    pub fn synthetic_of_len(payload_len: usize) -> Self {
+        PageContent::Synthetic {
+            class: PageClass::StructuredRecords,
+            payload_len: payload_len.min(u16::MAX as usize) as u16,
+        }
+    }
+
+    /// Synthetic content of a class with a sampled payload length.
+    pub fn synthetic(class: PageClass, payload_len: usize) -> Self {
+        PageContent::Synthetic {
+            class,
+            payload_len: payload_len.min(u16::MAX as usize) as u16,
+        }
+    }
+
+    /// Real content from bytes.
+    pub fn real(bytes: impl Into<Bytes>) -> Self {
+        PageContent::Real(bytes.into())
+    }
+}
+
+/// Flag bits of the simulated `struct page`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PageFlags {
+    /// MMU accessed bit: set by [`crate::Kernel::touch`], cleared by
+    /// kstaled at each scan.
+    pub accessed: bool,
+    /// Set on writes; clears the incompressible mark at the next scan.
+    pub dirty: bool,
+    /// Excluded from reclaim (mlocked / unevictable LRU).
+    pub unevictable: bool,
+    /// zswap rejected this page (payload would exceed the cutoff); skip it
+    /// until it is dirtied again (§5.1).
+    pub incompressible: bool,
+    /// Poisoned by the Thermostat-style sampler: the next access records a
+    /// soft fault for rate estimation.
+    pub poisoned: bool,
+}
+
+/// One page-table entry owned by a memcg: a base page (`span == 1`) or a
+/// huge page (`span == 512`, one PMD mapping 2 MiB).
+///
+/// Huge pages carry one accessed bit for the whole region — the coarse
+/// access information §7 alludes to. They cannot enter the zswap store
+/// directly; kreclaimd splits a fully-cold huge page into base pages
+/// first (mirroring the kernel's split-before-swap behavior).
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Where the data lives.
+    pub state: PageState,
+    /// Idle age in scan periods.
+    pub age: PageAge,
+    /// Flag bits.
+    pub flags: PageFlags,
+    /// Backing content.
+    pub content: PageContent,
+    /// Set when a poisoned page is accessed (read by the sampler at the
+    /// end of its period).
+    pub sample_faulted: bool,
+    /// Base-page frames this entry maps (1 or [`HUGE_SPAN`]).
+    pub span: u16,
+}
+
+impl Page {
+    /// Creates a fresh resident page. New pages start accessed (the
+    /// allocation itself touched them).
+    pub fn new(content: PageContent) -> Self {
+        Page {
+            state: PageState::Resident,
+            age: PageAge::HOT,
+            flags: PageFlags {
+                accessed: true,
+                dirty: true,
+                unevictable: false,
+                incompressible: false,
+                poisoned: false,
+            },
+            content,
+            sample_faulted: false,
+            span: 1,
+        }
+    }
+
+    /// Creates a huge page mapping [`HUGE_SPAN`] frames. The synthetic or
+    /// real content describes each constituent base page (clones are made
+    /// when the huge page splits).
+    pub fn new_huge(content: PageContent) -> Self {
+        let mut p = Page::new(content);
+        p.span = HUGE_SPAN;
+        p
+    }
+
+    /// Creates an unevictable (mlocked) resident page.
+    pub fn new_unevictable(content: PageContent) -> Self {
+        let mut p = Page::new(content);
+        p.flags.unevictable = true;
+        p
+    }
+
+    /// True when the page is in the zswap store.
+    pub fn is_zswapped(&self) -> bool {
+        matches!(self.state, PageState::Zswapped(_))
+    }
+
+    /// True for a huge (multi-frame) entry.
+    pub fn is_huge(&self) -> bool {
+        self.span > 1
+    }
+
+    /// Whether kreclaimd may move this page to far memory under
+    /// `threshold`: resident, old enough, evictable, and not marked
+    /// incompressible.
+    pub fn reclaim_eligible(&self, threshold: PageAge) -> bool {
+        matches!(self.state, PageState::Resident)
+            && self.age >= threshold
+            && threshold > PageAge::HOT
+            && !self.flags.unevictable
+            && !self.flags.incompressible
+            && !self.flags.accessed
+    }
+
+    /// Whether the page may demote to the uncompressed tier-1 device:
+    /// like [`reclaim_eligible`](Self::reclaim_eligible) but the
+    /// incompressible mark does not matter — NVM stores raw pages.
+    pub fn tier1_eligible(&self, threshold: PageAge) -> bool {
+        matches!(self.state, PageState::Resident)
+            && self.age >= threshold
+            && threshold > PageAge::HOT
+            && !self.flags.unevictable
+            && !self.flags.accessed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_pages_are_hot_resident_and_accessed() {
+        let p = Page::new(PageContent::synthetic_of_len(500));
+        assert_eq!(p.state, PageState::Resident);
+        assert_eq!(p.age, PageAge::HOT);
+        assert!(p.flags.accessed);
+        assert!(p.flags.dirty);
+        assert!(!p.is_zswapped());
+    }
+
+    #[test]
+    fn reclaim_eligibility_rules() {
+        let t = PageAge::from_scans(2);
+        let mut p = Page::new(PageContent::synthetic_of_len(500));
+        p.flags.accessed = false;
+        assert!(!p.reclaim_eligible(t), "hot page not eligible");
+        p.age = PageAge::from_scans(3);
+        assert!(p.reclaim_eligible(t));
+        p.flags.unevictable = true;
+        assert!(!p.reclaim_eligible(t), "mlocked page not eligible");
+        p.flags.unevictable = false;
+        p.flags.incompressible = true;
+        assert!(!p.reclaim_eligible(t), "incompressible mark blocks reclaim");
+        p.flags.incompressible = false;
+        p.flags.accessed = true;
+        assert!(
+            !p.reclaim_eligible(t),
+            "freshly accessed page must survive until the next scan"
+        );
+    }
+
+    #[test]
+    fn threshold_zero_reclaims_nothing() {
+        let mut p = Page::new(PageContent::synthetic_of_len(500));
+        p.flags.accessed = false;
+        p.age = PageAge::MAX;
+        assert!(!p.reclaim_eligible(PageAge::HOT));
+    }
+
+    #[test]
+    fn unevictable_constructor_sets_flag() {
+        let p = Page::new_unevictable(PageContent::synthetic_of_len(100));
+        assert!(p.flags.unevictable);
+    }
+
+    #[test]
+    fn synthetic_content_clamps_len() {
+        match PageContent::synthetic_of_len(1_000_000) {
+            PageContent::Synthetic { payload_len, .. } => {
+                assert_eq!(payload_len, u16::MAX)
+            }
+            _ => panic!("expected synthetic"),
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! A Thermostat-style sampling baseline for cold-page identification.
+//!
+//! Agarwal & Wenisch's Thermostat (ASPLOS 2017) estimates the access rate
+//! of cold-candidate pages by *poisoning* a random sample (unmapping them
+//! so accesses take a soft page fault) and counting the faults. The paper
+//! under reproduction contrasts its kstaled accessed-bit scanning against
+//! this design (§7): sampling trades page-fault overhead on the sampled
+//! pages for not having to walk page tables, and its estimates carry
+//! sampling error that full scans do not.
+//!
+//! This module implements the sampling estimator against the same
+//! simulated kernel so the two designs can be compared head-to-head
+//! (`ablation_thermostat` in `sdfm-core`): estimation accuracy of the
+//! cold fraction and would-be promotion rate, and the overhead each
+//! approach induces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::memcg::MemCgroup;
+use crate::page::PageState;
+
+/// One sampling period's estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermostatEstimate {
+    /// Pages sampled (poisoned) this period.
+    pub sampled: u64,
+    /// Sampled pages that faulted (were accessed) during the period.
+    pub sampled_faulted: u64,
+    /// Estimated fraction of the job's memory that is cold (not accessed
+    /// within the period).
+    pub est_cold_fraction: f64,
+    /// Estimated accesses per minute to cold-candidate pages, scaled to
+    /// the whole job (the would-be promotion rate).
+    pub est_promotions_per_min: f64,
+    /// Soft page faults this sampler *caused* (its overhead; kstaled's
+    /// equivalent cost is a full page-table walk instead).
+    pub faults_induced: u64,
+}
+
+/// The sampling cold-page estimator.
+#[derive(Debug)]
+pub struct ThermostatSampler {
+    /// Fraction of pages poisoned each period.
+    sample_rate: f64,
+    rng: StdRng,
+    /// Indices of currently poisoned pages.
+    poisoned: Vec<usize>,
+    period_mins: f64,
+}
+
+impl ThermostatSampler {
+    /// Creates a sampler poisoning `sample_rate` of pages per period of
+    /// `period_mins` minutes (Thermostat uses small rates — ~0.5% — to
+    /// bound fault overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < sample_rate <= 1` and `period_mins > 0`.
+    pub fn new(sample_rate: f64, period_mins: f64, seed: u64) -> Self {
+        assert!(
+            sample_rate > 0.0 && sample_rate <= 1.0,
+            "sample rate must be in (0, 1]"
+        );
+        assert!(period_mins > 0.0, "period must be positive");
+        ThermostatSampler {
+            sample_rate,
+            rng: StdRng::seed_from_u64(seed),
+            poisoned: Vec::new(),
+            period_mins,
+        }
+    }
+
+    /// Begins a sampling period: poisons a fresh random sample of the
+    /// memcg's resident pages. Returns the sample size.
+    pub fn begin_period(&mut self, cg: &mut MemCgroup) -> u64 {
+        // Clear stale poison from the previous period.
+        for &idx in &self.poisoned {
+            if let Some(p) = cg.pages.get_mut(idx) {
+                p.flags.poisoned = false;
+            }
+        }
+        self.poisoned.clear();
+        let n = cg.pages.len();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((n as f64 * self.sample_rate).ceil() as usize).min(n);
+        // Partial Fisher–Yates over a candidate index range.
+        let mut chosen = std::collections::HashSet::with_capacity(target * 2);
+        while chosen.len() < target {
+            chosen.insert(self.rng.gen_range(0..n));
+        }
+        for idx in chosen {
+            let p = &mut cg.pages[idx];
+            if matches!(p.state, PageState::Resident) {
+                p.flags.poisoned = true;
+                p.sample_faulted = false;
+                self.poisoned.push(idx);
+            }
+        }
+        self.poisoned.len() as u64
+    }
+
+    /// Ends the period: reads the fault outcomes off the sampled pages and
+    /// produces the estimates. Poison marks are cleared.
+    pub fn end_period(&mut self, cg: &mut MemCgroup) -> ThermostatEstimate {
+        let sampled = self.poisoned.len() as u64;
+        let mut faulted = 0u64;
+        for &idx in &self.poisoned {
+            if let Some(p) = cg.pages.get_mut(idx) {
+                if p.sample_faulted {
+                    faulted += 1;
+                }
+                p.flags.poisoned = false;
+                p.sample_faulted = false;
+            }
+        }
+        self.poisoned.clear();
+        let total = cg.pages.len() as f64;
+        let est_cold_fraction = if sampled == 0 {
+            0.0
+        } else {
+            1.0 - faulted as f64 / sampled as f64
+        };
+        // Each fault marks a page accessed at least once this period; the
+        // per-page access indicator scaled up estimates unique cold-page
+        // accesses per period.
+        let est_promotions_per_min = if sampled == 0 {
+            0.0
+        } else {
+            (faulted as f64 / sampled as f64) * total / self.period_mins
+        };
+        ThermostatEstimate {
+            sampled,
+            sampled_faulted: faulted,
+            est_cold_fraction,
+            est_promotions_per_min,
+            faults_induced: faulted,
+        }
+    }
+
+    /// The configured sample rate.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{Page, PageContent};
+    use sdfm_types::ids::JobId;
+    use sdfm_types::size::PageCount;
+
+    fn memcg(n: usize) -> MemCgroup {
+        let mut cg = MemCgroup::new(JobId::new(1), PageCount::new(1 << 20));
+        for _ in 0..n {
+            cg.pages.push(Page::new(PageContent::synthetic_of_len(400)));
+        }
+        cg
+    }
+
+    #[test]
+    fn sampling_poisons_requested_fraction() {
+        let mut cg = memcg(10_000);
+        let mut t = ThermostatSampler::new(0.01, 2.0, 1);
+        let sampled = t.begin_period(&mut cg);
+        assert!((90..=110).contains(&sampled), "sampled {sampled}");
+        let poisoned = cg.pages.iter().filter(|p| p.flags.poisoned).count() as u64;
+        assert_eq!(poisoned, sampled);
+    }
+
+    #[test]
+    fn estimates_reflect_touched_pages() {
+        let mut cg = memcg(1_000);
+        let mut t = ThermostatSampler::new(0.5, 1.0, 2);
+        t.begin_period(&mut cg);
+        // Touch the first half of memory: poisoned pages there fault.
+        for p in cg.pages.iter_mut().take(500) {
+            if p.flags.poisoned {
+                p.sample_faulted = true;
+            }
+        }
+        let e = t.end_period(&mut cg);
+        assert!(e.sampled > 400);
+        let hot = 1.0 - e.est_cold_fraction;
+        assert!(
+            (0.40..=0.60).contains(&hot),
+            "estimated hot fraction {hot} should be ~0.5"
+        );
+        // ~500 unique accesses/min estimated.
+        assert!(
+            (350.0..=650.0).contains(&e.est_promotions_per_min),
+            "promotion estimate {}",
+            e.est_promotions_per_min
+        );
+        // Poison cleared afterwards.
+        assert!(cg.pages.iter().all(|p| !p.flags.poisoned));
+    }
+
+    #[test]
+    fn fresh_period_resets_previous_sample() {
+        let mut cg = memcg(100);
+        let mut t = ThermostatSampler::new(0.2, 1.0, 3);
+        t.begin_period(&mut cg);
+        t.begin_period(&mut cg);
+        let poisoned = cg.pages.iter().filter(|p| p.flags.poisoned).count();
+        assert!(poisoned <= 25, "stale poison accumulated: {poisoned}");
+    }
+
+    #[test]
+    fn empty_memcg_is_harmless() {
+        let mut cg = memcg(0);
+        let mut t = ThermostatSampler::new(0.1, 1.0, 4);
+        assert_eq!(t.begin_period(&mut cg), 0);
+        let e = t.end_period(&mut cg);
+        assert_eq!(e.sampled, 0);
+        assert_eq!(e.est_promotions_per_min, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate")]
+    fn invalid_rate_rejected() {
+        let _ = ThermostatSampler::new(0.0, 1.0, 1);
+    }
+}

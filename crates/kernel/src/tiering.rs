@@ -1,0 +1,183 @@
+//! Two-tier far memory: the paper's §8 end state.
+//!
+//! "An exciting end state would be one where the system uses both hardware
+//! and software approaches and multiple tiers of far memory (sub-µs tier-1
+//! and single-µs tier-2), all managed intelligently."
+//!
+//! [`Tier1Store`] models an NVM-like device tier: **fixed capacity**
+//! (the stranding risk §2.1 warns about), uncompressed page-granular
+//! storage, sub-microsecond loads. The zswap store remains tier-2:
+//! elastic capacity, ~3× compression, single-digit-µs decompression.
+//!
+//! The demotion ladder runs DRAM → tier-1 → tier-2: pages past the cold-age
+//! threshold go to tier-1 while it has room (fast to fault back); when
+//! tier-1 fills, its *oldest* pages overflow into compressed tier-2, and
+//! further reclaim bypasses straight to tier-2. See
+//! [`Kernel::reclaim_job_tiered`](crate::Kernel::reclaim_job_tiered) and
+//! the `two_tier` experiment binary.
+
+use serde::{Deserialize, Serialize};
+
+use sdfm_types::size::PageCount;
+
+/// Configuration for the NVM-like first tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tier1Config {
+    /// Device capacity in pages — fixed at provisioning time, unlike
+    /// zswap's elastic footprint.
+    pub capacity: PageCount,
+    /// Load (fault-back) cost in nanoseconds (sub-µs class: ~300 ns).
+    pub load_ns: u64,
+    /// Store (demotion) cost in nanoseconds.
+    pub store_ns: u64,
+}
+
+impl Tier1Config {
+    /// A plausible Optane-DIMM-like device: sub-µs loads.
+    pub fn nvm_like(capacity: PageCount) -> Self {
+        Tier1Config {
+            capacity,
+            load_ns: 300,
+            store_ns: 700,
+        }
+    }
+}
+
+/// Cumulative tier-1 counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Tier1Stats {
+    /// Pages currently stored.
+    pub resident: u64,
+    /// Demotions into the tier.
+    pub stores: u64,
+    /// Fault-backs out of the tier.
+    pub loads: u64,
+    /// Demotions refused because the device was full (stranding events).
+    pub full_rejections: u64,
+    /// Nanoseconds charged to tier-1 traffic.
+    pub ns_charged: u64,
+}
+
+/// The fixed-capacity NVM-like tier. Pages are tracked by count only — the
+/// kernel owns per-page state ([`crate::PageState::Tier1`]).
+#[derive(Debug)]
+pub struct Tier1Store {
+    config: Tier1Config,
+    stats: Tier1Stats,
+}
+
+impl Tier1Store {
+    /// Creates an empty device.
+    pub fn new(config: Tier1Config) -> Self {
+        Tier1Store {
+            config,
+            stats: Tier1Stats::default(),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> Tier1Config {
+        self.config
+    }
+
+    /// Free device pages.
+    pub fn free(&self) -> PageCount {
+        self.config
+            .capacity
+            .saturating_sub(PageCount::new(self.stats.resident))
+    }
+
+    /// Attempts to store one page; `false` when the device is full.
+    pub fn store(&mut self) -> bool {
+        if self.stats.resident >= self.config.capacity.get() {
+            self.stats.full_rejections += 1;
+            return false;
+        }
+        self.stats.resident += 1;
+        self.stats.stores += 1;
+        self.stats.ns_charged += self.config.store_ns;
+        true
+    }
+
+    /// Records that demand existed while the device was full, without an
+    /// actual store attempt (callers gate attempts and report stranding
+    /// once per reclaim pass).
+    pub fn record_stranding(&mut self) {
+        self.stats.full_rejections += 1;
+    }
+
+    /// Loads (removes) one page on fault-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is empty — the kernel only loads pages it
+    /// stored.
+    pub fn load(&mut self) {
+        assert!(self.stats.resident > 0, "tier-1 load from empty device");
+        self.stats.resident -= 1;
+        self.stats.loads += 1;
+        self.stats.ns_charged += self.config.load_ns;
+    }
+
+    /// Drops one page without a fault (job exit / demotion to tier-2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is empty.
+    pub fn discard(&mut self) {
+        assert!(self.stats.resident > 0, "tier-1 discard from empty device");
+        self.stats.resident -= 1;
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> Tier1Stats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_hard() {
+        let mut t = Tier1Store::new(Tier1Config::nvm_like(PageCount::new(2)));
+        assert!(t.store());
+        assert!(t.store());
+        assert!(!t.store(), "third store must reject");
+        assert_eq!(t.stats().full_rejections, 1);
+        assert_eq!(t.free(), PageCount::ZERO);
+    }
+
+    #[test]
+    fn load_and_discard_release_capacity() {
+        let mut t = Tier1Store::new(Tier1Config::nvm_like(PageCount::new(4)));
+        t.store();
+        t.store();
+        t.load();
+        assert_eq!(t.stats().resident, 1);
+        assert_eq!(t.stats().loads, 1);
+        t.discard();
+        assert_eq!(t.stats().resident, 0);
+        assert_eq!(t.free(), PageCount::new(4));
+    }
+
+    #[test]
+    fn costs_accumulate() {
+        let mut t = Tier1Store::new(Tier1Config {
+            capacity: PageCount::new(10),
+            load_ns: 300,
+            store_ns: 700,
+        });
+        t.store();
+        t.load();
+        assert_eq!(t.stats().ns_charged, 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty device")]
+    fn load_from_empty_panics() {
+        let mut t = Tier1Store::new(Tier1Config::nvm_like(PageCount::new(1)));
+        t.load();
+    }
+}

@@ -1,0 +1,278 @@
+//! The zswap store: compressed far memory backed by the zsmalloc arena.
+//!
+//! One store exists per machine (the paper found per-memcg arenas fragment
+//! badly, §5.1). Pages enter through [`ZswapStore::store`] — which applies
+//! the 2990-byte incompressible cutoff — and leave through
+//! [`ZswapStore::load`] on access (promotion) or [`ZswapStore::discard`]
+//! when the owning job exits.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::page::PageContent;
+use sdfm_compress::codec::{CodecKind, PageCodec};
+use sdfm_compress::page::MAX_COMPRESSED_PAYLOAD;
+use sdfm_compress::zsmalloc::{ZsHandle, ZsmallocArena, ZsmallocStats};
+use sdfm_types::size::{PageCount, PAGE_SIZE};
+
+/// The result of offering a page to the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// The page was compressed and stored under this handle.
+    Stored(ZsHandle),
+    /// The payload would exceed the cutoff; the caller must mark the page
+    /// incompressible (§5.1).
+    Rejected {
+        /// The payload size that was rejected.
+        would_be_len: usize,
+    },
+}
+
+/// Cumulative store counters (monotone; the agent takes deltas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ZswapStats {
+    /// Pages offered to the store.
+    pub store_attempts: u64,
+    /// Pages accepted and compressed.
+    pub stores: u64,
+    /// Pages rejected as incompressible.
+    pub rejections: u64,
+    /// Pages decompressed back out on access.
+    pub loads: u64,
+    /// Sum of stored payload bytes (across all stores ever).
+    pub bytes_stored: u64,
+}
+
+/// The per-machine compressed store.
+#[derive(Debug)]
+pub struct ZswapStore {
+    codec: Box<dyn PageCodec>,
+    arena: ZsmallocArena,
+    stats: ZswapStats,
+    scratch: Vec<u8>,
+}
+
+impl ZswapStore {
+    /// Creates a store using the given codec (the paper deploys lzo).
+    pub fn new(kind: CodecKind) -> Self {
+        ZswapStore {
+            codec: kind.build(),
+            arena: ZsmallocArena::new(),
+            stats: ZswapStats::default(),
+            scratch: Vec::with_capacity(PAGE_SIZE + PAGE_SIZE / 8),
+        }
+    }
+
+    /// The codec in use.
+    pub fn codec_kind(&self) -> CodecKind {
+        self.codec.kind()
+    }
+
+    /// Attempts to store a page. Real content is actually compressed;
+    /// synthetic content uses its pre-sampled payload length.
+    pub fn store(&mut self, content: &PageContent) -> StoreOutcome {
+        self.stats.store_attempts += 1;
+        let outcome = match content {
+            PageContent::Real(bytes) => {
+                debug_assert_eq!(bytes.len(), PAGE_SIZE, "zswap stores whole pages");
+                self.codec.compress(bytes, &mut self.scratch);
+                if self.scratch.len() > MAX_COMPRESSED_PAYLOAD {
+                    StoreOutcome::Rejected {
+                        would_be_len: self.scratch.len(),
+                    }
+                } else {
+                    let handle = self
+                        .arena
+                        .alloc(Bytes::copy_from_slice(&self.scratch))
+                        .expect("payload within page size");
+                    StoreOutcome::Stored(handle)
+                }
+            }
+            PageContent::Synthetic { payload_len, .. } => {
+                let len = *payload_len as usize;
+                if len > MAX_COMPRESSED_PAYLOAD {
+                    StoreOutcome::Rejected { would_be_len: len }
+                } else {
+                    let handle = self
+                        .arena
+                        .alloc_uninit(len.max(1))
+                        .expect("payload within page size");
+                    StoreOutcome::Stored(handle)
+                }
+            }
+        };
+        match outcome {
+            StoreOutcome::Stored(h) => {
+                self.stats.stores += 1;
+                self.stats.bytes_stored += self.arena.size_of(h).expect("just stored") as u64;
+            }
+            StoreOutcome::Rejected { .. } => self.stats.rejections += 1,
+        }
+        outcome
+    }
+
+    /// Promotes a page out of the store: decompresses real payloads and
+    /// frees the slot. Returns the decompressed bytes for real content,
+    /// `None` for synthetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` is stale (the kernel owns every live handle, so a
+    /// stale handle is a simulator bug, not an input error) or if a stored
+    /// payload fails to decompress (the store wrote it itself).
+    pub fn load(&mut self, handle: ZsHandle) -> Option<Bytes> {
+        self.stats.loads += 1;
+        let payload = self.arena.get(handle).expect("live zswap handle");
+        let out = if payload.is_empty() {
+            None
+        } else {
+            let mut buf = Vec::with_capacity(PAGE_SIZE);
+            self.codec
+                .decompress(payload, &mut buf)
+                .expect("zswap payload round-trips");
+            Some(Bytes::from(buf))
+        };
+        self.arena.free(handle).expect("live zswap handle");
+        out
+    }
+
+    /// Drops a stored page without decompressing (job exit, page free).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale handle — see [`ZswapStore::load`].
+    pub fn discard(&mut self, handle: ZsHandle) {
+        self.arena.free(handle).expect("live zswap handle");
+    }
+
+    /// Payload size stored under `handle`.
+    pub fn stored_size(&self, handle: ZsHandle) -> Option<usize> {
+        self.arena.size_of(handle)
+    }
+
+    /// Runs zsmalloc compaction (node-agent triggered, §5.1); returns the
+    /// physical pages reclaimed.
+    pub fn compact(&mut self) -> PageCount {
+        self.arena.compact()
+    }
+
+    /// Cumulative event counters.
+    pub fn stats(&self) -> ZswapStats {
+        self.stats
+    }
+
+    /// Current arena occupancy/fragmentation.
+    pub fn arena_stats(&self) -> ZsmallocStats {
+        self.arena.stats()
+    }
+
+    /// Physical DRAM pages the compressed pool occupies right now.
+    pub fn footprint_pages(&self) -> PageCount {
+        PageCount::new(self.arena.stats().zspage_pages)
+    }
+
+    /// Live compressed pages.
+    pub fn resident_objects(&self) -> u64 {
+        self.arena.stats().objects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfm_compress::gen::{PageClass, PageGenerator};
+
+    #[test]
+    fn store_and_load_real_content() {
+        let mut store = ZswapStore::new(CodecKind::Lzo);
+        let mut g = PageGenerator::new(1);
+        let page = Bytes::from(g.generate(PageClass::Text));
+        let content = PageContent::Real(page.clone());
+        match store.store(&content) {
+            StoreOutcome::Stored(h) => {
+                assert!(store.stored_size(h).unwrap() <= MAX_COMPRESSED_PAYLOAD);
+                let back = store.load(h).expect("real content returns bytes");
+                assert_eq!(back, page);
+            }
+            StoreOutcome::Rejected { .. } => panic!("text page must store"),
+        }
+        let s = store.stats();
+        assert_eq!(
+            (s.store_attempts, s.stores, s.loads, s.rejections),
+            (1, 1, 1, 0)
+        );
+        assert_eq!(store.resident_objects(), 0);
+    }
+
+    #[test]
+    fn incompressible_real_content_rejected() {
+        let mut store = ZswapStore::new(CodecKind::Lzo);
+        let mut g = PageGenerator::new(2);
+        let page = PageContent::Real(Bytes::from(g.generate(PageClass::Encrypted)));
+        match store.store(&page) {
+            StoreOutcome::Rejected { would_be_len } => {
+                assert!(would_be_len > MAX_COMPRESSED_PAYLOAD)
+            }
+            StoreOutcome::Stored(_) => panic!("encrypted page must reject"),
+        }
+        assert_eq!(store.stats().rejections, 1);
+        assert_eq!(store.footprint_pages().get(), 0);
+    }
+
+    #[test]
+    fn synthetic_content_respects_cutoff() {
+        let mut store = ZswapStore::new(CodecKind::Lzo);
+        assert!(matches!(
+            store.store(&PageContent::synthetic_of_len(2990)),
+            StoreOutcome::Stored(_)
+        ));
+        assert!(matches!(
+            store.store(&PageContent::synthetic_of_len(2991)),
+            StoreOutcome::Rejected { would_be_len: 2991 }
+        ));
+    }
+
+    #[test]
+    fn synthetic_load_returns_none_and_frees() {
+        let mut store = ZswapStore::new(CodecKind::Lzo);
+        let h = match store.store(&PageContent::synthetic_of_len(700)) {
+            StoreOutcome::Stored(h) => h,
+            _ => unreachable!(),
+        };
+        assert_eq!(store.resident_objects(), 1);
+        assert!(store.load(h).is_none());
+        assert_eq!(store.resident_objects(), 0);
+    }
+
+    #[test]
+    fn discard_frees_without_counting_a_load() {
+        let mut store = ZswapStore::new(CodecKind::Lzo);
+        let h = match store.store(&PageContent::synthetic_of_len(700)) {
+            StoreOutcome::Stored(h) => h,
+            _ => unreachable!(),
+        };
+        store.discard(h);
+        assert_eq!(store.stats().loads, 0);
+        assert_eq!(store.resident_objects(), 0);
+    }
+
+    #[test]
+    fn footprint_grows_with_stores_and_compacts() {
+        let mut store = ZswapStore::new(CodecKind::Lzo);
+        let handles: Vec<_> = (0..256)
+            .map(|_| match store.store(&PageContent::synthetic_of_len(512)) {
+                StoreOutcome::Stored(h) => h,
+                _ => unreachable!(),
+            })
+            .collect();
+        let full = store.footprint_pages();
+        assert!(full.get() > 0);
+        for (i, h) in handles.iter().enumerate() {
+            if i % 8 != 0 {
+                store.discard(*h);
+            }
+        }
+        store.compact();
+        assert!(store.footprint_pages() < full);
+    }
+}

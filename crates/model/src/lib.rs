@@ -1,0 +1,35 @@
+//! The fast far memory model (§5.3).
+//!
+//! The paper's autotuner never experiments on production: it replays
+//! exported far-memory traces — per-job 5-minute aggregates of working set
+//! size, cold-age histogram, and promotion histogram — through the §4.3
+//! control algorithm under *candidate* parameter configurations, entirely
+//! offline. Because every candidate threshold's behavior is recoverable
+//! from the histograms, one trace supports what-if analysis of any `(K, S)`
+//! configuration.
+//!
+//! The pipeline is embarrassingly parallel (jobs replay independently;
+//! configurations evaluate independently); the paper models a week of the
+//! whole WSC in under an hour on MapReduce. [`FarMemoryModel`] parallelizes
+//! with scoped threads.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdfm_model::{FarMemoryModel, ModelConfig};
+//! use sdfm_agent::AgentParams;
+//!
+//! let model = FarMemoryModel::new(vec![]); // no traces: empty result
+//! let result = model.evaluate(&ModelConfig::new(AgentParams::default()));
+//! assert_eq!(result.jobs, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod fleet;
+mod replay;
+mod trace;
+
+pub use fleet::{FarMemoryModel, FleetModelResult, ModelConfig};
+pub use replay::{replay_job, JobReplayOutcome, WindowOutcome};
+pub use trace::{group_traces, JobTrace};

@@ -1,0 +1,269 @@
+//! Offline replay of the §4.3 control algorithm over one job's trace.
+
+use crate::trace::JobTrace;
+use sdfm_agent::{best_threshold_for_window, AgentParams, SloConfig};
+use sdfm_types::histogram::{PageAge, PromotionHistogram};
+use sdfm_types::rate::{NormalizedPromotionRate, PromotionRate};
+use sdfm_types::time::SimTime;
+
+/// One replayed window's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowOutcome {
+    /// Window end.
+    pub at: SimTime,
+    /// Whether zswap was enabled (past the S warmup).
+    pub enabled: bool,
+    /// The threshold in force during the window.
+    pub threshold: PageAge,
+    /// Pages that sat in far memory under that threshold (0 if disabled).
+    pub cold_pages: u64,
+    /// Cold pages under the *minimum* threshold — the coverage
+    /// denominator.
+    pub potential_cold_pages: u64,
+    /// Promotions incurred under the threshold (0 if disabled).
+    pub promotions: u64,
+    /// Working set during the window.
+    pub working_set: u64,
+    /// The normalized promotion rate this window realized.
+    pub normalized_rate: NormalizedPromotionRate,
+}
+
+/// A replayed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReplayOutcome {
+    /// Per-window outcomes, time-ordered.
+    pub windows: Vec<WindowOutcome>,
+}
+
+impl JobReplayOutcome {
+    /// Mean far-memory pages over the job's windows.
+    pub fn mean_cold_pages(&self) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        self.windows
+            .iter()
+            .map(|w| w.cold_pages as f64)
+            .sum::<f64>()
+            / self.windows.len() as f64
+    }
+
+    /// Mean coverage (far-memory pages / potential cold pages) over
+    /// windows with nonzero potential.
+    pub fn mean_coverage(&self) -> Option<f64> {
+        let eligible: Vec<&WindowOutcome> = self
+            .windows
+            .iter()
+            .filter(|w| w.potential_cold_pages > 0)
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        Some(
+            eligible
+                .iter()
+                .map(|w| w.cold_pages as f64 / w.potential_cold_pages as f64)
+                .sum::<f64>()
+                / eligible.len() as f64,
+        )
+    }
+}
+
+/// Replays the control algorithm over one job's trace under `(K, S)`,
+/// mirroring [`sdfm_agent::JobController`] at trace granularity: the
+/// threshold in force for window *i* is
+/// `max(K-th percentile of best[0..i], best[i−1])`, zswap is off for the
+/// first `S` seconds, and each window is then charged the promotions and
+/// credited the cold memory its own histograms imply for that threshold.
+pub fn replay_job(trace: &JobTrace, params: &AgentParams, slo: &SloConfig) -> JobReplayOutcome {
+    let mut windows = Vec::with_capacity(trace.records.len());
+    let mut pool: Vec<PageAge> = Vec::new();
+    let empty = PromotionHistogram::new();
+    // Job start: one window before the first record.
+    let start = trace
+        .records
+        .first()
+        .map(|r| SimTime::from_secs(r.at.as_secs().saturating_sub(r.window.as_secs())))
+        .unwrap_or(SimTime::ZERO);
+
+    for record in &trace.records {
+        // Decision made at the previous boundary.
+        let threshold = match (kth_percentile(&pool, params.k_percentile), pool.last()) {
+            (Some(p), Some(&last_best)) => p.max(last_best),
+            _ => PageAge::MAX,
+        };
+        let enabled = record.at.saturating_duration_since(start) >= params.s_warmup;
+
+        let potential = record.cold_hist.pages_colder_than(slo.min_threshold);
+        // Incompressible pages are rejected by zswap: they neither occupy
+        // far memory nor fault. The controller stays conservative (raw
+        // histograms), but realized outcomes scale by the compressible
+        // share.
+        let compressible = 1.0 - record.incompressible_fraction.clamp(0.0, 1.0);
+        let (cold, promos) = if enabled {
+            (
+                (record.cold_hist.pages_colder_than(threshold) as f64 * compressible) as u64,
+                (record.promo_delta.promotions_colder_than(threshold) as f64 * compressible) as u64,
+            )
+        } else {
+            (0, 0)
+        };
+        let rate = PromotionRate::from_count(promos, record.window).normalized(record.working_set);
+        windows.push(WindowOutcome {
+            at: record.at,
+            enabled,
+            threshold,
+            cold_pages: cold,
+            potential_cold_pages: potential,
+            promotions: promos,
+            working_set: record.working_set.get(),
+            normalized_rate: rate,
+        });
+
+        // Update the pool with this window's best threshold.
+        let best = best_threshold_for_window(
+            &record.promo_delta,
+            &empty,
+            record.working_set,
+            record.window,
+            slo,
+        );
+        pool.push(best);
+    }
+    JobReplayOutcome { windows }
+}
+
+/// Nearest-rank (rounding up) K-th percentile of the pool.
+fn kth_percentile(pool: &[PageAge], k: f64) -> Option<PageAge> {
+    if pool.is_empty() {
+        return None;
+    }
+    let mut sorted = pool.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let rank = ((k / 100.0) * n as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, n) - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfm_agent::TraceRecord;
+    use sdfm_types::histogram::ColdAgeHistogram;
+    use sdfm_types::ids::JobId;
+    use sdfm_types::size::PageCount;
+    use sdfm_types::time::SimDuration;
+
+    /// A steady window: 10k pages of which 4k are cold at age ≥ 3,
+    /// 10 promotions/5min at ages ≥ 5, WSS 6k.
+    fn steady_record(at_secs: u64) -> TraceRecord {
+        let mut cold = ColdAgeHistogram::new();
+        cold.record_page(PageAge::from_scans(0), 6_000);
+        cold.record_page(PageAge::from_scans(3), 1_000);
+        cold.record_page(PageAge::from_scans(10), 3_000);
+        let mut promo = PromotionHistogram::new();
+        promo.record_promotion(PageAge::from_scans(5), 10);
+        TraceRecord {
+            job: JobId::new(1),
+            at: SimTime::from_secs(at_secs),
+            window: SimDuration::from_secs(300),
+            working_set: PageCount::new(6_000),
+            cold_hist: cold,
+            promo_delta: promo,
+            incompressible_fraction: 0.0,
+        }
+    }
+
+    fn params(k: f64, s_secs: u64) -> AgentParams {
+        AgentParams::new(k, SimDuration::from_secs(s_secs)).unwrap()
+    }
+
+    #[test]
+    fn warmup_produces_zero_savings() {
+        let trace = JobTrace::new(
+            JobId::new(1),
+            (1..=4).map(|i| steady_record(i * 300)).collect(),
+        );
+        // S = 20 minutes: all four 5-minute windows are inside warmup.
+        let out = replay_job(&trace, &params(98.0, 1_200), &SloConfig::default());
+        assert_eq!(out.windows.len(), 4);
+        for w in &out.windows[..3] {
+            assert!(!w.enabled);
+            assert_eq!(w.cold_pages, 0);
+            assert_eq!(w.promotions, 0);
+        }
+        // The fourth window (at t=1200, start t=0) reaches the boundary.
+        assert!(out.windows[3].enabled);
+    }
+
+    #[test]
+    fn steady_state_converges_to_best_threshold() {
+        // Budget: 0.2%/min of 6000 = 12/min = 60 per 5-minute window.
+        // The 10 promotions at age ≥5 fit at the minimum threshold, so the
+        // best threshold each window is 1 scan, and after the first window
+        // the pool percentile pins the decision there.
+        let trace = JobTrace::new(
+            JobId::new(1),
+            (1..=10).map(|i| steady_record(i * 300)).collect(),
+        );
+        let out = replay_job(&trace, &params(98.0, 0), &SloConfig::default());
+        let last = out.windows.last().unwrap();
+        assert_eq!(last.threshold, PageAge::from_scans(1));
+        // All pages at age ≥ 1 scan are in far memory: 4000.
+        assert_eq!(last.cold_pages, 4_000);
+        assert_eq!(last.potential_cold_pages, 4_000);
+        assert_eq!(last.promotions, 10);
+        assert!(out.mean_coverage().unwrap() > 0.5);
+    }
+
+    #[test]
+    fn first_window_is_conservative() {
+        let trace = JobTrace::new(JobId::new(1), vec![steady_record(300)]);
+        let out = replay_job(&trace, &params(98.0, 0), &SloConfig::default());
+        assert_eq!(out.windows[0].threshold, PageAge::MAX);
+        assert_eq!(out.windows[0].cold_pages, 0, "nothing at age 255 here");
+    }
+
+    #[test]
+    fn noisy_window_raises_threshold_via_spike_rule() {
+        let mut records: Vec<TraceRecord> = (1..=5).map(|i| steady_record(i * 300)).collect();
+        // Window 5 has a burst: 100k promotions at age ≥ 4.
+        records[4]
+            .promo_delta
+            .record_promotion(PageAge::from_scans(4), 100_000);
+        records.push(steady_record(6 * 300));
+        let trace = JobTrace::new(JobId::new(1), records);
+        let out = replay_job(&trace, &params(50.0, 0), &SloConfig::default());
+        // Window 6's decision must reflect window 5's best (≥ 5 scans),
+        // not the quiet median.
+        assert!(
+            out.windows[5].threshold >= PageAge::from_scans(5),
+            "threshold {:?} ignored the spike",
+            out.windows[5].threshold
+        );
+    }
+
+    #[test]
+    fn normalized_rate_is_computed_per_window() {
+        let trace = JobTrace::new(
+            JobId::new(1),
+            (1..=3).map(|i| steady_record(i * 300)).collect(),
+        );
+        let out = replay_job(&trace, &params(98.0, 0), &SloConfig::default());
+        let w = out.windows.last().unwrap();
+        // 10 promotions / 5 min / 6000 pages = 0.0333%/min.
+        assert!((w.normalized_rate.percent_per_min() - 0.0333).abs() < 0.001);
+        assert!(w
+            .normalized_rate
+            .meets(NormalizedPromotionRate::PAPER_SLO_TARGET));
+    }
+
+    #[test]
+    fn empty_trace_replays_empty() {
+        let trace = JobTrace::new(JobId::new(1), vec![]);
+        let out = replay_job(&trace, &params(98.0, 0), &SloConfig::default());
+        assert!(out.windows.is_empty());
+        assert_eq!(out.mean_cold_pages(), 0.0);
+        assert_eq!(out.mean_coverage(), None);
+    }
+}

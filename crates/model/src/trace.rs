@@ -1,0 +1,89 @@
+//! Trace organization: grouping exported records by job.
+
+use std::collections::BTreeMap;
+
+use sdfm_agent::TraceRecord;
+use sdfm_types::ids::JobId;
+
+/// One job's time-ordered trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobTrace {
+    /// The job.
+    pub job: JobId,
+    /// Records sorted by window end time.
+    pub records: Vec<TraceRecord>,
+}
+
+impl JobTrace {
+    /// Builds a trace, sorting records by time.
+    pub fn new(job: JobId, mut records: Vec<TraceRecord>) -> Self {
+        records.sort_by_key(|r| r.at);
+        JobTrace { job, records }
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the trace has no windows.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Groups a flat record stream (as exported by node agents) into per-job
+/// traces, each time-sorted.
+pub fn group_traces(records: Vec<TraceRecord>) -> Vec<JobTrace> {
+    let mut by_job: BTreeMap<JobId, Vec<TraceRecord>> = BTreeMap::new();
+    for r in records {
+        by_job.entry(r.job).or_default().push(r);
+    }
+    by_job
+        .into_iter()
+        .map(|(job, records)| JobTrace::new(job, records))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdfm_types::histogram::{ColdAgeHistogram, PromotionHistogram};
+    use sdfm_types::size::PageCount;
+    use sdfm_types::time::{SimDuration, SimTime};
+
+    fn record(job: u64, at: u64) -> TraceRecord {
+        TraceRecord {
+            job: JobId::new(job),
+            at: SimTime::from_secs(at),
+            window: SimDuration::from_secs(300),
+            working_set: PageCount::new(10),
+            cold_hist: ColdAgeHistogram::new(),
+            promo_delta: PromotionHistogram::new(),
+            incompressible_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn grouping_partitions_by_job_and_sorts_by_time() {
+        let records = vec![
+            record(2, 600),
+            record(1, 300),
+            record(2, 300),
+            record(1, 600),
+        ];
+        let traces = group_traces(records);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].job, JobId::new(1));
+        assert_eq!(traces[0].records[0].at, SimTime::from_secs(300));
+        assert_eq!(traces[0].records[1].at, SimTime::from_secs(600));
+        assert_eq!(traces[1].job, JobId::new(2));
+        assert_eq!(traces[1].len(), 2);
+        assert!(!traces[1].is_empty());
+    }
+
+    #[test]
+    fn empty_input_yields_no_traces() {
+        assert!(group_traces(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! The shared error type for parameter validation across the workspace.
+//!
+//! Subsystems with richer failure modes (the zswap store, the scheduler, the
+//! autotuner) define their own error enums; this type covers the common
+//! cases — invalid parameters and empty inputs — so that leaf crates do not
+//! each need a bespoke error for them.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by validation in `sdfm-types` and by simple parameterized
+/// constructors across the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SdfmError {
+    /// A parameter was outside its documented domain.
+    InvalidParameter {
+        /// Description of the offending parameter and value.
+        what: String,
+    },
+    /// An operation that requires data was given none.
+    EmptyInput {
+        /// Description of the missing input.
+        what: String,
+    },
+}
+
+impl SdfmError {
+    /// Creates an [`SdfmError::InvalidParameter`].
+    pub fn invalid_parameter(what: impl Into<String>) -> Self {
+        SdfmError::InvalidParameter { what: what.into() }
+    }
+
+    /// Creates an [`SdfmError::EmptyInput`].
+    pub fn empty_input(what: impl Into<String>) -> Self {
+        SdfmError::EmptyInput { what: what.into() }
+    }
+}
+
+impl fmt::Display for SdfmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdfmError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            SdfmError::EmptyInput { what } => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl Error for SdfmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = SdfmError::invalid_parameter("k must be in [0, 100]");
+        assert_eq!(e.to_string(), "invalid parameter: k must be in [0, 100]");
+        let e = SdfmError::empty_input("no samples");
+        assert_eq!(e.to_string(), "empty input: no samples");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<SdfmError>();
+    }
+}

@@ -1,0 +1,134 @@
+//! Newtype identifiers for the entities in a warehouse-scale computer.
+//!
+//! Using distinct types for job, machine, cluster, and page identifiers makes
+//! it impossible to, say, index a machine table with a job id — the kind of
+//! mistake that is otherwise easy to make in a simulator that juggles tens of
+//! thousands of numeric ids.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates an identifier from a raw integer.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            /// # use sdfm_types::ids::*;
+            #[doc = concat!("let id = ", stringify!($name), "::new(7);")]
+            /// assert_eq!(id.raw(), 7);
+            /// ```
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw integer value of the identifier.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the raw value as a `usize`, for indexing dense tables.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a job (the unit of scheduling and memory isolation;
+    /// one job maps to one memcg in the simulated kernel).
+    JobId,
+    "job-"
+);
+
+define_id!(
+    /// Identifies a physical machine in a cluster.
+    MachineId,
+    "machine-"
+);
+
+define_id!(
+    /// Identifies a cluster (tens of thousands of machines).
+    ClusterId,
+    "cluster-"
+);
+
+define_id!(
+    /// Identifies a physical page frame on one machine.
+    PageId,
+    "page-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_includes_prefix_and_raw_value() {
+        assert_eq!(JobId::new(42).to_string(), "job-42");
+        assert_eq!(MachineId::new(0).to_string(), "machine-0");
+        assert_eq!(ClusterId::new(9).to_string(), "cluster-9");
+        assert_eq!(PageId::new(123).to_string(), "page-123");
+    }
+
+    #[test]
+    fn roundtrip_through_u64() {
+        let id = JobId::from(99u64);
+        assert_eq!(u64::from(id), 99);
+        assert_eq!(id.index(), 99);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(PageId::new(1));
+        set.insert(PageId::new(1));
+        set.insert(PageId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(PageId::new(1) < PageId::new(2));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(MachineId::default().raw(), 0);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let id = JobId::new(5);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "5");
+        let back: JobId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+}

@@ -1,0 +1,50 @@
+//! Core vocabulary types for the software-defined far memory (SDFM) system.
+//!
+//! This crate defines the identifiers, simulated-time representation, size
+//! arithmetic, histogram structures, and summary statistics shared by every
+//! other crate in the workspace. It deliberately has no dependencies on the
+//! rest of the system so that substrates (kernel simulation, cluster manager,
+//! autotuner) can all speak the same vocabulary without coupling.
+//!
+//! The design follows the paper's §4: cold pages are defined by *age* (time
+//! since last access, tracked in units of the kstaled scan period), and the
+//! control plane consumes two per-job histograms — the [cold age
+//! histogram](histogram::ColdAgeHistogram) and the [promotion
+//! histogram](histogram::PromotionHistogram) — plus the job's working set
+//! size.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdfm_types::prelude::*;
+//!
+//! let t = SimTime::ZERO + SimDuration::from_secs(120);
+//! assert_eq!(t.as_secs(), 120);
+//!
+//! let mut h = ColdAgeHistogram::new();
+//! h.record_page(PageAge::from_scans(3), 1);
+//! assert_eq!(h.pages_colder_than(PageAge::from_scans(2)), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod histogram;
+pub mod ids;
+pub mod rate;
+pub mod size;
+pub mod stats;
+pub mod time;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::error::SdfmError;
+    pub use crate::histogram::{ColdAgeHistogram, PageAge, PromotionHistogram, MAX_AGE_SCANS};
+    pub use crate::ids::{ClusterId, JobId, MachineId, PageId};
+    pub use crate::rate::{NormalizedPromotionRate, PromotionRate};
+    pub use crate::size::{ByteSize, PageCount, PAGE_SIZE};
+    pub use crate::stats::{Cdf, FiveNumberSummary, Percentile};
+    pub use crate::time::{SimDuration, SimTime, KSTALED_SCAN_PERIOD, MINUTE};
+}
+
+pub use prelude::*;

@@ -1,0 +1,230 @@
+//! Promotion-rate types and the far-memory performance SLO (§4.2).
+//!
+//! The performance overhead of far memory is accessing pages that live
+//! there; the paper's service-level indicator is the *promotion rate* — the
+//! rate at which pages are swapped back from far memory to near memory.
+//! Because jobs differ enormously in size, the SLO is expressed on the
+//! *normalized* rate: promotions per minute as a fraction of the job's
+//! working set size, with the production target `P = 0.2 %/min`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+use crate::size::PageCount;
+use crate::time::SimDuration;
+
+/// An absolute promotion rate, in pages promoted per minute.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct PromotionRate(f64);
+
+impl PromotionRate {
+    /// Zero promotions per minute.
+    pub const ZERO: PromotionRate = PromotionRate(0.0);
+
+    /// Creates a rate from pages per minute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages_per_min` is negative or not finite.
+    pub fn from_pages_per_min(pages_per_min: f64) -> Self {
+        assert!(
+            pages_per_min.is_finite() && pages_per_min >= 0.0,
+            "promotion rate must be finite and non-negative, got {pages_per_min}"
+        );
+        PromotionRate(pages_per_min)
+    }
+
+    /// Creates a rate from a promotion count observed over a window.
+    ///
+    /// Returns [`PromotionRate::ZERO`] for an empty window.
+    pub fn from_count(promotions: u64, window: SimDuration) -> Self {
+        if window == SimDuration::ZERO {
+            return PromotionRate::ZERO;
+        }
+        PromotionRate(promotions as f64 / window.as_mins_f64())
+    }
+
+    /// Returns pages per minute.
+    pub const fn pages_per_min(self) -> f64 {
+        self.0
+    }
+
+    /// Normalizes by a working set size, yielding the SLI the SLO is
+    /// defined on. A zero working set normalizes to an infinite rate when
+    /// promotions are nonzero (any promotion against an empty working set
+    /// violates every finite target) and zero otherwise.
+    pub fn normalized(self, working_set: PageCount) -> NormalizedPromotionRate {
+        if working_set.is_zero() {
+            if self.0 > 0.0 {
+                NormalizedPromotionRate(f64::INFINITY)
+            } else {
+                NormalizedPromotionRate(0.0)
+            }
+        } else {
+            NormalizedPromotionRate(self.0 / working_set.get() as f64)
+        }
+    }
+}
+
+impl fmt::Display for PromotionRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} pages/min", self.0)
+    }
+}
+
+impl Add for PromotionRate {
+    type Output = PromotionRate;
+    fn add(self, rhs: PromotionRate) -> PromotionRate {
+        PromotionRate(self.0 + rhs.0)
+    }
+}
+
+/// A promotion rate normalized to the job's working set size: the fraction
+/// of the working set promoted from far memory per minute.
+///
+/// This is the quantity the SLO bounds: the paper's production target is
+/// [`NormalizedPromotionRate::PAPER_SLO_TARGET`], 0.2 % of the working set
+/// per minute, enforced at the 98th percentile fleet-wide.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NormalizedPromotionRate(f64);
+
+impl NormalizedPromotionRate {
+    /// Zero.
+    pub const ZERO: NormalizedPromotionRate = NormalizedPromotionRate(0.0);
+
+    /// The production SLO target from §4.2: P = 0.2 %/min.
+    pub const PAPER_SLO_TARGET: NormalizedPromotionRate = NormalizedPromotionRate(0.002);
+
+    /// Creates a normalized rate from a fraction of the working set per
+    /// minute (0.002 == 0.2 %/min).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction_per_min` is negative or NaN (infinity is allowed:
+    /// it represents promotions against an empty working set).
+    pub fn from_fraction_per_min(fraction_per_min: f64) -> Self {
+        assert!(
+            !fraction_per_min.is_nan() && fraction_per_min >= 0.0,
+            "normalized rate must be non-negative and not NaN, got {fraction_per_min}"
+        );
+        NormalizedPromotionRate(fraction_per_min)
+    }
+
+    /// Creates a normalized rate from percent of working set per minute.
+    pub fn from_percent_per_min(percent_per_min: f64) -> Self {
+        Self::from_fraction_per_min(percent_per_min / 100.0)
+    }
+
+    /// Returns the fraction of working set per minute.
+    pub const fn fraction_per_min(self) -> f64 {
+        self.0
+    }
+
+    /// Returns percent of working set per minute.
+    pub fn percent_per_min(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// True when this rate meets (does not exceed) `target`.
+    ///
+    /// ```
+    /// # use sdfm_types::rate::NormalizedPromotionRate;
+    /// let slo = NormalizedPromotionRate::PAPER_SLO_TARGET;
+    /// assert!(NormalizedPromotionRate::from_percent_per_min(0.1).meets(slo));
+    /// assert!(!NormalizedPromotionRate::from_percent_per_min(0.3).meets(slo));
+    /// ```
+    pub fn meets(self, target: NormalizedPromotionRate) -> bool {
+        self.0 <= target.0
+    }
+}
+
+impl fmt::Display for NormalizedPromotionRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} %/min", self.percent_per_min())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MINUTE;
+
+    #[test]
+    fn from_count_divides_by_minutes() {
+        let r = PromotionRate::from_count(30, MINUTE * 2);
+        assert_eq!(r.pages_per_min(), 15.0);
+    }
+
+    #[test]
+    fn from_count_empty_window_is_zero() {
+        assert_eq!(
+            PromotionRate::from_count(100, SimDuration::ZERO),
+            PromotionRate::ZERO
+        );
+    }
+
+    #[test]
+    fn normalization_divides_by_wss() {
+        let r = PromotionRate::from_pages_per_min(2.0).normalized(PageCount::new(1000));
+        assert!((r.fraction_per_min() - 0.002).abs() < 1e-12);
+        assert!((r.percent_per_min() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_of_empty_working_set() {
+        let r = PromotionRate::from_pages_per_min(1.0).normalized(PageCount::ZERO);
+        assert!(r.fraction_per_min().is_infinite());
+        assert!(!r.meets(NormalizedPromotionRate::PAPER_SLO_TARGET));
+        let z = PromotionRate::ZERO.normalized(PageCount::ZERO);
+        assert_eq!(z, NormalizedPromotionRate::ZERO);
+    }
+
+    #[test]
+    fn slo_target_is_point_two_percent() {
+        assert!((NormalizedPromotionRate::PAPER_SLO_TARGET.percent_per_min() - 0.2).abs() < 1e-12);
+        assert_eq!(
+            NormalizedPromotionRate::from_percent_per_min(0.2),
+            NormalizedPromotionRate::PAPER_SLO_TARGET
+        );
+    }
+
+    #[test]
+    fn meets_is_inclusive() {
+        let slo = NormalizedPromotionRate::PAPER_SLO_TARGET;
+        assert!(slo.meets(slo));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_rate_rejected() {
+        let _ = PromotionRate::from_pages_per_min(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative and not NaN")]
+    fn nan_normalized_rate_rejected() {
+        let _ = NormalizedPromotionRate::from_fraction_per_min(f64::NAN);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            PromotionRate::from_pages_per_min(1.5).to_string(),
+            "1.50 pages/min"
+        );
+        assert_eq!(
+            NormalizedPromotionRate::from_percent_per_min(0.2).to_string(),
+            "0.2000 %/min"
+        );
+    }
+
+    #[test]
+    fn rates_add() {
+        let a = PromotionRate::from_pages_per_min(1.0);
+        let b = PromotionRate::from_pages_per_min(2.5);
+        assert_eq!((a + b).pages_per_min(), 3.5);
+    }
+}

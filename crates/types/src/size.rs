@@ -1,0 +1,291 @@
+//! Memory-size arithmetic.
+//!
+//! The system works at OS-page granularity (§4): the kernel migrates whole
+//! 4 KiB pages between near memory (DRAM) and far memory (the compressed
+//! zswap store). [`PageCount`] counts pages; [`ByteSize`] counts bytes (e.g.
+//! compressed payload sizes inside the zsmalloc arena, which are *not*
+//! page-granular).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// The size of one OS page in bytes (x86-64 base pages).
+pub const PAGE_SIZE: usize = 4096;
+
+/// A count of whole OS pages.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct PageCount(u64);
+
+impl PageCount {
+    /// Zero pages.
+    pub const ZERO: PageCount = PageCount(0);
+
+    /// Creates a count of `n` pages.
+    pub const fn new(n: u64) -> Self {
+        PageCount(n)
+    }
+
+    /// Returns the raw number of pages.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Total bytes occupied by this many uncompressed pages.
+    pub const fn bytes(self) -> ByteSize {
+        ByteSize(self.0 * PAGE_SIZE as u64)
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, other: PageCount) -> PageCount {
+        PageCount(self.0.saturating_sub(other.0))
+    }
+
+    /// The fraction `self / total`, or 0.0 when `total` is zero.
+    ///
+    /// ```
+    /// # use sdfm_types::size::PageCount;
+    /// assert_eq!(PageCount::new(25).fraction_of(PageCount::new(100)), 0.25);
+    /// assert_eq!(PageCount::new(25).fraction_of(PageCount::ZERO), 0.0);
+    /// ```
+    pub fn fraction_of(self, total: PageCount) -> f64 {
+        if total.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total.0 as f64
+        }
+    }
+
+    /// True when the count is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for PageCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} pages", self.0)
+    }
+}
+
+impl Add for PageCount {
+    type Output = PageCount;
+    fn add(self, rhs: PageCount) -> PageCount {
+        PageCount(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for PageCount {
+    fn add_assign(&mut self, rhs: PageCount) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for PageCount {
+    type Output = PageCount;
+    fn sub(self, rhs: PageCount) -> PageCount {
+        PageCount(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for PageCount {
+    fn sub_assign(&mut self, rhs: PageCount) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for PageCount {
+    fn sum<I: Iterator<Item = PageCount>>(iter: I) -> PageCount {
+        PageCount(iter.map(|p| p.0).sum())
+    }
+}
+
+impl From<u64> for PageCount {
+    fn from(n: u64) -> Self {
+        PageCount(n)
+    }
+}
+
+/// A size in bytes.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ByteSize(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Creates a size from raw bytes.
+    pub const fn new(bytes: u64) -> Self {
+        ByteSize(bytes)
+    }
+
+    /// Creates a size from kibibytes.
+    pub const fn from_kib(kib: u64) -> Self {
+        ByteSize(kib * 1024)
+    }
+
+    /// Creates a size from mebibytes.
+    pub const fn from_mib(mib: u64) -> Self {
+        ByteSize(mib * 1024 * 1024)
+    }
+
+    /// Creates a size from gibibytes.
+    pub const fn from_gib(gib: u64) -> Self {
+        ByteSize(gib * 1024 * 1024 * 1024)
+    }
+
+    /// Returns the raw byte count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Number of whole pages needed to hold this many bytes (rounds up).
+    ///
+    /// ```
+    /// # use sdfm_types::size::ByteSize;
+    /// assert_eq!(ByteSize::new(4097).pages_ceil().get(), 2);
+    /// ```
+    pub const fn pages_ceil(self) -> PageCount {
+        PageCount(self.0.div_ceil(PAGE_SIZE as u64))
+    }
+
+    /// The fraction `self / total`, or 0.0 when `total` is zero.
+    pub fn fraction_of(self, total: ByteSize) -> f64 {
+        if total.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total.0 as f64
+        }
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(other.0))
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const UNITS: [(&str, u64); 4] = [
+            ("GiB", 1 << 30),
+            ("MiB", 1 << 20),
+            ("KiB", 1 << 10),
+            ("B", 1),
+        ];
+        for (name, scale) in UNITS {
+            if self.0 >= scale {
+                let whole = self.0 / scale;
+                let frac = (self.0 % scale) * 10 / scale;
+                if frac == 0 {
+                    return write!(f, "{whole} {name}");
+                }
+                return write!(f, "{whole}.{frac} {name}");
+            }
+        }
+        write!(f, "0 B")
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for ByteSize {
+    fn sub_assign(&mut self, rhs: ByteSize) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        ByteSize(iter.map(|b| b.0).sum())
+    }
+}
+
+impl From<u64> for ByteSize {
+    fn from(bytes: u64) -> Self {
+        ByteSize(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_bytes_roundtrip() {
+        let p = PageCount::new(3);
+        assert_eq!(p.bytes().get(), 3 * 4096);
+        assert_eq!(p.bytes().pages_ceil(), p);
+    }
+
+    #[test]
+    fn pages_ceil_rounds_up() {
+        assert_eq!(ByteSize::new(0).pages_ceil(), PageCount::ZERO);
+        assert_eq!(ByteSize::new(1).pages_ceil().get(), 1);
+        assert_eq!(ByteSize::new(4096).pages_ceil().get(), 1);
+        assert_eq!(ByteSize::new(4097).pages_ceil().get(), 2);
+    }
+
+    #[test]
+    fn unit_constructors() {
+        assert_eq!(ByteSize::from_kib(4).get(), 4096);
+        assert_eq!(ByteSize::from_mib(1).get(), 1 << 20);
+        assert_eq!(ByteSize::from_gib(2).get(), 2u64 << 30);
+    }
+
+    #[test]
+    fn fraction_handles_zero_denominator() {
+        assert_eq!(ByteSize::new(5).fraction_of(ByteSize::ZERO), 0.0);
+        assert_eq!(ByteSize::new(1).fraction_of(ByteSize::new(4)), 0.25);
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let total: PageCount = [1u64, 2, 3].into_iter().map(PageCount::new).sum();
+        assert_eq!(total.get(), 6);
+        let total: ByteSize = [10u64, 20].into_iter().map(ByteSize::new).sum();
+        assert_eq!(total.get(), 30);
+        assert_eq!(
+            PageCount::new(1).saturating_sub(PageCount::new(5)),
+            PageCount::ZERO
+        );
+        assert_eq!(
+            ByteSize::new(1).saturating_sub(ByteSize::new(5)),
+            ByteSize::ZERO
+        );
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(ByteSize::new(0).to_string(), "0 B");
+        assert_eq!(ByteSize::new(512).to_string(), "512 B");
+        assert_eq!(ByteSize::from_kib(4).to_string(), "4 KiB");
+        assert_eq!(ByteSize::new(1536).to_string(), "1.5 KiB");
+        assert_eq!(ByteSize::from_gib(1).to_string(), "1 GiB");
+        assert_eq!(PageCount::new(2).to_string(), "2 pages");
+    }
+}

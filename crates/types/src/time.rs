@@ -1,0 +1,285 @@
+//! Simulated time.
+//!
+//! The whole system advances in whole seconds of simulated time. Seconds are
+//! fine-grained enough for the control plane (which acts at one-minute
+//! boundaries) and the kstaled scanner (120 s period), while keeping the
+//! arithmetic exact — no floating-point clock drift across a multi-day
+//! longitudinal run.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// The kstaled page-table scan period used throughout the paper (§5.1):
+/// ages advance in units of 120 seconds.
+pub const KSTALED_SCAN_PERIOD: SimDuration = SimDuration::from_secs(120);
+
+/// One minute of simulated time; the node agent reads kernel statistics and
+/// re-evaluates the cold age threshold on this period (§4.3).
+pub const MINUTE: SimDuration = SimDuration::from_secs(60);
+
+/// One hour of simulated time.
+pub const HOUR: SimDuration = SimDuration::from_secs(3600);
+
+/// One day of simulated time (used for diurnal workload patterns).
+pub const DAY: SimDuration = SimDuration::from_secs(86_400);
+
+/// A span of simulated time, in whole seconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60)
+    }
+
+    /// Creates a duration from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3600)
+    }
+
+    /// Returns the duration in seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in fractional minutes.
+    ///
+    /// ```
+    /// # use sdfm_types::time::SimDuration;
+    /// assert_eq!(SimDuration::from_secs(90).as_mins_f64(), 1.5);
+    /// ```
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    /// Integer division of two durations (e.g. how many scan periods fit in
+    /// a threshold).
+    pub const fn div_duration(self, other: SimDuration) -> u64 {
+        self.0 / other.0
+    }
+
+    /// Checked subtraction; `None` if `other` is longer than `self`.
+    pub const fn checked_sub(self, other: SimDuration) -> Option<SimDuration> {
+        match self.0.checked_sub(other.0) {
+            Some(v) => Some(SimDuration(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        if s >= 3600 && s.is_multiple_of(3600) {
+            write!(f, "{}h", s / 3600)
+        } else if s >= 60 && s.is_multiple_of(60) {
+            write!(f, "{}m", s / 60)
+        } else {
+            write!(f, "{}s", s)
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+/// An instant of simulated time, measured in seconds since the start of the
+/// simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from seconds since the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Returns seconds since the epoch.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: earlier instant is in the future"),
+        )
+    }
+
+    /// Saturating version of [`duration_since`](Self::duration_since).
+    pub const fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Seconds into the current simulated day, for diurnal patterns.
+    ///
+    /// ```
+    /// # use sdfm_types::time::SimTime;
+    /// assert_eq!(SimTime::from_secs(86_400 + 30).second_of_day(), 30);
+    /// ```
+    pub const fn second_of_day(self) -> u64 {
+        self.0 % DAY.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}s", self.0)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<SimDuration> for SimTime {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_secs(3600));
+        assert_eq!(KSTALED_SCAN_PERIOD.as_secs(), 120);
+        assert_eq!(MINUTE.as_secs(), 60);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_secs(300);
+        assert_eq!(t1.as_secs(), 300);
+        assert_eq!(t1 - t0, SimDuration::from_secs(300));
+        assert_eq!(t1.duration_since(t0).as_mins_f64(), 5.0);
+        let mut t = t1;
+        t += MINUTE;
+        assert_eq!(t.as_secs(), 360);
+        t -= MINUTE;
+        assert_eq!(t, t1);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier instant is in the future")]
+    fn duration_since_panics_on_reversed_order() {
+        let _ = SimTime::ZERO.duration_since(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn saturating_duration_since_clamps() {
+        assert_eq!(
+            SimTime::ZERO.saturating_duration_since(SimTime::from_secs(5)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn div_duration_counts_scan_periods() {
+        let t = SimDuration::from_secs(601);
+        assert_eq!(t.div_duration(KSTALED_SCAN_PERIOD), 5);
+    }
+
+    #[test]
+    fn second_of_day_wraps() {
+        assert_eq!(SimTime::from_secs(2 * 86_400 + 7).second_of_day(), 7);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(SimDuration::from_secs(7200).to_string(), "2h");
+        assert_eq!(SimDuration::from_secs(120).to_string(), "2m");
+        assert_eq!(SimDuration::from_secs(61).to_string(), "61s");
+        assert_eq!(SimTime::from_secs(10).to_string(), "t+10s");
+    }
+
+    #[test]
+    fn checked_and_saturating_sub() {
+        let a = SimDuration::from_secs(10);
+        let b = SimDuration::from_secs(4);
+        assert_eq!(a.checked_sub(b), Some(SimDuration::from_secs(6)));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,292 @@
+//! The page-level workload driver: full-fidelity execution against the
+//! simulated kernel.
+//!
+//! The driver materializes a [`JobProfile`] as actual pages in a
+//! [`Kernel`] memcg and, each simulated minute, issues the accesses the
+//! profile's Poisson mixture implies. Used for single-machine examples,
+//! the Bigtable A/B case study (Figure 10), and for validating the
+//! analytic model against the real kstaled/kreclaimd machinery.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Binomial, Distribution};
+
+use crate::profile::JobProfile;
+use sdfm_compress::gen::PageGenerator;
+use sdfm_kernel::{Kernel, KernelError, PageContent};
+use sdfm_types::ids::{JobId, PageId};
+use sdfm_types::time::{SimDuration, SimTime};
+
+/// Counters from one driven window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DriveStats {
+    /// Distinct pages touched.
+    pub pages_touched: u64,
+    /// Touches that faulted on compressed pages (actual promotions).
+    pub promotions: u64,
+    /// Touches that were writes.
+    pub writes: u64,
+}
+
+/// Drives one job's accesses into a kernel.
+#[derive(Debug)]
+pub struct PageLevelDriver {
+    job: JobId,
+    profile: JobProfile,
+    rng: StdRng,
+    /// Bucket layout: page index ranges per rate bucket, in profile order.
+    bucket_starts: Vec<u64>,
+}
+
+impl PageLevelDriver {
+    /// Creates a driver; pages will be laid out bucket-by-bucket in
+    /// profile order.
+    pub fn new(job: JobId, profile: JobProfile, seed: u64) -> Self {
+        let mut bucket_starts = Vec::with_capacity(profile.rate_buckets.len());
+        let mut acc = 0u64;
+        for b in &profile.rate_buckets {
+            bucket_starts.push(acc);
+            acc += b.pages;
+        }
+        PageLevelDriver {
+            job,
+            profile,
+            rng: StdRng::seed_from_u64(seed),
+            bucket_starts,
+        }
+    }
+
+    /// The job this driver feeds.
+    pub fn job(&self) -> JobId {
+        self.job
+    }
+
+    /// The profile driving the accesses.
+    pub fn profile(&self) -> &JobProfile {
+        &self.profile
+    }
+
+    /// Creates the memcg (limit = 2× the profile size) and allocates every
+    /// page with synthetic content drawn from the profile's mix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel allocation errors.
+    pub fn populate(&mut self, kernel: &mut Kernel) -> Result<(), KernelError> {
+        let total = self.profile.total_pages();
+        kernel.create_memcg(self.job, total + total)?;
+        let mix = self.profile.mix.clone();
+        let mut gen = PageGenerator::new(self.rng.gen());
+        for bucket in self.profile.rate_buckets.clone() {
+            kernel.alloc_pages(self.job, bucket.pages as usize, |_| {
+                let class = mix.sample(&mut self.rng);
+                PageContent::synthetic(class, gen.sample_payload_len(class))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Like [`populate`](Self::populate) but with real page contents
+    /// (slower; exercises actual compression).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel allocation errors.
+    pub fn populate_real(&mut self, kernel: &mut Kernel) -> Result<(), KernelError> {
+        let total = self.profile.total_pages();
+        kernel.create_memcg(self.job, total + total)?;
+        let mix = self.profile.mix.clone();
+        let mut gen = PageGenerator::new(self.rng.gen());
+        for bucket in self.profile.rate_buckets.clone() {
+            kernel.alloc_pages(self.job, bucket.pages as usize, |_| {
+                let (_, bytes) = gen.generate_from_mix(&mix);
+                PageContent::real(bytes)
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Issues one window's accesses: for each rate bucket, each page is
+    /// touched with probability `1 − exp(−λ·w)` (at least one Poisson
+    /// arrival in the window), matching the accessed-bit semantics kstaled
+    /// observes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (missing memcg — e.g. the job was killed).
+    pub fn run_window(
+        &mut self,
+        kernel: &mut Kernel,
+        at: SimTime,
+        window: SimDuration,
+    ) -> Result<DriveStats, KernelError> {
+        let m = self.profile.diurnal.multiplier(at);
+        let w = window.as_secs() as f64;
+        let mut stats = DriveStats::default();
+        // Full-memory bursts (GC, compaction, batch scans): touch every
+        // page this window.
+        if let Some(interval) = self.profile.burst_interval {
+            if interval > SimDuration::ZERO {
+                let p = (w / interval.as_secs() as f64).clamp(0.0, 1.0);
+                if self.rng.gen_bool(p) {
+                    let total: u64 = self.profile.rate_buckets.iter().map(|b| b.pages).sum();
+                    for i in 0..total {
+                        self.touch_one(kernel, i, &mut stats)?;
+                    }
+                    return Ok(stats);
+                }
+            }
+        }
+        for bi in 0..self.profile.rate_buckets.len() {
+            let bucket = self.profile.rate_buckets[bi];
+            let p = 1.0 - (-bucket.rate_per_sec * m * w).exp();
+            if p <= 0.0 || bucket.pages == 0 {
+                continue;
+            }
+            let start = self.bucket_starts[bi];
+            if p > 0.05 {
+                // Dense: Bernoulli every page.
+                for i in 0..bucket.pages {
+                    if self.rng.gen_bool(p) {
+                        self.touch_one(kernel, start + i, &mut stats)?;
+                    }
+                }
+            } else {
+                // Sparse: draw the count, then sample pages (collisions
+                // are rare at p ≤ 5% and merely drop duplicate touches).
+                let k = Binomial::new(bucket.pages, p)
+                    .expect("p validated in (0,1)")
+                    .sample(&mut self.rng);
+                for _ in 0..k {
+                    let i = self.rng.gen_range(0..bucket.pages);
+                    self.touch_one(kernel, start + i, &mut stats)?;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    fn touch_one(
+        &mut self,
+        kernel: &mut Kernel,
+        page: u64,
+        stats: &mut DriveStats,
+    ) -> Result<(), KernelError> {
+        let write = self.rng.gen_bool(self.profile.write_fraction);
+        let promoted = kernel.touch(self.job, PageId::new(page), write)?;
+        stats.pages_touched += 1;
+        stats.writes += u64::from(write);
+        stats.promotions += u64::from(promoted);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{DiurnalPattern, JobPriority, RateBucket};
+    use crate::templates::JobTemplate;
+    use sdfm_compress::gen::CompressibilityMix;
+    use sdfm_kernel::KernelConfig;
+    use sdfm_types::size::PageCount;
+    use sdfm_types::time::MINUTE;
+
+    fn small_profile() -> JobProfile {
+        JobProfile {
+            template: "test".into(),
+            rate_buckets: vec![
+                RateBucket {
+                    pages: 200,
+                    rate_per_sec: 0.5,
+                },
+                RateBucket {
+                    pages: 800,
+                    rate_per_sec: 1e-9,
+                },
+            ],
+            diurnal: DiurnalPattern::FLAT,
+            mix: CompressibilityMix::fleet_default(),
+            cpu_cores: 1.0,
+            write_fraction: 0.2,
+            burst_interval: None,
+            priority: JobPriority::Batch,
+            lifetime: SimDuration::from_hours(10),
+        }
+    }
+
+    fn kernel() -> Kernel {
+        Kernel::new(KernelConfig {
+            capacity: PageCount::new(100_000),
+            ..KernelConfig::default()
+        })
+    }
+
+    #[test]
+    fn populate_allocates_profile_pages() {
+        let mut k = kernel();
+        let mut d = PageLevelDriver::new(JobId::new(1), small_profile(), 1);
+        d.populate(&mut k).unwrap();
+        assert_eq!(
+            k.memcg(JobId::new(1)).unwrap().usage(),
+            PageCount::new(1000)
+        );
+    }
+
+    #[test]
+    fn hot_bucket_gets_touched_frozen_does_not() {
+        let mut k = kernel();
+        let mut d = PageLevelDriver::new(JobId::new(1), small_profile(), 2);
+        d.populate(&mut k).unwrap();
+        let stats = d.run_window(&mut k, SimTime::ZERO, MINUTE).unwrap();
+        // 200 hot pages at 0.5/s: p(touch) ≈ 1. Frozen: ≈ 0.
+        assert!(
+            (190..=210).contains(&stats.pages_touched),
+            "touched {}",
+            stats.pages_touched
+        );
+        assert!(stats.writes > 0, "some touches must be writes");
+        assert_eq!(stats.promotions, 0, "nothing compressed yet");
+    }
+
+    #[test]
+    fn driver_detects_promotions_after_reclaim() {
+        use sdfm_types::histogram::PageAge;
+        let mut k = kernel();
+        let mut d = PageLevelDriver::new(JobId::new(1), small_profile(), 3);
+        d.populate(&mut k).unwrap();
+        k.set_zswap_enabled(JobId::new(1), true).unwrap();
+        for _ in 0..4 {
+            k.run_scan();
+        }
+        // Compress everything idle ≥ 2 scans (the frozen 800 + any
+        // untouched hot pages).
+        k.reclaim_job(JobId::new(1), PageAge::from_scans(2))
+            .unwrap();
+        let zs = k.memcg(JobId::new(1)).unwrap().stats().zswapped_pages;
+        assert!(zs > 500, "only {zs} pages compressed");
+        // Force-touch a frozen page: it must fault.
+        let promoted = k.touch(JobId::new(1), PageId::new(999), false).unwrap();
+        assert!(promoted);
+    }
+
+    #[test]
+    fn run_window_errors_for_missing_memcg() {
+        let mut k = kernel();
+        let mut d = PageLevelDriver::new(JobId::new(9), small_profile(), 4);
+        assert!(d.run_window(&mut k, SimTime::ZERO, MINUTE).is_err());
+    }
+
+    #[test]
+    fn real_population_roundtrips() {
+        let mut k = kernel();
+        let mut profile = JobTemplate::WebFrontend.sample_profile(&mut StdRng::seed_from_u64(1));
+        // Shrink for test speed.
+        for b in &mut profile.rate_buckets {
+            b.pages = (b.pages / 50).max(1);
+        }
+        let mut d = PageLevelDriver::new(JobId::new(2), profile, 5);
+        d.populate_real(&mut k).unwrap();
+        let stats = d.run_window(&mut k, SimTime::ZERO, MINUTE).unwrap();
+        assert!(stats.pages_touched > 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Fleet construction: clusters of machines with distinct application
+//! mixes.
+//!
+//! The paper's Figure 2 shows cold-memory percentages spanning 1–52% across
+//! machines *within* clusters and wider still across clusters — driven by
+//! which applications each cluster hosts. [`FleetSpec::paper_default`]
+//! builds ten clusters whose template mixes are tilted toward different
+//! archetypes, reproducing that spread.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::profile::JobProfile;
+use crate::templates::JobTemplate;
+use sdfm_types::ids::ClusterId;
+
+/// One cluster's composition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Cluster identity.
+    pub id: ClusterId,
+    /// Machines in the cluster.
+    pub machines: usize,
+    /// Template mixture for jobs scheduled here.
+    pub template_weights: Vec<(JobTemplate, f64)>,
+    /// Jobs per machine (inclusive range); WSCs pack tens of jobs per
+    /// machine.
+    pub jobs_per_machine: (usize, usize),
+}
+
+impl ClusterSpec {
+    /// Samples a template according to this cluster's weights.
+    pub fn sample_template<R: Rng + ?Sized>(&self, rng: &mut R) -> JobTemplate {
+        let total: f64 = self.template_weights.iter().map(|(_, w)| w).sum();
+        let mut x = rng.gen_range(0.0..total);
+        for &(t, w) in &self.template_weights {
+            if x < w {
+                return t;
+            }
+            x -= w;
+        }
+        self.template_weights.last().expect("non-empty weights").0
+    }
+}
+
+/// A whole fleet blueprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Clusters, largest first (the "top 10 clusters" of Figures 2/6).
+    pub clusters: Vec<ClusterSpec>,
+}
+
+impl FleetSpec {
+    /// Ten clusters with heterogeneous application mixes, scaled by
+    /// `machines_per_cluster` (the paper's clusters have tens of thousands
+    /// of machines; simulations use hundreds).
+    pub fn paper_default(machines_per_cluster: usize) -> Self {
+        // Each cluster tilts the fleet mix toward one or two archetypes,
+        // like dedicated serving / batch / storage clusters do.
+        let tilts: [&[(JobTemplate, f64)]; 10] = [
+            &[(JobTemplate::WebFrontend, 3.0)],
+            &[
+                (JobTemplate::Bigtable, 3.0),
+                (JobTemplate::KeyValueCache, 1.5),
+            ],
+            &[(JobTemplate::MlTraining, 3.0)],
+            &[
+                (JobTemplate::BatchAnalytics, 3.0),
+                (JobTemplate::LogProcessor, 2.0),
+            ],
+            &[(JobTemplate::KeyValueCache, 3.0)],
+            &[(JobTemplate::VideoServer, 4.0)],
+            &[(JobTemplate::LogProcessor, 4.0)],
+            &[], // balanced
+            &[
+                (JobTemplate::WebFrontend, 2.0),
+                (JobTemplate::Bigtable, 2.0),
+            ],
+            &[
+                (JobTemplate::BatchAnalytics, 2.0),
+                (JobTemplate::MlTraining, 2.0),
+            ],
+        ];
+        let clusters = tilts
+            .iter()
+            .enumerate()
+            .map(|(i, tilt)| {
+                let template_weights = JobTemplate::ALL
+                    .iter()
+                    .map(|&t| {
+                        let bias = tilt
+                            .iter()
+                            .find(|(bt, _)| *bt == t)
+                            .map(|(_, f)| *f)
+                            .unwrap_or(1.0);
+                        (t, t.fleet_weight() * bias)
+                    })
+                    .collect();
+                ClusterSpec {
+                    id: ClusterId::new(i as u64),
+                    machines: machines_per_cluster,
+                    template_weights,
+                    jobs_per_machine: (6, 14),
+                }
+            })
+            .collect();
+        FleetSpec { clusters }
+    }
+}
+
+/// A job placed on a machine of a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacedJob {
+    /// The hosting cluster.
+    pub cluster: ClusterId,
+    /// Machine index within the cluster.
+    pub machine: usize,
+    /// The job's profile.
+    pub profile: JobProfile,
+}
+
+/// Expands a [`FleetSpec`] into concrete job placements.
+#[derive(Debug)]
+pub struct FleetBuilder {
+    spec: FleetSpec,
+    rng: StdRng,
+}
+
+impl FleetBuilder {
+    /// Creates a builder with a deterministic seed.
+    pub fn new(spec: FleetSpec, seed: u64) -> Self {
+        FleetBuilder {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The spec being expanded.
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
+    /// Samples the full job population: every machine of every cluster
+    /// gets a jobs-per-machine count and per-job profiles from the
+    /// cluster's template mix.
+    pub fn build(&mut self) -> Vec<PlacedJob> {
+        let mut jobs = Vec::new();
+        for cluster in self.spec.clusters.clone() {
+            for machine in 0..cluster.machines {
+                let (lo, hi) = cluster.jobs_per_machine;
+                let count = self.rng.gen_range(lo..=hi);
+                for _ in 0..count {
+                    let template = cluster.sample_template(&mut self.rng);
+                    jobs.push(PlacedJob {
+                        cluster: cluster.id,
+                        machine,
+                        profile: template.sample_profile(&mut self.rng),
+                    });
+                }
+            }
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_has_ten_clusters() {
+        let spec = FleetSpec::paper_default(50);
+        assert_eq!(spec.clusters.len(), 10);
+        for c in &spec.clusters {
+            assert_eq!(c.machines, 50);
+            assert_eq!(c.template_weights.len(), JobTemplate::ALL.len());
+        }
+    }
+
+    #[test]
+    fn build_places_jobs_on_every_machine() {
+        let mut b = FleetBuilder::new(FleetSpec::paper_default(5), 1);
+        let jobs = b.build();
+        // 10 clusters × 5 machines × 6..=14 jobs.
+        assert!(jobs.len() >= 10 * 5 * 6);
+        assert!(jobs.len() <= 10 * 5 * 14);
+        for c in 0..10u64 {
+            assert!(
+                jobs.iter().any(|j| j.cluster == ClusterId::new(c)),
+                "cluster {c} empty"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_tilts_shift_template_frequency() {
+        let spec = FleetSpec::paper_default(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Cluster 6 is tilted to log processors 4×.
+        let log_cluster = &spec.clusters[6];
+        let balanced = &spec.clusters[7];
+        let count = |c: &ClusterSpec, rng: &mut StdRng| {
+            (0..1000)
+                .filter(|_| c.sample_template(rng) == JobTemplate::LogProcessor)
+                .count()
+        };
+        let tilted = count(log_cluster, &mut rng);
+        let base = count(balanced, &mut rng);
+        assert!(tilted > base * 2, "tilt had no effect: {tilted} vs {base}");
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let a = FleetBuilder::new(FleetSpec::paper_default(2), 9).build();
+        let b = FleetBuilder::new(FleetSpec::paper_default(2), 9).build();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn fleet_cold_fraction_is_paper_scale() {
+        // Fleet-average expected cold fraction at T=120 s should be in the
+        // neighborhood of the paper's 32% (Figure 1).
+        let mut b = FleetBuilder::new(FleetSpec::paper_default(3), 11);
+        let jobs = b.build();
+        let mut weighted_cold = 0.0;
+        let mut total_pages = 0.0;
+        for j in &jobs {
+            let pages = j.profile.total_pages().get() as f64;
+            weighted_cold += j.profile.expected_cold_fraction(120.0, 1.0) * pages;
+            total_pages += pages;
+        }
+        let fleet = weighted_cold / total_pages;
+        assert!(
+            (0.2..=0.45).contains(&fleet),
+            "fleet cold fraction {fleet} outside the paper's neighborhood"
+        );
+    }
+}

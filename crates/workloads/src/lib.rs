@@ -1,0 +1,46 @@
+//! Synthetic warehouse-scale workloads.
+//!
+//! The paper's fleet-level results are distributions over thousands of
+//! heterogeneous production jobs — which we cannot ship. This crate builds
+//! the closest synthetic equivalent: parametric job profiles whose page
+//! popularity follows a Zipf-with-frozen-tail law, modulated by diurnal
+//! load patterns and job churn, drawn from archetype
+//! [templates](templates::JobTemplate) (web frontends, Bigtable-like
+//! serving, ML training, batch analytics, caches, video serving).
+//!
+//! Two execution modes consume the same [`JobProfile`]:
+//!
+//! * the [page-level driver](driver::PageLevelDriver) issues real page
+//!   touches into a simulated [`sdfm_kernel::Kernel`] — full fidelity, used
+//!   for the Bigtable case study and validation;
+//! * the [statistical model](stat::StatJobModel) computes each window's
+//!   expected cold-age histogram, promotion histogram, and working set
+//!   analytically from the access-rate mixture (ages of a Poisson-accessed
+//!   page are exponentially distributed) — used for fleet-scale
+//!   longitudinal figures where simulating every page of every job would
+//!   be prohibitive. A validation test checks the two modes agree.
+//!
+//! # Examples
+//!
+//! ```
+//! use sdfm_workloads::templates::JobTemplate;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let profile = JobTemplate::Bigtable.sample_profile(&mut rng);
+//! assert!(profile.total_pages().get() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod fleet;
+pub mod profile;
+pub mod stat;
+pub mod templates;
+
+pub use driver::PageLevelDriver;
+pub use fleet::{ClusterSpec, FleetBuilder, FleetSpec};
+pub use profile::{DiurnalPattern, JobPriority, JobProfile, RateBucket};
+pub use stat::{StatJobModel, WindowObservation};
+pub use templates::JobTemplate;

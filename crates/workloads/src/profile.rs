@@ -1,0 +1,284 @@
+//! Job profiles: the parametric description of one job's memory behavior.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+use sdfm_compress::gen::CompressibilityMix;
+use sdfm_types::error::SdfmError;
+use sdfm_types::size::PageCount;
+use sdfm_types::time::{SimDuration, SimTime, DAY};
+
+/// Scheduling priority; the cluster evicts best-effort jobs first under
+/// memory pressure (§4.2: "we selectively evict low-priority jobs").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum JobPriority {
+    /// Killed first under pressure.
+    BestEffort,
+    /// Batch work: evictable but costlier.
+    Batch,
+    /// Latency-sensitive serving: never evicted for memory.
+    LatencySensitive,
+}
+
+/// A group of pages sharing one mean access rate.
+///
+/// Page popularity in a job is modeled as a mixture: a Zipf-distributed
+/// head plus a frozen tail. Bucketing the continuum into discrete rate
+/// groups keeps both the page-level driver and the analytic model cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateBucket {
+    /// Pages in this bucket.
+    pub pages: u64,
+    /// Mean per-page access rate, in accesses per second (Poisson).
+    pub rate_per_sec: f64,
+}
+
+/// A sinusoidal load modulation with one-day period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalPattern {
+    /// Peak-to-trough amplitude as a fraction of peak rate, in `[0, 1)`:
+    /// 0 = flat, 0.6 = trough runs at 40% of peak.
+    pub amplitude: f64,
+    /// Phase offset in seconds (when the peak occurs within the day).
+    pub phase_secs: u64,
+}
+
+impl DiurnalPattern {
+    /// A flat (no modulation) pattern.
+    pub const FLAT: DiurnalPattern = DiurnalPattern {
+        amplitude: 0.0,
+        phase_secs: 0,
+    };
+
+    /// The rate multiplier at `t`, in `[1 - amplitude, 1]`.
+    ///
+    /// ```
+    /// # use sdfm_workloads::profile::DiurnalPattern;
+    /// # use sdfm_types::time::SimTime;
+    /// let d = DiurnalPattern { amplitude: 0.5, phase_secs: 0 };
+    /// let peak = d.multiplier(SimTime::ZERO);
+    /// assert!((peak - 1.0).abs() < 1e-9);
+    /// ```
+    pub fn multiplier(&self, t: SimTime) -> f64 {
+        if self.amplitude == 0.0 {
+            return 1.0;
+        }
+        let day = DAY.as_secs() as f64;
+        let x = ((t.second_of_day() as f64 - self.phase_secs as f64) / day) * TAU;
+        // cos peaks at the phase offset.
+        1.0 - self.amplitude * (1.0 - x.cos()) / 2.0
+    }
+}
+
+/// The full parametric description of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobProfile {
+    /// Template name this profile was drawn from (for reporting).
+    pub template: String,
+    /// Access-rate mixture over the job's pages.
+    pub rate_buckets: Vec<RateBucket>,
+    /// Daily load modulation.
+    pub diurnal: DiurnalPattern,
+    /// Page-content mixture (drives compressibility).
+    pub mix: CompressibilityMix,
+    /// CPU the job consumes (cores), for overhead normalization.
+    pub cpu_cores: f64,
+    /// Fraction of accesses that are writes (dirties pages, clearing
+    /// incompressible marks).
+    pub write_fraction: f64,
+    /// Mean interval between full-memory bursts (GC cycles, cache
+    /// compactions, batch scans) that touch every page at once; `None`
+    /// disables bursts. Bursts reset all page ages and are the dominant
+    /// source of threshold-pool outliers (§4.3's "sudden hike in
+    /// application activity").
+    pub burst_interval: Option<SimDuration>,
+    /// Scheduling priority.
+    pub priority: JobPriority,
+    /// How long the job runs before exiting.
+    pub lifetime: SimDuration,
+}
+
+impl JobProfile {
+    /// Validates the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdfmError`] when the profile has no pages, a rate is
+    /// negative/non-finite, the diurnal amplitude is outside `[0, 1)`, or
+    /// `cpu_cores` is not positive.
+    pub fn validate(&self) -> Result<(), SdfmError> {
+        if self.rate_buckets.is_empty() || self.total_pages().is_zero() {
+            return Err(SdfmError::empty_input("profile has no pages"));
+        }
+        for b in &self.rate_buckets {
+            if !b.rate_per_sec.is_finite() || b.rate_per_sec < 0.0 {
+                return Err(SdfmError::invalid_parameter(format!(
+                    "bucket rate {} invalid",
+                    b.rate_per_sec
+                )));
+            }
+        }
+        if !(0.0..1.0).contains(&self.diurnal.amplitude) {
+            return Err(SdfmError::invalid_parameter(format!(
+                "diurnal amplitude {} outside [0, 1)",
+                self.diurnal.amplitude
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.write_fraction) {
+            return Err(SdfmError::invalid_parameter(format!(
+                "write fraction {} outside [0, 1]",
+                self.write_fraction
+            )));
+        }
+        if !self.cpu_cores.is_finite() || self.cpu_cores <= 0.0 {
+            return Err(SdfmError::invalid_parameter(format!(
+                "cpu cores {} must be positive",
+                self.cpu_cores
+            )));
+        }
+        Ok(())
+    }
+
+    /// Total pages across all buckets.
+    pub fn total_pages(&self) -> PageCount {
+        PageCount::new(self.rate_buckets.iter().map(|b| b.pages).sum())
+    }
+
+    /// Total access rate at peak (accesses/second).
+    pub fn peak_access_rate(&self) -> f64 {
+        self.rate_buckets
+            .iter()
+            .map(|b| b.pages as f64 * b.rate_per_sec)
+            .sum()
+    }
+
+    /// The analytic steady-state fraction of pages idle for at least
+    /// `idle_secs`, at the diurnal multiplier `m` (ages of a
+    /// Poisson-accessed page are exponential with its rate).
+    pub fn expected_cold_fraction(&self, idle_secs: f64, m: f64) -> f64 {
+        let total = self.total_pages().get() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let cold: f64 = self
+            .rate_buckets
+            .iter()
+            .map(|b| b.pages as f64 * (-b.rate_per_sec * m * idle_secs).exp())
+            .sum();
+        cold / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(buckets: Vec<RateBucket>) -> JobProfile {
+        JobProfile {
+            template: "test".into(),
+            rate_buckets: buckets,
+            diurnal: DiurnalPattern::FLAT,
+            mix: CompressibilityMix::fleet_default(),
+            cpu_cores: 1.0,
+            write_fraction: 0.2,
+            burst_interval: None,
+            priority: JobPriority::Batch,
+            lifetime: SimDuration::from_hours(24),
+        }
+    }
+
+    #[test]
+    fn totals_and_rates() {
+        let p = profile(vec![
+            RateBucket {
+                pages: 100,
+                rate_per_sec: 1.0,
+            },
+            RateBucket {
+                pages: 900,
+                rate_per_sec: 0.0,
+            },
+        ]);
+        assert_eq!(p.total_pages(), PageCount::new(1000));
+        assert_eq!(p.peak_access_rate(), 100.0);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn cold_fraction_analytics() {
+        // 100 hot pages (1/s: never idle 120s), 900 frozen pages.
+        let p = profile(vec![
+            RateBucket {
+                pages: 100,
+                rate_per_sec: 1.0,
+            },
+            RateBucket {
+                pages: 900,
+                rate_per_sec: 0.0,
+            },
+        ]);
+        let f = p.expected_cold_fraction(120.0, 1.0);
+        assert!((f - 0.9).abs() < 1e-10, "cold fraction {f}");
+        // Everything is "cold" for idle 0s (exp(0) = 1).
+        assert_eq!(p.expected_cold_fraction(0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_profiles() {
+        assert!(profile(vec![]).validate().is_err());
+        assert!(profile(vec![RateBucket {
+            pages: 0,
+            rate_per_sec: 1.0
+        }])
+        .validate()
+        .is_err());
+        assert!(profile(vec![RateBucket {
+            pages: 1,
+            rate_per_sec: -1.0
+        }])
+        .validate()
+        .is_err());
+        let mut p = profile(vec![RateBucket {
+            pages: 1,
+            rate_per_sec: 1.0,
+        }]);
+        p.diurnal.amplitude = 1.0;
+        assert!(p.validate().is_err());
+        p.diurnal.amplitude = 0.5;
+        p.cpu_cores = 0.0;
+        assert!(p.validate().is_err());
+        p.cpu_cores = 1.0;
+        p.write_fraction = 1.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn diurnal_multiplier_range_and_period() {
+        let d = DiurnalPattern {
+            amplitude: 0.6,
+            phase_secs: 3600,
+        };
+        let mut min: f64 = 1.0;
+        let mut max: f64 = 0.0;
+        for h in 0..24 {
+            let m = d.multiplier(SimTime::from_secs(h * 3600));
+            min = min.min(m);
+            max = max.max(m);
+        }
+        assert!((max - 1.0).abs() < 1e-9, "peak {max}");
+        assert!((min - 0.4).abs() < 1e-2, "trough {min}");
+        // Period is one day.
+        let a = d.multiplier(SimTime::from_secs(5000));
+        let b = d.multiplier(SimTime::from_secs(5000 + 86_400));
+        assert!((a - b).abs() < 1e-12);
+        // Peak occurs at the phase offset.
+        assert!((d.multiplier(SimTime::from_secs(3600)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_pattern_is_identity() {
+        for t in [0u64, 1000, 50_000] {
+            assert_eq!(DiurnalPattern::FLAT.multiplier(SimTime::from_secs(t)), 1.0);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-validation: the analytic statistical model must agree with the
+//! page-level kernel simulation on the quantities the control plane
+//! consumes — working set size, cold memory under various thresholds, and
+//! would-be promotion counts.
+
+use sdfm_compress::gen::CompressibilityMix;
+use sdfm_kernel::{Kernel, KernelConfig};
+use sdfm_types::histogram::PageAge;
+use sdfm_types::ids::JobId;
+use sdfm_types::size::PageCount;
+use sdfm_types::time::{SimDuration, SimTime, MINUTE};
+use sdfm_workloads::profile::{DiurnalPattern, JobPriority, JobProfile, RateBucket};
+use sdfm_workloads::{PageLevelDriver, StatJobModel};
+
+fn test_profile() -> JobProfile {
+    JobProfile {
+        template: "validation".into(),
+        rate_buckets: vec![
+            RateBucket {
+                pages: 3_000,
+                rate_per_sec: 0.1, // hot
+            },
+            RateBucket {
+                pages: 2_000,
+                rate_per_sec: 1.0 / 300.0, // warm: idle ~5 min
+            },
+            RateBucket {
+                pages: 2_000,
+                rate_per_sec: 1.0 / 1800.0, // warm: idle ~30 min
+            },
+            RateBucket {
+                pages: 3_000,
+                rate_per_sec: 1e-8, // frozen
+            },
+        ],
+        diurnal: DiurnalPattern::FLAT,
+        mix: CompressibilityMix::fleet_default(),
+        cpu_cores: 1.0,
+        write_fraction: 0.2,
+        burst_interval: None,
+        priority: JobPriority::Batch,
+        lifetime: SimDuration::from_hours(100),
+    }
+}
+
+/// Runs the page-level simulation for `warmup + observe` minutes and
+/// returns (wss, cold@1scan, cold@5scans, promotions during observation).
+fn run_kernel_sim(minutes_warmup: u64, minutes_observe: u64) -> (u64, u64, u64, u64) {
+    let job = JobId::new(1);
+    let mut kernel = Kernel::new(KernelConfig {
+        capacity: PageCount::new(50_000),
+        ..KernelConfig::default()
+    });
+    let mut driver = PageLevelDriver::new(job, test_profile(), 77);
+    driver.populate(&mut kernel).unwrap();
+
+    let mut promo_before = 0u64;
+    for m in 0..(minutes_warmup + minutes_observe) {
+        let now = SimTime::ZERO + MINUTE * (m + 1);
+        driver.run_window(&mut kernel, now, MINUTE).unwrap();
+        if (m + 1) % 2 == 0 {
+            kernel.run_scan();
+        }
+        if m + 1 == minutes_warmup {
+            promo_before = kernel
+                .memcg(job)
+                .unwrap()
+                .promotion_histogram()
+                .promotions_colder_than(PageAge::from_scans(1));
+        }
+    }
+    let cg = kernel.memcg(job).unwrap();
+    let wss = cg.working_set(PageAge::from_scans(1)).get();
+    let cold1 = cg.cold_pages(PageAge::from_scans(1)).get();
+    let cold5 = cg.cold_pages(PageAge::from_scans(5)).get();
+    let promos = cg
+        .promotion_histogram()
+        .promotions_colder_than(PageAge::from_scans(1))
+        - promo_before;
+    (wss, cold1, cold5, promos)
+}
+
+#[test]
+fn stat_model_matches_page_level_kernel() {
+    // Warm up 90 minutes (ages approach steady state), observe 60 minutes.
+    let (k_wss, k_cold1, k_cold5, k_promos) = run_kernel_sim(90, 60);
+
+    let mut model = StatJobModel::with_noise(test_profile(), 5, 0.0);
+    let obs = model.observe(SimTime::from_secs(9000), SimDuration::from_mins(60));
+    let s_wss = obs.working_set.get();
+    let s_cold1 = obs.cold_hist.pages_colder_than(PageAge::from_scans(1));
+    let s_cold5 = obs.cold_hist.pages_colder_than(PageAge::from_scans(5));
+    let s_promos = obs
+        .promo_delta
+        .promotions_colder_than(PageAge::from_scans(1));
+
+    let check = |name: &str, kernel: u64, model: u64, tol: f64| {
+        let k = kernel as f64;
+        let m = model as f64;
+        let rel = (k - m).abs() / k.max(1.0);
+        assert!(
+            rel < tol,
+            "{name}: kernel {kernel} vs model {model} ({rel:.2} rel err)"
+        );
+    };
+    check("working set", k_wss, s_wss, 0.20);
+    check("cold@120s", k_cold1, s_cold1, 0.15);
+    check("cold@600s", k_cold5, s_cold5, 0.20);
+    check("promotions/h", k_promos, s_promos, 0.35);
+}
+
+#[test]
+fn both_modes_show_threshold_monotonicity() {
+    // Higher thresholds → less cold memory, fewer would-be promotions, in
+    // both the kernel view and the analytic view.
+    let mut model = StatJobModel::with_noise(test_profile(), 6, 0.0);
+    let obs = model.observe(SimTime::from_secs(7200), MINUTE * 10);
+    let mut prev_cold = u64::MAX;
+    let mut prev_promo = u64::MAX;
+    for t in 1..=30u8 {
+        let c = obs.cold_hist.pages_colder_than(PageAge::from_scans(t));
+        let p = obs
+            .promo_delta
+            .promotions_colder_than(PageAge::from_scans(t));
+        assert!(c <= prev_cold);
+        assert!(p <= prev_promo);
+        prev_cold = c;
+        prev_promo = p;
+    }
+}

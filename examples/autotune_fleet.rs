@@ -1,0 +1,77 @@
+//! The §5.3 loop end to end: collect a fleet trace, run GP-Bandit
+//! autotuning against the fast far memory model, and walk the winning
+//! configuration through the staged rollout.
+//!
+//! ```text
+//! cargo run --release --example autotune_fleet
+//! ```
+
+use sdfm::agent::SloConfig;
+use sdfm::autotuner::{RolloutPipeline, RolloutStage};
+use sdfm::core::experiments::{collect_fleet_traces, Scale};
+use sdfm::core::AutotunePipeline;
+use sdfm::model::FarMemoryModel;
+
+fn main() {
+    // 1. Telemetry: every job exports 5-minute aggregates of its working
+    //    set and histograms (here: two hours from a small synthetic fleet).
+    let scale = Scale {
+        machines_per_cluster: 3,
+        warmup_windows: 0,
+        measure_windows: 24,
+        seed: 2024,
+    };
+    let traces = collect_fleet_traces(&scale, 24);
+    println!(
+        "collected {} job traces x {} windows",
+        traces.len(),
+        traces.first().map(|t| t.len()).unwrap_or(0)
+    );
+
+    // 2. The fast far memory model + GP Bandit: ~25 what-if evaluations.
+    let model = FarMemoryModel::new(traces);
+    let mut pipeline = AutotunePipeline::new(model, SloConfig::default(), 99);
+    for i in 1..=25 {
+        let trial = pipeline.step();
+        println!(
+            "trial {i:>2}: K = {:>5.1}, S = {:>5.0}s -> {:>9.0} cold pages, p98 {:.4}%/min {}",
+            trial.k_percentile,
+            trial.s_warmup_secs,
+            trial.cold_pages,
+            trial.p98_rate * 100.0,
+            if trial.feasible {
+                "(feasible)"
+            } else {
+                "(violates)"
+            }
+        );
+    }
+    let tuned = pipeline
+        .best_params()
+        .expect("the search space contains feasible configurations");
+    println!(
+        "\nbest feasible: K = {:.1}th percentile, S = {}s",
+        tuned.k_percentile,
+        tuned.s_warmup.as_secs()
+    );
+
+    // 3. Staged rollout: qualification -> canary -> production, with
+    //    monitoring at each stage (here every stage reports healthy).
+    let current_production = vec![99.3, 2_400.0];
+    let mut rollout = RolloutPipeline::new(current_production, 3);
+    rollout.propose(vec![tuned.k_percentile, tuned.s_warmup.as_secs() as f64]);
+    let mut step = 0;
+    while rollout.in_flight() {
+        step += 1;
+        let stage = rollout.observe(true);
+        println!(
+            "rollout step {step}: stage {stage:?}, serving {:?}",
+            rollout.active()
+        );
+        if step > 20 {
+            break;
+        }
+    }
+    assert_eq!(rollout.stage(), RolloutStage::Qualification); // ready for the next candidate
+    println!("\npromoted to production: {:?}", rollout.active());
+}

@@ -1,0 +1,77 @@
+//! A Borg-like cluster under churn: jobs arrive, exit, and occasionally
+//! get evicted, while every machine runs the far-memory control plane.
+//! Prints hourly cluster-level memory accounting and the eviction-SLO
+//! status.
+//!
+//! ```text
+//! cargo run --release --example cluster_day
+//! ```
+
+use rand::{Rng, SeedableRng};
+use sdfm::cluster::{BorgCluster, ClusterConfig};
+use sdfm::workloads::templates::JobTemplate;
+
+fn main() {
+    let mut cluster = BorgCluster::new(ClusterConfig::small_test(), 5);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+
+    // Initial load: a dozen jobs across the templates, shrunk to cluster
+    // scale, with shortened lifetimes so churn shows within the day.
+    let submit = |cluster: &mut BorgCluster, rng: &mut rand::rngs::StdRng| {
+        let template = JobTemplate::ALL[rng.gen_range(0..JobTemplate::ALL.len())];
+        let mut profile = template.sample_profile(rng);
+        for b in &mut profile.rate_buckets {
+            b.pages = (b.pages / 10).max(1);
+        }
+        profile.lifetime = sdfm::types::time::SimDuration::from_mins(rng.gen_range(90..600));
+        cluster.submit(profile);
+    };
+    for _ in 0..12 {
+        submit(&mut cluster, &mut rng);
+    }
+
+    println!(
+        "{:>5} {:>6} {:>8} {:>12} {:>12} {:>10}",
+        "hour", "jobs", "pending", "compressed", "saved pages", "promos/h"
+    );
+    for hour in 1..=12u64 {
+        let mut promos = 0;
+        let mut pending = 0;
+        for _ in 0..60 {
+            // Poisson-ish arrivals keep the cluster busy.
+            if rng.gen_bool(0.03) {
+                submit(&mut cluster, &mut rng);
+            }
+            let report = cluster.step_minute();
+            promos += report.promotions;
+            pending = report.pending;
+        }
+        let (mut zswapped, mut saved) = (0u64, 0u64);
+        for m in cluster.machines() {
+            let s = m.kernel().machine_stats();
+            zswapped += s.zswapped_pages;
+            saved += s.pages_saved().get();
+        }
+        println!(
+            "{:>5} {:>6} {:>8} {:>12} {:>12} {:>10}",
+            hour,
+            cluster.running_jobs(),
+            pending,
+            zswapped,
+            saved,
+            promos
+        );
+    }
+
+    let ev = cluster.evictions();
+    println!(
+        "\nevictions: {} over {} of job-time ({} fail-fast OOM kills)",
+        ev.evictions(),
+        ev.job_time(),
+        ev.oom_kills()
+    );
+    println!(
+        "eviction SLO (≤ 0.1/job-day): {}",
+        if ev.meets_slo(0.1) { "met" } else { "BREACHED" }
+    );
+}

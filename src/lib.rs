@@ -1,0 +1,32 @@
+//! Software-defined far memory in warehouse-scale computers.
+//!
+//! This facade crate re-exports the entire SDFM workspace — a reproduction
+//! of Lagar-Cavilla et al., *Software-Defined Far Memory in Warehouse-Scale
+//! Computers* (ASPLOS 2019) — as one dependency. See the individual crates
+//! for the subsystem documentation:
+//!
+//! * [`types`] — identifiers, simulated time, histograms, statistics;
+//! * [`compress`] — page codecs and the zsmalloc-style compressed arena;
+//! * [`kernel`] — the simulated kernel layer (kstaled, kreclaimd, zswap);
+//! * [`agent`] — the node agent's cold-age-threshold controller;
+//! * [`workloads`] — synthetic WSC job and fleet generators;
+//! * [`cluster`] — machines, scheduling, churn, telemetry;
+//! * [`model`] — the fast far memory model for offline what-if analysis;
+//! * [`autotuner`] — the GP-Bandit parameter autotuner;
+//! * [`core`] — end-to-end orchestration, SLOs, and the TCO model.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end single-machine run.
+
+#![warn(missing_docs)]
+
+pub use sdfm_agent as agent;
+pub use sdfm_autotuner as autotuner;
+pub use sdfm_cluster as cluster;
+pub use sdfm_compress as compress;
+pub use sdfm_core as core;
+pub use sdfm_kernel as kernel;
+pub use sdfm_model as model;
+pub use sdfm_types as types;
+pub use sdfm_workloads as workloads;

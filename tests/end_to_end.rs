@@ -1,0 +1,145 @@
+//! End-to-end integration: a live machine exports traces, the offline
+//! model consumes them, the autotuner proposes parameters, and the rollout
+//! delivers them back to the machine.
+
+use rand::SeedableRng;
+use sdfm::agent::SloConfig;
+use sdfm::core::{AutotunePipeline, FarMemorySystem, SystemConfig};
+use sdfm::model::{group_traces, FarMemoryModel, ModelConfig};
+use sdfm::types::prelude::*;
+use sdfm::workloads::templates::JobTemplate;
+
+fn shrunk_profile(
+    template: JobTemplate,
+    rng: &mut rand::rngs::StdRng,
+    divisor: u64,
+) -> sdfm::workloads::profile::JobProfile {
+    let mut p = template.sample_profile(rng);
+    for b in &mut p.rate_buckets {
+        b.pages = (b.pages / divisor).max(1);
+    }
+    p.lifetime = SimDuration::from_hours(10_000);
+    p
+}
+
+#[test]
+fn telemetry_feeds_model_feeds_tuner_feeds_machine() {
+    let mut system = FarMemorySystem::new(SystemConfig::default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    for template in [JobTemplate::Bigtable, JobTemplate::BatchAnalytics] {
+        system
+            .add_job(shrunk_profile(template, &mut rng, 8))
+            .expect("machine has room");
+    }
+
+    // Live phase: two simulated hours produce 5-minute trace records.
+    system.run_minutes(120);
+    let records = system.take_traces();
+    assert!(
+        records.len() >= 2 * 20,
+        "expected ≥40 trace records, got {}",
+        records.len()
+    );
+
+    // Offline phase: model + autotuner over the real exported traces.
+    let model = FarMemoryModel::new(group_traces(records));
+    assert_eq!(model.job_count(), 2);
+    let mut pipeline = AutotunePipeline::new(model, SloConfig::default(), 17);
+    pipeline.run(15);
+    let tuned = pipeline.best_params();
+
+    // Rollout phase: push whatever was found back to the machine and keep
+    // running — the system must stay healthy (no panics, savings persist).
+    if let Some(params) = tuned {
+        system.set_agent_params(params);
+    }
+    system.run_minutes(60);
+    let stats = system.machine_stats();
+    assert!(
+        stats.zswapped_pages > 0,
+        "far memory emptied out after rollout"
+    );
+    assert!(stats.pages_saved().get() > 0);
+}
+
+#[test]
+fn offline_model_predicts_live_promotion_scale() {
+    // The §5.3 premise: replaying exported histograms reproduces the live
+    // control plane's behavior. Compare the live machine's realized
+    // promotion rate with the model's prediction under the same (K, S).
+    let params =
+        sdfm::agent::AgentParams::new(95.0, SimDuration::from_mins(10)).expect("valid literal");
+    let mut system = FarMemorySystem::new(SystemConfig {
+        agent: params,
+        ..SystemConfig::default()
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let job = system
+        .add_job(shrunk_profile(JobTemplate::KeyValueCache, &mut rng, 8))
+        .expect("fits");
+    system.run_minutes(240);
+
+    // Live realized promotion rate over the run (normalized, %/min).
+    let live = system.job_stats(job).expect("running");
+    let live_rate = live.decompressions as f64 / 240.0 / live.resident_pages.max(1) as f64;
+
+    let model = FarMemoryModel::new(group_traces(system.take_traces()));
+    let result = model.evaluate(&ModelConfig {
+        params,
+        slo: SloConfig::default(),
+    });
+    let model_rate = result.p98_normalized_rate.fraction_per_min();
+
+    // Scales must agree within an order of magnitude (both are small
+    // fractions; the model's p98 is an upper-ish percentile of the same
+    // process the machine realized).
+    assert!(
+        model_rate <= live_rate * 50.0 + 1e-3,
+        "model p98 {model_rate} wildly above live {live_rate}"
+    );
+    assert!(
+        live_rate <= 0.01,
+        "live promotion rate {live_rate} implausibly high"
+    );
+}
+
+#[test]
+fn slo_holds_on_a_live_machine() {
+    let mut system = FarMemorySystem::new(SystemConfig::default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    for template in [
+        JobTemplate::WebFrontend,
+        JobTemplate::Bigtable,
+        JobTemplate::LogProcessor,
+    ] {
+        system
+            .add_job(shrunk_profile(template, &mut rng, 10))
+            .expect("fits");
+    }
+    system.run_minutes(180);
+
+    // Realized normalized promotion rates: per-job decompression deltas
+    // between consecutive snapshots, normalized by the working set.
+    // (`observed_rate` in telemetry is the would-be rate at the minimum
+    // threshold — an upper bound the controller uses, not the SLI.)
+    let mut last_decomp = std::collections::HashMap::new();
+    let mut rates = Vec::new();
+    for snap in system.telemetry().job_snapshots() {
+        let prev = last_decomp.insert(snap.job, snap.decompressions);
+        if snap.at.as_secs() <= 50 * 60 {
+            continue; // hand-tuned warmup
+        }
+        if let Some(prev) = prev {
+            let faults = snap.decompressions - prev;
+            let wss = snap.working_set.get().max(1);
+            rates.push(faults as f64 / wss as f64); // per minute
+        }
+    }
+    assert!(!rates.is_empty());
+    let p98 = sdfm::types::stats::percentile(&rates, Percentile::P98).expect("rates exist");
+    let target = NormalizedPromotionRate::PAPER_SLO_TARGET.fraction_per_min();
+    assert!(
+        p98 <= target * 5.0,
+        "p98 realized rate {p98} far above the SLO {target}"
+    );
+}

@@ -1,0 +1,141 @@
+//! Fleet-level integration: the statistical fleet simulator reproduces the
+//! paper's aggregate behaviors, deterministically.
+
+use sdfm::agent::AgentParams;
+use sdfm::core::fleet_sim::{FleetSim, FleetSimConfig};
+use sdfm::types::prelude::*;
+
+fn sim(seed: u64) -> FleetSim {
+    FleetSim::new(FleetSimConfig::new(2), seed)
+}
+
+#[test]
+fn fleet_reaches_paper_scale_coverage_within_slo() {
+    let mut s = sim(1);
+    for _ in 0..36 {
+        s.step_window();
+    }
+    let mut far = 0u64;
+    let mut cold = 0u64;
+    let mut rates = Vec::new();
+    for _ in 0..24 {
+        let w = s.step_window();
+        far += w.far_pages;
+        cold += w.cold_pages;
+        rates.extend(
+            w.per_job
+                .iter()
+                .filter(|j| j.enabled)
+                .map(|j| j.normalized_rate),
+        );
+    }
+    let coverage = far as f64 / cold as f64;
+    assert!(
+        (0.10..=0.50).contains(&coverage),
+        "fleet coverage {coverage} outside the paper's regime"
+    );
+    let p98 = sdfm::types::stats::percentile(&rates, Percentile::P98).expect("rates");
+    assert!(
+        p98 <= NormalizedPromotionRate::PAPER_SLO_TARGET.fraction_per_min() * 1.5,
+        "p98 {p98} breaches the SLO regime"
+    );
+}
+
+#[test]
+fn aggressive_tuning_increases_coverage_monotonically() {
+    // Lower K = less conservative threshold = more far memory. This is the
+    // gradient the autotuner climbs.
+    let coverage_at = |k: f64| -> f64 {
+        let mut cfg = FleetSimConfig::new(2);
+        cfg.params = AgentParams::new(k, SimDuration::from_mins(10)).expect("valid");
+        let mut s = FleetSim::new(cfg, 7);
+        for _ in 0..30 {
+            s.step_window();
+        }
+        let mut far = 0u64;
+        let mut cold = 0u64;
+        for _ in 0..18 {
+            let w = s.step_window();
+            far += w.far_pages;
+            cold += w.cold_pages;
+        }
+        far as f64 / cold as f64
+    };
+    let conservative = coverage_at(100.0);
+    let moderate = coverage_at(98.0);
+    let aggressive = coverage_at(60.0);
+    assert!(
+        moderate >= conservative,
+        "K=98 ({moderate}) below K=100 ({conservative})"
+    );
+    assert!(
+        aggressive > conservative * 1.02,
+        "K=60 ({aggressive}) not clearly above K=100 ({conservative})"
+    );
+}
+
+#[test]
+fn bursts_show_up_as_threshold_pool_outliers() {
+    // Burst windows force thresholds up; the spike rule reacts within one
+    // window. Check that per-job thresholds are not constant over a day.
+    let mut s = sim(13);
+    let mut thresholds = std::collections::HashMap::<u64, Vec<u8>>::new();
+    for _ in 0..96 {
+        let w = s.step_window();
+        for j in &w.per_job {
+            thresholds
+                .entry(j.job.raw())
+                .or_default()
+                .push(j.threshold_scans);
+        }
+    }
+    let varying = thresholds
+        .values()
+        .filter(|ts| {
+            let min = ts.iter().min().copied().unwrap_or(0);
+            let max = ts.iter().max().copied().unwrap_or(0);
+            max > min
+        })
+        .count();
+    assert!(
+        varying * 2 > thresholds.len(),
+        "only {varying}/{} jobs ever changed threshold",
+        thresholds.len()
+    );
+}
+
+#[test]
+fn fleet_sim_is_fully_deterministic() {
+    let mut a = sim(42);
+    let mut b = sim(42);
+    for _ in 0..10 {
+        assert_eq!(a.step_window(), b.step_window());
+    }
+}
+
+#[test]
+fn diurnal_pattern_moves_fleet_cold_memory() {
+    // §2.2 / Figure 2: cold memory varies with time of day. Fleet load
+    // peaks in the regional evening, so cold memory should peak in the
+    // early morning and trough in the evening.
+    let mut s = sim(17);
+    let mut cold_by_hour = [0u64; 24];
+    let mut total_by_hour = [0u64; 24];
+    for _ in 0..288 {
+        let stats = s.step_window();
+        let hour = (stats.at.second_of_day() / 3600) as usize;
+        cold_by_hour[hour] += stats.cold_pages;
+        total_by_hour[hour] += stats.total_pages;
+    }
+    let frac = |hours: std::ops::Range<usize>| -> f64 {
+        let c: u64 = hours.clone().map(|h| cold_by_hour[h]).sum();
+        let t: u64 = hours.map(|h| total_by_hour[h]).sum();
+        c as f64 / t.max(1) as f64
+    };
+    let night = frac(3..7); // load trough: memory coldest
+    let evening = frac(17..21); // load peak: memory hottest
+    assert!(
+        night > evening * 1.02,
+        "no diurnal cold-memory swing: night {night:.4} vs evening {evening:.4}"
+    );
+}

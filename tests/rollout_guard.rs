@@ -1,0 +1,116 @@
+//! End-to-end §5.3 deployment: the rollout pipeline advances a tuned
+//! candidate through qualification → canary → production, gated by *real*
+//! fleet monitoring (the SLO check on simulated telemetry), and rolls back
+//! a deliberately bad candidate.
+
+use sdfm::agent::AgentParams;
+use sdfm::autotuner::{RolloutPipeline, RolloutStage};
+use sdfm::core::fleet_sim::{FleetSim, FleetSimConfig};
+use sdfm::types::prelude::*;
+
+/// Runs a short fleet burn-in under `params` and returns the realized p98
+/// promotion rate — the "rigorous monitoring" step of the §5.3 deployment.
+fn monitor(params: AgentParams, seed: u64) -> f64 {
+    let mut cfg = FleetSimConfig::new(2);
+    cfg.params = params;
+    let mut sim = FleetSim::new(cfg, seed);
+    for _ in 0..18 {
+        sim.step_window();
+    }
+    let mut rates = Vec::new();
+    for _ in 0..12 {
+        let s = sim.step_window();
+        rates.extend(
+            s.per_job
+                .iter()
+                .filter(|j| j.enabled)
+                .map(|j| j.normalized_rate),
+        );
+    }
+    sdfm::types::stats::percentile(&rates, Percentile::P98).expect("fleet produced rates")
+}
+
+#[test]
+fn healthy_candidate_promotes_through_monitored_stages() {
+    let production = AgentParams::hand_tuned();
+    let candidate = AgentParams::new(90.0, SimDuration::from_mins(10)).expect("valid");
+    let mut rollout = RolloutPipeline::new(
+        vec![
+            production.k_percentile,
+            production.s_warmup.as_secs() as f64,
+        ],
+        1,
+    );
+    rollout.propose(vec![
+        candidate.k_percentile,
+        candidate.s_warmup.as_secs() as f64,
+    ]);
+    let mut stage_seed = 100;
+    let mut guard = 0;
+    while rollout.in_flight() {
+        guard += 1;
+        assert!(guard < 10, "rollout did not converge");
+        let under_test = rollout.under_test().to_vec();
+        let params = AgentParams::new(under_test[0], SimDuration::from_secs(under_test[1] as u64))
+            .expect("pipeline carries valid params");
+        stage_seed += 1;
+        // Absolute gate: the SLO itself (with engineering margin).
+        let healthy = monitor(params, stage_seed)
+            <= NormalizedPromotionRate::PAPER_SLO_TARGET.fraction_per_min() * 1.5;
+        rollout.observe(healthy);
+    }
+    assert_eq!(
+        rollout.rollbacks(),
+        0,
+        "healthy candidate must not roll back"
+    );
+    assert_eq!(
+        rollout.active()[0],
+        candidate.k_percentile,
+        "candidate must be serving production"
+    );
+    assert_eq!(rollout.stage(), RolloutStage::Qualification);
+}
+
+#[test]
+fn slo_breaching_candidate_rolls_back_to_production() {
+    let production = AgentParams::hand_tuned();
+    let mut rollout = RolloutPipeline::new(
+        vec![
+            production.k_percentile,
+            production.s_warmup.as_secs() as f64,
+        ],
+        1,
+    );
+    // A reckless candidate: most aggressive corner of the space.
+    rollout.propose(vec![50.0, 0.0]);
+    let mut stage_seed = 200;
+    let mut guard = 0;
+    while rollout.in_flight() {
+        guard += 1;
+        assert!(guard < 10, "rollout did not converge");
+        let under_test = rollout.under_test().to_vec();
+        let params = AgentParams::new(under_test[0], SimDuration::from_secs(under_test[1] as u64))
+            .expect("valid");
+        stage_seed += 1;
+        // Paired A/B gate: the candidate must not regress the promotion
+        // SLI versus the production configuration on the same traffic —
+        // the most aggressive corner of the space always does.
+        let candidate_p98 = monitor(params, stage_seed);
+        let baseline_p98 = monitor(production, stage_seed);
+        let healthy = candidate_p98 <= baseline_p98 * 1.01;
+        rollout.observe(healthy);
+        if rollout.rollbacks() > 0 {
+            break;
+        }
+    }
+    assert_eq!(rollout.rollbacks(), 1, "bad candidate must roll back");
+    assert_eq!(
+        rollout.active(),
+        &[
+            production.k_percentile,
+            production.s_warmup.as_secs() as f64
+        ][..],
+        "production configuration must be restored"
+    );
+}
