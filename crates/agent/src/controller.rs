@@ -91,7 +91,25 @@ pub struct JobController {
     prev_promo: PromotionHistogram,
 }
 
+// Fleet simulators step controllers for disjoint job sets on worker
+// threads; the controller must stay plain owned data.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<JobController>();
+};
+
 impl JobController {
+    /// Maximum control periods of best-threshold history retained.
+    ///
+    /// The pool is a *sliding* window, not the job's whole life: an
+    /// unbounded pool makes the K-th percentile ratchet ever more
+    /// conservative (a single early spike stays in the top percentiles
+    /// forever), so steady-state coverage would decay with job age and the
+    /// controller could never adapt to behavior changes. Three hours of
+    /// 5-minute periods keeps enough samples for percentile resolution at
+    /// production K values while aging spikes out.
+    pub const POOL_CAP: usize = 36;
+
     /// Creates a controller for a job that started at `started_at`.
     pub fn new(params: AgentParams, slo: SloConfig, started_at: SimTime) -> Self {
         JobController {
@@ -157,6 +175,10 @@ impl JobController {
             PromotionRate::from_count(observed_count, window).normalized(working_set);
         self.prev_promo = promo_cumulative.clone();
         self.pool.push(best);
+        if self.pool.len() > Self::POOL_CAP {
+            let excess = self.pool.len() - Self::POOL_CAP;
+            self.pool.drain(..excess);
+        }
 
         let pool_percentile = self.pool_kth_percentile();
         // Spike reaction: never undercut what the last window needed.

@@ -13,6 +13,7 @@ fn traces() -> Vec<JobTrace> {
         warmup_windows: 0,
         measure_windows: 0,
         seed: 4242,
+        threads: 0,
     };
     collect_fleet_traces(&scale, 24)
 }

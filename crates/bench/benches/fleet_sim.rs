@@ -1,0 +1,35 @@
+//! Fleet-window simulation throughput: windows stepped per second vs
+//! worker-thread count. The per-job work dominates a window, so stepping
+//! should scale near-linearly until churn + aggregation (sequential by
+//! design, for determinism) become visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdfm_core::fleet_sim::{FleetSim, FleetSimConfig};
+
+const WINDOWS_PER_ITER: usize = 4;
+
+fn bench_window_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_sim_step_window");
+    group.throughput(Throughput::Elements(WINDOWS_PER_ITER as u64));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let mut cfg = FleetSimConfig::new(6);
+            cfg.threads = t;
+            let mut sim = FleetSim::new(cfg, 42);
+            // Warm past the S-boundary so every window does full work.
+            for _ in 0..12 {
+                sim.step_window();
+            }
+            b.iter(|| {
+                for _ in 0..WINDOWS_PER_ITER {
+                    std::hint::black_box(sim.step_window());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_scaling);
+criterion_main!(benches);

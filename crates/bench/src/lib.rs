@@ -30,6 +30,7 @@ pub fn medium_scale() -> Scale {
         warmup_windows: 36,
         measure_windows: 48,
         seed: 42,
+        threads: 0,
     }
 }
 
@@ -37,13 +38,27 @@ pub fn medium_scale() -> Scale {
 pub fn parse_options() -> Options {
     let mut scale = medium_scale();
     let mut json = false;
-    for arg in std::env::args().skip(1) {
+    let mut threads = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--paper" => scale = Scale::paper(),
             "--small" => scale = Scale::small(),
             "--json" => json = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
             "--help" | "-h" => {
-                eprintln!("flags: --small | --paper (scale), --json (raw output)");
+                eprintln!(
+                    "flags: --small | --paper (scale), --json (raw output), \
+                     --threads N (fleet-sim workers; default = all cores)"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -52,6 +67,8 @@ pub fn parse_options() -> Options {
             }
         }
     }
+    // Scale presets reset `threads`, so apply the override last.
+    scale.threads = threads;
     Options { scale, json }
 }
 

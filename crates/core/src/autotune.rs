@@ -62,12 +62,34 @@ impl AutotunePipeline {
     /// One pipeline iteration.
     pub fn step(&mut self) -> TuneTrial {
         let point = self.bandit.suggest();
+        self.evaluate_point(point)
+    }
+
+    /// Evaluates an explicit configuration — typically the currently
+    /// deployed incumbent — and adds it to the observation pool. Anchoring
+    /// the search on the incumbent means `best_params` can never regress
+    /// below the deployed configuration under the model, and gives the GP
+    /// a known-good region to explore around.
+    pub fn observe_params(&mut self, params: AgentParams) -> TuneTrial {
+        let point = vec![params.k_percentile, params.s_warmup.as_secs() as f64];
+        self.evaluate_point(point)
+    }
+
+    fn evaluate_point(&mut self, point: Vec<f64>) -> TuneTrial {
         let params = Self::params_from_point(&point);
         let result = self.model.evaluate(&ModelConfig {
             params,
             slo: self.slo,
         });
-        let constraint = result.p98_normalized_rate.fraction_per_min();
+        // A configuration with no enabled windows never measured its
+        // constraint: treat it as a hard violation. The penalty must stay
+        // finite (infinities wreck the GP's observation standardization) —
+        // any value above the constraint limit keeps the point infeasible
+        // while still letting the surrogate rank it.
+        let constraint = result
+            .p98_normalized_rate
+            .map(|p98| p98.fraction_per_min())
+            .unwrap_or_else(|| self.slo.target.fraction_per_min() * 10.0);
         self.bandit
             .observe(point.clone(), result.avg_cold_pages, constraint);
         let trial = TuneTrial {

@@ -669,7 +669,13 @@ pub fn ablation_tuner(traces: Vec<JobTrace>, budget: usize, seed: u64) -> Ablati
         )
         .expect("clamped");
         let r = model.evaluate(&ModelConfig { params, slo });
-        (r.avg_cold_pages, r.p98_normalized_rate.fraction_per_min())
+        // Unmeasured constraint (no enabled windows) = infeasible; keep
+        // the penalty finite for the GP arm's standardization.
+        let con = r
+            .p98_normalized_rate
+            .map(|p98| p98.fraction_per_min())
+            .unwrap_or(target * 10.0);
+        (r.avg_cold_pages, con)
     };
 
     // GP Bandit, driven directly over the same evaluation function.
@@ -867,6 +873,7 @@ mod tests {
             warmup_windows: 0,
             measure_windows: 36,
             seed: 42,
+            threads: 0,
         };
         let traces = ablation_traces(&scale);
         let a = ablation_tuner(traces, 40, 9);

@@ -31,6 +31,7 @@ pub mod rollout;
 pub mod tables;
 pub mod two_tier;
 
+use crate::fleet_sim::FleetSimConfig;
 use sdfm_agent::TraceRecord;
 use sdfm_model::{group_traces, JobTrace};
 use sdfm_types::time::{SimDuration, SimTime, DAY};
@@ -49,6 +50,9 @@ pub struct Scale {
     pub measure_windows: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for fleet-window stepping (0 = one per available
+    /// core). The simulation output is identical at any setting.
+    pub threads: usize,
 }
 
 impl Scale {
@@ -59,6 +63,7 @@ impl Scale {
             warmup_windows: 18,
             measure_windows: 12,
             seed: 42,
+            threads: 0,
         }
     }
 
@@ -70,7 +75,17 @@ impl Scale {
             warmup_windows: 72,   // 6 hours
             measure_windows: 288, // one day
             seed: 42,
+            threads: 0,
         }
+    }
+
+    /// A fleet-simulator config honoring this scale's thread override.
+    pub fn fleet_config(&self) -> FleetSimConfig {
+        let mut cfg = FleetSimConfig::new(self.machines_per_cluster);
+        if self.threads > 0 {
+            cfg.threads = self.threads;
+        }
+        cfg
     }
 }
 
@@ -154,6 +169,7 @@ mod tests {
             warmup_windows: 0,
             measure_windows: 0,
             seed: 9,
+            threads: 0,
         };
         let traces = collect_fleet_traces(&scale, 4);
         assert!(!traces.is_empty());

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use super::Scale;
-use crate::fleet_sim::{FleetSim, FleetSimConfig};
+use crate::fleet_sim::FleetSim;
 use sdfm_compress::codec::CodecKind;
 use sdfm_compress::gen::{CompressibilityMix, PageGenerator};
 use sdfm_compress::page::MAX_COMPRESSED_PAYLOAD;
@@ -38,10 +38,7 @@ pub struct Fig8 {
 /// Figure 8: the distribution of CPU cycles spent compressing and
 /// decompressing, normalized to job/machine CPU usage.
 pub fn figure8(scale: &Scale) -> Fig8 {
-    let mut sim = FleetSim::new(
-        FleetSimConfig::new(scale.machines_per_cluster),
-        scale.seed ^ 0xF8,
-    );
+    let mut sim = FleetSim::new(scale.fleet_config(), scale.seed ^ 0xF8);
     for _ in 0..scale.warmup_windows {
         sim.step_window();
     }

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 
 use super::{collect_fleet_traces, Scale};
 use crate::autotune::AutotunePipeline;
-use crate::fleet_sim::{FleetSim, FleetSimConfig};
+use crate::fleet_sim::FleetSim;
 use sdfm_agent::{AgentParams, SloConfig};
 use sdfm_model::FarMemoryModel;
 use sdfm_types::stats::{Cdf, FiveNumberSummary, Percentile};
@@ -53,7 +53,7 @@ pub fn hand_tuned_params() -> AgentParams {
 /// uses parameters found by the real pipeline on traces collected during
 /// the hand-tuned phase.
 pub fn figure5(scale: &Scale) -> (Vec<Fig5Point>, AgentParams) {
-    let mut sim = FleetSim::new(FleetSimConfig::new(scale.machines_per_cluster), scale.seed);
+    let mut sim = FleetSim::new(scale.fleet_config(), scale.seed);
     let window_hours = sim.window().as_secs() as f64 / 3600.0;
     let mut points = Vec::new();
     let mut hours = 0.0;
@@ -92,10 +92,16 @@ pub fn figure5(scale: &Scale) -> (Vec<Fig5Point>, AgentParams) {
         scale.measure_windows,
     );
 
-    // Autotune on a collected fleet trace.
-    let traces = collect_fleet_traces(scale, scale.measure_windows.max(8));
+    // Autotune on a collected fleet trace. The trace must span at least
+    // the controller's history window plus the measurement horizon, or the
+    // model cannot resolve K at the pool sizes the deployment will run at.
+    let trace_windows = (sdfm_agent::JobController::POOL_CAP + scale.measure_windows).max(8);
+    let traces = collect_fleet_traces(scale, trace_windows);
     let model = FarMemoryModel::new(traces);
     let mut pipeline = AutotunePipeline::new(model, SloConfig::default(), scale.seed ^ 0xA77);
+    // Anchor the search on the deployed incumbent so the rollout can only
+    // move forward from the hand-tuned configuration.
+    pipeline.observe_params(hand_tuned_params());
     pipeline.run(18);
     let tuned = pipeline.best_params().unwrap_or_else(hand_tuned_params);
 
@@ -128,10 +134,7 @@ pub fn phase_steady_coverage(points: &[Fig5Point], phase: RolloutPhase) -> f64 {
 /// Figure 6: distribution of per-machine coverage across the top-10
 /// clusters, under the hand-tuned configuration at steady state.
 pub fn figure6(scale: &Scale) -> Vec<super::coldness::ClusterDistribution> {
-    let mut sim = FleetSim::new(
-        FleetSimConfig::new(scale.machines_per_cluster),
-        scale.seed ^ 0xF16,
-    );
+    let mut sim = FleetSim::new(scale.fleet_config(), scale.seed ^ 0xF16);
     for _ in 0..scale.warmup_windows {
         sim.step_window();
     }
@@ -189,7 +192,7 @@ pub struct Fig7 {
 /// before (hand-tuned) and after (autotuned) parameters.
 pub fn figure7(scale: &Scale, tuned: AgentParams) -> Fig7 {
     let collect = |params: AgentParams, seed: u64| -> Vec<f64> {
-        let mut cfg = FleetSimConfig::new(scale.machines_per_cluster);
+        let mut cfg = scale.fleet_config();
         cfg.params = params;
         let mut sim = FleetSim::new(cfg, seed);
         for _ in 0..scale.warmup_windows {

@@ -11,6 +11,7 @@
 //! Every fleet-level figure (1, 2, 3, 5, 6, 7, 8) is computed from this
 //! simulator's output.
 
+use crossbeam::thread;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -43,6 +44,10 @@ pub struct FleetSimConfig {
     pub churn: bool,
     /// Per-page compression costs for CPU accounting.
     pub cost: CostModel,
+    /// Worker threads for the per-job window step (1 = sequential). The
+    /// output is identical at any thread count: each job's state is
+    /// self-contained, and results are aggregated in job order.
+    pub threads: usize,
 }
 
 impl FleetSimConfig {
@@ -56,6 +61,9 @@ impl FleetSimConfig {
             noise_sigma: StatJobModel::DEFAULT_SIGMA,
             churn: true,
             cost: CostModel::PAPER_DEFAULT,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }
@@ -110,7 +118,18 @@ pub struct FleetWindowStats {
 
 impl FleetWindowStats {
     /// Fleet cold-memory coverage this window.
+    ///
+    /// Far memory is always a subset of the cold memory at the minimum
+    /// threshold, so coverage lies in `[0, 1]`. A window with no cold
+    /// memory at all (e.g. an empty fleet) has nothing to cover and
+    /// explicitly reports zero coverage rather than dividing by zero.
     pub fn coverage(&self) -> f64 {
+        debug_assert!(
+            self.far_pages <= self.cold_pages,
+            "far pages {} exceed cold pages {}: thresholds below the SLO minimum?",
+            self.far_pages,
+            self.cold_pages
+        );
         if self.cold_pages == 0 {
             0.0
         } else {
@@ -140,8 +159,22 @@ struct SimJob {
     incompressible: f64,
     cpu_cores: f64,
     total_pages: u64,
-    was_enabled: bool,
+    /// Far-memory pages still sitting in the zswap store from the last
+    /// enabled window. Disabling zswap stops new compressions but does not
+    /// flush the store, so on re-enable only the growth beyond this
+    /// residue is charged as compression work.
+    resident_far: u64,
 }
+
+// The parallel window step hands chunks of jobs to scoped worker threads;
+// everything a job owns (the stat model with its RNG, the real controller)
+// must therefore cross thread boundaries.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<StatJobModel>();
+    assert_send::<JobController>();
+    assert_send::<SimJob>();
+};
 
 /// The simulator.
 pub struct FleetSim {
@@ -150,6 +183,9 @@ pub struct FleetSim {
     now: SimTime,
     next_id: u64,
     rng: StdRng,
+    /// Per-worker output buffers, kept across windows so the parallel
+    /// step allocates nothing in steady state.
+    scratch: Vec<Vec<JobWindowStat>>,
 }
 
 impl std::fmt::Debug for FleetSim {
@@ -172,6 +208,7 @@ impl FleetSim {
             now: SimTime::ZERO + DAY,
             next_id: 1,
             rng: StdRng::seed_from_u64(seed),
+            scratch: Vec::new(),
         };
         let clusters = sim.config.spec.clusters.clone();
         for (ci, cluster) in clusters.iter().enumerate() {
@@ -227,7 +264,7 @@ impl FleetSim {
             incompressible,
             cpu_cores,
             total_pages,
-            was_enabled: false,
+            resident_far: 0,
         });
     }
 
@@ -250,72 +287,125 @@ impl FleetSim {
         }
     }
 
+    /// Advances one job by one window: observe, decide, and charge the
+    /// window's far memory, promotions, and compression CPU.
+    ///
+    /// Deliberately a free-standing function of the job and copied window
+    /// scalars — it never touches the sim-level RNG or any shared state, so
+    /// disjoint job chunks can step concurrently with results identical to
+    /// the sequential order.
+    fn step_job(
+        j: &mut SimJob,
+        now: SimTime,
+        window: SimDuration,
+        min_threshold: PageAge,
+    ) -> JobWindowStat {
+        let obs = j.model.observe(now, window);
+        j.cumulative_promo.merge(&obs.promo_delta);
+        let decision = j
+            .controller
+            .on_minute(now, &obs.cold_hist, &j.cumulative_promo);
+        let cold_min = obs.cold_hist.pages_colder_than(min_threshold);
+        let enabled = decision.zswap_enabled;
+        let threshold = decision.threshold;
+        let compressible = 1.0 - j.incompressible;
+        let (far, promos) = if enabled {
+            let cold_at_thr = obs.cold_hist.pages_colder_than(threshold);
+            let promos_at_thr = obs.promo_delta.promotions_colder_than(threshold);
+            (
+                (cold_at_thr as f64 * compressible) as u64,
+                (promos_at_thr as f64 * compressible) as u64,
+            )
+        } else {
+            (0, 0)
+        };
+        // CPU events: only pages *entering* the store compress. The store
+        // survives a zswap disable, so an enabled window is charged the
+        // growth beyond what is already resident, plus the re-compression
+        // of pages that faulted out and went cold again (the promotion
+        // rate). A fresh enable (resident 0) charges the full cold mass.
+        let compress_events = if enabled {
+            far.saturating_sub(j.resident_far) + promos
+        } else {
+            0
+        };
+        if enabled {
+            j.resident_far = far;
+        }
+        let rate = PromotionRate::from_count(promos, window)
+            .normalized(decision.working_set)
+            .fraction_per_min();
+        JobWindowStat {
+            job: j.id,
+            cluster: j.cluster,
+            machine: j.machine,
+            total_pages: j.total_pages,
+            working_set: decision.working_set.get(),
+            cold_pages: cold_min,
+            far_pages: far,
+            promotions: promos,
+            threshold_scans: threshold.as_scans(),
+            enabled,
+            normalized_rate: rate,
+            compress_events,
+            decompress_events: promos,
+            cpu_cores: j.cpu_cores,
+        }
+    }
+
     /// Advances one window and returns the fleet stats.
+    ///
+    /// The per-job work fans out across [`FleetSimConfig::threads`] scoped
+    /// workers; job churn then runs sequentially on the sim-level RNG, so
+    /// the result — including the order of `per_job` and the RNG stream —
+    /// is bit-for-bit identical at any thread count.
     pub fn step_window(&mut self) -> FleetWindowStats {
         self.now += self.config.window;
+        let now = self.now;
         let window = self.config.window;
         let min_threshold = self.config.slo.min_threshold;
         let mut stats = FleetWindowStats {
-            at: self.now,
+            at: now,
             total_pages: 0,
             cold_pages: 0,
             far_pages: 0,
             per_job: Vec::with_capacity(self.jobs.len()),
         };
 
-        for j in &mut self.jobs {
-            let obs = j.model.observe(self.now, window);
-            j.cumulative_promo.merge(&obs.promo_delta);
-            let decision = j
-                .controller
-                .on_minute(self.now, &obs.cold_hist, &j.cumulative_promo);
-            let cold_min = obs.cold_hist.pages_colder_than(min_threshold);
-            let enabled = decision.zswap_enabled;
-            let threshold = decision.threshold;
-            let compressible = 1.0 - j.incompressible;
-            let (far, promos) = if enabled {
-                let cold_at_thr = obs.cold_hist.pages_colder_than(threshold);
-                let promos_at_thr = obs.promo_delta.promotions_colder_than(threshold);
-                (
-                    (cold_at_thr as f64 * compressible) as u64,
-                    (promos_at_thr as f64 * compressible) as u64,
-                )
-            } else {
-                (0, 0)
-            };
-            // CPU events: on enable, the initial cold mass compresses; in
-            // steady state pages re-enter far memory at the promotion rate.
-            let compress_events = if enabled && !j.was_enabled {
-                far + promos
-            } else if enabled {
-                promos
-            } else {
-                0
-            };
-            j.was_enabled = enabled;
-            let rate = PromotionRate::from_count(promos, window)
-                .normalized(decision.working_set)
-                .fraction_per_min();
-
-            stats.total_pages += j.total_pages;
-            stats.cold_pages += cold_min;
-            stats.far_pages += far;
-            stats.per_job.push(JobWindowStat {
-                job: j.id,
-                cluster: j.cluster,
-                machine: j.machine,
-                total_pages: j.total_pages,
-                working_set: decision.working_set.get(),
-                cold_pages: cold_min,
-                far_pages: far,
-                promotions: promos,
-                threshold_scans: threshold.as_scans(),
-                enabled,
-                normalized_rate: rate,
-                compress_events,
-                decompress_events: promos,
-                cpu_cores: j.cpu_cores,
-            });
+        let workers = self.config.threads.max(1).min(self.jobs.len().max(1));
+        if workers <= 1 {
+            for j in &mut self.jobs {
+                stats
+                    .per_job
+                    .push(Self::step_job(j, now, window, min_threshold));
+            }
+        } else {
+            let chunk = self.jobs.len().div_ceil(workers);
+            let chunks: Vec<&mut [SimJob]> = self.jobs.chunks_mut(chunk).collect();
+            self.scratch.resize_with(chunks.len(), Vec::new);
+            thread::scope(|s| {
+                for (chunk, buf) in chunks.into_iter().zip(self.scratch.iter_mut()) {
+                    s.spawn(move |_| {
+                        buf.clear();
+                        buf.extend(
+                            chunk
+                                .iter_mut()
+                                .map(|j| Self::step_job(j, now, window, min_threshold)),
+                        );
+                    });
+                }
+            })
+            .expect("fleet window worker panicked");
+            // Drain in chunk order: per_job comes out in job order exactly
+            // as the sequential path produces it.
+            for buf in &mut self.scratch {
+                stats.per_job.append(buf);
+            }
+        }
+        for s in &stats.per_job {
+            stats.total_pages += s.total_pages;
+            stats.cold_pages += s.cold_pages;
+            stats.far_pages += s.far_pages;
         }
 
         // Churn: replace expired jobs.
@@ -464,5 +554,68 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(a.step_window(), b.step_window());
         }
+    }
+
+    #[test]
+    fn step_window_identical_across_thread_counts() {
+        let sim_with_threads = |threads: usize| {
+            let mut cfg = FleetSimConfig::new(2);
+            cfg.noise_sigma = 0.1;
+            cfg.threads = threads;
+            FleetSim::new(cfg, 11)
+        };
+        let mut seq = sim_with_threads(1);
+        let mut two = sim_with_threads(2);
+        let mut eight = sim_with_threads(8);
+        // Long enough to cross warmup boundaries and churn at least once.
+        for w in 0..16 {
+            let a = seq.step_window();
+            let b = two.step_window();
+            let c = eight.step_window();
+            assert_eq!(a, b, "1 vs 2 threads diverged at window {w}");
+            assert_eq!(a, c, "1 vs 8 threads diverged at window {w}");
+        }
+    }
+
+    #[test]
+    fn reenable_charges_only_the_far_memory_delta() {
+        // Deterministic expectations so far memory is stable across the
+        // disable gap.
+        let mut cfg = FleetSimConfig::new(2);
+        cfg.noise_sigma = 0.0;
+        cfg.churn = false;
+        let mut sim = FleetSim::new(cfg, 9);
+        let always_on = AgentParams::new(98.0, SimDuration::ZERO).unwrap();
+        let never_on = AgentParams::new(98.0, SimDuration::from_hours(10_000)).unwrap();
+
+        sim.set_params(always_on);
+        let mut steady = None;
+        for _ in 0..12 {
+            steady = Some(sim.step_window());
+        }
+        let steady = steady.unwrap();
+        assert!(steady.far_pages > 0, "no far memory built up");
+
+        // Disable fleet-wide: the store keeps its contents.
+        sim.set_params(never_on);
+        let off = sim.step_window();
+        assert_eq!(off.far_pages, 0);
+        assert_eq!(
+            off.per_job.iter().map(|j| j.compress_events).sum::<u64>(),
+            0
+        );
+
+        // Re-enable: only growth beyond the still-resident pages (plus the
+        // steady promotion trickle) may be charged — not the full reservoir.
+        sim.set_params(always_on);
+        let back = sim.step_window();
+        assert!(back.far_pages > 0, "re-enable produced no far memory");
+        let compress: u64 = back.per_job.iter().map(|j| j.compress_events).sum();
+        assert!(
+            compress < back.far_pages / 2,
+            "re-enable recompressed the whole store: {} events for {} far pages",
+            compress,
+            back.far_pages
+        );
     }
 }

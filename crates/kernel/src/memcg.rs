@@ -114,6 +114,15 @@ impl MemCgroup {
         self.stats.usage()
     }
 
+    /// Whether `page` currently lives in the zswap store, or `None` if no
+    /// such page exists. Diagnostic only — production agents never see
+    /// individual pages.
+    pub fn page_in_zswap(&self, page: sdfm_types::ids::PageId) -> Option<bool> {
+        self.pages
+            .get(page.index())
+            .map(|p| matches!(p.state, crate::page::PageState::Zswapped(_)))
+    }
+
     /// The instantaneous cold-age histogram (rebuilt by kstaled each scan).
     pub fn cold_age_histogram(&self) -> &ColdAgeHistogram {
         &self.cold_hist

@@ -37,8 +37,11 @@ pub struct FleetModelResult {
     /// optimization objective).
     pub avg_cold_pages: f64,
     /// The p98 of per-job-window normalized promotion rates (the
-    /// constraint).
-    pub p98_normalized_rate: NormalizedPromotionRate,
+    /// constraint), or `None` if no window ever ran with zswap enabled
+    /// (e.g. a warmup longer than every trace, or an empty trace set).
+    /// `None` means the constraint was never *measured* — the
+    /// configuration is infeasible, not SLO-perfect.
+    pub p98_normalized_rate: Option<NormalizedPromotionRate>,
     /// Mean cold-memory coverage across jobs.
     pub mean_coverage: f64,
     /// Jobs replayed.
@@ -48,9 +51,12 @@ pub struct FleetModelResult {
 }
 
 impl FleetModelResult {
-    /// Whether the constraint holds against the SLO target.
+    /// Whether the constraint holds against the SLO target. A
+    /// configuration whose constraint was never measured (no enabled
+    /// windows) does not meet any SLO: it saved nothing, and deploying it
+    /// on the strength of an unmeasured constraint would be vacuous.
     pub fn meets_slo(&self, target: NormalizedPromotionRate) -> bool {
-        self.p98_normalized_rate.meets(target)
+        self.p98_normalized_rate.is_some_and(|p98| p98.meets(target))
     }
 }
 
@@ -88,15 +94,47 @@ impl FarMemoryModel {
     }
 
     /// Evaluates many configurations; each runs the full fleet replay.
+    ///
+    /// Parallelizes across *configurations* (each worker replaying its
+    /// configs sequentially) rather than nesting job-level parallelism
+    /// inside config-level parallelism, which would oversubscribe the
+    /// cores. Replay is a pure function of the traces and the config, so
+    /// results match [`evaluate`](Self::evaluate) exactly.
     pub fn evaluate_many(&self, configs: &[ModelConfig]) -> Vec<FleetModelResult> {
-        configs.iter().map(|c| self.evaluate(c)).collect()
+        let workers = self.threads.min(configs.len());
+        if workers <= 1 {
+            return configs.iter().map(|c| self.evaluate(c)).collect();
+        }
+        let chunk = configs.len().div_ceil(workers);
+        thread::scope(|s| {
+            let handles: Vec<_> = configs
+                .chunks(chunk)
+                .map(|chunk| {
+                    s.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|c| Self::aggregate(&self.replay_all_with(c, 1)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("evaluate worker panicked"))
+                .collect()
+        })
+        .expect("evaluate scope panicked")
     }
 
     fn replay_all(&self, config: &ModelConfig) -> Vec<JobReplayOutcome> {
+        self.replay_all_with(config, self.threads)
+    }
+
+    fn replay_all_with(&self, config: &ModelConfig, threads: usize) -> Vec<JobReplayOutcome> {
         if self.traces.is_empty() {
             return Vec::new();
         }
-        let workers = self.threads.min(self.traces.len());
+        let workers = threads.min(self.traces.len());
         if workers <= 1 {
             return self
                 .traces
@@ -143,7 +181,10 @@ impl FarMemoryModel {
                 coverages.push(c);
             }
         }
-        let p98 = percentile(&rates, Percentile::P98).unwrap_or(0.0);
+        // No enabled windows means the constraint was never exercised;
+        // report that explicitly instead of a silently SLO-perfect zero.
+        let p98 = percentile(&rates, Percentile::P98)
+            .map(|p| NormalizedPromotionRate::from_fraction_per_min(p.max(0.0)));
         let mean_coverage = if coverages.is_empty() {
             0.0
         } else {
@@ -151,7 +192,7 @@ impl FarMemoryModel {
         };
         FleetModelResult {
             avg_cold_pages: avg_cold,
-            p98_normalized_rate: NormalizedPromotionRate::from_fraction_per_min(p98.max(0.0)),
+            p98_normalized_rate: p98,
             mean_coverage,
             jobs: outcomes.len(),
             windows,
@@ -200,7 +241,22 @@ mod tests {
         let r = m.evaluate(&config(98.0, 0));
         assert_eq!(r.jobs, 0);
         assert_eq!(r.avg_cold_pages, 0.0);
-        assert!(r.meets_slo(NormalizedPromotionRate::PAPER_SLO_TARGET));
+        // No windows ran, so the constraint was never measured: an
+        // unmeasured configuration must not pass as SLO-perfect.
+        assert_eq!(r.p98_normalized_rate, None);
+        assert!(!r.meets_slo(NormalizedPromotionRate::PAPER_SLO_TARGET));
+    }
+
+    #[test]
+    fn warmup_past_trace_end_is_infeasible_not_perfect() {
+        // Every record sits inside the 10-hour warmup: zero enabled
+        // windows, zero savings — and explicitly no measured p98.
+        let traces = (1..=3).map(|j| trace(j, 10, 2_000, 5)).collect();
+        let m = FarMemoryModel::new(traces).with_threads(2);
+        let r = m.evaluate(&config(98.0, 36_000));
+        assert_eq!(r.avg_cold_pages, 0.0);
+        assert_eq!(r.p98_normalized_rate, None);
+        assert!(!r.meets_slo(NormalizedPromotionRate::PAPER_SLO_TARGET));
     }
 
     #[test]
@@ -235,7 +291,7 @@ mod tests {
         assert!(r.mean_coverage > 0.5, "coverage {}", r.mean_coverage);
         assert!(
             r.meets_slo(NormalizedPromotionRate::PAPER_SLO_TARGET),
-            "p98 {}",
+            "p98 {:?}",
             r.p98_normalized_rate
         );
     }

@@ -1,7 +1,7 @@
 //! Offline replay of the §4.3 control algorithm over one job's trace.
 
 use crate::trace::JobTrace;
-use sdfm_agent::{best_threshold_for_window, AgentParams, SloConfig};
+use sdfm_agent::{best_threshold_for_window, AgentParams, JobController, SloConfig};
 use sdfm_types::histogram::{PageAge, PromotionHistogram};
 use sdfm_types::rate::{NormalizedPromotionRate, PromotionRate};
 use sdfm_types::time::SimTime;
@@ -120,7 +120,8 @@ pub fn replay_job(trace: &JobTrace, params: &AgentParams, slo: &SloConfig) -> Jo
             normalized_rate: rate,
         });
 
-        // Update the pool with this window's best threshold.
+        // Update the pool with this window's best threshold, mirroring the
+        // controller's sliding history window.
         let best = best_threshold_for_window(
             &record.promo_delta,
             &empty,
@@ -129,6 +130,10 @@ pub fn replay_job(trace: &JobTrace, params: &AgentParams, slo: &SloConfig) -> Jo
             slo,
         );
         pool.push(best);
+        if pool.len() > JobController::POOL_CAP {
+            let excess = pool.len() - JobController::POOL_CAP;
+            pool.drain(..excess);
+        }
     }
     JobReplayOutcome { windows }
 }

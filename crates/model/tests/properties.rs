@@ -108,9 +108,13 @@ proptest! {
         prop_assert!((forward.avg_cold_pages - reversed.avg_cold_pages).abs() < 1e-6);
         prop_assert_eq!(forward.jobs, reversed.jobs);
         prop_assert_eq!(forward.windows, reversed.windows);
+        prop_assert_eq!(
+            forward.p98_normalized_rate.is_some(),
+            reversed.p98_normalized_rate.is_some()
+        );
         prop_assert!(
-            (forward.p98_normalized_rate.fraction_per_min()
-                - reversed.p98_normalized_rate.fraction_per_min())
+            (forward.p98_normalized_rate.map_or(0.0, |p| p.fraction_per_min())
+                - reversed.p98_normalized_rate.map_or(0.0, |p| p.fraction_per_min()))
             .abs()
                 < 1e-12
         );

@@ -262,10 +262,17 @@ mod tests {
         // untouched hot pages).
         k.reclaim_job(JobId::new(1), PageAge::from_scans(2))
             .unwrap();
-        let zs = k.memcg(JobId::new(1)).unwrap().stats().zswapped_pages;
+        let cg = k.memcg(JobId::new(1)).unwrap();
+        let zs = cg.stats().zswapped_pages;
         assert!(zs > 500, "only {zs} pages compressed");
-        // Force-touch a frozen page: it must fault.
-        let promoted = k.touch(JobId::new(1), PageId::new(999), false).unwrap();
+        // Force-touch a compressed page: it must fault back in. (Which
+        // pages compress depends on the sampled content mix, so find one
+        // rather than hardcoding an index.)
+        let victim = (0..1000)
+            .map(PageId::new)
+            .find(|&p| cg.page_in_zswap(p).unwrap())
+            .expect("a compressed page exists");
+        let promoted = k.touch(JobId::new(1), victim, false).unwrap();
         assert!(promoted);
     }
 

@@ -59,6 +59,14 @@ pub struct StatJobModel {
     last_reset: SimTime,
 }
 
+// Fleet simulators step job models for disjoint job sets on worker
+// threads; the model (including its per-job RNG) must stay plain owned
+// data.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<StatJobModel>();
+};
+
 impl StatJobModel {
     /// Default log-noise sigma (≈ ±20% rate wobble).
     pub const DEFAULT_SIGMA: f64 = 0.2;

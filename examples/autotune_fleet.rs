@@ -20,6 +20,7 @@ fn main() {
         warmup_windows: 0,
         measure_windows: 24,
         seed: 2024,
+        threads: 0,
     };
     let traces = collect_fleet_traces(&scale, 24);
     println!(

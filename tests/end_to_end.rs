@@ -88,7 +88,10 @@ fn offline_model_predicts_live_promotion_scale() {
         params,
         slo: SloConfig::default(),
     });
-    let model_rate = result.p98_normalized_rate.fraction_per_min();
+    let model_rate = result
+        .p98_normalized_rate
+        .expect("the run has enabled windows")
+        .fraction_per_min();
 
     // Scales must agree within an order of magnitude (both are small
     // fractions; the model's p98 is an upper-ish percentile of the same

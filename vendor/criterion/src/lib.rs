@@ -1,0 +1,292 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the calling convention the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with throughput and per-input benches,
+//! and [`Bencher::iter`] / [`Bencher::iter_batched`] — backed by a simple
+//! wall-clock harness: warm up briefly, time batches until a sampling
+//! budget elapses, report the median per-iteration time and derived
+//! throughput. No statistics beyond that, no HTML reports, no saved
+//! baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How the measured time scales per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the stub treats all
+/// variants identically (one setup per timed invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with an explicit function name and parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id that is just a parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing engine handed to bench closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by `iter*`.
+    ns_per_iter: f64,
+}
+
+const WARMUP: Duration = Duration::from_millis(150);
+const MEASURE: Duration = Duration::from_millis(600);
+const SAMPLES: usize = 11;
+
+impl Bencher {
+    /// Times repeated invocations of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up and size the batch so one sample lasts ≥ ~1 ms.
+        let warm_start = Instant::now();
+        let mut iters_in_warmup = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            iters_in_warmup += 1;
+        }
+        let per_iter = WARMUP.as_secs_f64() / iters_in_warmup.max(1) as f64;
+        let batch = ((1e-3 / per_iter).ceil() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(SAMPLES);
+        let measure_start = Instant::now();
+        while samples.len() < SAMPLES && measure_start.elapsed() < MEASURE {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = samples[samples.len() / 2] * 1e9;
+    }
+
+    /// Times `routine` over fresh state from `setup` each invocation;
+    /// setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut samples = Vec::with_capacity(SAMPLES);
+        let measure_start = Instant::now();
+        while samples.len() < SAMPLES && measure_start.elapsed() < MEASURE {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            samples.push(t0.elapsed().as_secs_f64());
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
+    let thr = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let gib = b as f64 / ns * 1e9 / (1u64 << 30) as f64;
+            format!("  thrpt: {gib:.3} GiB/s")
+        }
+        Some(Throughput::Elements(e)) => {
+            let meps = e as f64 / ns * 1e9 / 1e6;
+            format!("  thrpt: {meps:.3} Melem/s")
+        }
+        None => String::new(),
+    };
+    println!("{name:<48} time: {:>12}{thr}", human_time(ns));
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            _sample_size: SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(name, b.ns_per_iter, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API parity; the stub's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the stub sizes measurement time itself.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.name),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.name),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Declares a group function running each bench with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+}

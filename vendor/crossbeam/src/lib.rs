@@ -1,0 +1,86 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the scoped-thread API is provided, implemented directly on top of
+//! `std::thread::scope` (stable since Rust 1.63), which gives the same
+//! borrow-the-stack guarantees crossbeam pioneered.
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention.
+
+    use std::any::Any;
+
+    /// Result of joining a scoped thread (mirrors `std::thread::Result`).
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A handle to the scope, passed both to the scope closure and to every
+    /// spawned thread's closure (crossbeam's convention allows nested
+    /// spawns from workers).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a thread spawned in a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle so
+        /// workers can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope: &'scope std::thread::Scope<'scope, 'env> = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || {
+                    let scope = Scope { inner: inner_scope };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads may borrow from the enclosing
+    /// stack frame. All spawned threads are joined before this returns.
+    ///
+    /// Unlike crossbeam, a panic in an unjoined child propagates out of
+    /// `std::thread::scope` instead of being collected into the `Err`
+    /// variant; every call site in this workspace joins its handles, so
+    /// the difference is unobservable here.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+    }
+}

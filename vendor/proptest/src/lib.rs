@@ -1,0 +1,417 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the API this workspace's property tests use:
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map` / `prop_filter` /
+//! `boxed`, ranges and tuples as strategies, [`any`], [`Just`],
+//! `prop_oneof!`, `prop::collection::{vec, hash_set}`, `prop::option::of`,
+//! [`ProptestConfig`], and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs (via
+//!   the panic message) but does not minimize them.
+//! * **Deterministic seeding.** Case `i` of test `t` derives its RNG seed
+//!   from `hash(t) ⊕ i`, so failures reproduce exactly without a
+//!   regression file.
+//! * `prop_filter` rejections retry with fresh draws, up to a cap, after
+//!   which the case is skipped.
+
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Maximum filter rejections tolerated across the whole test.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            // Real proptest defaults to 256; 64 keeps the numeric-heavy
+            // simulator suites fast while still exploring broadly.
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// A test-case failure (produced by `prop_assert!` or explicitly).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Fails the current case with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Alias of [`TestCaseError::fail`] (real proptest distinguishes
+    /// rejections; here both fail the case).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type of a property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Outcome of one generated case (used by the `proptest!` expansion).
+pub enum CaseOutcome {
+    /// The body ran and passed.
+    Pass,
+    /// Generation hit a filter; retry with fresh draws.
+    Reject,
+    /// The body failed.
+    Fail(TestCaseError),
+}
+
+/// Runs `cases` deterministic cases of `body`. Called by the `proptest!`
+/// expansion; panics (failing the surrounding `#[test]`) on the first
+/// failing case, reporting the case number and its RNG seed.
+pub fn run_test(config: &ProptestConfig, name: &str, mut body: impl FnMut(&mut TestRng) -> CaseOutcome) {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut hasher);
+    let base = hasher.finish();
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    while case < config.cases {
+        let seed = base ^ u64::from(case) ^ (u64::from(rejects) << 32);
+        let mut rng = TestRng::seed_from_u64(seed);
+        match body(&mut rng) {
+            CaseOutcome::Pass => case += 1,
+            CaseOutcome::Reject => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest {name}: too many filter rejections \
+                         ({rejects}) after {case} cases"
+                    );
+                }
+            }
+            CaseOutcome::Fail(e) => {
+                panic!(
+                    "proptest {name}: case {case} (seed {seed:#x}) failed: {e}"
+                );
+            }
+        }
+    }
+}
+
+/// `prop::…` namespace, mirroring the real crate's module layout.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::strategy::{SizeBounds, Strategy};
+        use super::super::TestRng;
+        use std::collections::HashSet;
+
+        /// A strategy producing `Vec`s whose length falls in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl SizeBounds) -> VecStrategy<S> {
+            let (lo, hi) = size.bounds();
+            VecStrategy { element, lo, hi }
+        }
+
+        /// See [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            lo: usize,
+            hi: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                use rand::Rng;
+                let len = rng.gen_range(self.lo..=self.hi);
+                let mut out = Vec::with_capacity(len);
+                for _ in 0..len {
+                    out.push(self.element.generate(rng)?);
+                }
+                Some(out)
+            }
+        }
+
+        /// A strategy producing `HashSet`s whose size falls in `size`
+        /// (subject to element-domain limits).
+        pub fn hash_set<S>(element: S, size: impl SizeBounds) -> HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: std::hash::Hash + Eq,
+        {
+            let (lo, hi) = size.bounds();
+            HashSetStrategy { element, lo, hi }
+        }
+
+        /// See [`hash_set`].
+        #[derive(Debug, Clone)]
+        pub struct HashSetStrategy<S> {
+            element: S,
+            lo: usize,
+            hi: usize,
+        }
+
+        impl<S> Strategy for HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: std::hash::Hash + Eq,
+        {
+            type Value = HashSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                use rand::Rng;
+                let target = rng.gen_range(self.lo..=self.hi);
+                let mut out = HashSet::with_capacity(target);
+                let mut attempts = 0usize;
+                while out.len() < target && attempts < target * 20 + 100 {
+                    out.insert(self.element.generate(rng)?);
+                    attempts += 1;
+                }
+                if out.len() < self.lo {
+                    return None;
+                }
+                Some(out)
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use super::super::strategy::Strategy;
+        use super::super::TestRng;
+
+        /// A strategy producing `None` about a quarter of the time and
+        /// `Some(inner)` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// See [`of`].
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                use rand::Rng;
+                if rng.gen_range(0u32..4) == 0 {
+                    Some(None)
+                } else {
+                    Some(Some(self.inner.generate(rng)?))
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use super::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use super::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError, TestCaseResult,
+    };
+}
+
+/// The top-level property-test macro. Wraps each `fn name(arg in strategy)
+/// { body }` item into a `#[test]` running [`ProptestConfig::cases`]
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands the individual test items. The attribute repetition
+/// re-emits `#[test]` and doc comments verbatim.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_test(&config, stringify!($name), |__rng| {
+                $(
+                    let $pat = match $crate::Strategy::generate(&($strat), __rng) {
+                        ::std::option::Option::Some(v) => v,
+                        ::std::option::Option::None => return $crate::CaseOutcome::Reject,
+                    };
+                )+
+                let __result: $crate::TestCaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __result {
+                    ::std::result::Result::Ok(()) => $crate::CaseOutcome::Pass,
+                    ::std::result::Result::Err(e) => $crate::CaseOutcome::Fail(e),
+                }
+            });
+        }
+    )*};
+}
+
+/// Weighted choice between strategies producing the same value type.
+/// Arms are `strategy` or `weight => strategy`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::TestCaseError::fail(::std::format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {:?} != {:?}: {}", a, b, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// Skips the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Ranges respect bounds and tuples compose.
+        #[test]
+        fn ranges_and_tuples(x in 3u64..10, (a, b) in (0i32..5, any::<bool>())) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0..5).contains(&a));
+            let _ = b;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Vec + map + filter pipelines generate within spec.
+        #[test]
+        fn collections_compose(
+            v in prop::collection::vec((0u8..=9, 1usize..4), 0..8),
+            opt in prop::option::of(1u32..5),
+            set in prop::collection::hash_set(0u32..100, 2..6),
+        ) {
+            prop_assert!(v.len() < 8);
+            for (d, n) in v {
+                prop_assert!(d <= 9 && (1..4).contains(&n));
+            }
+            if let Some(x) = opt {
+                prop_assert!((1..5).contains(&x));
+            }
+            prop_assert!(set.len() >= 2 && set.len() < 6);
+        }
+    }
+
+    proptest! {
+        /// prop_oneof picks only listed arms, honoring zero-ish weights.
+        #[test]
+        fn oneof_arms(x in prop_oneof![2 => 0u32..10, 1 => 100u32..110]) {
+            prop_assert!((0..10).contains(&x) || (100..110).contains(&x));
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_values() {
+        use super::{run_test, CaseOutcome, ProptestConfig, Strategy};
+        let mut first = Vec::new();
+        run_test(&ProptestConfig::with_cases(5), "det", |rng| {
+            first.push((0u64..1000).generate(rng).unwrap());
+            CaseOutcome::Pass
+        });
+        let mut second = Vec::new();
+        run_test(&ProptestConfig::with_cases(5), "det", |rng| {
+            second.push((0u64..1000).generate(rng).unwrap());
+            CaseOutcome::Pass
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,220 @@
+//! Distributions: `Standard`, uniform ranges, and `WeightedIndex`.
+
+use crate::Rng;
+
+/// Types that generate values of `T` from a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution for a type: uniform over all values for
+/// integers, uniform in `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod uniform {
+    //! Range sampling (`rng.gen_range(lo..hi)` / `lo..=hi`).
+    //!
+    //! Mirrors the real crate's structure — one blanket `SampleRange`
+    //! impl per range shape, keyed on [`SampleUniform`] — because type
+    //! inference relies on it: `gen_range(1..8)` must unify the literal's
+    //! integer type with the call site's expected output type.
+
+    use super::super::Rng;
+    use super::Distribution;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types uniformly sampleable over a half-open or closed interval.
+    pub trait SampleUniform: Sized + PartialOrd + Copy {
+        /// Uniform draw from `[lo, hi)`.
+        fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        /// Uniform draw from `[lo, hi]`.
+        fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    }
+
+    /// Ranges that can be sampled directly.
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "gen_range: empty inclusive range");
+            T::sample_inclusive(rng, lo, hi)
+        }
+    }
+
+    /// Maps a 64-bit draw onto `[0, span)` using the widening-multiply
+    /// technique (Lemire); bias is ≤ 2⁻⁶⁴ per draw, far below anything the
+    /// simulators can observe, and the mapping is a pure function of the
+    /// draw, preserving determinism.
+    #[inline]
+    fn scale(word: u64, span: u64) -> u64 {
+        ((word as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    (lo as $wide).wrapping_add(scale(rng.next_u64(), span) as $wide) as $t
+                }
+                fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as $wide).wrapping_add(scale(rng.next_u64(), span + 1) as $wide) as $t
+                }
+            }
+        )*};
+    }
+    uniform_int!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+    );
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                    let u: f64 = super::Standard.sample(rng);
+                    let v = lo as f64 + u * (hi as f64 - lo as f64);
+                    // Rounding can land exactly on `hi`; nudge back inside.
+                    if v >= hi as f64 {
+                        <$t>::from_bits(hi.to_bits() - 1)
+                    } else {
+                        v as $t
+                    }
+                }
+                fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                    let u: f64 = super::Standard.sample(rng);
+                    (lo as f64 + u * (hi as f64 - lo as f64)) as $t
+                }
+            }
+        )*};
+    }
+    uniform_float!(f32, f64);
+}
+
+/// Samples indices `0..weights.len()` proportionally to the weights.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+/// Errors from [`WeightedIndex::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// No weights were supplied.
+    NoItem,
+    /// A weight was negative or non-finite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights"),
+            WeightedError::InvalidWeight => write!(f, "negative or non-finite weight"),
+            WeightedError::AllWeightsZero => write!(f, "all weights zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+impl WeightedIndex {
+    /// Builds the sampler from an iterator of non-negative weights.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: Into<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w: f64 = w.into();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = Standard.sample(rng);
+        let target = u * self.total;
+        // First index whose cumulative weight exceeds the target;
+        // zero-weight arms are never selected.
+        self.cumulative
+            .partition_point(|&c| c <= target)
+            .min(self.cumulative.len() - 1)
+    }
+}

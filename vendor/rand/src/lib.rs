@@ -1,0 +1,142 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! Implements exactly the surface this workspace uses: [`rngs::StdRng`]
+//! seeded with [`SeedableRng::seed_from_u64`], the [`Rng`] extension
+//! methods (`gen`, `gen_range`, `gen_bool`, `sample`, `fill`), and the
+//! [`distributions`] module with `Standard`, `Uniform`-style ranges and
+//! `WeightedIndex`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — *not* the
+//! ChaCha12 stream the real `StdRng` uses, so absolute streams differ from
+//! upstream `rand`, but every draw is a pure integer function of the seed:
+//! results are bit-for-bit reproducible across platforms and runs, which is
+//! the property the simulators' determinism contracts rely on.
+
+pub mod distributions;
+pub mod rngs;
+
+pub use distributions::Distribution;
+
+/// A low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A seedable generator.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing extension methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Samples a value of a standard-distributed type.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: Distribution<T>,
+    {
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from a range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of range");
+        self.gen::<f64>() < p
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        debug_assert!(
+            denominator > 0 && numerator <= denominator,
+            "gen_ratio {numerator}/{denominator} out of range"
+        );
+        self.gen_range(0..denominator) < numerator
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::WeightedIndex;
+    use super::rngs::StdRng;
+    use super::{Distribution, Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: i64 = r.gen_range(-5..5);
+            assert!((-5..5).contains(&x));
+            let y: u64 = r.gen_range(10..=20);
+            assert!((10..=20).contains(&y));
+            let f: f64 = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_arms() {
+        let w = WeightedIndex::new([1.0, 0.0, 9.0]).unwrap();
+        let mut r = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[w.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > 5 * counts[0], "counts {counts:?}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides [`Normal`] (Box–Muller) and [`Binomial`] (exact Bernoulli sum
+//! for small `n`, clamped Gaussian approximation for large `n`), the two
+//! distributions the workload models use, over the local `rand` stub.
+
+pub use rand::distributions::Distribution;
+use rand::distributions::Standard;
+use rand::Rng;
+
+/// A normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+/// Errors from [`Normal::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or non-finite.
+    BadVariance,
+    /// The mean was non-finite.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation negative or non-finite"),
+            NormalError::MeanTooSmall => write!(f, "mean non-finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+impl Normal<f64> {
+    /// A normal distribution with the given mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: two uniforms → one normal deviate. The twin deviate
+        // is discarded so sampling stays stateless (`&self`).
+        let u1 = Distribution::<f64>::sample(&Standard, rng).max(f64::MIN_POSITIVE);
+        let u2 = Distribution::<f64>::sample(&Standard, rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// A binomial distribution: successes in `n` trials of probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+/// Errors from [`Binomial::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinomialError {
+    /// `p` was outside `[0, 1]` or non-finite.
+    ProbabilityTooLarge,
+}
+
+impl std::fmt::Display for BinomialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "binomial probability outside [0, 1]")
+    }
+}
+
+impl std::error::Error for BinomialError {}
+
+impl Binomial {
+    /// Cutoff below which sampling is an exact Bernoulli sum.
+    const EXACT_N: u64 = 64;
+
+    /// A binomial distribution over `n` trials with success probability `p`.
+    pub fn new(n: u64, p: f64) -> Result<Self, BinomialError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(BinomialError::ProbabilityTooLarge);
+        }
+        Ok(Binomial { n, p })
+    }
+}
+
+impl Distribution<u64> for Binomial {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p <= 0.0 || self.n == 0 {
+            return 0;
+        }
+        if self.p >= 1.0 {
+            return self.n;
+        }
+        if self.n <= Self::EXACT_N {
+            return (0..self.n)
+                .filter(|_| Distribution::<f64>::sample(&Standard, rng) < self.p)
+                .count() as u64;
+        }
+        // Large n: Gaussian approximation with continuity correction,
+        // clamped to the support. The page drivers draw counts in the
+        // thousands, where the approximation error is far below the noise
+        // the models already inject.
+        let mean = self.n as f64 * self.p;
+        let sd = (mean * (1.0 - self.p)).sqrt();
+        let z = Normal::new(0.0, 1.0).unwrap().sample(rng);
+        let k = (mean + sd * z + 0.5).floor();
+        k.clamp(0.0, self.n as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut r = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn binomial_moments_small_and_large() {
+        let mut r = StdRng::seed_from_u64(2);
+        for &(n, p) in &[(40u64, 0.25f64), (10_000, 0.03)] {
+            let d = Binomial::new(n, p).unwrap();
+            let draws = 5_000;
+            let mean = (0..draws).map(|_| d.sample(&mut r) as f64).sum::<f64>() / draws as f64;
+            let expect = n as f64 * p;
+            assert!(
+                (mean - expect).abs() < expect * 0.05 + 0.5,
+                "n={n} p={p} mean {mean} expect {expect}"
+            );
+            assert!((0..100).all(|_| d.sample(&mut r) <= n));
+        }
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let mut r = StdRng::seed_from_u64(3);
+        assert_eq!(Binomial::new(100, 0.0).unwrap().sample(&mut r), 0);
+        assert_eq!(Binomial::new(100, 1.0).unwrap().sample(&mut r), 100);
+        assert!(Binomial::new(10, 1.5).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+}

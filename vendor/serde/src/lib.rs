@@ -1,0 +1,52 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde is a zero-copy visitor framework; this stub trades that
+//! for a simple self-describing value tree ([`Value`]): `Serialize`
+//! converts a type *to* a `Value`, `Deserialize` reconstructs it *from*
+//! one. `serde_json` (the sibling stub) renders and parses `Value` as
+//! JSON. JSON data semantics match real serde: newtype structs serialize
+//! as their inner value, fieldless enum variants as strings, structs as
+//! objects.
+//!
+//! The `#[derive(Serialize, Deserialize)]` macros come from the local
+//! `serde_derive` stub, which supports the shapes this workspace uses:
+//! named-field structs, tuple structs, and fieldless enums. Attributes
+//! such as `#[serde(transparent)]` are accepted and ignored — newtype
+//! structs already get transparent JSON semantics.
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+/// Deserialization error: a path-less description of the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}

@@ -1,0 +1,117 @@
+//! The self-describing value tree.
+
+use crate::Error;
+
+/// A JSON-shaped number, preserving integer fidelity where possible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl Number {
+    /// The value as `f64` (lossy above 2⁵³).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U64(n) => n as f64,
+            Number::I64(n) => n as f64,
+            Number::F64(n) => n,
+        }
+    }
+
+    /// The value as `u64` if exactly representable.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U64(n) => Some(n),
+            Number::I64(n) => u64::try_from(n).ok(),
+            Number::F64(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => {
+                Some(n as u64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as `i64` if exactly representable.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::U64(n) => i64::try_from(n).ok(),
+            Number::I64(n) => Some(n),
+            Number::F64(n) if n.fract() == 0.0 && n.abs() <= i64::MAX as f64 => Some(n as i64),
+            Number::F64(_) => None,
+        }
+    }
+}
+
+/// A serialized value tree with JSON data semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map (insertion order preserved, as serialized).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object, erroring on misses or non-objects.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+            other => Err(Error::msg(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The elements of an array, or an error.
+    pub fn elements(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+
+    /// The string payload, or an error.
+    pub fn str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::msg(format!("expected string, got {}", other.kind()))),
+        }
+    }
+
+    /// The numeric payload, or an error.
+    pub fn number(&self) -> Result<Number, Error> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            other => Err(Error::msg(format!("expected number, got {}", other.kind()))),
+        }
+    }
+
+    /// A short name for the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}

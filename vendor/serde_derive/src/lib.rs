@@ -1,0 +1,293 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the value-tree `Serialize`/`Deserialize` traits of the local
+//! `serde` stub. Implemented directly on `proc_macro::TokenStream` (no
+//! `syn`/`quote`, which are unavailable offline), so it supports the
+//! data shapes this workspace actually uses:
+//!
+//! * structs with named fields → JSON objects;
+//! * tuple structs: one field → transparent (the inner value), several →
+//!   arrays;
+//! * unit structs → `null`;
+//! * fieldless enums → variant-name strings.
+//!
+//! `#[serde(...)]` attributes are accepted and ignored; the only one the
+//! workspace uses is `transparent`, whose JSON semantics newtype structs
+//! get by default. Generic types and data-carrying enum variants are
+//! rejected with a compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+/// What a type looks like, as far as the derives care.
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    FieldlessEnum(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn skip_attributes(iter: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // Optional `!` for inner attributes, then the bracket group.
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '!' {
+                        iter.next();
+                    }
+                }
+                iter.next();
+            }
+            _ => return,
+        }
+    }
+}
+
+fn skip_visibility(iter: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_input(input: TokenStream, trait_name: &str) -> Parsed {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({trait_name}): expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({trait_name}): expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("derive({trait_name}) on `{name}`: generic types are not supported by the offline serde stub");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("derive({trait_name}) on `{name}`: unexpected struct body {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::FieldlessEnum(parse_unit_variants(g.stream(), &name, trait_name))
+            }
+            other => panic!("derive({trait_name}) on `{name}`: unexpected enum body {other:?}"),
+        },
+        other => panic!("derive({trait_name}): unsupported item kind `{other}`"),
+    };
+    Parsed { name, shape }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde derive: expected field name, got {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field, got {other:?}"),
+        }
+        // Consume the type: everything up to a comma at angle-bracket
+        // depth zero. `>>` arrives as two separate '>' puncts.
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                None => break,
+                _ => {}
+            }
+            iter.next();
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    fields + usize::from(saw_tokens)
+}
+
+/// Variant names of a fieldless enum body.
+fn parse_unit_variants(stream: TokenStream, name: &str, trait_name: &str) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            None => break,
+            other => panic!("derive({trait_name}) on `{name}`: expected variant, got {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => panic!(
+                "derive({trait_name}) on `{name}`: data-carrying or discriminant variants \
+                 are not supported by the offline serde stub ({other:?})"
+            ),
+            None => break,
+        }
+    }
+    variants
+}
+
+/// Derives value-tree serialization.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, shape } = parse_input(input, "Serialize");
+    let mut body = String::new();
+    match &shape {
+        Shape::Named(fields) => {
+            body.push_str("::serde::Value::Object(::std::vec![");
+            for f in fields {
+                write!(
+                    body,
+                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+                )
+                .unwrap();
+            }
+            body.push_str("])");
+        }
+        Shape::Tuple(1) => body.push_str("::serde::Serialize::to_value(&self.0)"),
+        Shape::Tuple(n) => {
+            body.push_str("::serde::Value::Array(::std::vec![");
+            for i in 0..*n {
+                write!(body, "::serde::Serialize::to_value(&self.{i}),").unwrap();
+            }
+            body.push_str("])");
+        }
+        Shape::Unit => body.push_str("::serde::Value::Null"),
+        Shape::FieldlessEnum(variants) => {
+            body.push_str("::serde::Value::Str(::std::string::String::from(match self {");
+            for v in variants {
+                write!(body, "{name}::{v} => \"{v}\",").unwrap();
+            }
+            body.push_str("}))");
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derives value-tree deserialization.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, shape } = parse_input(input, "Deserialize");
+    let mut body = String::new();
+    match &shape {
+        Shape::Named(fields) => {
+            write!(body, "::std::result::Result::Ok({name} {{").unwrap();
+            for f in fields {
+                write!(
+                    body,
+                    "{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,"
+                )
+                .unwrap();
+            }
+            body.push_str("})");
+        }
+        Shape::Tuple(1) => {
+            write!(
+                body,
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+            )
+            .unwrap();
+        }
+        Shape::Tuple(n) => {
+            write!(
+                body,
+                "let items = v.elements()?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"expected {n} elements for {name}, got {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}("
+            )
+            .unwrap();
+            for i in 0..*n {
+                write!(body, "::serde::Deserialize::from_value(&items[{i}])?,").unwrap();
+            }
+            body.push_str("))");
+        }
+        Shape::Unit => write!(body, "::std::result::Result::Ok({name})").unwrap(),
+        Shape::FieldlessEnum(variants) => {
+            body.push_str("match ::serde::Value::str(v)? {");
+            for var in variants {
+                write!(body, "\"{var}\" => ::std::result::Result::Ok({name}::{var}),").unwrap();
+            }
+            write!(
+                body,
+                "other => ::std::result::Result::Err(::serde::Error::msg(\
+                     ::std::format!(\"unknown variant `{{other}}` of {name}\"))),"
+            )
+            .unwrap();
+            body.push('}');
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl parses")
+}
