@@ -89,16 +89,23 @@ impl NodeAgent {
             let cold = cg.cold_age_histogram().clone();
             let promo = cg.promotion_histogram().clone();
             let decision = ctl.on_minute(now, &cold, &promo);
-            kernel
+            // The memcg can vanish between the read above and the pushes
+            // below (job exit racing the tick). The agent must degrade
+            // gracefully — drop the job from control, never crash the
+            // machine (rule P1).
+            let pushed = kernel
                 .set_zswap_enabled(job, decision.zswap_enabled)
-                .expect("memcg checked above");
-            kernel
-                .set_soft_limit(job, decision.working_set)
-                .expect("memcg checked above");
-            if decision.zswap_enabled {
-                kernel
-                    .reclaim_job(job, decision.threshold)
-                    .expect("memcg checked above");
+                .and_then(|()| kernel.set_soft_limit(job, decision.working_set))
+                .and_then(|()| {
+                    if decision.zswap_enabled {
+                        kernel.reclaim_job(job, decision.threshold).map(|_| ())
+                    } else {
+                        Ok(())
+                    }
+                });
+            if pushed.is_err() {
+                dead.push(job);
+                continue;
             }
             out.push((job, decision));
         }

@@ -164,14 +164,22 @@ impl Machine {
             report.exited.push(job);
         }
 
-        // 2. Drive accesses.
-        for (_, j) in self.jobs.iter_mut() {
-            let stats = j
-                .driver
-                .run_window(&mut self.kernel, now, MINUTE)
-                .expect("running job has a memcg");
-            report.promotions += stats.promotions;
-            report.pages_touched += stats.pages_touched;
+        // 2. Drive accesses. A driver error means the job's memcg is gone
+        // (e.g. an OOM kill from inside the kernel): treat it as an exit
+        // and keep the machine running (rule P1 — never crash the host).
+        let mut vanished = Vec::new();
+        for (&id, j) in self.jobs.iter_mut() {
+            match j.driver.run_window(&mut self.kernel, now, MINUTE) {
+                Ok(stats) => {
+                    report.promotions += stats.promotions;
+                    report.pages_touched += stats.pages_touched;
+                }
+                Err(_) => vanished.push(id),
+            }
+        }
+        for id in vanished {
+            self.remove_job(id);
+            report.exited.push(id);
         }
 
         // 3. kstaled on its own period.
@@ -185,7 +193,11 @@ impl Machine {
         // 5. Telemetry.
         let mut cold_total = PageCount::ZERO;
         for (&job, j) in self.jobs.iter() {
-            let cg = self.kernel.memcg(job).expect("running job has a memcg");
+            // Skip jobs whose memcg vanished this minute; they exit on the
+            // next step rather than panicking the telemetry pass.
+            let Ok(cg) = self.kernel.memcg(job) else {
+                continue;
+            };
             let slo = self.agent.slo();
             let cold = cg.cold_pages(slo.min_threshold);
             cold_total += cold;

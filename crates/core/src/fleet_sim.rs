@@ -556,6 +556,26 @@ mod tests {
         }
     }
 
+    /// Two independent runs at the same seed must agree *byte for byte*
+    /// once serialized — stronger than `PartialEq` (which NaN payloads or
+    /// `-0.0` could slip through) and exactly what the DESIGN.md
+    /// determinism contract promises. The parallel step runs at an
+    /// asymmetric thread count to exercise the chunked path.
+    #[test]
+    fn two_runs_serialize_bit_identically() {
+        let run = || {
+            let mut cfg = FleetSimConfig::new(2);
+            cfg.noise_sigma = 0.1;
+            cfg.threads = 3;
+            let mut sim = FleetSim::new(cfg, 13);
+            let windows = sim.run_windows(8);
+            serde_json::to_string(&windows).expect("fleet stats serialize")
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.len(), b.len());
+        assert!(a == b, "two same-seed runs serialized differently");
+    }
+
     #[test]
     fn step_window_identical_across_thread_counts() {
         let sim_with_threads = |threads: usize| {

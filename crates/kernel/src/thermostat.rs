@@ -86,8 +86,10 @@ impl ThermostatSampler {
             return 0;
         }
         let target = ((n as f64 * self.sample_rate).ceil() as usize).min(n);
-        // Partial Fisher–Yates over a candidate index range.
-        let mut chosen = std::collections::HashSet::with_capacity(target * 2);
+        // Rejection-sample distinct indices. A BTreeSet (not HashSet, rule
+        // D2) keeps the poison order — and thus `self.poisoned` — a pure
+        // function of the seed rather than of the process hash seed.
+        let mut chosen = std::collections::BTreeSet::new();
         while chosen.len() < target {
             chosen.insert(self.rng.gen_range(0..n));
         }

@@ -1,0 +1,569 @@
+//! A minimal Rust lexer: enough structure for invariant checking.
+//!
+//! The rules in [`crate::rules`] only need to see *identifiers* and
+//! *punctuation* with line numbers, with comments, strings, char literals,
+//! and numbers stripped so that `"Instant::now"` inside a string or a
+//! doc-comment never fires a rule. The lexer therefore handles every token
+//! shape that can hide a false positive:
+//!
+//! * line comments (including doc `///` and `//!`) — also the carrier for
+//!   [`Waiver`]s;
+//! * block comments, **nested** as Rust allows;
+//! * string literals with escapes, byte strings, raw strings with any
+//!   number of `#` guards;
+//! * char literals vs lifetimes (`'a'` vs `&'a str`);
+//! * numeric literals (dropped — rules never match numbers).
+//!
+//! It is *not* a full lexer: it does not classify keywords, does not parse
+//! float suffixes precisely, and does not validate escapes. None of that
+//! affects rule matching.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// Token payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            TokenKind::Punct(_) => None,
+        }
+    }
+
+    /// The punctuation character, if this token is one.
+    pub fn punct(&self) -> Option<char> {
+        match &self.kind {
+            TokenKind::Punct(c) => Some(*c),
+            TokenKind::Ident(_) => None,
+        }
+    }
+}
+
+/// An inline rule waiver parsed from a `// sdfm-lint: allow(RULE)
+/// reason="..."` comment. A waiver covers its own line and the next line,
+/// so it works both trailing the offending code and on the line above it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Line the waiver comment starts on.
+    pub line: u32,
+    /// Rule names listed in `allow(...)` (comma-separated).
+    pub rules: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+impl Waiver {
+    /// Whether this waiver covers a violation of `rule` on `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        (line == self.line || line == self.line + 1)
+            && self.rules.iter().any(|r| r == rule)
+    }
+}
+
+/// A `sdfm-lint:` comment that failed to parse (most commonly a missing or
+/// empty `reason`). These are reported as unwaivable violations: a waiver
+/// without a justification defeats the audit trail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedWaiver {
+    /// Line of the broken comment.
+    pub line: u32,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// Identifier/punctuation stream.
+    pub tokens: Vec<Token>,
+    /// Well-formed waivers.
+    pub waivers: Vec<Waiver>,
+    /// Broken `sdfm-lint:` comments.
+    pub malformed: Vec<MalformedWaiver>,
+}
+
+/// Lexes Rust source. Never fails: unrecognized bytes are skipped, an
+/// unterminated string or comment simply ends the token stream — the
+/// checker must not panic on the code it audits.
+pub fn lex(source: &str) -> LexOutput {
+    let bytes = source.as_bytes();
+    let mut out = LexOutput::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                parse_lint_comment(&source[start..end], line, &mut out);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(bytes, i + 1, &mut line);
+            }
+            b'\'' => {
+                i = skip_char_or_lifetime(bytes, i, &mut line, &mut out);
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let ident = &source[start..i];
+                // Raw / byte string prefixes: `r"…"`, `r#"…"#`, `b"…"`,
+                // `br#"…"#`. A normal-string scan would mis-treat `\` as an
+                // escape inside raw strings, so they get their own scan.
+                match (ident, bytes.get(i)) {
+                    ("r" | "br" | "rb", Some(&b'"')) | ("r" | "br" | "rb", Some(&b'#')) => {
+                        i = skip_raw_string(bytes, i, &mut line);
+                    }
+                    ("b", Some(&b'"')) => {
+                        i = skip_string(bytes, i + 1, &mut line);
+                    }
+                    _ => {
+                        out.tokens.push(Token {
+                            kind: TokenKind::Ident(ident.to_string()),
+                            line,
+                        });
+                    }
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                // Numbers are dropped. Consume alphanumerics/underscores and
+                // a decimal point only when a digit follows (so `0..n` and
+                // `1.max(2)` leave `..` / `.max` intact).
+                i += 1;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    let continues = b == b'_'
+                        || b.is_ascii_alphanumeric()
+                        || (b == b'.' && bytes.get(i + 1).is_some_and(|n| n.is_ascii_digit()));
+                    if !continues {
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            _ => {
+                if !c.is_ascii_whitespace() {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct(c as char),
+                        line,
+                    });
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans past a normal (escaped) string body; `i` points just after the
+/// opening quote. Returns the index after the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scans a raw string starting at the `#`s or quote after the `r`/`br`
+/// prefix (`i` points at the first `#` or the opening `"`).
+fn skip_raw_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return i; // `r#foo` raw identifier, not a string: resume lexing.
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'"' && bytes[i + 1..].iter().take(hashes).filter(|&&b| b == b'#').count() == hashes
+        {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Distinguishes `'a'` / `'\n'` / `'('` char literals from `'a` lifetimes;
+/// `i` points at the opening `'`. Lifetimes are emitted as an ident so
+/// attribute scanning stays aligned; char literal contents are dropped.
+fn skip_char_or_lifetime(bytes: &[u8], i: usize, line: &mut u32, out: &mut LexOutput) -> usize {
+    let next = match bytes.get(i + 1) {
+        Some(&b) => b,
+        None => return i + 1,
+    };
+    if next == b'\\' {
+        // Escaped char literal: skip escape, then scan to closing quote.
+        let mut j = i + 3;
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return j + 1;
+    }
+    if next == b'_' || next.is_ascii_alphabetic() {
+        // `'x'` is a char literal; `'x` followed by anything else is a
+        // lifetime. Scan the identifier run and peek at what ends it.
+        let mut j = i + 2;
+        while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'\'') && j == i + 2 {
+            return j + 1; // 'a'
+        }
+        // Lifetime: keep as punct+ident so token patterns never span it.
+        out.tokens.push(Token {
+            kind: TokenKind::Punct('\''),
+            line: *line,
+        });
+        return i + 1;
+    }
+    // Non-identifier char literal: '(' , '"' , etc.
+    let mut j = i + 2;
+    if next == b'\n' {
+        *line += 1;
+    }
+    while j < bytes.len() && bytes[j] != b'\'' {
+        if bytes[j] == b'\n' {
+            *line += 1;
+        }
+        j += 1;
+    }
+    j + 1
+}
+
+/// Parses a line comment body, extracting a [`Waiver`] when it carries the
+/// `sdfm-lint:` marker. `allow(RULE[, RULE…]) reason="…"` is the accepted
+/// grammar; anything else with the marker is recorded as malformed.
+fn parse_lint_comment(body: &str, line: u32, out: &mut LexOutput) {
+    // Doc comments start with an extra `/` or `!`; strip and trim.
+    let text = body.trim_start_matches(['/', '!']).trim();
+    let Some(rest) = text.strip_prefix("sdfm-lint:") else {
+        return;
+    };
+    let rest = rest.trim();
+    let malformed = |detail: &str, out: &mut LexOutput| {
+        out.malformed.push(MalformedWaiver {
+            line,
+            detail: detail.to_string(),
+        });
+    };
+    let Some(after_allow) = rest.strip_prefix("allow(") else {
+        malformed("expected `allow(RULE)` after `sdfm-lint:`", out);
+        return;
+    };
+    let Some(close) = after_allow.find(')') else {
+        malformed("unclosed `allow(`", out);
+        return;
+    };
+    let rules: Vec<String> = after_allow[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        malformed("`allow()` lists no rule", out);
+        return;
+    }
+    let tail = after_allow[close + 1..].trim();
+    let Some(after_reason) = tail.strip_prefix("reason=\"") else {
+        malformed("waiver requires `reason=\"…\"`", out);
+        return;
+    };
+    let Some(end) = after_reason.find('"') else {
+        malformed("unterminated reason string", out);
+        return;
+    };
+    let reason = after_reason[..end].trim().to_string();
+    if reason.is_empty() {
+        malformed("waiver reason must not be empty", out);
+        return;
+    }
+    out.waivers.push(Waiver {
+        line,
+        rules,
+        reason,
+    });
+}
+
+/// Token-index spans (inclusive) covered by `#[cfg(test)]` items: the
+/// attribute itself through the end of the item it gates (a braced block
+/// or a `;`-terminated item). Violations inside these spans are test code
+/// and exempt from every rule.
+pub fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            let attr_start = i;
+            i += 7; // past `# [ cfg ( test ) ]`
+            // Skip any further attributes (`#[test]`, doc attrs, …).
+            while tokens.get(i).and_then(Token::punct) == Some('#')
+                && tokens.get(i + 1).and_then(Token::punct) == Some('[')
+            {
+                i += 2;
+                let mut depth = 1usize;
+                while i < tokens.len() && depth > 0 {
+                    match tokens[i].punct() {
+                        Some('[') => depth += 1,
+                        Some(']') => depth -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            // Find the item's extent: first `{` balanced to its `}`, or a
+            // `;` that arrives before any brace.
+            let mut end = i;
+            let mut depth = 0usize;
+            let mut entered = false;
+            while end < tokens.len() {
+                match tokens[end].punct() {
+                    Some('{') => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    Some('}') => {
+                        depth = depth.saturating_sub(1);
+                        if entered && depth == 0 {
+                            break;
+                        }
+                    }
+                    Some(';') if !entered => break,
+                    _ => {}
+                }
+                end += 1;
+            }
+            spans.push((attr_start, end.min(tokens.len().saturating_sub(1))));
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    tokens.get(i).and_then(Token::punct) == Some('#')
+        && tokens.get(i + 1).and_then(Token::punct) == Some('[')
+        && tokens.get(i + 2).and_then(Token::ident) == Some("cfg")
+        && tokens.get(i + 3).and_then(Token::punct) == Some('(')
+        && tokens.get(i + 4).and_then(Token::ident) == Some("test")
+        && tokens.get(i + 5).and_then(Token::punct) == Some(')')
+        && tokens.get(i + 6).and_then(Token::punct) == Some(']')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_containing_string_delimiters_are_stripped() {
+        let src = "let a = 1; // a \"quoted\" HashMap in a comment\nlet b = 2;";
+        let ids = idents(src);
+        assert!(ids.contains(&"a".to_string()) && ids.contains(&"b".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn strings_containing_comment_openers_do_not_eat_code() {
+        let src = "let s = \"// not a comment */\"; let unwrap_me = 1;";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap_me".to_string()));
+        assert!(!ids.contains(&"comment".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = r####"let s = r#"inner "quote" and \ backslash"#; let after = 1;"####;
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()));
+        assert!(!ids.contains(&"inner".to_string()));
+    }
+
+    #[test]
+    fn raw_byte_strings_are_skipped() {
+        let src = "let s = br##\"HashMap \"# inside\"##; let tail = 2;";
+        let ids = idents(src);
+        assert!(ids.contains(&"tail".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* outer /* inner */ still comment HashMap */ let code = 1;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "code"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let src = "fn f<'a>(x: &'a str) -> char { let q = '\"'; let c = 'y'; q }";
+        let ids = idents(src);
+        // Lifetime idents survive; char-literal contents are dropped.
+        assert!(ids.contains(&"a".to_string()));
+        assert!(!ids.contains(&"y".to_string()));
+        // The `"` inside the char literal must not open a string.
+        assert!(ids.contains(&"c".to_string()));
+    }
+
+    #[test]
+    fn escaped_char_literal_with_quote() {
+        let src = r"let q = '\''; let after = 1;";
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "/* a\nb\nc */\n\"x\ny\"\nfn target() {}";
+        let out = lex(src);
+        let t = out
+            .tokens
+            .iter()
+            .find(|t| t.ident() == Some("target"))
+            .expect("target lexed");
+        assert_eq!(t.line, 6);
+    }
+
+    #[test]
+    fn cfg_test_mod_span_covers_contents() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); }\n}\nfn live2() {}";
+        let out = lex(src);
+        let spans = test_spans(&out.tokens);
+        assert_eq!(spans.len(), 1);
+        let (s, e) = spans[0];
+        let in_span: Vec<&str> = out.tokens[s..=e].iter().filter_map(Token::ident).collect();
+        assert!(in_span.contains(&"tests"));
+        assert!(in_span.contains(&"y"));
+        assert!(!in_span.contains(&"live2"));
+        // The pre-module unwrap is outside the span.
+        let first_unwrap = out
+            .tokens
+            .iter()
+            .position(|t| t.ident() == Some("unwrap"))
+            .expect("unwrap token");
+        assert!(first_unwrap < s);
+    }
+
+    #[test]
+    fn cfg_test_with_stacked_attributes_and_fn_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() -> u32 { 1 }\nfn live() {}";
+        let out = lex(src);
+        let spans = test_spans(&out.tokens);
+        assert_eq!(spans.len(), 1);
+        let (s, e) = spans[0];
+        let in_span: Vec<&str> = out.tokens[s..=e].iter().filter_map(Token::ident).collect();
+        assert!(in_span.contains(&"helper"));
+        assert!(!in_span.contains(&"live"));
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}";
+        let out = lex(src);
+        let spans = test_spans(&out.tokens);
+        assert_eq!(spans.len(), 1);
+        let (_, e) = spans[0];
+        let live = out
+            .tokens
+            .iter()
+            .position(|t| t.ident() == Some("live"))
+            .expect("live fn");
+        assert!(live > e, "span must stop at the `;`");
+    }
+
+    #[test]
+    fn waiver_parses_rules_and_reason() {
+        let src = "// sdfm-lint: allow(D2, P1) reason=\"drained through a sort\"\nlet x = 1;";
+        let out = lex(src);
+        assert_eq!(out.waivers.len(), 1);
+        let w = &out.waivers[0];
+        assert_eq!(w.rules, vec!["D2", "P1"]);
+        assert_eq!(w.reason, "drained through a sort");
+        assert!(w.covers("D2", 1) && w.covers("P1", 2));
+        assert!(!w.covers("D2", 3) && !w.covers("D1", 1));
+    }
+
+    #[test]
+    fn waiver_without_reason_is_malformed() {
+        let out = lex("// sdfm-lint: allow(D1)\nlet x = 1;");
+        assert!(out.waivers.is_empty());
+        assert_eq!(out.malformed.len(), 1);
+        let out = lex("// sdfm-lint: allow(D1) reason=\"\"\n");
+        assert_eq!(out.malformed.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "/* never closed", "r#\"open", "'"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! `sdfm-lint` — the workspace invariant checker.
+//!
+//! A self-contained, offline static-analysis pass that enforces the
+//! determinism and panic-safety contracts this workspace depends on (see
+//! DESIGN.md, "Invariant catalog"): `FleetSim::step_window` must be
+//! bit-identical per seed at any thread count, and the control plane must
+//! degrade gracefully rather than crash. The checker is deliberately
+//! dependency-free: a hand-rolled lexer ([`lexer`]), path-prefix scope
+//! policy ([`policy`]), and token-pattern rules ([`rules`]).
+//!
+//! Violations can be waived inline with a justified comment:
+//!
+//! ```text
+//! let set = HashSet::new(); // sdfm-lint: allow(D2) reason="drained through a sort below"
+//! ```
+//!
+//! Run `cargo run -p sdfm-lint --release` from the workspace root; exit
+//! code 0 means zero unwaived violations. `--json` emits a
+//! machine-readable report.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use lexer::{lex, test_spans};
+use policy::{classify, skip_entirely, FileScope};
+use rules::{scan, Rule};
+
+/// One reported violation (waived or not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The rule violated.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+    /// Whether an inline waiver covers it.
+    pub waived: bool,
+    /// The waiver's justification, when waived.
+    pub reason: Option<String>,
+}
+
+/// The full report for one checker run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files actually linted (in scope, readable).
+    pub files_checked: usize,
+    /// Every violation found, waived ones included.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// Violations not covered by a waiver — what gates CI.
+    pub fn unwaived(&self) -> usize {
+        self.violations.iter().filter(|v| !v.waived).count()
+    }
+
+    /// Waived violations.
+    pub fn waived(&self) -> usize {
+        self.violations.iter().filter(|v| v.waived).count()
+    }
+
+    /// Renders the machine-readable JSON report.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"files_checked\": {},\n", self.files_checked));
+        s.push_str(&format!("  \"unwaived\": {},\n", self.unwaived()));
+        s.push_str(&format!("  \"waived\": {},\n", self.waived()));
+        s.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!("\"file\": \"{}\", ", escape_json(&v.file)));
+            s.push_str(&format!("\"line\": {}, ", v.line));
+            s.push_str(&format!("\"rule\": \"{}\", ", v.rule.name()));
+            s.push_str(&format!("\"waived\": {}, ", v.waived));
+            match &v.reason {
+                Some(r) => s.push_str(&format!("\"reason\": \"{}\", ", escape_json(r))),
+                None => s.push_str("\"reason\": null, "),
+            }
+            s.push_str(&format!("\"message\": \"{}\"}}", escape_json(&v.message)));
+        }
+        if !self.violations.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lints one file's source under an explicit scope. Exposed so fixture
+/// tests can feed synthetic snippets through the exact production path.
+pub fn lint_source(rel_path: &str, source: &str, scope: &FileScope) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if scope.test_file {
+        return out;
+    }
+    let lexed = lex(source);
+
+    // Malformed waivers are violations in their own right (W0) and can
+    // never be waived: an unjustified waiver defeats the audit trail.
+    if scope.enforces(Rule::W0) {
+        for m in &lexed.malformed {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: m.line,
+                rule: Rule::W0,
+                message: format!("malformed sdfm-lint waiver: {}", m.detail),
+                waived: false,
+                reason: None,
+            });
+        }
+    }
+
+    let spans = test_spans(&lexed.tokens);
+    for hit in scan(&lexed.tokens) {
+        if !scope.enforces(hit.rule) {
+            continue;
+        }
+        if spans.iter().any(|&(s, e)| hit.token >= s && hit.token <= e) {
+            continue; // test code is exempt from every rule
+        }
+        let waiver = lexed
+            .waivers
+            .iter()
+            .find(|w| w.covers(hit.rule.name(), hit.line));
+        out.push(Violation {
+            file: rel_path.to_string(),
+            line: hit.line,
+            rule: hit.rule,
+            message: hit.message,
+            waived: waiver.is_some(),
+            reason: waiver.map(|w| w.reason.clone()),
+        });
+    }
+    out
+}
+
+/// Recursively collects workspace `.rs` files in deterministic (sorted)
+/// order, skipping build output, vendored stubs, and VCS metadata.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if matches!(name, "target" | "vendor" | ".git" | ".claude" | "node_modules") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every workspace source file under `root`.
+pub fn lint_root(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if skip_entirely(&rel) {
+            continue;
+        }
+        let scope = classify(&rel);
+        if scope.test_file || !(scope.determinism || scope.control_plane) {
+            continue;
+        }
+        let source = fs::read_to_string(&path)?;
+        report.files_checked += 1;
+        report.violations.extend(lint_source(&rel, &source, &scope));
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let report = Report {
+            files_checked: 2,
+            violations: vec![Violation {
+                file: "a\\b.rs".into(),
+                line: 3,
+                rule: Rule::D2,
+                message: "say \"no\"".into(),
+                waived: true,
+                reason: Some("ok".into()),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"files_checked\": 2"));
+        assert!(json.contains("\"unwaived\": 0"));
+        assert!(json.contains("\"waived\": 1"));
+        assert!(json.contains("a\\\\b.rs"));
+        assert!(json.contains("say \\\"no\\\""));
+    }
+}

@@ -1,0 +1,91 @@
+//! CLI entry point: `cargo run -p sdfm-lint --release [-- --json] [--root PATH]`.
+//!
+//! Exit codes: 0 = clean (no unwaived violations), 1 = unwaived
+//! violations found, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sdfm_lint::lint_root;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("sdfm-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "sdfm-lint: workspace invariant checker\n\n\
+                     USAGE: sdfm-lint [--json] [--root PATH]\n\n\
+                     Enforces the determinism (D1/D2/T1) and panic-safety (P1)\n\
+                     contracts documented in DESIGN.md's invariant catalog.\n\
+                     Waive a violation inline with:\n\
+                     // sdfm-lint: allow(RULE) reason=\"why this is sound\""
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sdfm-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // When invoked via `cargo run` from a crate directory, walk up to the
+    // workspace root so relative policy prefixes line up.
+    if root.as_os_str() == "." {
+        if let Ok(manifest_dir) = std::env::var("CARGO_MANIFEST_DIR") {
+            let p = PathBuf::from(manifest_dir);
+            if let Some(ws) = p.ancestors().nth(2) {
+                if ws.join("Cargo.toml").is_file() {
+                    root = ws.to_path_buf();
+                }
+            }
+        }
+    }
+
+    let report = match lint_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sdfm-lint: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for v in &report.violations {
+            let status = if v.waived {
+                format!(
+                    "waived ({})",
+                    v.reason.as_deref().unwrap_or("no reason recorded")
+                )
+            } else {
+                "VIOLATION".to_string()
+            };
+            println!("{}:{}: {} [{}] {}", v.file, v.line, v.rule, status, v.message);
+        }
+        println!(
+            "sdfm-lint: {} files checked, {} unwaived violation(s), {} waived",
+            report.files_checked,
+            report.unwaived(),
+            report.waived()
+        );
+    }
+
+    if report.unwaived() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,145 @@
+//! The per-crate scope policy: which invariants apply to which files.
+//!
+//! Scopes are path-prefix based and mirror the architecture in DESIGN.md
+//! ("Invariant catalog"):
+//!
+//! * **Determinism scope** (rules D1/D2/T1) — everything whose execution
+//!   reaches simulator output that must be bit-identical per seed and
+//!   thread count: the fleet simulator and the rest of `sdfm-core`, the
+//!   offline replay model, the simulated kernel, and the statistical
+//!   workload models.
+//! * **Control-plane scope** (rule P1) — code standing in for the
+//!   production node agent and cluster manager (`sdfm-agent`,
+//!   `sdfm-cluster`): the paper's contract is graceful degradation, never
+//!   crashing the machine, so panicking operators are banned outside
+//!   tests.
+//! * **Timing-measurement allowances** — modules whose whole purpose is
+//!   to measure wall-clock cost of real work (codec timing, experiment
+//!   overhead tables) keep `Instant::now` without per-line waivers.
+//!
+//! Vendored stubs (`vendor/`), build output, and the checker itself are
+//! out of scope entirely.
+
+use crate::rules::Rule;
+
+/// The rule scope computed for one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileScope {
+    /// Whole file is test/bench/example code: every rule is exempt.
+    pub test_file: bool,
+    /// D1/D2/T1 apply.
+    pub determinism: bool,
+    /// P1 applies.
+    pub control_plane: bool,
+    /// Rules granted a policy-level allowance for this file.
+    pub allowed: Vec<Rule>,
+}
+
+impl FileScope {
+    /// Whether `rule` is enforced for this file at all.
+    pub fn enforces(&self, rule: Rule) -> bool {
+        if self.test_file || self.allowed.contains(&rule) {
+            return false;
+        }
+        match rule {
+            Rule::D1 | Rule::D2 | Rule::T1 => self.determinism,
+            Rule::P1 => self.control_plane,
+            // Waiver hygiene is checked everywhere in scope of anything.
+            Rule::W0 => self.determinism || self.control_plane,
+        }
+    }
+}
+
+/// Path prefixes (workspace-relative, `/`-separated) that carry the
+/// determinism contract.
+const DETERMINISM_SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/model/src/",
+    "crates/kernel/src/",
+    "crates/workloads/src/",
+];
+
+/// Path prefixes that carry the panic-safety contract.
+const CONTROL_PLANE_SCOPE: &[&str] = &["crates/agent/src/", "crates/cluster/src/"];
+
+/// Files allowed to read the wall clock: they *measure* real CPU work
+/// (codec timing feeding the cost model, experiment overhead reporting)
+/// and never feed timing back into simulated state.
+const TIMING_ALLOWANCES: &[&str] = &[
+    "crates/kernel/src/cost.rs",
+    "crates/core/src/experiments/overhead.rs",
+    "crates/core/src/experiments/tables.rs",
+];
+
+/// Whether a path should be skipped entirely (not a workspace source).
+pub fn skip_entirely(rel_path: &str) -> bool {
+    let p = rel_path.trim_start_matches("./");
+    p.starts_with("vendor/")
+        || p.starts_with("target/")
+        || p.contains("/target/")
+        || p.starts_with(".git/")
+        || p.starts_with("crates/lint/")
+}
+
+/// Computes the scope for a workspace-relative path.
+pub fn classify(rel_path: &str) -> FileScope {
+    let p = rel_path.trim_start_matches("./").replace('\\', "/");
+    let test_file = p.starts_with("tests/")
+        || p.starts_with("examples/")
+        || p.starts_with("benches/")
+        || p.contains("/tests/")
+        || p.contains("/benches/")
+        || p.contains("/examples/")
+        || p.ends_with("build.rs");
+    let determinism = DETERMINISM_SCOPE.iter().any(|s| p.starts_with(s));
+    let control_plane = CONTROL_PLANE_SCOPE.iter().any(|s| p.starts_with(s));
+    let mut allowed = Vec::new();
+    if TIMING_ALLOWANCES.contains(&p.as_str()) {
+        allowed.push(Rule::D1);
+    }
+    FileScope {
+        test_file,
+        determinism,
+        control_plane,
+        allowed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_paths_are_determinism_scoped() {
+        assert!(classify("crates/core/src/fleet_sim.rs").determinism);
+        assert!(classify("crates/model/src/fleet.rs").determinism);
+        assert!(classify("crates/kernel/src/thermostat.rs").determinism);
+        assert!(classify("crates/workloads/src/stat.rs").determinism);
+        assert!(!classify("crates/bench/src/bin/fig1.rs").determinism);
+    }
+
+    #[test]
+    fn control_plane_paths_get_p1() {
+        assert!(classify("crates/agent/src/node_agent.rs").enforces(Rule::P1));
+        assert!(classify("crates/cluster/src/machine.rs").enforces(Rule::P1));
+        assert!(!classify("crates/kernel/src/kernel.rs").enforces(Rule::P1));
+    }
+
+    #[test]
+    fn timing_modules_keep_instant_now() {
+        let cost = classify("crates/kernel/src/cost.rs");
+        assert!(!cost.enforces(Rule::D1));
+        assert!(cost.enforces(Rule::D2), "only D1 is waived for cost.rs");
+        assert!(!classify("crates/core/src/experiments/overhead.rs").enforces(Rule::D1));
+    }
+
+    #[test]
+    fn test_dirs_and_vendor_are_exempt() {
+        assert!(classify("crates/kernel/tests/properties.rs").test_file);
+        assert!(classify("tests/end_to_end.rs").test_file);
+        assert!(classify("examples/quickstart.rs").test_file);
+        assert!(skip_entirely("vendor/rand/src/lib.rs"));
+        assert!(skip_entirely("target/debug/build/foo.rs"));
+        assert!(skip_entirely("crates/lint/src/main.rs"));
+    }
+}

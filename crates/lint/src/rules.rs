@@ -1,0 +1,216 @@
+//! The invariant rules, as token-pattern matchers.
+//!
+//! Each rule guards one contract from DESIGN.md's invariant catalog:
+//!
+//! | Rule | Contract |
+//! |------|----------|
+//! | D1   | No wall-clock or ambient randomness in determinism-scoped code (`Instant::now`, `SystemTime`, `thread_rng`) |
+//! | D2   | No `HashMap`/`HashSet` in determinism-scoped code (iteration order is seeded per process) |
+//! | P1   | No `unwrap`/`expect`/`panic!`-family in control-plane code outside tests |
+//! | T1   | Only *scoped* thread spawns in determinism-scoped code (`thread::spawn` detaches past the window barrier) |
+//! | W0   | Waivers must parse and carry a non-empty reason |
+
+use std::fmt;
+
+use crate::lexer::Token;
+
+/// Rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall clock / ambient RNG in determinism scope.
+    D1,
+    /// Hash-ordered collections in determinism scope.
+    D2,
+    /// Panicking operators in control-plane scope.
+    P1,
+    /// Unscoped thread spawn in determinism scope.
+    T1,
+    /// Malformed waiver comment.
+    W0,
+}
+
+impl Rule {
+    /// The catalog name, as used in `allow(...)` waivers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::P1 => "P1",
+            Rule::T1 => "T1",
+            Rule::W0 => "W0",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One raw rule hit (before waiver/test-span filtering): rule, source
+/// line, token index, and a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hit {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// 1-based source line.
+    pub line: u32,
+    /// Index of the first token of the match (for test-span filtering).
+    pub token: usize,
+    /// What was matched and why it matters.
+    pub message: String,
+}
+
+/// Idents that panic when invoked as `ident(…)` method/function calls.
+const PANICKING_CALLS: &[&str] = &["unwrap", "expect"];
+/// Macros that panic when invoked as `ident!(…)`.
+const PANICKING_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs every matcher over the token stream. Scope filtering happens in
+/// the caller; this reports everything it sees.
+pub fn scan(tokens: &[Token]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(ident) = t.ident() else { continue };
+        match ident {
+            "Instant" if path_seg(tokens, i, "now") => hits.push(Hit {
+                rule: Rule::D1,
+                line: t.line,
+                token: i,
+                message: "`Instant::now()` reads the wall clock; determinism-scoped code must \
+                          derive all time from `SimTime`"
+                    .to_string(),
+            }),
+            "SystemTime" => hits.push(Hit {
+                rule: Rule::D1,
+                line: t.line,
+                token: i,
+                message: "`SystemTime` reads the wall clock; determinism-scoped code must \
+                          derive all time from `SimTime`"
+                    .to_string(),
+            }),
+            "thread_rng" => hits.push(Hit {
+                rule: Rule::D1,
+                line: t.line,
+                token: i,
+                message: "`thread_rng()` is OS-seeded; determinism-scoped code must use a \
+                          seeded `StdRng` threaded from the caller"
+                    .to_string(),
+            }),
+            "HashMap" | "HashSet" => hits.push(Hit {
+                rule: Rule::D2,
+                line: t.line,
+                token: i,
+                message: format!(
+                    "`{ident}` iteration order is randomized per process; use `BTreeMap`/\
+                     `BTreeSet` or drain through a sort before order reaches sim output"
+                ),
+            }),
+            "thread" if path_seg(tokens, i, "spawn") => hits.push(Hit {
+                rule: Rule::T1,
+                line: t.line,
+                token: i,
+                message: "`thread::spawn` detaches past the window barrier; use crossbeam \
+                          scoped threads so workers cannot outlive the state they borrow"
+                    .to_string(),
+            }),
+            _ if PANICKING_CALLS.contains(&ident)
+                && tokens.get(i + 1).and_then(Token::punct) == Some('(') =>
+            {
+                hits.push(Hit {
+                    rule: Rule::P1,
+                    line: t.line,
+                    token: i,
+                    message: format!(
+                        "`.{ident}()` panics on failure; control-plane code must degrade \
+                         gracefully (typed error, skip, or drop the job) — never crash the \
+                         machine"
+                    ),
+                });
+            }
+            _ if PANICKING_MACROS.contains(&ident)
+                && tokens.get(i + 1).and_then(Token::punct) == Some('!') =>
+            {
+                hits.push(Hit {
+                    rule: Rule::P1,
+                    line: t.line,
+                    token: i,
+                    message: format!(
+                        "`{ident}!` crashes the process; control-plane code must degrade \
+                         gracefully — never crash the machine"
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+    hits
+}
+
+/// Whether `tokens[i]` is followed by `:: seg` (e.g. `Instant` `::` `now`).
+fn path_seg(tokens: &[Token], i: usize, seg: &str) -> bool {
+    tokens.get(i + 1).and_then(Token::punct) == Some(':')
+        && tokens.get(i + 2).and_then(Token::punct) == Some(':')
+        && tokens.get(i + 3).and_then(Token::ident) == Some(seg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn rules_fired(src: &str) -> Vec<Rule> {
+        scan(&lex(src).tokens).into_iter().map(|h| h.rule).collect()
+    }
+
+    #[test]
+    fn d1_matches_each_wall_clock_source() {
+        assert_eq!(rules_fired("let t = Instant::now();"), vec![Rule::D1]);
+        assert_eq!(
+            rules_fired("use std::time::SystemTime;"),
+            vec![Rule::D1]
+        );
+        assert_eq!(rules_fired("let mut r = rand::thread_rng();"), vec![Rule::D1]);
+        // `Instant` alone (e.g. stored as a field type) is not a read.
+        assert!(rules_fired("fn f(t: Instant) {}").is_empty());
+    }
+
+    #[test]
+    fn d2_matches_hash_collections_only() {
+        assert_eq!(
+            rules_fired("let m: HashMap<u32, u32> = HashMap::new();").len(),
+            2
+        );
+        assert_eq!(rules_fired("let s = HashSet::with_capacity(8);"), vec![Rule::D2]);
+        assert!(rules_fired("let m: BTreeMap<u32, u32> = BTreeMap::new();").is_empty());
+    }
+
+    #[test]
+    fn p1_matches_panicking_operators_not_lookalikes() {
+        assert_eq!(rules_fired("x.unwrap()"), vec![Rule::P1]);
+        assert_eq!(rules_fired("x.expect(\"msg\")"), vec![Rule::P1]);
+        assert_eq!(rules_fired("panic!(\"boom\")"), vec![Rule::P1]);
+        assert_eq!(rules_fired("unreachable!()"), vec![Rule::P1]);
+        assert!(rules_fired("x.unwrap_or(1)").is_empty());
+        assert!(rules_fired("x.unwrap_or_else(|| 1)").is_empty());
+        assert!(rules_fired("x.unwrap_or_default()").is_empty());
+        assert!(rules_fired("x.expect_err(\"e\")").is_empty());
+        assert!(rules_fired("#[should_panic(expected = \"boom\")]").is_empty());
+        assert!(rules_fired("std::panic::catch_unwind(f)").is_empty());
+    }
+
+    #[test]
+    fn t1_matches_detached_spawn_not_scoped() {
+        assert_eq!(rules_fired("std::thread::spawn(move || {})"), vec![Rule::T1]);
+        assert_eq!(rules_fired("thread::spawn(f)"), vec![Rule::T1]);
+        assert!(rules_fired("thread::scope(|s| { s.spawn(move |_| {}); })").is_empty());
+    }
+
+    #[test]
+    fn matches_inside_strings_or_comments_never_fire() {
+        assert!(rules_fired("let s = \"Instant::now() HashMap unwrap()\";").is_empty());
+        assert!(rules_fired("// thread_rng() would be bad here\nlet x = 1;").is_empty());
+        assert!(rules_fired("/* panic!(\"no\") */ let x = 1;").is_empty());
+    }
+}

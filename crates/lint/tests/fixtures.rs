@@ -1,0 +1,224 @@
+//! Fixture tests: every rule must both fire on a known-bad snippet and
+//! stay silent when the snippet is waived, in test scope, or out of
+//! policy scope.
+
+use sdfm_lint::lint_source;
+use sdfm_lint::policy::{classify, FileScope};
+use sdfm_lint::rules::Rule;
+
+const SIM_PATH: &str = "crates/core/src/fleet_sim.rs";
+const AGENT_PATH: &str = "crates/agent/src/node_agent.rs";
+
+fn sim_scope() -> FileScope {
+    classify(SIM_PATH)
+}
+
+fn agent_scope() -> FileScope {
+    classify(AGENT_PATH)
+}
+
+fn rules_of(violations: &[sdfm_lint::Violation]) -> Vec<(Rule, bool)> {
+    violations.iter().map(|v| (v.rule, v.waived)).collect()
+}
+
+// ---------------------------------------------------------------- D1
+
+#[test]
+fn d1_fires_on_wall_clock_in_sim_code() {
+    let src = "fn step(&mut self) {\n    let t0 = Instant::now();\n}\n";
+    let v = lint_source(SIM_PATH, src, &sim_scope());
+    assert_eq!(rules_of(&v), vec![(Rule::D1, false)]);
+    assert_eq!(v[0].line, 2);
+}
+
+#[test]
+fn d1_waived_with_reason_is_reported_but_not_fatal() {
+    let src = "fn bench(&mut self) {\n    // sdfm-lint: allow(D1) reason=\"measures real codec latency\"\n    let t0 = Instant::now();\n}\n";
+    let v = lint_source(SIM_PATH, src, &sim_scope());
+    assert_eq!(rules_of(&v), vec![(Rule::D1, true)]);
+    assert_eq!(v[0].reason.as_deref(), Some("measures real codec latency"));
+}
+
+#[test]
+fn d1_trailing_waiver_on_same_line() {
+    let src = "let t = Instant::now(); // sdfm-lint: allow(D1) reason=\"timing harness\"\n";
+    let v = lint_source(SIM_PATH, src, &sim_scope());
+    assert_eq!(rules_of(&v), vec![(Rule::D1, true)]);
+}
+
+#[test]
+fn d1_skipped_in_timing_allowance_files() {
+    let src = "let t0 = Instant::now();\n";
+    let v = lint_source(
+        "crates/kernel/src/cost.rs",
+        src,
+        &classify("crates/kernel/src/cost.rs"),
+    );
+    assert!(v.is_empty(), "cost.rs has a policy-level D1 allowance");
+}
+
+#[test]
+fn d1_thread_rng_fires() {
+    let src = "let mut rng = rand::thread_rng();\n";
+    let v = lint_source(SIM_PATH, src, &sim_scope());
+    assert_eq!(rules_of(&v), vec![(Rule::D1, false)]);
+}
+
+// ---------------------------------------------------------------- D2
+
+#[test]
+fn d2_fires_on_hash_collections_in_sim_code() {
+    let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+    let v = lint_source(SIM_PATH, src, &sim_scope());
+    assert_eq!(v.len(), 3, "use + type + ctor each flagged: {v:?}");
+    assert!(v.iter().all(|x| x.rule == Rule::D2 && !x.waived));
+}
+
+#[test]
+fn d2_waiver_documents_sorted_drain() {
+    let src = "let s = HashSet::with_capacity(8); // sdfm-lint: allow(D2) reason=\"drained through a sort\"\n";
+    let v = lint_source(SIM_PATH, src, &sim_scope());
+    assert_eq!(rules_of(&v), vec![(Rule::D2, true)]);
+}
+
+#[test]
+fn d2_silent_outside_determinism_scope() {
+    let src = "let m: HashMap<u32, u32> = HashMap::new();\n";
+    let scope = classify("crates/autotuner/src/gp.rs");
+    assert!(lint_source("crates/autotuner/src/gp.rs", src, &scope).is_empty());
+}
+
+#[test]
+fn d2_silent_inside_cfg_test_module() {
+    let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n    #[test]\n    fn t() { let s: HashSet<u32> = HashSet::new(); }\n}\n";
+    let v = lint_source(SIM_PATH, src, &sim_scope());
+    assert!(v.is_empty(), "cfg(test) code is exempt: {v:?}");
+}
+
+// ---------------------------------------------------------------- P1
+
+#[test]
+fn p1_fires_on_each_panicking_operator() {
+    for snippet in [
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+        "fn f(x: Option<u32>) -> u32 { x.expect(\"present\") }",
+        "fn f() { panic!(\"boom\"); }",
+        "fn f() { unreachable!(); }",
+    ] {
+        let v = lint_source(AGENT_PATH, snippet, &agent_scope());
+        assert_eq!(rules_of(&v), vec![(Rule::P1, false)], "snippet: {snippet}");
+    }
+}
+
+#[test]
+fn p1_ignores_non_panicking_lookalikes() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+    assert!(lint_source(AGENT_PATH, src, &agent_scope()).is_empty());
+}
+
+#[test]
+fn p1_exempt_inside_cfg_test() {
+    let src = "fn live(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); panic!(\"in test\"); }\n}\n";
+    assert!(lint_source(AGENT_PATH, src, &agent_scope()).is_empty());
+}
+
+#[test]
+fn p1_waivable_with_justification() {
+    let src = "// sdfm-lint: allow(P1) reason=\"invariant: chunk count == scratch len\"\nlet buf = scratch.get_mut(i).unwrap();\n";
+    let v = lint_source(AGENT_PATH, src, &agent_scope());
+    assert_eq!(rules_of(&v), vec![(Rule::P1, true)]);
+}
+
+#[test]
+fn p1_not_enforced_in_sim_scope() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(lint_source(SIM_PATH, src, &sim_scope()).is_empty());
+}
+
+// ---------------------------------------------------------------- T1
+
+#[test]
+fn t1_fires_on_detached_spawn_in_sim_code() {
+    let src = "fn f() { std::thread::spawn(move || {}); }\n";
+    let v = lint_source(SIM_PATH, src, &sim_scope());
+    assert_eq!(rules_of(&v), vec![(Rule::T1, false)]);
+}
+
+#[test]
+fn t1_allows_scoped_spawns() {
+    let src = "fn f() { thread::scope(|s| { s.spawn(move |_| {}); }).expect_err(\"x\"); }\n";
+    assert!(lint_source(SIM_PATH, src, &sim_scope()).is_empty());
+}
+
+// ---------------------------------------------------------------- W0
+
+#[test]
+fn w0_malformed_waiver_is_unwaivable_violation() {
+    for bad in [
+        "// sdfm-lint: allow(D1)\nlet t = Instant::now();\n",
+        "// sdfm-lint: allow(D1) reason=\"\"\nlet t = Instant::now();\n",
+        "// sdfm-lint: allow() reason=\"x\"\nlet t = Instant::now();\n",
+        "// sdfm-lint: please ignore\nlet t = Instant::now();\n",
+    ] {
+        let v = lint_source(SIM_PATH, bad, &sim_scope());
+        assert!(
+            v.iter().any(|x| x.rule == Rule::W0 && !x.waived),
+            "missing W0 for: {bad}"
+        );
+        // And the underlying D1 still fires, unwaived.
+        assert!(
+            v.iter().any(|x| x.rule == Rule::D1 && !x.waived),
+            "broken waiver must not suppress the rule: {bad}"
+        );
+    }
+}
+
+#[test]
+fn waiver_for_wrong_rule_does_not_suppress() {
+    let src = "// sdfm-lint: allow(D2) reason=\"wrong rule\"\nlet t = Instant::now();\n";
+    let v = lint_source(SIM_PATH, src, &sim_scope());
+    assert_eq!(rules_of(&v), vec![(Rule::D1, false)]);
+}
+
+// ---------------------------------------------------------------- report
+
+#[test]
+fn json_report_round_trips_key_fields() {
+    let src = "let t = Instant::now();\nlet s = HashSet::new(); // sdfm-lint: allow(D2) reason=\"sorted drain\"\n";
+    let violations = lint_source(SIM_PATH, src, &sim_scope());
+    let report = sdfm_lint::Report {
+        files_checked: 1,
+        violations,
+    };
+    assert_eq!(report.unwaived(), 1);
+    assert_eq!(report.waived(), 1);
+    let json = report.to_json();
+    for needle in [
+        "\"rule\": \"D1\"",
+        "\"rule\": \"D2\"",
+        "\"waived\": true",
+        "\"waived\": false",
+        "\"reason\": \"sorted drain\"",
+        "\"files_checked\": 1",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in:\n{json}");
+    }
+}
+
+// ---------------------------------------------------------------- end-to-end
+
+#[test]
+fn workspace_is_clean_of_unwaived_violations() {
+    // The same gate CI runs: walking the real workspace from the test
+    // binary must find zero unwaived violations.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").is_file(), "not a workspace root");
+    let report = sdfm_lint::lint_root(&root).expect("walk workspace");
+    assert!(report.files_checked > 30, "suspiciously few files linted");
+    let bad: Vec<_> = report.violations.iter().filter(|v| !v.waived).collect();
+    assert!(bad.is_empty(), "unwaived violations: {bad:#?}");
+}

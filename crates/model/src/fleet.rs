@@ -310,6 +310,27 @@ mod tests {
         );
     }
 
+    /// Replay must be a pure function of (traces, config): two fresh
+    /// models over identical traces agree down to the f64 bit pattern,
+    /// even with the parallel chunked path engaged.
+    #[test]
+    fn replay_is_bit_identical_across_runs() {
+        let build = || {
+            let traces: Vec<JobTrace> = (1..=6).map(|j| trace(j, 12, 1_500, 40)).collect();
+            FarMemoryModel::new(traces).with_threads(3)
+        };
+        let c = config(97.0, 300);
+        let a = build().evaluate(&c);
+        let b = build().evaluate(&c);
+        assert_eq!(a.avg_cold_pages.to_bits(), b.avg_cold_pages.to_bits());
+        assert_eq!(a.mean_coverage.to_bits(), b.mean_coverage.to_bits());
+        assert_eq!(
+            a.p98_normalized_rate.map(|r| r.fraction_per_min().to_bits()),
+            b.p98_normalized_rate.map(|r| r.fraction_per_min().to_bits()),
+        );
+        assert_eq!((a.jobs, a.windows), (b.jobs, b.windows));
+    }
+
     #[test]
     fn parallel_and_sequential_agree() {
         let traces: Vec<JobTrace> = (1..=9).map(|j| trace(j, 15, 1_000, 50)).collect();
