@@ -1,0 +1,103 @@
+//! Batched model evaluation throughput: `evaluate_many` with the
+//! leftover-core splitter vs sequential per-config evaluation.
+//!
+//! Like `fleet_sim`, this is a hand-rolled harness emitting a tracked
+//! trajectory file, `BENCH_evaluate_many.json`, at the workspace root.
+//! The interesting regime is *fewer configs than workers*: without the
+//! splitter the surplus cores idle; with it each config's trace set is
+//! statically partitioned across the leftovers.
+//!
+//! * `SDFM_BENCH_REPS` — timed repetitions per configuration (default 6)
+//!
+//! Run with `cargo bench -p sdfm-bench --bench evaluate_many`.
+
+use std::time::Instant;
+
+use sdfm_agent::AgentParams;
+use sdfm_core::experiments::{collect_fleet_traces, Scale};
+use sdfm_model::{FarMemoryModel, JobTrace, ModelConfig};
+use sdfm_types::time::SimDuration;
+
+fn traces() -> Vec<JobTrace> {
+    let scale = Scale {
+        machines_per_cluster: 2,
+        warmup_windows: 0,
+        measure_windows: 0,
+        seed: 4242,
+        threads: 0,
+    };
+    collect_fleet_traces(&scale, 24)
+}
+
+fn configs(n: usize) -> Vec<ModelConfig> {
+    (0..n)
+        .map(|i| {
+            // Spread K and S so each config replays distinct decisions.
+            let p = AgentParams::new(
+                90.0 + 2.0 * i as f64,
+                SimDuration::from_mins(10 + 5 * i as u64),
+            )
+            .expect("valid K percentile");
+            ModelConfig::new(p)
+        })
+        .collect()
+}
+
+fn main() {
+    let reps = std::env::var("SDFM_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(6usize);
+    let traces = traces();
+    let windows: u64 = traces.iter().map(|t| t.len() as u64).sum();
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let caveat = "thread counts above the container's available \
+                  parallelism measure scheduling overhead, not speedup";
+    eprintln!("evaluate_many bench: {} traces / {windows} windows, {reps} reps per config", traces.len());
+    eprintln!("available parallelism: {available} ({caveat})");
+
+    let mut rows = Vec::new();
+    // (threads, configs): 4/2 and 8/2 exercise the splitter (surplus
+    // workers), 2/4 exercises plain config-level fan-out, 1/2 is the
+    // sequential baseline.
+    for (threads, n_configs) in [(1usize, 2usize), (2, 4), (4, 2), (8, 2)] {
+        let model = FarMemoryModel::new(traces.clone()).with_threads(threads);
+        let batch = configs(n_configs);
+        // Warm once: first call spins up the pool.
+        std::hint::black_box(model.evaluate_many(&batch));
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(model.evaluate_many(&batch));
+        }
+        let per_sec = (reps * n_configs) as f64 / t0.elapsed().as_secs_f64();
+        let splitter = threads > n_configs;
+        eprintln!(
+            "  threads={threads} configs={n_configs} splitter={splitter}: {per_sec:.2} evals/s"
+        );
+        rows.push(serde_json::json!({
+            "threads": threads,
+            "configs": n_configs,
+            "splitter_active": splitter,
+            "config_evals_per_sec": per_sec,
+        }));
+    }
+
+    let report = serde_json::json!({
+        "bench": "model_evaluate_many",
+        "traces": traces.len(),
+        "total_windows": windows,
+        "reps": reps,
+        "available_parallelism": available,
+        "caveat": caveat,
+        "results": rows,
+    });
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("BENCH_evaluate_many.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&report).expect("report serializes"))
+        .expect("write bench report");
+    eprintln!("wrote {}", out.display());
+}

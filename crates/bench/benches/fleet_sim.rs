@@ -1,35 +1,90 @@
 //! Fleet-window simulation throughput: windows stepped per second vs
-//! worker-thread count. The per-job work dominates a window, so stepping
-//! should scale near-linearly until churn + aggregation (sequential by
-//! design, for determinism) become visible.
+//! worker-thread count, persistent pool vs spawn-per-call.
+//!
+//! This is a hand-rolled harness (no criterion) so it can emit the
+//! machine-readable trajectory file `BENCH_fleet_sim.json` at the
+//! workspace root — the tracked perf baseline for the worker-pool port.
+//! Iteration budget is tunable for CI smoke runs:
+//!
+//! * `SDFM_BENCH_WARMUP`  — windows stepped before timing (default 8)
+//! * `SDFM_BENCH_WINDOWS` — timed windows per configuration (default 16)
+//!
+//! Run with `cargo bench -p sdfm-bench --bench fleet_sim`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sdfm_core::fleet_sim::{FleetSim, FleetSimConfig};
+use std::time::Instant;
 
-const WINDOWS_PER_ITER: usize = 4;
+use sdfm_core::fleet_sim::{FleetSim, FleetSimConfig, ParallelEngine};
 
-fn bench_window_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fleet_sim_step_window");
-    group.throughput(Throughput::Elements(WINDOWS_PER_ITER as u64));
-    group.sample_size(10);
-    for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            let mut cfg = FleetSimConfig::new(6);
-            cfg.threads = t;
-            let mut sim = FleetSim::new(cfg, 42);
-            // Warm past the S-boundary so every window does full work.
-            for _ in 0..12 {
-                sim.step_window();
-            }
-            b.iter(|| {
-                for _ in 0..WINDOWS_PER_ITER {
-                    std::hint::black_box(sim.step_window());
-                }
-            });
-        });
-    }
-    group.finish();
+const MACHINES: usize = 6;
+const SEED: u64 = 42;
+
+fn env_budget(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
 }
 
-criterion_group!(benches, bench_window_scaling);
-criterion_main!(benches);
+/// Windows per second for one (threads, engine) configuration.
+fn measure(threads: usize, engine: ParallelEngine, warmup: usize, windows: usize) -> f64 {
+    let mut cfg = FleetSimConfig::new(MACHINES);
+    cfg.threads = threads;
+    cfg.engine = engine;
+    let mut sim = FleetSim::new(cfg, SEED);
+    // Warm past the S-boundary so every timed window does full work.
+    for _ in 0..warmup {
+        sim.step_window();
+    }
+    let t0 = Instant::now();
+    for _ in 0..windows {
+        std::hint::black_box(sim.step_window());
+    }
+    windows as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    // `cargo bench` passes `--bench`; ignore all harness flags.
+    let warmup = env_budget("SDFM_BENCH_WARMUP", 8);
+    let windows = env_budget("SDFM_BENCH_WINDOWS", 16);
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let caveat = "thread counts above the container's available \
+                  parallelism measure scheduling overhead, not speedup";
+    eprintln!("fleet_sim bench: {warmup} warmup + {windows} timed windows per config");
+    eprintln!("available parallelism: {available} ({caveat})");
+
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4] {
+        for (engine, engine_name) in [
+            (ParallelEngine::PersistentPool, "persistent_pool"),
+            (ParallelEngine::SpawnPerCall, "spawn_per_call"),
+        ] {
+            let wps = measure(threads, engine, warmup, windows);
+            eprintln!("  threads={threads} engine={engine_name}: {wps:.2} windows/s");
+            rows.push(serde_json::json!({
+                "threads": threads,
+                "engine": engine_name,
+                "windows_per_sec": wps,
+            }));
+        }
+    }
+
+    let report = serde_json::json!({
+        "bench": "fleet_sim_step_window",
+        "machines_per_cluster": MACHINES,
+        "seed": SEED,
+        "warmup_windows": warmup,
+        "timed_windows": windows,
+        "available_parallelism": available,
+        "caveat": caveat,
+        "results": rows,
+    });
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("BENCH_fleet_sim.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&report).expect("report serializes"))
+        .expect("write bench report");
+    eprintln!("wrote {}", out.display());
+}

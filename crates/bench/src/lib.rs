@@ -7,7 +7,11 @@
 //!   simulated day per phase); the default is a medium scale that finishes
 //!   in seconds;
 //! * `--small` — the unit-test scale;
-//! * `--json` — emit the raw data structure as JSON instead of a table.
+//! * `--json` — emit the raw data structure as JSON instead of a table;
+//! * `--threads N` — fleet-sim worker count. Precedence: the flag beats
+//!   the `SDFM_THREADS` environment variable, which beats auto-detection.
+//!   Every binary logs the resolved count (and where it came from) on
+//!   stderr so recorded runs are attributable.
 
 #![warn(missing_docs)]
 
@@ -69,6 +73,10 @@ pub fn parse_options() -> Options {
     }
     // Scale presets reset `threads`, so apply the override last.
     scale.threads = threads;
+    // One header line per run: which worker count won, and why. The
+    // simulator resolves 0 the same way, so this is what actually runs.
+    let (resolved, source) = sdfm_pool::resolve_threads_detailed(threads);
+    eprintln!("workers: {resolved} ({source})");
     Options { scale, json }
 }
 

@@ -11,6 +11,8 @@
 //! Every fleet-level figure (1, 2, 3, 5, 6, 7, 8) is computed from this
 //! simulator's output.
 
+use std::sync::OnceLock;
+
 use crossbeam::thread;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -18,6 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use sdfm_agent::{AgentParams, JobController, SloConfig};
 use sdfm_kernel::CostModel;
+use sdfm_pool::WorkerPool;
 use sdfm_types::histogram::{PageAge, PromotionHistogram};
 use sdfm_types::ids::{ClusterId, JobId};
 use sdfm_types::rate::PromotionRate;
@@ -25,6 +28,20 @@ use sdfm_types::time::{SimDuration, SimTime, DAY};
 use sdfm_workloads::fleet::FleetSpec;
 use sdfm_workloads::profile::JobProfile;
 use sdfm_workloads::StatJobModel;
+
+/// How the per-job window step fans out across workers. Both engines
+/// produce bit-identical output; they differ only in scheduling cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelEngine {
+    /// A persistent [`WorkerPool`] created lazily on the first parallel
+    /// window and shut down when the simulator drops. Removes the
+    /// per-window thread create/join round trip — the production default.
+    #[default]
+    PersistentPool,
+    /// The pre-pool behavior: spawn scoped threads on every window. Kept
+    /// as the baseline the `fleet_sim` bench compares the pool against.
+    SpawnPerCall,
+}
 
 /// Fleet simulation parameters.
 #[derive(Debug, Clone)]
@@ -48,6 +65,8 @@ pub struct FleetSimConfig {
     /// output is identical at any thread count: each job's state is
     /// self-contained, and results are aggregated in job order.
     pub threads: usize,
+    /// How the parallel window step schedules its workers.
+    pub engine: ParallelEngine,
 }
 
 impl FleetSimConfig {
@@ -61,9 +80,10 @@ impl FleetSimConfig {
             noise_sigma: StatJobModel::DEFAULT_SIGMA,
             churn: true,
             cost: CostModel::PAPER_DEFAULT,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            // 0 = unrequested: honors `SDFM_THREADS`, then host parallelism,
+            // so CI runs on different hosts resolve reproducibly.
+            threads: sdfm_pool::resolve_threads(0),
+            engine: ParallelEngine::default(),
         }
     }
 }
@@ -186,6 +206,10 @@ pub struct FleetSim {
     /// Per-worker output buffers, kept across windows so the parallel
     /// step allocates nothing in steady state.
     scratch: Vec<Vec<JobWindowStat>>,
+    /// The persistent worker pool, created lazily on the first parallel
+    /// window ([`ParallelEngine::PersistentPool`] only) and shut down —
+    /// workers joined — when the simulator drops.
+    pool: OnceLock<WorkerPool>,
 }
 
 impl std::fmt::Debug for FleetSim {
@@ -209,6 +233,7 @@ impl FleetSim {
             next_id: 1,
             rng: StdRng::seed_from_u64(seed),
             scratch: Vec::new(),
+            pool: OnceLock::new(),
         };
         let clusters = sim.config.spec.clusters.clone();
         for (ci, cluster) in clusters.iter().enumerate() {
@@ -355,10 +380,13 @@ impl FleetSim {
 
     /// Advances one window and returns the fleet stats.
     ///
-    /// The per-job work fans out across [`FleetSimConfig::threads`] scoped
-    /// workers; job churn then runs sequentially on the sim-level RNG, so
-    /// the result — including the order of `per_job` and the RNG stream —
-    /// is bit-for-bit identical at any thread count.
+    /// The per-job work fans out across [`FleetSimConfig::threads`]
+    /// workers — by default on the simulator's persistent [`WorkerPool`]
+    /// (chunks are submitted in index order and reassembled in index
+    /// order, so scheduling never reaches the output); job churn then
+    /// runs sequentially on the sim-level RNG. The result — including the
+    /// order of `per_job` and the RNG stream — is bit-for-bit identical
+    /// at any thread count and under either [`ParallelEngine`].
     pub fn step_window(&mut self) -> FleetWindowStats {
         self.now += self.config.window;
         let now = self.now;
@@ -383,19 +411,47 @@ impl FleetSim {
             let chunk = self.jobs.len().div_ceil(workers);
             let chunks: Vec<&mut [SimJob]> = self.jobs.chunks_mut(chunk).collect();
             self.scratch.resize_with(chunks.len(), Vec::new);
-            thread::scope(|s| {
-                for (chunk, buf) in chunks.into_iter().zip(self.scratch.iter_mut()) {
-                    s.spawn(move |_| {
-                        buf.clear();
-                        buf.extend(
-                            chunk
-                                .iter_mut()
-                                .map(|j| Self::step_job(j, now, window, min_threshold)),
-                        );
-                    });
+            match self.config.engine {
+                ParallelEngine::PersistentPool => {
+                    let threads = self.config.threads;
+                    let pool = self.pool.get_or_init(|| WorkerPool::new(threads));
+                    let tasks: Vec<_> = chunks
+                        .into_iter()
+                        .zip(self.scratch.iter_mut())
+                        .map(|(chunk, buf)| {
+                            move || {
+                                buf.clear();
+                                buf.extend(
+                                    chunk
+                                        .iter_mut()
+                                        .map(|j| Self::step_job(j, now, window, min_threshold)),
+                                );
+                            }
+                        })
+                        .collect();
+                    if let Err(e) = pool.run(tasks) {
+                        // A job-step panic is a simulator bug, not a
+                        // recoverable condition; re-raise it with context
+                        // instead of silently dropping the window.
+                        panic!("fleet window worker panicked: {e}");
+                    }
                 }
-            })
-            .expect("fleet window worker panicked");
+                ParallelEngine::SpawnPerCall => {
+                    thread::scope(|s| {
+                        for (chunk, buf) in chunks.into_iter().zip(self.scratch.iter_mut()) {
+                            s.spawn(move |_| {
+                                buf.clear();
+                                buf.extend(
+                                    chunk
+                                        .iter_mut()
+                                        .map(|j| Self::step_job(j, now, window, min_threshold)),
+                                );
+                            });
+                        }
+                    })
+                    .expect("fleet window worker panicked");
+                }
+            }
             // Drain in chunk order: per_job comes out in job order exactly
             // as the sequential path produces it.
             for buf in &mut self.scratch {
@@ -594,6 +650,28 @@ mod tests {
             let c = eight.step_window();
             assert_eq!(a, b, "1 vs 2 threads diverged at window {w}");
             assert_eq!(a, c, "1 vs 8 threads diverged at window {w}");
+        }
+    }
+
+    /// The persistent pool and the per-call spawn baseline must be
+    /// observationally indistinguishable: same seed, same windows, same
+    /// bytes. This is the contract that lets the bench compare their cost
+    /// while everything else routes through the pool.
+    #[test]
+    fn pool_and_spawn_per_call_engines_agree() {
+        let sim_with_engine = |engine: ParallelEngine| {
+            let mut cfg = FleetSimConfig::new(2);
+            cfg.noise_sigma = 0.1;
+            cfg.threads = 4;
+            cfg.engine = engine;
+            FleetSim::new(cfg, 29)
+        };
+        let mut pooled = sim_with_engine(ParallelEngine::PersistentPool);
+        let mut spawned = sim_with_engine(ParallelEngine::SpawnPerCall);
+        for w in 0..12 {
+            let a = pooled.step_window();
+            let b = spawned.step_window();
+            assert_eq!(a, b, "engines diverged at window {w}");
         }
     }
 

@@ -3,16 +3,18 @@
 //! Scopes are path-prefix based and mirror the architecture in DESIGN.md
 //! ("Invariant catalog"):
 //!
-//! * **Determinism scope** (rules D1/D2/T1) — everything whose execution
-//!   reaches simulator output that must be bit-identical per seed and
-//!   thread count: the fleet simulator and the rest of `sdfm-core`, the
-//!   offline replay model, the simulated kernel, and the statistical
-//!   workload models.
-//! * **Control-plane scope** (rule P1) — code standing in for the
+//! * **Determinism scope** (rules D1/D2/T1/T2) — everything whose
+//!   execution reaches simulator output that must be bit-identical per
+//!   seed and thread count: the fleet simulator and the rest of
+//!   `sdfm-core`, the offline replay model, the simulated kernel, the
+//!   statistical workload models, and the worker pool that schedules all
+//!   of them.
+//! * **Control-plane scope** (rules P1/T2) — code standing in for the
 //!   production node agent and cluster manager (`sdfm-agent`,
 //!   `sdfm-cluster`): the paper's contract is graceful degradation, never
 //!   crashing the machine, so panicking operators are banned outside
-//!   tests.
+//!   tests, and lock nesting (T2) is banned because a deadlocked agent is
+//!   as dead as a crashed one.
 //! * **Timing-measurement allowances** — modules whose whole purpose is
 //!   to measure wall-clock cost of real work (codec timing, experiment
 //!   overhead tables) keep `Instant::now` without per-line waivers.
@@ -44,6 +46,10 @@ impl FileScope {
         match rule {
             Rule::D1 | Rule::D2 | Rule::T1 => self.determinism,
             Rule::P1 => self.control_plane,
+            // Lock-ordering hazards deadlock either kind of code: the
+            // pool's run() barrier in determinism scope, the agent's
+            // event loop in control-plane scope.
+            Rule::T2 => self.determinism || self.control_plane,
             // Waiver hygiene is checked everywhere in scope of anything.
             Rule::W0 => self.determinism || self.control_plane,
         }
@@ -57,6 +63,7 @@ const DETERMINISM_SCOPE: &[&str] = &[
     "crates/model/src/",
     "crates/kernel/src/",
     "crates/workloads/src/",
+    "crates/pool/src/",
 ];
 
 /// Path prefixes that carry the panic-safety contract.
@@ -115,7 +122,16 @@ mod tests {
         assert!(classify("crates/model/src/fleet.rs").determinism);
         assert!(classify("crates/kernel/src/thermostat.rs").determinism);
         assert!(classify("crates/workloads/src/stat.rs").determinism);
+        assert!(classify("crates/pool/src/lib.rs").determinism);
         assert!(!classify("crates/bench/src/bin/fig1.rs").determinism);
+    }
+
+    #[test]
+    fn t2_enforced_in_both_scopes() {
+        assert!(classify("crates/pool/src/lib.rs").enforces(Rule::T2));
+        assert!(classify("crates/agent/src/node_agent.rs").enforces(Rule::T2));
+        assert!(classify("crates/core/src/fleet_sim.rs").enforces(Rule::T2));
+        assert!(!classify("crates/autotuner/src/gp.rs").enforces(Rule::T2));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! | D2   | No `HashMap`/`HashSet` in determinism-scoped code (iteration order is seeded per process) |
 //! | P1   | No `unwrap`/`expect`/`panic!`-family in control-plane code outside tests |
 //! | T1   | Only *scoped* thread spawns in determinism-scoped code (`thread::spawn` detaches past the window barrier) |
+//! | T2   | No nested lock acquisitions (`.lock()`/`.read()`/`.write()` while another guard is live) — inconsistent ordering deadlocks |
 //! | W0   | Waivers must parse and carry a non-empty reason |
 
 use std::fmt;
@@ -25,6 +26,8 @@ pub enum Rule {
     P1,
     /// Unscoped thread spawn in determinism scope.
     T1,
+    /// Nested lock-guard acquisition (lock-ordering hazard).
+    T2,
     /// Malformed waiver comment.
     W0,
 }
@@ -37,6 +40,7 @@ impl Rule {
             Rule::D2 => "D2",
             Rule::P1 => "P1",
             Rule::T1 => "T1",
+            Rule::T2 => "T2",
             Rule::W0 => "W0",
         }
     }
@@ -145,7 +149,119 @@ pub fn scan(tokens: &[Token]) -> Vec<Hit> {
             _ => {}
         }
     }
+    scan_locks(tokens, &mut hits);
     hits
+}
+
+/// Guard-returning methods that acquire a lock when called with **no**
+/// arguments (`.read(&mut buf)`-style IO calls take arguments and never
+/// match).
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// The T2 matcher: a brace-depth tracker over live lock guards.
+///
+/// A guard is born at a no-argument `.lock()`/`.read()`/`.write()` call
+/// and dies when
+///
+/// * its enclosing brace scope closes,
+/// * the statement ends (`;`) and the guard was a temporary (no `let`
+///   binding in the statement), or
+/// * an explicit `drop(name)` releases the binding.
+///
+/// Acquiring while any guard is live is the hazard: two code paths that
+/// nest the same pair of locks in opposite orders deadlock, and the
+/// workspace contract (DESIGN.md, "Worker pool & scheduling determinism")
+/// is that no function ever holds two guards at once. Condvar waits
+/// (`.wait(guard)`) take an argument and are therefore invisible here,
+/// which is exactly right: they *release* the lock while blocked.
+fn scan_locks(tokens: &[Token], hits: &mut Vec<Hit>) {
+    struct Guard {
+        /// `let` binding name, when the statement bound one.
+        name: Option<String>,
+        /// Brace depth at acquisition; scope close at or above kills it.
+        depth: usize,
+        /// Acquisition line, for the diagnostic.
+        line: u32,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    // Name bound by `let [mut]` in the current statement, if any.
+    let mut stmt_binding: Option<String> = None;
+    for (i, t) in tokens.iter().enumerate() {
+        match t.punct() {
+            Some('{') => {
+                depth += 1;
+                continue;
+            }
+            Some('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+                stmt_binding = None;
+                continue;
+            }
+            Some(';') => {
+                // Temporaries die with their statement.
+                guards.retain(|g| g.name.is_some());
+                stmt_binding = None;
+                continue;
+            }
+            _ => {}
+        }
+        let Some(ident) = t.ident() else { continue };
+        match ident {
+            "let" => {
+                // `let [mut] name = …` / `let name: Ty = …`. Destructuring
+                // patterns (`let Some(g)`, `let (a, b)`) bind no single
+                // name; their guards are treated as temporaries.
+                let mut j = i + 1;
+                if tokens.get(j).and_then(Token::ident) == Some("mut") {
+                    j += 1;
+                }
+                stmt_binding = match (
+                    tokens.get(j).and_then(Token::ident),
+                    tokens.get(j + 1).and_then(Token::punct),
+                ) {
+                    (Some(name), Some(':' | '=')) => Some(name.to_string()),
+                    _ => None,
+                };
+            }
+            "drop"
+                if tokens.get(i + 1).and_then(Token::punct) == Some('(')
+                    && tokens.get(i + 3).and_then(Token::punct) == Some(')') =>
+            {
+                if let Some(name) = tokens.get(i + 2).and_then(Token::ident) {
+                    guards.retain(|g| g.name.as_deref() != Some(name));
+                }
+            }
+            m if LOCK_METHODS.contains(&m)
+                && i > 0
+                && tokens[i - 1].punct() == Some('.')
+                && tokens.get(i + 1).and_then(Token::punct) == Some('(')
+                && tokens.get(i + 2).and_then(Token::punct) == Some(')') =>
+            {
+                if let Some(held) = guards.last() {
+                    hits.push(Hit {
+                        rule: Rule::T2,
+                        line: t.line,
+                        token: i,
+                        message: format!(
+                            "`.{m}()` acquires a lock while the guard taken on line {} is \
+                             still live; nested acquisitions deadlock under inconsistent \
+                             ordering — release the first guard (scope, `drop`, or end of \
+                             statement) before taking the second",
+                            held.line
+                        ),
+                    });
+                }
+                guards.push(Guard {
+                    name: stmt_binding.clone(),
+                    depth,
+                    line: t.line,
+                });
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Whether `tokens[i]` is followed by `:: seg` (e.g. `Instant` `::` `now`).
@@ -205,6 +321,47 @@ mod tests {
         assert_eq!(rules_fired("std::thread::spawn(move || {})"), vec![Rule::T1]);
         assert_eq!(rules_fired("thread::spawn(f)"), vec![Rule::T1]);
         assert!(rules_fired("thread::scope(|s| { s.spawn(move |_| {}); })").is_empty());
+    }
+
+    #[test]
+    fn t2_fires_on_nested_guards() {
+        // Second acquisition while the first binding is still live.
+        let src = "fn f() { let a = m1.lock().unwrap(); let b = m2.lock().unwrap(); }";
+        // P1 hits come from the main scan, T2 from the guard tracker.
+        assert_eq!(rules_fired(src), vec![Rule::P1, Rule::P1, Rule::T2]);
+        // RwLock read nested under a mutex guard.
+        let src = "fn f() { let g = state.lock().unwrap_or_else(p); let r = map.read().unwrap_or_else(p); }";
+        assert_eq!(rules_fired(src), vec![Rule::T2]);
+        // Two temporaries held inside one statement.
+        let src = "fn f() -> u32 { a.lock().unwrap_or_default().x + b.lock().unwrap_or_default().y }";
+        assert_eq!(rules_fired(src), vec![Rule::T2]);
+    }
+
+    #[test]
+    fn t2_silent_when_guards_never_overlap() {
+        // Sequential statements with temporaries: each dies at its `;`.
+        let src = "fn f() { m1.lock().unwrap_or_default(); m2.lock().unwrap_or_default(); }";
+        assert!(rules_fired(src).is_empty());
+        // Scoped guard released by its block before the next acquisition.
+        let src = "fn f() { { let a = m1.lock().unwrap_or_else(p); use_it(a); } let b = m2.lock().unwrap_or_else(p); }";
+        assert!(rules_fired(src).is_empty());
+        // Explicit drop releases the binding.
+        let src = "fn f() { let a = m1.lock().unwrap_or_else(p); drop(a); let b = m2.lock().unwrap_or_else(p); }";
+        assert!(rules_fired(src).is_empty());
+        // Separate functions never share guard state.
+        let src = "fn f() { let a = m1.lock().unwrap_or_else(p); }\nfn g() { let b = m2.lock().unwrap_or_else(p); }";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn t2_ignores_argumented_read_write_and_condvar_wait() {
+        // IO-style calls take arguments; only no-arg guard ctors match.
+        let src = "fn f(r: &mut R) { r.read(&mut buf).ok(); w.write(&buf).ok(); }";
+        assert!(rules_fired(src).is_empty());
+        // Condvar wait consumes and re-yields the guard — not a second
+        // acquisition (and it releases while blocked).
+        let src = "fn f() { let mut s = m.lock().unwrap_or_else(p); while s.n > 0 { s = cv.wait(s).unwrap_or_else(p); } }";
+        assert!(rules_fired(src).is_empty());
     }
 
     #[test]

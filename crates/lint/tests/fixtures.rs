@@ -150,6 +150,45 @@ fn t1_allows_scoped_spawns() {
     assert!(lint_source(SIM_PATH, src, &sim_scope()).is_empty());
 }
 
+// ---------------------------------------------------------------- T2
+
+#[test]
+fn t2_fires_on_nested_lock_guards_in_pool_code() {
+    let src = "fn f(&self) {\n    let q = self.queue.lock().unwrap_or_else(poisoned);\n    let s = self.state.lock().unwrap_or_else(poisoned);\n}\n";
+    let path = "crates/pool/src/lib.rs";
+    let v = lint_source(path, src, &classify(path));
+    assert_eq!(rules_of(&v), vec![(Rule::T2, false)]);
+    assert_eq!(v[0].line, 3, "the *second* acquisition is the violation");
+}
+
+#[test]
+fn t2_fires_in_control_plane_scope_too() {
+    let src = "fn f(&self) {\n    let a = self.jobs.lock().unwrap_or_default();\n    let b = self.stats.read().unwrap_or_default();\n}\n";
+    let v = lint_source(AGENT_PATH, src, &agent_scope());
+    assert_eq!(rules_of(&v), vec![(Rule::T2, false)]);
+}
+
+#[test]
+fn t2_waivable_with_documented_ordering() {
+    let src = "fn f(&self) {\n    let q = self.queue.lock().unwrap_or_else(poisoned);\n    // sdfm-lint: allow(T2) reason=\"queue-then-state is the documented global order\"\n    let s = self.state.lock().unwrap_or_else(poisoned);\n}\n";
+    let path = "crates/pool/src/lib.rs";
+    let v = lint_source(path, src, &classify(path));
+    assert_eq!(rules_of(&v), vec![(Rule::T2, true)]);
+    assert_eq!(
+        v[0].reason.as_deref(),
+        Some("queue-then-state is the documented global order")
+    );
+}
+
+#[test]
+fn t2_silent_when_first_guard_is_scoped_or_dropped() {
+    let src = "fn f(&self) {\n    { let q = self.queue.lock().unwrap_or_else(poisoned); q.push(1); }\n    let s = self.state.lock().unwrap_or_else(poisoned);\n}\n";
+    let path = "crates/pool/src/lib.rs";
+    assert!(lint_source(path, src, &classify(path)).is_empty());
+    let src = "fn f(&self) {\n    let q = self.queue.lock().unwrap_or_else(poisoned);\n    drop(q);\n    let s = self.state.lock().unwrap_or_else(poisoned);\n}\n";
+    assert!(lint_source(path, src, &classify(path)).is_empty());
+}
+
 // ---------------------------------------------------------------- W0
 
 #[test]

@@ -1,0 +1,588 @@
+//! `sdfm-pool` — a persistent, deterministic worker pool for the fleet
+//! hot paths.
+//!
+//! The offline machinery of the paper (the fast far memory model's fleet
+//! replays, the GP-Bandit rollouts, the longitudinal fleet simulator) is
+//! only cheap because the same per-window fan-out runs thousands of times
+//! per experiment. Spawning scoped threads *per call* — the pre-pool
+//! design — pays a thread create/join round trip every window, which
+//! dominates for small fleets. This crate provides the replacement: a
+//! pool of long-lived workers created once per simulator/model and shut
+//! down on drop.
+//!
+//! # Determinism contract
+//!
+//! The pool preserves the workspace's bit-identical-per-seed contract
+//! (DESIGN.md, "Worker pool & scheduling determinism") by construction:
+//!
+//! * work is submitted as an **indexed** list of closures ([`WorkerPool::run`]);
+//! * workers pull tasks from a single shared injector queue in any order
+//!   and at any interleaving — scheduling is dynamic and timing-dependent;
+//! * every task writes its result into the slot matching its submission
+//!   index, so the returned `Vec` is **reassembled in submission order**,
+//!   independent of which worker ran what and when.
+//!
+//! As long as each task is a pure function of its inputs (no shared
+//! mutable state across tasks), the output is bit-identical at any worker
+//! count — the same guarantee the previous scoped-spawn code provided,
+//! now without the per-call spawn cost.
+//!
+//! # Panic safety
+//!
+//! A panicking task does **not** hang or poison the pool: the worker
+//! catches the unwind, records the first panic's message and task index,
+//! and keeps draining the batch (remaining tasks of a failed batch are
+//! skipped, not run). [`WorkerPool::run`] then returns
+//! [`Err(PoolError)`](PoolError) to the caller, and the pool remains
+//! usable for subsequent batches.
+//!
+//! # Caller participation
+//!
+//! `WorkerPool::new(threads)` spawns `threads - 1` background workers;
+//! the thread calling [`run`](WorkerPool::run) executes tasks too while
+//! it waits, so a pool configured for `threads` runs exactly `threads`
+//! tasks concurrently — matching the semantics of the scoped-spawn code
+//! it replaces. With `threads <= 1` no workers exist at all and `run`
+//! degrades to a plain sequential loop with zero synchronization.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// A task's result slot, written by exactly one worker.
+///
+/// The raw pointer targets an element of the `Vec<Option<T>>` owned by the
+/// stack frame of [`WorkerPool::run`], which does not return (and therefore
+/// does not move or drop the vector) until every task of the batch has
+/// finished. Each slot is aliased by exactly one task, so writes never
+/// race.
+struct Slot<T>(*mut Option<T>);
+
+// SAFETY: the pointee outlives the batch (see the `Slot` docs) and is
+// accessed by exactly one task; sending the pointer to a worker thread is
+// therefore sound even though raw pointers are not `Send` by default.
+unsafe impl<T: Send> Send for Slot<T> {}
+
+impl<T> Slot<T> {
+    /// Fills the slot. Taking `self` (not the raw field) keeps closures
+    /// capturing the whole `Send` wrapper under edition-2021 disjoint
+    /// capture rules.
+    fn fill(self, value: T) {
+        // SAFETY: unique, live, unaliased pointee — see the `Slot` docs.
+        unsafe {
+            *self.0 = Some(value);
+        }
+    }
+}
+
+/// A lifetime-erased unit of work queued on the injector.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// One queued task plus the batch bookkeeping it reports into.
+struct Job {
+    index: usize,
+    task: Task,
+    batch: Arc<Batch>,
+}
+
+/// Per-batch completion state: how many tasks are still outstanding and
+/// whether any of them panicked.
+struct BatchState {
+    remaining: usize,
+    failed: Option<PoolError>,
+}
+
+/// Completion latch shared by a batch's tasks and its submitter.
+struct Batch {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+impl Batch {
+    fn new(remaining: usize) -> Self {
+        Batch {
+            state: Mutex::new(BatchState {
+                remaining,
+                failed: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Whether the batch already recorded a panic (used to skip the rest
+    /// of a failed batch's tasks without running them).
+    fn has_failed(&self) -> bool {
+        let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.failed.is_some()
+    }
+
+    /// Records the first panic of the batch; later panics keep the first
+    /// report (deterministic error surfacing would need index ordering,
+    /// but the whole batch fails either way).
+    fn record_panic(&self, err: PoolError) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.failed.is_none() {
+            st.failed = Some(err);
+        }
+    }
+
+    /// Marks one task finished (successfully or not) and wakes the
+    /// submitter when the batch drains.
+    fn finish_one(&self) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.remaining = st.remaining.saturating_sub(1);
+        if st.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every task of the batch has finished; returns the
+    /// recorded failure, if any.
+    fn wait(&self) -> Option<PoolError> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while st.remaining > 0 {
+            st = self.done.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.failed.clone()
+    }
+}
+
+/// The shared injector: a single queue all workers (and the submitting
+/// caller) pull from. A shared queue is the degenerate — and perfectly
+/// load-balanced — form of work stealing: idle workers always find the
+/// oldest pending task without per-worker deques to rebalance.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    work_ready: Condvar,
+}
+
+/// A worker panic surfaced to the submitting caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Submission index of the first task that panicked.
+    pub task_index: usize,
+    /// The panic payload rendered as text (`String`/`&str` payloads are
+    /// preserved verbatim; anything else is reported opaquely).
+    pub message: String,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pool task {} panicked: {}", self.task_index, self.message)
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Renders a panic payload for [`PoolError::message`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one job to completion, skipping the body if its batch already
+/// failed. Always decrements the batch latch — the submitter's safety
+/// depends on `remaining` reaching zero no matter what the task did.
+fn execute(job: Job) {
+    let Job { index, task, batch } = job;
+    if batch.has_failed() {
+        // Drop the closure without running it: its captured borrows end
+        // here, and the batch still completes promptly after a panic.
+        drop(task);
+    } else {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+        if let Err(payload) = result {
+            batch.record_panic(PoolError {
+                task_index: index,
+                message: panic_message(payload.as_ref()),
+            });
+        }
+    }
+    batch.finish_one();
+}
+
+/// The persistent worker pool. See the crate docs for the determinism and
+/// panic-safety contracts.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool that executes up to `threads` tasks concurrently:
+    /// `threads - 1` long-lived background workers plus the calling thread
+    /// of each [`run`](Self::run). `threads <= 1` creates no workers and
+    /// makes `run` purely sequential.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let mut workers = Vec::with_capacity(threads - 1);
+        for _ in 1..threads {
+            let shared = Arc::clone(&shared);
+            // sdfm-lint: allow(T1) reason="pool workers are long-lived by design: Drop joins every handle, and run() blocks until all borrowed tasks complete, so no worker outlives state it can reach"
+            workers.push(std::thread::spawn(move || Self::worker_loop(&shared)));
+        }
+        WorkerPool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// The concurrency this pool was built for (background workers + the
+    /// calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Background workers currently attached.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn worker_loop(shared: &Shared) {
+        loop {
+            let job = {
+                let mut q = shared
+                    .queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    if let Some(job) = q.jobs.pop_front() {
+                        break Some(job);
+                    }
+                    if q.shutdown {
+                        break None;
+                    }
+                    q = shared
+                        .work_ready
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            match job {
+                Some(job) => execute(job),
+                None => return,
+            }
+        }
+    }
+
+    /// Runs every task, returning their results **in submission order**.
+    ///
+    /// Blocks until the whole batch has finished — including when a task
+    /// panics, in which case the first panic is surfaced as
+    /// [`Err(PoolError)`](PoolError) after the batch drains (so borrowed
+    /// captures never outlive the call). An empty task set returns
+    /// immediately without touching the queue.
+    pub fn run<'env, T, F>(&self, tasks: Vec<F>) -> Result<Vec<T>, PoolError>
+    where
+        F: FnOnce() -> T + Send + 'env,
+        T: Send + 'env,
+    {
+        if tasks.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Sequential fast path: no workers, no queue, no erasure.
+        if self.workers.is_empty() {
+            let mut out = Vec::with_capacity(tasks.len());
+            for (index, task) in tasks.into_iter().enumerate() {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+                    Ok(v) => out.push(v),
+                    Err(payload) => {
+                        return Err(PoolError {
+                            task_index: index,
+                            message: panic_message(payload.as_ref()),
+                        })
+                    }
+                }
+            }
+            return Ok(out);
+        }
+
+        let n = tasks.len();
+        let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+        let base = slots.as_mut_ptr();
+        let batch = Arc::new(Batch::new(n));
+        {
+            let mut q = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            for (index, task) in tasks.into_iter().enumerate() {
+                // SAFETY: `base` points into `slots`, which stays alive and
+                // unmoved until `batch.wait()` below has observed every task
+                // finished; each index is claimed by exactly one task.
+                let slot = Slot(unsafe { base.add(index) });
+                let wrapper = move || slot.fill(task());
+                let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(wrapper);
+                // SAFETY: the only difference between the two types is the
+                // lifetime bound on the closure's captures. The erased task
+                // cannot outlive them: it is either executed or dropped
+                // before `batch.wait()` returns, and `run` does not return
+                // (or unwind — nothing below can panic) before that.
+                let erased: Task = unsafe {
+                    std::mem::transmute::<
+                        Box<dyn FnOnce() + Send + 'env>,
+                        Box<dyn FnOnce() + Send + 'static>,
+                    >(boxed)
+                };
+                q.jobs.push_back(Job {
+                    index,
+                    task: erased,
+                    batch: Arc::clone(&batch),
+                });
+            }
+            self.shared.work_ready.notify_all();
+        }
+
+        // Caller participation: drain the injector alongside the workers
+        // instead of blocking idle, so `threads` tasks run concurrently.
+        loop {
+            let job = {
+                let mut q = self
+                    .shared
+                    .queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                q.jobs.pop_front()
+            };
+            match job {
+                Some(job) => execute(job),
+                // Queue drained; in-flight tasks finish on the workers.
+                None => break,
+            }
+        }
+        if let Some(err) = batch.wait() {
+            return Err(err);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every task of a successful batch filled its slot"))
+            .collect())
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Shuts the pool down: signals every worker and joins it. `run`
+    /// borrows the pool for its whole duration, so no batch can be in
+    /// flight here; the queue is necessarily empty.
+    fn drop(&mut self) {
+        {
+            let mut q = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            q.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            // A worker that somehow panicked outside a task is already
+            // dead; joining it returns its payload, which we drop — pool
+            // shutdown must not propagate stale panics.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Resolves a requested worker count to the effective one, making thread
+/// configuration reproducible across hosts:
+///
+/// 1. an explicit `requested > 0` always wins (the `--threads` flag);
+/// 2. otherwise the `SDFM_THREADS` environment variable, when set to a
+///    positive integer (CI pinning);
+/// 3. otherwise [`std::thread::available_parallelism`].
+///
+/// Simulation output is bit-identical at any setting; this only pins
+/// *performance* behavior so two runs on different hosts are comparable.
+pub fn resolve_threads(requested: usize) -> usize {
+    resolve_threads_detailed(requested).0
+}
+
+/// Where a resolved worker count came from (for operator-facing logs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadSource {
+    /// An explicit request (e.g. the `--threads` flag).
+    Explicit,
+    /// The `SDFM_THREADS` environment variable.
+    Env,
+    /// Detected host parallelism.
+    Detected,
+}
+
+impl fmt::Display for ThreadSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ThreadSource::Explicit => "--threads",
+            ThreadSource::Env => "SDFM_THREADS",
+            ThreadSource::Detected => "available_parallelism",
+        })
+    }
+}
+
+/// [`resolve_threads`] plus the provenance of the answer, so every fig
+/// binary can log the resolved count in its header line.
+pub fn resolve_threads_detailed(requested: usize) -> (usize, ThreadSource) {
+    if requested > 0 {
+        return (requested, ThreadSource::Explicit);
+    }
+    if let Ok(v) = std::env::var("SDFM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return (n, ThreadSource::Env);
+            }
+        }
+    }
+    (
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        ThreadSource::Detected,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        // Uneven work so completion order differs from submission order.
+        let tasks: Vec<_> = (0..64u64)
+            .map(|i| {
+                move || {
+                    let spins = (i % 7) * 1_000;
+                    let mut acc = i;
+                    for k in 0..spins {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    std::hint::black_box(acc);
+                    i * 2
+                }
+            })
+            .collect();
+        let out = pool.run(tasks).expect("no panics");
+        assert_eq!(out, (0..64u64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_task_set_is_a_fast_path() {
+        let pool = WorkerPool::new(4);
+        let out: Vec<u32> = pool.run(Vec::<fn() -> u32>::new()).expect("empty ok");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tasks_may_borrow_caller_state() {
+        let pool = WorkerPool::new(3);
+        let data: Vec<u64> = (0..100).collect();
+        let mut outputs = [0u64; 4];
+        let tasks: Vec<_> = data
+            .chunks(25)
+            .zip(outputs.iter_mut())
+            .map(|(chunk, out)| {
+                move || {
+                    *out = chunk.iter().sum::<u64>();
+                }
+            })
+            .collect();
+        pool.run(tasks).expect("no panics");
+        assert_eq!(outputs.iter().sum::<u64>(), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err_without_deadlock() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<_> = (0..16usize)
+            .map(|i| {
+                move || {
+                    if i == 5 {
+                        panic!("task five exploded");
+                    }
+                    i
+                }
+            })
+            .collect();
+        let err = pool.run(tasks).expect_err("panic must surface");
+        assert_eq!(err.message, "task five exploded");
+        // The pool survives a failed batch and runs the next one cleanly.
+        let out = pool.run((0..8).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(out.expect("pool usable after panic"), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_pool_catches_panics_too() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.worker_count(), 0);
+        let err = pool
+            .run(vec![|| panic!("solo boom")])
+            .map(|v: Vec<()>| v)
+            .expect_err("panic must surface");
+        assert_eq!(err.task_index, 0);
+        assert_eq!(err.message, "solo boom");
+    }
+
+    #[test]
+    fn drop_joins_workers_and_completes_queued_work_first() {
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.worker_count(), 3);
+        let tasks: Vec<_> = (0..32)
+            .map(|_| {
+                || {
+                    RAN.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        pool.run(tasks).expect("no panics");
+        drop(pool); // must join all three workers without hanging
+        assert_eq!(RAN.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn dropping_an_idle_pool_does_not_hang() {
+        let pool = WorkerPool::new(8);
+        drop(pool);
+    }
+
+    #[test]
+    fn resolve_threads_precedence() {
+        assert_eq!(resolve_threads(3), 3);
+        let (n, src) = resolve_threads_detailed(5);
+        assert_eq!((n, src), (5, ThreadSource::Explicit));
+        // Without an explicit request the answer is host-dependent but
+        // always at least one.
+        assert!(resolve_threads(0) >= 1);
+    }
+}
