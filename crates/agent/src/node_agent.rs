@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use crate::controller::{ControlDecision, JobController};
 use crate::params::{AgentParams, SloConfig};
-use sdfm_kernel::Kernel;
+use sdfm_kernel::{Kernel, StorePressure};
 use sdfm_types::ids::JobId;
 use sdfm_types::time::SimTime;
 
@@ -20,6 +20,9 @@ pub struct NodeAgent {
     ticks: u64,
     /// Compact the arena every this many ticks (0 = never).
     compact_every: u64,
+    /// Store-lifecycle policy applied every tick (disabled-store decay,
+    /// soft-limit restoration).
+    pressure: StorePressure,
 }
 
 impl NodeAgent {
@@ -31,7 +34,18 @@ impl NodeAgent {
             controllers: BTreeMap::new(),
             ticks: 0,
             compact_every: 10,
+            pressure: StorePressure::PAPER_DEFAULT,
         }
+    }
+
+    /// The store-lifecycle policy in force.
+    pub fn store_pressure(&self) -> StorePressure {
+        self.pressure
+    }
+
+    /// Overrides the store-lifecycle policy.
+    pub fn set_store_pressure(&mut self, pressure: StorePressure) {
+        self.pressure = pressure;
     }
 
     /// The parameters currently in force.
@@ -102,7 +116,11 @@ impl NodeAgent {
                     } else {
                         Ok(())
                     }
-                });
+                })
+                // Store lifecycle: decay a disabled job's store one step,
+                // or restore working-set pages a raised soft limit now
+                // protects.
+                .and_then(|()| kernel.store_lifecycle_tick(job, &self.pressure).map(|_| ()));
             if pushed.is_err() {
                 dead.push(job);
                 continue;
@@ -215,6 +233,29 @@ mod tests {
             "soft limit {} should approximate the 200-page working set",
             soft.get()
         );
+    }
+
+    #[test]
+    fn disabling_zswap_decays_the_store_through_ticks() {
+        let (mut agent, mut kernel, job) = setup(4);
+        agent.register_job(job, SimTime::ZERO);
+        kernel
+            .alloc_pages(job, 1000, |_| PageContent::synthetic_of_len(600))
+            .unwrap();
+        run_minutes(&mut agent, &mut kernel, 0, 30);
+        let stored = kernel.memcg(job).unwrap().stats().zswapped_pages;
+        assert!(stored > 900, "store never built up: {stored}");
+        // Roll out an effectively-infinite warmup: the controller turns
+        // zswap off, and the lifecycle tick must drain the dead store.
+        agent.set_params(
+            AgentParams::new(90.0, SimDuration::from_mins(1_000_000)).unwrap(),
+        );
+        let budget = agent.store_pressure().windows_to_drain(stored) + 5;
+        run_minutes(&mut agent, &mut kernel, 30, budget);
+        let s = kernel.memcg(job).unwrap().stats();
+        assert_eq!(s.zswapped_pages, 0, "dead store survived the decay");
+        assert_eq!(s.writebacks, stored);
+        assert_eq!(s.resident_pages, 1000);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Schema gate for bench trajectory files.
+//!
+//! Usage: `bench_schema_check BENCH_a.json [BENCH_b.json ...]`
+//!
+//! Parses each report and runs [`sdfm_bench::validate_bench_report`];
+//! exits nonzero if any file is missing, unparseable, or out of schema.
+//! CI's bench-smoke job runs this over the artifacts it just produced so
+//! a bench refactor cannot silently ship a report its consumers can't
+//! read.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: bench_schema_check <BENCH_*.json> [...]");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let raw = match std::fs::read_to_string(path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let report: serde_json::Value = match serde_json::from_str(&raw) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{path}: not JSON: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match sdfm_bench::validate_bench_report(&report) {
+            Ok(()) => eprintln!("{path}: ok"),
+            Err(problems) => {
+                for p in problems {
+                    eprintln!("{path}: {p}");
+                }
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

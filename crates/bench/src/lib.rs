@@ -97,6 +97,88 @@ pub fn pct(x: f64) -> String {
     format!("{:.2}%", x * 100.0)
 }
 
+/// Validates a bench trajectory report (`BENCH_*.json`) against the
+/// schema its consumers assume: the expected top-level keys are present,
+/// `results` is a non-empty array whose rows carry their identifying keys,
+/// and every throughput number is finite and positive. CI's bench-smoke
+/// job runs this so a refactor that silently drops a field or starts
+/// emitting `null`/`inf` throughput fails the build instead of producing
+/// an unusable artifact.
+///
+/// # Errors
+///
+/// Every problem found, one message per violation.
+pub fn validate_bench_report(report: &serde_json::Value) -> Result<(), Vec<String>> {
+    let Ok(bench) = report.field("bench").and_then(|v| v.str()) else {
+        return Err(vec!["missing string field `bench`".into()]);
+    };
+    let (top_keys, row_keys, throughput): (&[&str], &[&str], &str) = match bench {
+        "fleet_sim_step_window" => (
+            &[
+                "machines_per_cluster",
+                "seed",
+                "warmup_windows",
+                "timed_windows",
+                "available_parallelism",
+                "caveat",
+                "results",
+            ],
+            &["threads", "engine"],
+            "windows_per_sec",
+        ),
+        "model_evaluate_many" => (
+            &[
+                "traces",
+                "total_windows",
+                "reps",
+                "available_parallelism",
+                "caveat",
+                "results",
+            ],
+            &["threads", "configs", "splitter_active"],
+            "config_evals_per_sec",
+        ),
+        other => return Err(vec![format!("unknown bench `{other}`")]),
+    };
+    let mut problems = Vec::new();
+    for k in top_keys {
+        if report.field(k).is_err() {
+            problems.push(format!("missing key `{k}`"));
+        }
+    }
+    match report.field("results").and_then(|v| v.elements()) {
+        Err(_) => problems.push("`results` is not an array".into()),
+        Ok([]) => problems.push("`results` is empty".into()),
+        Ok(rows) => {
+            for (i, row) in rows.iter().enumerate() {
+                for k in row_keys {
+                    if row.field(k).is_err() {
+                        problems.push(format!("results[{i}] missing `{k}`"));
+                    }
+                }
+                // The JSON writer renders non-finite floats as `null`, so
+                // an inf/NaN throughput lands here as a missing number.
+                match row
+                    .field(throughput)
+                    .and_then(|v| v.number())
+                    .map(|n| n.as_f64())
+                {
+                    Ok(x) if x.is_finite() && x > 0.0 => {}
+                    Ok(x) => problems.push(format!(
+                        "results[{i}].{throughput} = {x} must be finite and positive"
+                    )),
+                    Err(_) => problems.push(format!("results[{i}] missing numeric `{throughput}`")),
+                }
+            }
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +194,118 @@ mod tests {
     fn pct_formats() {
         assert_eq!(pct(0.2), "20.00%");
         assert_eq!(pct(0.0426), "4.26%");
+    }
+
+    use serde_json::Value;
+
+    fn fleet_sim_report() -> Value {
+        let rows = vec![
+            serde_json::json!({
+                "threads": 1u64, "engine": "persistent_pool", "windows_per_sec": 10.5f64,
+            }),
+            serde_json::json!({
+                "threads": 2u64, "engine": "spawn_per_call", "windows_per_sec": 7.2f64,
+            }),
+        ];
+        serde_json::json!({
+            "bench": "fleet_sim_step_window",
+            "machines_per_cluster": 2u64,
+            "seed": 42u64,
+            "warmup_windows": 2u64,
+            "timed_windows": 3u64,
+            "available_parallelism": 4u64,
+            "caveat": "noisy",
+            "results": rows,
+        })
+    }
+
+    fn evaluate_many_report() -> Value {
+        let rows = vec![serde_json::json!({
+            "threads": 4u64, "configs": 2u64, "splitter_active": true,
+            "config_evals_per_sec": 3.0f64,
+        })];
+        serde_json::json!({
+            "bench": "model_evaluate_many",
+            "traces": 12u64,
+            "total_windows": 480u64,
+            "reps": 1u64,
+            "available_parallelism": 4u64,
+            "caveat": "noisy",
+            "results": rows,
+        })
+    }
+
+    /// Entries of an object `Value`, mutably (the vendored stub keeps
+    /// objects as ordered pairs).
+    fn entries(v: &mut Value) -> &mut Vec<(String, Value)> {
+        match v {
+            Value::Object(e) => e,
+            other => panic!("expected object, got {}", other.kind()),
+        }
+    }
+
+    fn remove_key(v: &mut Value, key: &str) {
+        entries(v).retain(|(k, _)| k != key);
+    }
+
+    fn set_key(v: &mut Value, key: &str, val: Value) {
+        for (k, slot) in entries(v).iter_mut() {
+            if k == key {
+                *slot = val;
+                return;
+            }
+        }
+        panic!("no key `{key}` to replace");
+    }
+
+    fn first_row(report: &mut Value) -> &mut Value {
+        for (k, slot) in entries(report).iter_mut() {
+            if k == "results" {
+                match slot {
+                    Value::Array(rows) => return &mut rows[0],
+                    other => panic!("results is {}", other.kind()),
+                }
+            }
+        }
+        panic!("no results array");
+    }
+
+    #[test]
+    fn well_formed_reports_validate() {
+        assert_eq!(validate_bench_report(&fleet_sim_report()), Ok(()));
+        assert_eq!(validate_bench_report(&evaluate_many_report()), Ok(()));
+    }
+
+    #[test]
+    fn schema_violations_are_each_reported() {
+        let mut r = fleet_sim_report();
+        remove_key(&mut r, "seed");
+        remove_key(first_row(&mut r), "windows_per_sec");
+        let problems = validate_bench_report(&r).unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("`seed`")), "{problems:?}");
+        assert!(
+            problems.iter().any(|p| p.contains("windows_per_sec")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_throughput_is_rejected() {
+        let mut r = evaluate_many_report();
+        set_key(first_row(&mut r), "config_evals_per_sec", serde_json::json!(0.0f64));
+        assert!(validate_bench_report(&r).is_err(), "zero throughput passed");
+        // The JSON writer emits non-finite floats as null; null gets the
+        // same "missing numeric" treatment as an absent key.
+        set_key(first_row(&mut r), "config_evals_per_sec", Value::Null);
+        assert!(validate_bench_report(&r).is_err());
+    }
+
+    #[test]
+    fn unknown_and_empty_benches_are_rejected() {
+        assert!(validate_bench_report(&serde_json::json!({"bench": "mystery"})).is_err());
+        assert!(validate_bench_report(&serde_json::json!({})).is_err());
+        let mut r = fleet_sim_report();
+        set_key(&mut r, "results", Value::Array(Vec::new()));
+        assert!(validate_bench_report(&r).is_err(), "empty results passed");
     }
 }

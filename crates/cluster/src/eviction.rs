@@ -57,7 +57,10 @@ impl EvictionTracker {
     }
 
     /// Evictions per job-day (the SLO metric). `None` before any runtime
-    /// accumulates.
+    /// accumulates: the rate's denominator is zero, so the rate is
+    /// undefined — not zero, and not infinite. Callers that need a
+    /// verdict anyway should use [`meets_slo`](Self::meets_slo), which
+    /// pins down the degenerate case.
     pub fn evictions_per_job_day(&self) -> Option<f64> {
         if self.job_seconds == 0 {
             None
@@ -67,11 +70,19 @@ impl EvictionTracker {
     }
 
     /// Whether the realized rate meets an SLO of at most
-    /// `max_per_job_day`. Vacuously true with no runtime.
+    /// `max_per_job_day`.
+    ///
+    /// With no recorded runtime the rate is undefined; the SLO verdict is
+    /// then decided by the numerator alone: no evictions is vacuously
+    /// compliant, while any eviction against zero job-time is a breach
+    /// (the limit of the rate as runtime → 0 is +∞, which no finite SLO
+    /// admits). Before this was pinned down, an eviction recorded before
+    /// any runtime accrued reported *compliant* — the worst possible
+    /// answer for a monitoring hook.
     pub fn meets_slo(&self, max_per_job_day: f64) -> bool {
         self.evictions_per_job_day()
             .map(|r| r <= max_per_job_day)
-            .unwrap_or(true)
+            .unwrap_or(self.evictions == 0)
     }
 }
 
@@ -91,6 +102,43 @@ mod tests {
         assert!((t.evictions_per_job_day().unwrap() - 0.01).abs() < 1e-12);
         assert!(t.meets_slo(0.02));
         assert!(!t.meets_slo(0.005));
+    }
+
+    #[test]
+    fn no_runtime_semantics_are_pinned_down() {
+        // Fresh tracker: rate undefined, SLO vacuously met.
+        let t = EvictionTracker::new();
+        assert_eq!(t.evictions_per_job_day(), None);
+        assert!(t.meets_slo(0.0));
+        assert!(t.meets_slo(f64::INFINITY));
+
+        // Evictions with zero runtime: rate still undefined (None, not
+        // infinity), but the SLO is breached at any finite bound.
+        let mut t = EvictionTracker::new();
+        t.record_eviction();
+        assert_eq!(t.evictions_per_job_day(), None);
+        assert!(!t.meets_slo(0.0));
+        assert!(!t.meets_slo(1e9));
+
+        // OOM kills without runtime stay out of the SLO verdict.
+        let mut t = EvictionTracker::new();
+        t.record_oom_kill();
+        assert!(t.meets_slo(0.0));
+
+        // Runtime arriving later restores the ordinary rate math.
+        let mut t = EvictionTracker::new();
+        t.record_eviction();
+        t.record_runtime(1, SimDuration::from_hours(24));
+        assert_eq!(t.evictions_per_job_day(), Some(1.0));
+        assert!(t.meets_slo(1.0));
+        assert!(!t.meets_slo(0.5));
+
+        // Zero-duration runtime records do not count as runtime.
+        let mut t = EvictionTracker::new();
+        t.record_runtime(100, SimDuration::ZERO);
+        t.record_eviction();
+        assert_eq!(t.evictions_per_job_day(), None);
+        assert!(!t.meets_slo(1e9));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use crate::telemetry::{JobSnapshot, MachineSnapshot, TelemetryDb};
 use sdfm_agent::{AgentParams, NodeAgent, SloConfig, TraceExporter};
-use sdfm_kernel::{Kernel, KernelConfig};
+use sdfm_kernel::{Kernel, KernelConfig, StorePressure};
 use sdfm_types::ids::{ClusterId, JobId, MachineId};
 use sdfm_types::rate::NormalizedPromotionRate;
 use sdfm_types::size::PageCount;
@@ -31,6 +31,10 @@ pub struct MachineReport {
     pub promotions: u64,
     /// Distinct pages touched this minute.
     pub pages_touched: u64,
+    /// Dead-store pages written back under host pressure this minute.
+    pub written_back: u64,
+    /// Arena frames released by pressure-driven compaction this minute.
+    pub compacted_frames: u64,
 }
 
 /// A simulated host.
@@ -254,7 +258,22 @@ impl Machine {
             jobs: self.jobs.len(),
         });
 
-        // 6. Pressure: evict lowest-priority, largest jobs until we fit.
+        // 6. Pressure relief before eviction: an overcommitted machine
+        // first asks the kernel to drop dead stores and compact the arena
+        // — killing a job is the last resort, not the first. Relief
+        // failures (a corrupt store) fall through to eviction, which
+        // removes the offending memcg anyway.
+        if self.overcommitted() {
+            if let Ok(o) = self
+                .kernel
+                .relieve_host_pressure(&StorePressure::PAPER_DEFAULT)
+            {
+                report.written_back += o.writeback.written_back;
+                report.compacted_frames += o.compacted.get();
+            }
+        }
+
+        // 7. Pressure: evict lowest-priority, largest jobs until we fit.
         while self.overcommitted() {
             let victim = self
                 .jobs

@@ -78,8 +78,8 @@ impl AutotunePipeline {
     fn evaluate_point(&mut self, point: Vec<f64>) -> TuneTrial {
         let params = Self::params_from_point(&point);
         let result = self.model.evaluate(&ModelConfig {
-            params,
             slo: self.slo,
+            ..ModelConfig::new(params)
         });
         // A configuration with no enabled windows never measured its
         // constraint: treat it as a hard violation. The penalty must stay

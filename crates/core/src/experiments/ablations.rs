@@ -107,11 +107,15 @@ pub fn ablation_reactive(minutes: u64, seed: u64) -> AblationReactive {
                 // (here: simulate periodic pressure from colocated churn by
                 // demanding headroom when free memory dips).
                 if kernel.free_frames() < PageCount::new(800) {
-                    kernel.direct_reclaim(PageCount::new(1_500));
+                    kernel
+                        .direct_reclaim(PageCount::new(1_500))
+                        .expect("direct reclaim");
                 }
                 // Pressure source: a colocated allocation burst every 2 h.
                 if m % 120 == 0 {
-                    kernel.direct_reclaim(PageCount::new(2_000));
+                    kernel
+                        .direct_reclaim(PageCount::new(2_000))
+                        .expect("direct reclaim");
                 }
             }
             let stats = kernel.machine_stats();
@@ -668,7 +672,10 @@ pub fn ablation_tuner(traces: Vec<JobTrace>, budget: usize, seed: u64) -> Ablati
             SimDuration::from_secs(s.max(0.0) as u64),
         )
         .expect("clamped");
-        let r = model.evaluate(&ModelConfig { params, slo });
+        let r = model.evaluate(&ModelConfig {
+            slo,
+            ..ModelConfig::new(params)
+        });
         // Unmeasured constraint (no enabled windows) = infeasible; keep
         // the penalty finite for the GP arm's standardization.
         let con = r

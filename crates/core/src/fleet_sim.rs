@@ -19,7 +19,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use sdfm_agent::{AgentParams, JobController, SloConfig};
-use sdfm_kernel::CostModel;
+use sdfm_kernel::{CostModel, StorePressure};
 use sdfm_pool::WorkerPool;
 use sdfm_types::histogram::{PageAge, PromotionHistogram};
 use sdfm_types::ids::{ClusterId, JobId};
@@ -61,6 +61,9 @@ pub struct FleetSimConfig {
     pub churn: bool,
     /// Per-page compression costs for CPU accounting.
     pub cost: CostModel,
+    /// Store-lifecycle policy: how fast a disabled job's zswap store
+    /// decays back to DRAM (mirrors the kernel's writeback machinery).
+    pub pressure: StorePressure,
     /// Worker threads for the per-job window step (1 = sequential). The
     /// output is identical at any thread count: each job's state is
     /// self-contained, and results are aggregated in job order.
@@ -80,6 +83,7 @@ impl FleetSimConfig {
             noise_sigma: StatJobModel::DEFAULT_SIGMA,
             churn: true,
             cost: CostModel::PAPER_DEFAULT,
+            pressure: StorePressure::PAPER_DEFAULT,
             // 0 = unrequested: honors `SDFM_THREADS`, then host parallelism,
             // so CI runs on different hosts resolve reproducibly.
             threads: sdfm_pool::resolve_threads(0),
@@ -115,8 +119,15 @@ pub struct JobWindowStat {
     pub normalized_rate: f64,
     /// Compression events charged this window.
     pub compress_events: u64,
-    /// Decompression events charged this window.
+    /// Decompression events charged this window (promotions plus store
+    /// writebacks).
     pub decompress_events: u64,
+    /// Pages sitting in the zswap store at the end of this window (equals
+    /// `far_pages` while enabled; decays toward zero while disabled).
+    pub store_pages: u64,
+    /// Store pages written back to DRAM this window by the lifecycle
+    /// policy (each one a charged decompression).
+    pub writeback_events: u64,
     /// The job's CPU footprint (cores).
     pub cpu_cores: f64,
 }
@@ -132,6 +143,9 @@ pub struct FleetWindowStats {
     pub cold_pages: u64,
     /// Sum of far-memory pages.
     pub far_pages: u64,
+    /// Sum of pages still in the zswap store (includes disabled jobs'
+    /// decaying stores, which `far_pages` excludes).
+    pub store_pages: u64,
     /// Per-job detail.
     pub per_job: Vec<JobWindowStat>,
 }
@@ -179,11 +193,13 @@ struct SimJob {
     incompressible: f64,
     cpu_cores: f64,
     total_pages: u64,
-    /// Far-memory pages still sitting in the zswap store from the last
-    /// enabled window. Disabling zswap stops new compressions but does not
-    /// flush the store, so on re-enable only the growth beyond this
-    /// residue is charged as compression work.
-    resident_far: u64,
+    /// Pages currently in the job's zswap store. Tracks `far_pages` while
+    /// zswap is enabled; after a disable the store-lifecycle policy decays
+    /// it window by window (writebacks, each a charged decompression)
+    /// until it reaches zero — mirroring the kernel's writeback machinery.
+    /// On re-enable, only growth beyond what is still stored is charged
+    /// as compression work.
+    store_pages: u64,
 }
 
 // The parallel window step hands chunks of jobs to scoped worker threads;
@@ -289,7 +305,7 @@ impl FleetSim {
             incompressible,
             cpu_cores,
             total_pages,
-            resident_far: 0,
+            store_pages: 0,
         });
     }
 
@@ -324,6 +340,7 @@ impl FleetSim {
         now: SimTime,
         window: SimDuration,
         min_threshold: PageAge,
+        pressure: StorePressure,
     ) -> JobWindowStat {
         let obs = j.model.observe(now, window);
         j.cumulative_promo.merge(&obs.promo_delta);
@@ -344,19 +361,22 @@ impl FleetSim {
         } else {
             (0, 0)
         };
-        // CPU events: only pages *entering* the store compress. The store
-        // survives a zswap disable, so an enabled window is charged the
-        // growth beyond what is already resident, plus the re-compression
-        // of pages that faulted out and went cold again (the promotion
-        // rate). A fresh enable (resident 0) charges the full cold mass.
-        let compress_events = if enabled {
-            far.saturating_sub(j.resident_far) + promos
+        // CPU events: only pages *entering* the store compress. An enabled
+        // window is charged the growth beyond what is still stored, plus
+        // the re-compression of pages that faulted out and went cold again
+        // (the promotion rate). While disabled, the store-lifecycle policy
+        // writes the dead store back window by window — each writeback a
+        // charged decompression — so a long-disabled job's store reaches
+        // zero and a much later re-enable pays for the full cold mass.
+        let (compress_events, writeback_events) = if enabled {
+            let events = far.saturating_sub(j.store_pages) + promos;
+            j.store_pages = far;
+            (events, 0)
         } else {
-            0
+            let writebacks = pressure.decay_step(j.store_pages);
+            j.store_pages -= writebacks;
+            (0, writebacks)
         };
-        if enabled {
-            j.resident_far = far;
-        }
         let rate = PromotionRate::from_count(promos, window)
             .normalized(decision.working_set)
             .fraction_per_min();
@@ -373,7 +393,9 @@ impl FleetSim {
             enabled,
             normalized_rate: rate,
             compress_events,
-            decompress_events: promos,
+            decompress_events: promos + writeback_events,
+            store_pages: j.store_pages,
+            writeback_events,
             cpu_cores: j.cpu_cores,
         }
     }
@@ -392,11 +414,13 @@ impl FleetSim {
         let now = self.now;
         let window = self.config.window;
         let min_threshold = self.config.slo.min_threshold;
+        let pressure = self.config.pressure;
         let mut stats = FleetWindowStats {
             at: now,
             total_pages: 0,
             cold_pages: 0,
             far_pages: 0,
+            store_pages: 0,
             per_job: Vec::with_capacity(self.jobs.len()),
         };
 
@@ -405,7 +429,7 @@ impl FleetSim {
             for j in &mut self.jobs {
                 stats
                     .per_job
-                    .push(Self::step_job(j, now, window, min_threshold));
+                    .push(Self::step_job(j, now, window, min_threshold, pressure));
             }
         } else {
             let chunk = self.jobs.len().div_ceil(workers);
@@ -421,11 +445,9 @@ impl FleetSim {
                         .map(|(chunk, buf)| {
                             move || {
                                 buf.clear();
-                                buf.extend(
-                                    chunk
-                                        .iter_mut()
-                                        .map(|j| Self::step_job(j, now, window, min_threshold)),
-                                );
+                                buf.extend(chunk.iter_mut().map(|j| {
+                                    Self::step_job(j, now, window, min_threshold, pressure)
+                                }));
                             }
                         })
                         .collect();
@@ -441,11 +463,9 @@ impl FleetSim {
                         for (chunk, buf) in chunks.into_iter().zip(self.scratch.iter_mut()) {
                             s.spawn(move |_| {
                                 buf.clear();
-                                buf.extend(
-                                    chunk
-                                        .iter_mut()
-                                        .map(|j| Self::step_job(j, now, window, min_threshold)),
-                                );
+                                buf.extend(chunk.iter_mut().map(|j| {
+                                    Self::step_job(j, now, window, min_threshold, pressure)
+                                }));
                             });
                         }
                     })
@@ -462,6 +482,7 @@ impl FleetSim {
             stats.total_pages += s.total_pages;
             stats.cold_pages += s.cold_pages;
             stats.far_pages += s.far_pages;
+            stats.store_pages += s.store_pages;
         }
 
         // Churn: replace expired jobs.
@@ -694,7 +715,8 @@ mod tests {
         let steady = steady.unwrap();
         assert!(steady.far_pages > 0, "no far memory built up");
 
-        // Disable fleet-wide: the store keeps its contents.
+        // Disable fleet-wide: the store keeps most of its contents (the
+        // lifecycle policy decays it by one window's step, no more).
         sim.set_params(never_on);
         let off = sim.step_window();
         assert_eq!(off.far_pages, 0);
@@ -702,8 +724,13 @@ mod tests {
             off.per_job.iter().map(|j| j.compress_events).sum::<u64>(),
             0
         );
+        assert!(
+            off.store_pages > 0,
+            "one disabled window must not flush the store"
+        );
+        assert!(off.store_pages < steady.far_pages, "no decay happened");
 
-        // Re-enable: only growth beyond the still-resident pages (plus the
+        // Re-enable: only growth beyond the still-stored pages (plus the
         // steady promotion trickle) may be charged — not the full reservoir.
         sim.set_params(always_on);
         let back = sim.step_window();
@@ -715,5 +742,112 @@ mod tests {
             compress,
             back.far_pages
         );
+    }
+
+    /// The immortal-store regression: a disabled job's store must decay to
+    /// zero under the lifecycle policy — window by window, each writeback
+    /// a charged decompression — instead of surviving forever.
+    #[test]
+    fn disabled_store_decays_to_zero_under_lifecycle_policy() {
+        let mut cfg = FleetSimConfig::new(2);
+        cfg.noise_sigma = 0.0;
+        cfg.churn = false;
+        let pressure = cfg.pressure;
+        let mut sim = FleetSim::new(cfg, 9);
+        let always_on = AgentParams::new(98.0, SimDuration::ZERO).unwrap();
+        let never_on = AgentParams::new(98.0, SimDuration::from_hours(10_000)).unwrap();
+
+        sim.set_params(always_on);
+        let mut steady = None;
+        for _ in 0..12 {
+            steady = Some(sim.step_window());
+        }
+        let steady = steady.unwrap();
+        assert!(steady.far_pages > 0, "no far memory built up");
+        assert_eq!(steady.store_pages, steady.far_pages);
+
+        sim.set_params(never_on);
+        let mut prev = steady.store_pages;
+        let mut drained_at = None;
+        // The fleet store is a few hundred thousand pages; the geometric
+        // phase plus per-job linear tails drain it well inside 200 windows.
+        for w in 0..200 {
+            let s = sim.step_window();
+            let writebacks: u64 = s.per_job.iter().map(|j| j.writeback_events).sum();
+            let decompressions: u64 = s.per_job.iter().map(|j| j.decompress_events).sum();
+            assert_eq!(s.far_pages, 0, "disabled fleet reported far memory");
+            assert_eq!(
+                s.store_pages,
+                prev - writebacks,
+                "store decay disagrees with the writeback count at window {w}"
+            );
+            assert!(
+                decompressions >= writebacks,
+                "writebacks were not charged as decompressions"
+            );
+            // Each job decays by exactly its policy step.
+            for j in &s.per_job {
+                let before = j.store_pages + j.writeback_events;
+                assert_eq!(j.writeback_events, pressure.decay_step(before));
+            }
+            if s.store_pages < prev {
+                // Monotone decrease while nonempty.
+            } else {
+                assert_eq!(s.store_pages, 0, "store stopped decaying at window {w}");
+            }
+            prev = s.store_pages;
+            if prev == 0 {
+                drained_at = Some(w);
+                break;
+            }
+        }
+        assert!(
+            drained_at.is_some(),
+            "store never drained: {prev} pages left"
+        );
+
+        // After a full drain, a re-enable pays for the whole cold mass
+        // again — the delta-charging shortcut no longer applies.
+        sim.set_params(AgentParams::new(98.0, SimDuration::ZERO).unwrap());
+        let back = sim.step_window();
+        let compress: u64 = back.per_job.iter().map(|j| j.compress_events).sum();
+        let promos: u64 = back.per_job.iter().map(|j| j.promotions).sum();
+        assert_eq!(
+            compress,
+            back.far_pages + promos,
+            "re-enable after a full drain must recompress everything"
+        );
+    }
+
+    /// Bit-identity across thread counts with store pressure active: the
+    /// decay arithmetic runs inside the parallel job step, so it must not
+    /// perturb the scheduling-independence contract.
+    #[test]
+    fn store_decay_is_bit_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut cfg = FleetSimConfig::new(2);
+            cfg.noise_sigma = 0.1;
+            cfg.threads = threads;
+            let mut sim = FleetSim::new(cfg, 17);
+            let always_on = AgentParams::new(98.0, SimDuration::ZERO).unwrap();
+            let never_on = AgentParams::new(98.0, SimDuration::from_hours(10_000)).unwrap();
+            sim.set_params(always_on);
+            let mut out = sim.run_windows(6);
+            // Disable mid-run: every job's store decays in parallel.
+            sim.set_params(never_on);
+            out.extend(sim.run_windows(6));
+            serde_json::to_string(&out).expect("fleet stats serialize")
+        };
+        let (one, two, four) = (run(1), run(2), run(4));
+        assert!(one == two, "1 vs 2 threads diverged under store pressure");
+        assert!(one == four, "1 vs 4 threads diverged under store pressure");
+        // The disabled half must actually exercise decay.
+        let parsed: Vec<FleetWindowStats> = serde_json::from_str(&one).unwrap();
+        let decayed: u64 = parsed[6..]
+            .iter()
+            .flat_map(|w| w.per_job.iter())
+            .map(|j| j.writeback_events)
+            .sum();
+        assert!(decayed > 0, "no writebacks in the disabled phase");
     }
 }

@@ -64,6 +64,7 @@ impl CostModel {
             // but decoding them is still well-defined; include them.
             codec
                 .decompress(buf, &mut compressed)
+                // sdfm-lint: allow(P1) reason="calibration decodes the stream it just encoded in the same loop; a failure is a codec bug, not a machine state"
                 .expect("self-produced stream decodes");
         }
         let decompress_ns = t1.elapsed().as_nanos() as u64 / pages.len() as u64;

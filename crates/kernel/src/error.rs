@@ -45,6 +45,19 @@ pub enum KernelError {
         /// Frames free.
         free: PageCount,
     },
+    /// A zswap handle no longer resolves to a live arena object. The
+    /// kernel owns every live handle, so a stale handle means the store
+    /// and the page tables disagree — the caller must treat the store as
+    /// inconsistent rather than crash the machine.
+    StaleHandle,
+    /// The store's own data failed an internal consistency check (a
+    /// payload would not fit the arena, or did not round-trip).
+    StoreCorrupt {
+        /// What the store was doing when the inconsistency surfaced.
+        detail: &'static str,
+    },
+    /// An operation required the tier-1 device but none is attached.
+    Tier1Missing,
 }
 
 impl fmt::Display for KernelError {
@@ -66,6 +79,15 @@ impl fmt::Display for KernelError {
             KernelError::OutOfMemory { requested, free } => {
                 write!(f, "machine out of memory: need {requested}, {free} free")
             }
+            KernelError::StaleHandle => {
+                write!(f, "stale zswap handle: store and page tables disagree")
+            }
+            KernelError::StoreCorrupt { detail } => {
+                write!(f, "zswap store inconsistency: {detail}")
+            }
+            KernelError::Tier1Missing => {
+                write!(f, "tier-1 operation without an attached device")
+            }
         }
     }
 }
@@ -86,6 +108,16 @@ mod tests {
             attempted: PageCount::new(11),
         };
         assert!(e.to_string().contains("fail-fast"));
+    }
+
+    #[test]
+    fn lifecycle_error_messages() {
+        assert!(KernelError::StaleHandle.to_string().contains("stale"));
+        let e = KernelError::StoreCorrupt {
+            detail: "payload did not round-trip",
+        };
+        assert!(e.to_string().contains("round-trip"));
+        assert!(KernelError::Tier1Missing.to_string().contains("tier-1"));
     }
 
     #[test]

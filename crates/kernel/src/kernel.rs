@@ -10,6 +10,7 @@ use crate::kstaled::{self, ScanOutcome};
 use crate::memcg::{MemCgroup, MemcgStats};
 use crate::page::{Page, PageContent, PageState};
 use crate::tiering::{Tier1Config, Tier1Stats, Tier1Store};
+use crate::writeback::{self, HostPressureOutcome, StorePressure, WritebackOutcome};
 use crate::zswap::ZswapStore;
 use sdfm_compress::codec::CodecKind;
 use sdfm_types::histogram::PageAge;
@@ -134,7 +135,10 @@ impl Kernel {
     ///
     /// # Errors
     ///
-    /// [`KernelError::NoSuchMemcg`] if the job has no memcg.
+    /// [`KernelError::NoSuchMemcg`] if the job has no memcg;
+    /// [`KernelError::StaleHandle`] / [`KernelError::Tier1Missing`] when
+    /// the job's page tables reference store state that no longer exists
+    /// (the memcg is torn down either way).
     pub fn remove_memcg(&mut self, job: JobId) -> Result<MemcgStats, KernelError> {
         let cg = self
             .memcgs
@@ -142,11 +146,11 @@ impl Kernel {
             .ok_or(KernelError::NoSuchMemcg { job })?;
         for page in &cg.pages {
             match page.state {
-                PageState::Zswapped(h) => self.zswap.discard(h),
+                PageState::Zswapped(h) => self.zswap.discard(h)?,
                 PageState::Tier1 => self
                     .tier1
                     .as_mut()
-                    .expect("tier-1 pages exist only with a device")
+                    .ok_or(KernelError::Tier1Missing)?
                     .discard(),
                 PageState::Resident => {}
             }
@@ -236,7 +240,7 @@ impl Kernel {
         let needed = PageCount::new(n as u64);
         if self.free_frames() < needed {
             let shortfall = needed.saturating_sub(self.free_frames());
-            self.direct_reclaim(shortfall);
+            self.direct_reclaim(shortfall)?;
         }
         if self.free_frames() < needed {
             return Err(KernelError::OutOfMemory {
@@ -280,7 +284,7 @@ impl Kernel {
         }
         if self.free_frames() < frames {
             let shortfall = frames.saturating_sub(self.free_frames());
-            self.direct_reclaim(shortfall);
+            self.direct_reclaim(shortfall)?;
         }
         if self.free_frames() < frames {
             return Err(KernelError::OutOfMemory {
@@ -310,19 +314,19 @@ impl Kernel {
             .ok_or(KernelError::NoSuchMemcg { job })?;
         let n = n.min(cg.pages.len());
         for _ in 0..n {
-            let page = cg.pages.pop().expect("bounded by len");
+            let Some(page) = cg.pages.pop() else { break };
             match page.state {
                 PageState::Zswapped(h) => {
                     cg.stats.zswapped_pages -= 1;
                     cg.stats.zswapped_bytes -=
-                        self.zswap.stored_size(h).expect("live handle") as u64;
-                    self.zswap.discard(h);
+                        self.zswap.stored_size(h).ok_or(KernelError::StaleHandle)? as u64;
+                    self.zswap.discard(h)?;
                 }
                 PageState::Tier1 => {
                     cg.stats.tier1_pages -= 1;
                     self.tier1
                         .as_mut()
-                        .expect("tier-1 pages exist only with a device")
+                        .ok_or(KernelError::Tier1Missing)?
                         .discard();
                 }
                 PageState::Resident => cg.stats.resident_pages -= page.span as u64,
@@ -353,10 +357,14 @@ impl Kernel {
             .ok_or(KernelError::NoSuchPage { job, page })?;
         let promoted = match p.state {
             PageState::Zswapped(h) => {
-                let size = self.zswap.stored_size(h).expect("live handle") as u64;
-                let bytes = self.zswap.load(h);
+                let size = self.zswap.stored_size(h).ok_or(KernelError::StaleHandle)? as u64;
+                let bytes = self.zswap.load(h)?;
                 if let (Some(loaded), PageContent::Real(original)) = (&bytes, &p.content) {
-                    assert_eq!(loaded, original, "zswap corrupted page contents");
+                    if loaded != original {
+                        return Err(KernelError::StoreCorrupt {
+                            detail: "zswap corrupted page contents",
+                        });
+                    }
                 }
                 p.state = PageState::Resident;
                 cg.stats.zswapped_pages -= 1;
@@ -369,7 +377,7 @@ impl Kernel {
             PageState::Tier1 => {
                 self.tier1
                     .as_mut()
-                    .expect("tier-1 pages exist only with a device")
+                    .ok_or(KernelError::Tier1Missing)?
                     .load();
                 p.state = PageState::Resident;
                 cg.stats.tier1_pages -= 1;
@@ -414,7 +422,8 @@ impl Kernel {
     ///
     /// # Errors
     ///
-    /// [`KernelError::NoSuchMemcg`] if the job has no memcg.
+    /// [`KernelError::NoSuchMemcg`] if the job has no memcg, or any store
+    /// inconsistency kreclaimd hits mid-pass.
     pub fn reclaim_job(
         &mut self,
         job: JobId,
@@ -425,13 +434,7 @@ impl Kernel {
             .memcgs
             .get_mut(&job)
             .ok_or(KernelError::NoSuchMemcg { job })?;
-        Ok(kreclaimd::reclaim_memcg(
-            cg,
-            &mut self.zswap,
-            threshold,
-            &cost,
-            &mut self.cpu,
-        ))
+        kreclaimd::reclaim_memcg(cg, &mut self.zswap, threshold, &cost, &mut self.cpu)
     }
 
     /// Two-tier reclaim (§8): pages at age ≥ `t2_threshold` compress into
@@ -442,12 +445,14 @@ impl Kernel {
     ///
     /// # Errors
     ///
-    /// [`KernelError::NoSuchMemcg`] if the job has no memcg.
+    /// [`KernelError::NoSuchMemcg`] if the job has no memcg;
+    /// [`KernelError::Tier1Missing`] if no tier-1 device is attached
+    /// (call [`enable_tier1`](Self::enable_tier1) first).
     ///
     /// # Panics
     ///
-    /// Panics if no tier-1 device is attached (call
-    /// [`enable_tier1`](Self::enable_tier1) first).
+    /// Panics if `t1_threshold > t2_threshold` (a caller bug, not a
+    /// machine state).
     pub fn reclaim_job_tiered(
         &mut self,
         job: JobId,
@@ -455,14 +460,11 @@ impl Kernel {
         t2_threshold: PageAge,
     ) -> Result<ReclaimOutcome, KernelError> {
         assert!(
-            self.tier1.is_some(),
-            "reclaim_job_tiered requires an attached tier-1 device"
-        );
-        assert!(
             t1_threshold <= t2_threshold,
             "tier-1 threshold must not exceed tier-2's"
         );
         let cost = self.config.cost;
+        let tier1 = self.tier1.as_mut().ok_or(KernelError::Tier1Missing)?;
         let cg = self
             .memcgs
             .get_mut(&job)
@@ -471,7 +473,6 @@ impl Kernel {
         if !cg.zswap_enabled() || t1_threshold == PageAge::HOT {
             return Ok(outcome);
         }
-        let tier1 = self.tier1.as_mut().expect("checked above");
         let mut stranded_this_pass = false;
         let mut i = 0;
         while i < cg.pages.len() {
@@ -491,14 +492,14 @@ impl Kernel {
             if matches!(page.state, PageState::Tier1) && page.age >= t2_threshold {
                 self.cpu.charge_compress(&cost);
                 cg.stats.compressions += 1;
-                match self.zswap.store(&page.content) {
+                match self.zswap.store(&page.content)? {
                     crate::zswap::StoreOutcome::Stored(h) => {
                         tier1.discard();
                         page.state = PageState::Zswapped(h);
                         cg.stats.tier1_pages -= 1;
                         cg.stats.zswapped_pages += 1;
                         cg.stats.zswapped_bytes +=
-                            self.zswap.stored_size(h).expect("just stored") as u64;
+                            self.zswap.stored_size(h).ok_or(KernelError::StaleHandle)? as u64;
                         outcome.reclaimed += 1;
                     }
                     crate::zswap::StoreOutcome::Rejected { .. } => {
@@ -514,13 +515,13 @@ impl Kernel {
             if page.reclaim_eligible(t2_threshold) {
                 self.cpu.charge_compress(&cost);
                 cg.stats.compressions += 1;
-                match self.zswap.store(&page.content) {
+                match self.zswap.store(&page.content)? {
                     crate::zswap::StoreOutcome::Stored(h) => {
                         page.state = PageState::Zswapped(h);
                         cg.stats.resident_pages -= 1;
                         cg.stats.zswapped_pages += 1;
                         cg.stats.zswapped_bytes +=
-                            self.zswap.stored_size(h).expect("just stored") as u64;
+                            self.zswap.stored_size(h).ok_or(KernelError::StaleHandle)? as u64;
                         outcome.reclaimed += 1;
                     }
                     crate::zswap::StoreOutcome::Rejected { .. } => {
@@ -554,7 +555,12 @@ impl Kernel {
     /// eligible pages of each memcg — never pushing a memcg below its soft
     /// limit — until `needed` frames are free or candidates run out.
     /// Returns the frames actually freed.
-    pub fn direct_reclaim(&mut self, needed: PageCount) -> PageCount {
+    ///
+    /// # Errors
+    ///
+    /// Store inconsistencies surfaced mid-pass; frames freed before the
+    /// failure stay freed.
+    pub fn direct_reclaim(&mut self, needed: PageCount) -> Result<PageCount, KernelError> {
         let before = self.free_frames();
         let cost = self.config.cost;
         let jobs: Vec<JobId> = self.memcgs.keys().copied().collect();
@@ -563,7 +569,9 @@ impl Kernel {
                 if self.free_frames() >= before + needed {
                     break 'outer;
                 }
-                let cg = self.memcgs.get_mut(&job).expect("listed above");
+                let Some(cg) = self.memcgs.get_mut(&job) else {
+                    break;
+                };
                 if PageCount::new(cg.stats.resident_pages) <= cg.soft_limit() {
                     break;
                 }
@@ -581,13 +589,13 @@ impl Kernel {
                 self.cpu.charge_compress(&cost);
                 cg.stats.compressions += 1;
                 let page = &mut cg.pages[idx];
-                match self.zswap.store(&page.content) {
+                match self.zswap.store(&page.content)? {
                     crate::zswap::StoreOutcome::Stored(h) => {
                         page.state = PageState::Zswapped(h);
                         cg.stats.resident_pages -= 1;
                         cg.stats.zswapped_pages += 1;
                         cg.stats.zswapped_bytes +=
-                            self.zswap.stored_size(h).expect("just stored") as u64;
+                            self.zswap.stored_size(h).ok_or(KernelError::StaleHandle)? as u64;
                     }
                     crate::zswap::StoreOutcome::Rejected { .. } => {
                         page.flags.incompressible = true;
@@ -597,12 +605,125 @@ impl Kernel {
                 }
             }
         }
-        self.free_frames().saturating_sub(before)
+        Ok(self.free_frames().saturating_sub(before))
     }
 
     /// Compacts the zswap arena; returns frames reclaimed.
     pub fn compact_zswap(&mut self) -> PageCount {
         self.zswap.compact()
+    }
+
+    /// Writes back up to `budget` of `job`'s coldest compressed pages to
+    /// DRAM (LRU writeback; each page keeps its age, so a later re-enable
+    /// recompresses exactly the written-back mass). Decompressions are
+    /// charged to CPU accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchMemcg`], or a store inconsistency mid-pass.
+    pub fn writeback_job(
+        &mut self,
+        job: JobId,
+        budget: u64,
+    ) -> Result<WritebackOutcome, KernelError> {
+        let cost = self.config.cost;
+        let cg = self
+            .memcgs
+            .get_mut(&job)
+            .ok_or(KernelError::NoSuchMemcg { job })?;
+        writeback::writeback_coldest(cg, &mut self.zswap, budget, &cost, &mut self.cpu)
+    }
+
+    /// One store-lifecycle control tick for `job` (the node agent calls
+    /// this once per control window):
+    ///
+    /// * zswap disabled with a nonempty store — the dead store decays by
+    ///   [`StorePressure::decay_step`] pages (LRU writeback, ages kept);
+    /// * zswap enabled but the soft limit exceeds resident pages — part of
+    ///   the protected working set sits compressed; the youngest
+    ///   compressed pages come back hot until the deficit closes;
+    /// * otherwise a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchMemcg`], or a store inconsistency mid-pass.
+    pub fn store_lifecycle_tick(
+        &mut self,
+        job: JobId,
+        policy: &StorePressure,
+    ) -> Result<WritebackOutcome, KernelError> {
+        let cost = self.config.cost;
+        let cg = self
+            .memcgs
+            .get_mut(&job)
+            .ok_or(KernelError::NoSuchMemcg { job })?;
+        let zswapped = cg.stats.zswapped_pages;
+        if zswapped == 0 {
+            return Ok(WritebackOutcome::default());
+        }
+        if cg.zswap_enabled() {
+            let deficit = cg
+                .soft_limit()
+                .get()
+                .saturating_sub(cg.stats.resident_pages)
+                .min(zswapped);
+            writeback::writeback_youngest(cg, &mut self.zswap, deficit, &cost, &mut self.cpu)
+        } else {
+            let budget = policy.decay_step(zswapped);
+            writeback::writeback_coldest(cg, &mut self.zswap, budget, &cost, &mut self.cpu)
+        }
+    }
+
+    /// Decays every disabled job's store by one window of `policy` (LRU
+    /// writeback, ages kept). Walks memcgs in `JobId` order, so the pass
+    /// is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// The first store inconsistency hit; earlier jobs stay decayed.
+    pub fn decay_disabled_stores(
+        &mut self,
+        policy: &StorePressure,
+    ) -> Result<WritebackOutcome, KernelError> {
+        let cost = self.config.cost;
+        let mut total = WritebackOutcome::default();
+        for cg in self.memcgs.values_mut() {
+            if cg.zswap_enabled() || cg.stats.zswapped_pages == 0 {
+                continue;
+            }
+            let budget = policy.decay_step(cg.stats.zswapped_pages);
+            total.merge(writeback::writeback_coldest(
+                cg,
+                &mut self.zswap,
+                budget,
+                &cost,
+                &mut self.cpu,
+            )?);
+        }
+        Ok(total)
+    }
+
+    /// Host-side pressure relief: decays disabled stores one window and
+    /// compacts the arena, returning frames to the machine. Writing back
+    /// alone makes overcommit *worse* (one more resident page, arena bytes
+    /// merely freed), so the compaction is part of the operation, not a
+    /// follow-up.
+    ///
+    /// # Errors
+    ///
+    /// As [`decay_disabled_stores`](Self::decay_disabled_stores); the
+    /// arena still compacts on the error path's partial progress only if
+    /// the decay succeeded.
+    pub fn relieve_host_pressure(
+        &mut self,
+        policy: &StorePressure,
+    ) -> Result<HostPressureOutcome, KernelError> {
+        let writeback = self.decay_disabled_stores(policy)?;
+        let compacted = self.zswap.compact();
+        Ok(HostPressureOutcome {
+            writeback,
+            compacted,
+        })
     }
 
     /// Free physical frames right now.
@@ -779,7 +900,7 @@ mod tests {
         for _ in 0..3 {
             k.run_scan();
         }
-        let freed = k.direct_reclaim(PageCount::new(50));
+        let freed = k.direct_reclaim(PageCount::new(50)).unwrap();
         assert!(freed.get() > 0);
         let s = k.memcg(job).unwrap().stats();
         assert!(
@@ -825,6 +946,110 @@ mod tests {
             .alloc_pages(job, 10, |_| PageContent::synthetic_of_len(200))
             .unwrap_err();
         assert!(matches!(err, KernelError::OutOfMemory { .. }));
+    }
+
+    fn compressed_job(n: usize) -> (Kernel, JobId) {
+        let (mut k, job) = kernel_with_job(10_000, 10_000);
+        k.set_zswap_enabled(job, true).unwrap();
+        k.alloc_pages(job, n, |_| PageContent::synthetic_of_len(600))
+            .unwrap();
+        for _ in 0..4 {
+            k.run_scan();
+        }
+        k.reclaim_job(job, PageAge::from_scans(2)).unwrap();
+        assert_eq!(k.memcg(job).unwrap().stats().zswapped_pages, n as u64);
+        (k, job)
+    }
+
+    #[test]
+    fn disabled_store_decays_to_zero_under_lifecycle_ticks() {
+        let (mut k, job) = compressed_job(100);
+        k.set_zswap_enabled(job, false).unwrap();
+        let policy = StorePressure::PAPER_DEFAULT;
+        let mut expected = 100u64;
+        let mut windows = 0;
+        while k.memcg(job).unwrap().stats().zswapped_pages > 0 {
+            let o = k.store_lifecycle_tick(job, &policy).unwrap();
+            assert_eq!(o.written_back, policy.decay_step(expected));
+            expected = policy.store_after_window(expected);
+            assert_eq!(k.memcg(job).unwrap().stats().zswapped_pages, expected);
+            windows += 1;
+            assert!(windows <= policy.windows_to_drain(100));
+        }
+        let s = k.memcg(job).unwrap().stats();
+        assert_eq!(s.writebacks, 100);
+        assert_eq!(s.resident_pages, 100);
+        // Every writeback decompression was charged.
+        assert_eq!(k.cpu_accounting().decompress_events, 100);
+        // The pages kept their cold ages: a re-enable would recompress.
+        k.set_zswap_enabled(job, true).unwrap();
+        let o = k.reclaim_job(job, PageAge::from_scans(2)).unwrap();
+        assert_eq!(o.reclaimed, 100);
+    }
+
+    #[test]
+    fn lifecycle_tick_restores_soft_limited_working_set() {
+        let (mut k, job) = compressed_job(50);
+        // The agent raised the soft limit: 30 pages of the protected
+        // working set are sitting compressed.
+        k.set_soft_limit(job, PageCount::new(30)).unwrap();
+        let o = k
+            .store_lifecycle_tick(job, &StorePressure::PAPER_DEFAULT)
+            .unwrap();
+        assert_eq!(o.written_back, 30);
+        let s = k.memcg(job).unwrap().stats();
+        assert_eq!(s.resident_pages, 30);
+        assert_eq!(s.zswapped_pages, 20);
+        // Restored pages come back hot: the next reclaim pass skips them.
+        let o = k.reclaim_job(job, PageAge::from_scans(2)).unwrap();
+        assert_eq!(o.reclaimed, 0);
+    }
+
+    #[test]
+    fn lifecycle_tick_is_noop_when_store_healthy() {
+        let (mut k, job) = compressed_job(10);
+        let o = k
+            .store_lifecycle_tick(job, &StorePressure::PAPER_DEFAULT)
+            .unwrap();
+        assert_eq!(o, WritebackOutcome::default());
+        assert_eq!(k.memcg(job).unwrap().stats().zswapped_pages, 10);
+    }
+
+    #[test]
+    fn host_pressure_decays_disabled_stores_and_compacts() {
+        let (mut k, job) = compressed_job(200);
+        k.set_zswap_enabled(job, false).unwrap();
+        let enabled = JobId::new(2);
+        k.create_memcg(enabled, PageCount::new(1000)).unwrap();
+        k.set_zswap_enabled(enabled, true).unwrap();
+        k.alloc_pages(enabled, 20, |_| PageContent::synthetic_of_len(600))
+            .unwrap();
+        for _ in 0..4 {
+            k.run_scan();
+        }
+        k.reclaim_job(enabled, PageAge::from_scans(2)).unwrap();
+        let live_before = k.memcg(enabled).unwrap().stats().zswapped_pages;
+        let o = k
+            .relieve_host_pressure(&StorePressure::PAPER_DEFAULT)
+            .unwrap();
+        assert_eq!(o.writeback.written_back, 25, "12.5% of the 200 dead pages");
+        // The enabled job's store is untouched by host pressure.
+        assert_eq!(k.memcg(enabled).unwrap().stats().zswapped_pages, live_before);
+        // Draining the whole dead store and compacting returns frames.
+        while k.memcg(job).unwrap().stats().zswapped_pages > 0 {
+            k.relieve_host_pressure(&StorePressure::PAPER_DEFAULT)
+                .unwrap();
+        }
+        assert_eq!(k.memcg(job).unwrap().stats().writebacks, 200);
+    }
+
+    #[test]
+    fn tiered_reclaim_without_device_is_a_typed_error() {
+        let (mut k, job) = kernel_with_job(1000, 1000);
+        assert_eq!(
+            k.reclaim_job_tiered(job, PageAge::from_scans(1), PageAge::from_scans(2)),
+            Err(KernelError::Tier1Missing)
+        );
     }
 
     #[test]

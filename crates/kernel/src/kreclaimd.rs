@@ -8,6 +8,7 @@
 //! the page is dirtied (§5.1).
 
 use crate::cost::{CostModel, CpuAccounting};
+use crate::error::KernelError;
 use crate::memcg::MemCgroup;
 use crate::page::PageState;
 use crate::zswap::{StoreOutcome, ZswapStore};
@@ -31,16 +32,22 @@ pub struct ReclaimOutcome {
 ///
 /// A threshold of [`PageAge::HOT`] (zero) reclaims nothing: the control
 /// plane never classifies just-touched pages as cold.
+///
+/// # Errors
+///
+/// [`KernelError::StoreCorrupt`] / [`KernelError::StaleHandle`] when the
+/// store's bookkeeping breaks mid-pass; pages reclaimed before the
+/// failure stay reclaimed.
 pub fn reclaim_memcg(
     cg: &mut MemCgroup,
     store: &mut ZswapStore,
     threshold: PageAge,
     cost: &CostModel,
     cpu: &mut CpuAccounting,
-) -> ReclaimOutcome {
+) -> Result<ReclaimOutcome, KernelError> {
     let mut outcome = ReclaimOutcome::default();
     if !cg.zswap_enabled() || threshold == PageAge::HOT {
-        return outcome;
+        return Ok(outcome);
     }
     // Index loop: splitting a huge page appends its base pages at the end
     // of the vector (preserving existing page ids), and the growing length
@@ -60,13 +67,14 @@ pub fn reclaim_memcg(
         cpu.charge_compress(cost);
         cg.stats.compressions += 1;
         let page = &mut cg.pages[i];
-        match store.store(&page.content) {
+        match store.store(&page.content)? {
             StoreOutcome::Stored(handle) => {
                 page.state = PageState::Zswapped(handle);
                 outcome.reclaimed += 1;
                 cg.stats.resident_pages -= 1;
                 cg.stats.zswapped_pages += 1;
-                cg.stats.zswapped_bytes += store.stored_size(handle).expect("just stored") as u64;
+                cg.stats.zswapped_bytes +=
+                    store.stored_size(handle).ok_or(KernelError::StaleHandle)? as u64;
             }
             StoreOutcome::Rejected { .. } => {
                 page.flags.incompressible = true;
@@ -77,7 +85,7 @@ pub fn reclaim_memcg(
         }
         i += 1;
     }
-    outcome
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -117,7 +125,8 @@ mod tests {
             PageAge::from_scans(3),
             &CostModel::PAPER_DEFAULT,
             &mut cpu,
-        );
+        )
+        .unwrap();
         assert_eq!(o.reclaimed, 10);
         assert_eq!(o.rejected, 0);
         assert_eq!(cg.stats().zswapped_pages, 10);
@@ -141,7 +150,8 @@ mod tests {
             PageAge::from_scans(2),
             &CostModel::PAPER_DEFAULT,
             &mut cpu,
-        );
+        )
+        .unwrap();
         assert_eq!(o.reclaimed, 2);
         assert!(cg.pages[0].state == PageState::Resident);
         assert!(cg.pages[2].is_zswapped());
@@ -159,7 +169,8 @@ mod tests {
             PageAge::from_scans(1),
             &CostModel::PAPER_DEFAULT,
             &mut cpu,
-        );
+        )
+        .unwrap();
         assert_eq!(o, ReclaimOutcome::default());
         assert_eq!(cpu.compress_events, 0);
     }
@@ -175,7 +186,8 @@ mod tests {
             PageAge::HOT,
             &CostModel::PAPER_DEFAULT,
             &mut cpu,
-        );
+        )
+        .unwrap();
         assert_eq!(o.reclaimed, 0);
     }
 
@@ -190,7 +202,8 @@ mod tests {
             PageAge::from_scans(2),
             &CostModel::PAPER_DEFAULT,
             &mut cpu,
-        );
+        )
+        .unwrap();
         assert_eq!(o.rejected, 3);
         assert_eq!(cg.stats().rejections, 3);
         assert_eq!(cpu.compress_events, 3, "wasted cycles are still charged");
@@ -201,7 +214,8 @@ mod tests {
             PageAge::from_scans(2),
             &CostModel::PAPER_DEFAULT,
             &mut cpu,
-        );
+        )
+        .unwrap();
         assert_eq!(o2.rejected, 0);
         assert_eq!(cpu.compress_events, 3);
     }
@@ -217,14 +231,16 @@ mod tests {
             PageAge::from_scans(1),
             &CostModel::PAPER_DEFAULT,
             &mut cpu,
-        );
+        )
+        .unwrap();
         let o = reclaim_memcg(
             &mut cg,
             &mut store,
             PageAge::from_scans(1),
             &CostModel::PAPER_DEFAULT,
             &mut cpu,
-        );
+        )
+        .unwrap();
         assert_eq!(o.reclaimed, 0);
         assert_eq!(store.resident_objects(), 2);
     }

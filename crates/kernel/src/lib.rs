@@ -51,6 +51,7 @@ pub mod memcg;
 pub mod page;
 pub mod thermostat;
 pub mod tiering;
+pub mod writeback;
 pub mod zswap;
 
 pub use cost::{CostModel, CpuAccounting};
@@ -60,4 +61,7 @@ pub use memcg::{MemCgroup, MemcgStats};
 pub use page::{Page, PageContent, PageState};
 pub use thermostat::{ThermostatEstimate, ThermostatSampler};
 pub use tiering::{Tier1Config, Tier1Stats, Tier1Store};
+pub use writeback::{
+    HostPressureOutcome, StorePressure, StorePressureSource, WritebackOutcome,
+};
 pub use zswap::{StoreOutcome, ZswapStats, ZswapStore};

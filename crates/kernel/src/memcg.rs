@@ -33,6 +33,10 @@ pub struct MemcgStats {
     pub tier1_pages: u64,
     /// Cumulative fault-backs from tier-1.
     pub tier1_loads: u64,
+    /// Cumulative pages written back from zswap without an access (store
+    /// decay, soft-limit restoration, host pressure) — distinct from
+    /// `decompressions`, which counts access-driven promotions.
+    pub writebacks: u64,
 }
 
 impl MemcgStats {

@@ -1,0 +1,404 @@
+//! Store lifecycle: writeback and decay of the zswap store under pressure.
+//!
+//! The paper's store is filled by kreclaimd and drained by promotion
+//! faults, but a real kernel also *shrinks* it without an access: when a
+//! memcg's zswap is disabled its compressed pages are dead weight, when the
+//! agent raises a soft limit the protected working set must come back to
+//! DRAM, and under host-side memory pressure the kernel writes back LRU
+//! compressed objects and compacts the arena. [`StorePressure`] is the
+//! policy for all three sources; the writeback walkers here apply it by
+//! decompressing-and-dropping handles, with every decompression charged
+//! through [`CostModel`] so CPU accounting stays honest.
+//!
+//! # Determinism contract
+//!
+//! The decay schedule is pure integer arithmetic on the store size — no
+//! RNG, no wall clock — so the statistical fleet simulator
+//! (`sdfm-core::fleet_sim`) and the offline model (`sdfm-model::replay`)
+//! can mirror the page-level trajectory exactly: the same
+//! [`StorePressure`] value produces the same per-window writeback counts
+//! in all three layers. Victim selection orders pages by `(age, index)`,
+//! both of which are simulation state, so a writeback pass is a pure
+//! function of the memcg.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{CostModel, CpuAccounting};
+use crate::error::KernelError;
+use crate::memcg::MemCgroup;
+use crate::page::PageState;
+use crate::zswap::ZswapStore;
+use sdfm_types::histogram::PageAge;
+use sdfm_types::size::PageCount;
+
+/// Why the store is being shrunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorePressureSource {
+    /// The job's zswap was disabled: its compressed pages are dead handles
+    /// that decay back to DRAM at the policy rate.
+    ZswapDisabled,
+    /// The job's soft limit rose above its resident pages: part of the
+    /// protected working set is sitting compressed and must come back.
+    SoftLimitBreach,
+    /// The machine overcommitted: the kernel drops dead handles and
+    /// compacts the arena before the cluster starts killing jobs.
+    HostPressure,
+}
+
+/// The store-lifecycle policy: how fast a dead store decays.
+///
+/// Decay is geometric with an integer floor plus a minimum step, so any
+/// finite store reaches exactly zero in finitely many windows (a pure
+/// `resident * per_mille / 1000` floor would asymptote above zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorePressure {
+    /// Fraction (per mille) of a dead store written back per control
+    /// window.
+    pub decay_per_mille: u32,
+    /// Minimum pages written back per window while the store is nonempty,
+    /// so the geometric tail terminates.
+    pub min_decay_pages: u64,
+}
+
+impl StorePressure {
+    /// The default lifecycle: 12.5 % of a dead store decays per 5-minute
+    /// control window (a ~35-minute half-life, the order of magnitude of
+    /// kswapd-driven zswap writeback under mild pressure), at least one
+    /// page per window.
+    pub const PAPER_DEFAULT: StorePressure = StorePressure {
+        decay_per_mille: 125,
+        min_decay_pages: 1,
+    };
+
+    /// Pages to write back this window from a store of `resident` pages.
+    /// Always `<= resident`, and positive whenever `resident > 0`.
+    pub const fn decay_step(&self, resident: u64) -> u64 {
+        let geometric = resident * self.decay_per_mille as u64 / 1000;
+        let step = if geometric < self.min_decay_pages {
+            self.min_decay_pages
+        } else {
+            geometric
+        };
+        if step > resident {
+            resident
+        } else {
+            step
+        }
+    }
+
+    /// The store size after one window of decay.
+    pub const fn store_after_window(&self, resident: u64) -> u64 {
+        resident - self.decay_step(resident)
+    }
+
+    /// Windows until a store of `resident` pages drains to zero under
+    /// this policy (exact, by running the integer recurrence).
+    pub fn windows_to_drain(&self, mut resident: u64) -> u64 {
+        let mut windows = 0;
+        while resident > 0 {
+            resident = self.store_after_window(resident);
+            windows += 1;
+        }
+        windows
+    }
+}
+
+impl Default for StorePressure {
+    fn default() -> Self {
+        StorePressure::PAPER_DEFAULT
+    }
+}
+
+/// Counters from one writeback pass over one memcg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WritebackOutcome {
+    /// Compressed pages decompressed-and-dropped back to DRAM.
+    pub written_back: u64,
+    /// Compressed candidates examined.
+    pub examined: u64,
+    /// Arena payload bytes released (frames return on compaction).
+    pub bytes_freed: u64,
+}
+
+impl WritebackOutcome {
+    /// Accumulates another pass into this one.
+    pub fn merge(&mut self, other: WritebackOutcome) {
+        self.written_back += other.written_back;
+        self.examined += other.examined;
+        self.bytes_freed += other.bytes_freed;
+    }
+}
+
+/// What one host-pressure relief pass achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HostPressureOutcome {
+    /// Dead-handle writeback across disabled memcgs.
+    pub writeback: WritebackOutcome,
+    /// Physical frames released by arena compaction.
+    pub compacted: PageCount,
+}
+
+/// Victim order for a writeback pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VictimOrder {
+    /// Oldest (LRU) compressed pages first — store decay and host
+    /// pressure, where the coldest objects are the deadest.
+    OldestFirst,
+    /// Youngest compressed pages first — soft-limit restoration, where the
+    /// most recently compressed pages are the likeliest working-set
+    /// members.
+    YoungestFirst,
+}
+
+/// Writes back the oldest (LRU) compressed pages of `cg`, up to `budget`
+/// pages: each victim is decompressed (charged to `cpu`), its handle
+/// freed, and the page made resident again with its age intact — so a
+/// later re-enable recompresses exactly the decayed mass.
+///
+/// # Errors
+///
+/// [`KernelError::StaleHandle`] / [`KernelError::StoreCorrupt`] when the
+/// store and the page tables disagree; the pass stops at the first
+/// inconsistency.
+pub fn writeback_coldest(
+    cg: &mut MemCgroup,
+    store: &mut ZswapStore,
+    budget: u64,
+    cost: &CostModel,
+    cpu: &mut CpuAccounting,
+) -> Result<WritebackOutcome, KernelError> {
+    writeback_pass(cg, store, budget, VictimOrder::OldestFirst, false, cost, cpu)
+}
+
+/// Writes back the youngest compressed pages of `cg` (up to `budget`),
+/// resetting their age to hot: they are presumed members of the protected
+/// working set the soft limit covers, so they must not be re-reclaimed on
+/// the next kreclaimd pass.
+///
+/// # Errors
+///
+/// As [`writeback_coldest`].
+pub fn writeback_youngest(
+    cg: &mut MemCgroup,
+    store: &mut ZswapStore,
+    budget: u64,
+    cost: &CostModel,
+    cpu: &mut CpuAccounting,
+) -> Result<WritebackOutcome, KernelError> {
+    writeback_pass(cg, store, budget, VictimOrder::YoungestFirst, true, cost, cpu)
+}
+
+fn writeback_pass(
+    cg: &mut MemCgroup,
+    store: &mut ZswapStore,
+    budget: u64,
+    order: VictimOrder,
+    restore_hot: bool,
+    cost: &CostModel,
+    cpu: &mut CpuAccounting,
+) -> Result<WritebackOutcome, KernelError> {
+    let mut outcome = WritebackOutcome::default();
+    if budget == 0 {
+        return Ok(outcome);
+    }
+    // Deterministic victim list: (age, index) is pure simulation state.
+    let mut victims: Vec<(PageAge, usize)> = cg
+        .pages
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| matches!(p.state, PageState::Zswapped(_)))
+        .map(|(i, p)| (p.age, i))
+        .collect();
+    outcome.examined = victims.len() as u64;
+    match order {
+        VictimOrder::OldestFirst => {
+            victims.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)))
+        }
+        VictimOrder::YoungestFirst => victims.sort_unstable(),
+    }
+    for (_, idx) in victims.into_iter().take(budget as usize) {
+        let PageState::Zswapped(handle) = cg.pages[idx].state else {
+            return Err(KernelError::StoreCorrupt {
+                detail: "victim left the store mid-pass",
+            });
+        };
+        let size = store.stored_size(handle).ok_or(KernelError::StaleHandle)? as u64;
+        // Decompress-and-drop: the load frees the slot; real contents are
+        // already mirrored in the page, synthetic ones have none.
+        store.load(handle)?;
+        cpu.charge_decompress(cost);
+        let page = &mut cg.pages[idx];
+        page.state = PageState::Resident;
+        if restore_hot {
+            page.age = PageAge::HOT;
+        }
+        cg.stats.zswapped_pages -= 1;
+        cg.stats.zswapped_bytes -= size;
+        cg.stats.resident_pages += 1;
+        cg.stats.writebacks += 1;
+        outcome.written_back += 1;
+        outcome.bytes_freed += size;
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kstaled::scan_memcg;
+    use crate::kreclaimd::reclaim_memcg;
+    use crate::page::{Page, PageContent};
+    use sdfm_compress::codec::CodecKind;
+    use sdfm_types::ids::JobId;
+
+    fn compressed_memcg(n: usize) -> (MemCgroup, ZswapStore, CpuAccounting) {
+        let mut cg = MemCgroup::new(JobId::new(1), PageCount::new(1 << 20));
+        cg.set_zswap_enabled(true);
+        for _ in 0..n {
+            cg.pages
+                .push(Page::new(PageContent::synthetic_of_len(600)));
+            cg.stats.resident_pages += 1;
+        }
+        let mut store = ZswapStore::new(CodecKind::Lzo);
+        let mut cpu = CpuAccounting::default();
+        for _ in 0..4 {
+            scan_memcg(&mut cg);
+        }
+        reclaim_memcg(
+            &mut cg,
+            &mut store,
+            PageAge::from_scans(2),
+            &CostModel::PAPER_DEFAULT,
+            &mut cpu,
+        )
+        .unwrap();
+        assert_eq!(cg.stats().zswapped_pages, n as u64);
+        (cg, store, CpuAccounting::default())
+    }
+
+    #[test]
+    fn decay_step_is_positive_and_bounded() {
+        let p = StorePressure::PAPER_DEFAULT;
+        assert_eq!(p.decay_step(0), 0);
+        assert_eq!(p.decay_step(1), 1);
+        assert_eq!(p.decay_step(1000), 125);
+        // The minimum step keeps the geometric tail finite.
+        assert_eq!(p.decay_step(7), 1);
+        for n in [1u64, 5, 100, 10_000, 1_000_000] {
+            assert!(p.decay_step(n) <= n);
+            assert!(p.decay_step(n) > 0);
+        }
+    }
+
+    #[test]
+    fn every_store_drains_to_zero_in_finite_windows() {
+        let p = StorePressure::PAPER_DEFAULT;
+        for n in [1u64, 9, 1_000, 250_000] {
+            let w = p.windows_to_drain(n);
+            assert!(w > 0);
+            // Geometric phase ~ log(n)/log(8/7), then a short linear tail.
+            assert!(w < 200, "{n} pages took {w} windows");
+            let mut resident = n;
+            for _ in 0..w {
+                resident = p.store_after_window(resident);
+            }
+            assert_eq!(resident, 0);
+        }
+    }
+
+    #[test]
+    fn coldest_first_writeback_targets_lru_and_charges_cpu() {
+        let (mut cg, mut store, mut cpu) = compressed_memcg(10);
+        // Ages currently uniform; make page 3 the coldest.
+        cg.pages[3].age = PageAge::from_scans(50);
+        let o = writeback_coldest(
+            &mut cg,
+            &mut store,
+            1,
+            &CostModel::PAPER_DEFAULT,
+            &mut cpu,
+        )
+        .unwrap();
+        assert_eq!(o.written_back, 1);
+        assert_eq!(o.examined, 10);
+        assert!(o.bytes_freed > 0);
+        assert_eq!(cg.pages[3].state, PageState::Resident);
+        // Store decay keeps the age: a re-enable recompresses the page.
+        assert_eq!(cg.pages[3].age, PageAge::from_scans(50));
+        assert_eq!(cg.stats().zswapped_pages, 9);
+        assert_eq!(cg.stats().resident_pages, 1);
+        assert_eq!(cg.stats().writebacks, 1);
+        assert_eq!(cpu.decompress_events, 1);
+        assert!(cpu.decompress_ns > 0);
+    }
+
+    #[test]
+    fn youngest_first_writeback_restores_working_set_hot() {
+        let (mut cg, mut store, mut cpu) = compressed_memcg(6);
+        cg.pages[2].age = PageAge::from_scans(1); // the youngest
+        let o = writeback_youngest(
+            &mut cg,
+            &mut store,
+            1,
+            &CostModel::PAPER_DEFAULT,
+            &mut cpu,
+        )
+        .unwrap();
+        assert_eq!(o.written_back, 1);
+        assert_eq!(cg.pages[2].state, PageState::Resident);
+        assert_eq!(
+            cg.pages[2].age,
+            PageAge::HOT,
+            "restored working-set pages must not re-reclaim immediately"
+        );
+    }
+
+    #[test]
+    fn budget_zero_is_a_no_op() {
+        let (mut cg, mut store, mut cpu) = compressed_memcg(4);
+        let o = writeback_coldest(
+            &mut cg,
+            &mut store,
+            0,
+            &CostModel::PAPER_DEFAULT,
+            &mut cpu,
+        )
+        .unwrap();
+        assert_eq!(o, WritebackOutcome::default());
+        assert_eq!(cg.stats().zswapped_pages, 4);
+    }
+
+    #[test]
+    fn over_budget_drains_everything_once() {
+        let (mut cg, mut store, mut cpu) = compressed_memcg(5);
+        let o = writeback_coldest(
+            &mut cg,
+            &mut store,
+            1_000,
+            &CostModel::PAPER_DEFAULT,
+            &mut cpu,
+        )
+        .unwrap();
+        assert_eq!(o.written_back, 5);
+        assert_eq!(cg.stats().zswapped_pages, 0);
+        assert_eq!(store.resident_objects(), 0);
+        assert_eq!(cpu.decompress_events, 5);
+    }
+
+    #[test]
+    fn outcome_merge_sums() {
+        let mut a = WritebackOutcome {
+            written_back: 1,
+            examined: 2,
+            bytes_freed: 3,
+        };
+        a.merge(WritebackOutcome {
+            written_back: 10,
+            examined: 20,
+            bytes_freed: 30,
+        });
+        assert_eq!(a.written_back, 11);
+        assert_eq!(a.examined, 22);
+        assert_eq!(a.bytes_freed, 33);
+    }
+}

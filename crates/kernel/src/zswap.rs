@@ -9,6 +9,7 @@
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
+use crate::error::KernelError;
 use crate::page::PageContent;
 use sdfm_compress::codec::{CodecKind, PageCodec};
 use sdfm_compress::page::MAX_COMPRESSED_PAYLOAD;
@@ -70,7 +71,12 @@ impl ZswapStore {
 
     /// Attempts to store a page. Real content is actually compressed;
     /// synthetic content uses its pre-sampled payload length.
-    pub fn store(&mut self, content: &PageContent) -> StoreOutcome {
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::StoreCorrupt`] when a payload under the cutoff fails
+    /// to fit the arena — the store's own bookkeeping is inconsistent.
+    pub fn store(&mut self, content: &PageContent) -> Result<StoreOutcome, KernelError> {
         self.stats.store_attempts += 1;
         let outcome = match content {
             PageContent::Real(bytes) => {
@@ -84,7 +90,9 @@ impl ZswapStore {
                     let handle = self
                         .arena
                         .alloc(Bytes::copy_from_slice(&self.scratch))
-                        .expect("payload within page size");
+                        .map_err(|_| KernelError::StoreCorrupt {
+                            detail: "compressed payload under the cutoff did not fit the arena",
+                        })?;
                     StoreOutcome::Stored(handle)
                 }
             }
@@ -93,10 +101,11 @@ impl ZswapStore {
                 if len > MAX_COMPRESSED_PAYLOAD {
                     StoreOutcome::Rejected { would_be_len: len }
                 } else {
-                    let handle = self
-                        .arena
-                        .alloc_uninit(len.max(1))
-                        .expect("payload within page size");
+                    let handle = self.arena.alloc_uninit(len.max(1)).map_err(|_| {
+                        KernelError::StoreCorrupt {
+                            detail: "synthetic payload under the cutoff did not fit the arena",
+                        }
+                    })?;
                     StoreOutcome::Stored(handle)
                 }
             }
@@ -104,45 +113,57 @@ impl ZswapStore {
         match outcome {
             StoreOutcome::Stored(h) => {
                 self.stats.stores += 1;
-                self.stats.bytes_stored += self.arena.size_of(h).expect("just stored") as u64;
+                self.stats.bytes_stored +=
+                    self.arena
+                        .size_of(h)
+                        .ok_or(KernelError::StoreCorrupt {
+                            detail: "freshly stored handle has no size",
+                        })? as u64;
             }
             StoreOutcome::Rejected { .. } => self.stats.rejections += 1,
         }
-        outcome
+        Ok(outcome)
     }
 
     /// Promotes a page out of the store: decompresses real payloads and
     /// frees the slot. Returns the decompressed bytes for real content,
     /// `None` for synthetic.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `handle` is stale (the kernel owns every live handle, so a
-    /// stale handle is a simulator bug, not an input error) or if a stored
-    /// payload fails to decompress (the store wrote it itself).
-    pub fn load(&mut self, handle: ZsHandle) -> Option<Bytes> {
+    /// [`KernelError::StaleHandle`] if `handle` does not resolve (the
+    /// kernel owns every live handle, so the store and the page tables
+    /// disagree); [`KernelError::StoreCorrupt`] if a stored payload fails
+    /// to decompress (the store wrote it itself).
+    pub fn load(&mut self, handle: ZsHandle) -> Result<Option<Bytes>, KernelError> {
         self.stats.loads += 1;
-        let payload = self.arena.get(handle).expect("live zswap handle");
+        let payload = self.arena.get(handle).ok_or(KernelError::StaleHandle)?;
         let out = if payload.is_empty() {
             None
         } else {
             let mut buf = Vec::with_capacity(PAGE_SIZE);
             self.codec
                 .decompress(payload, &mut buf)
-                .expect("zswap payload round-trips");
+                .map_err(|_| KernelError::StoreCorrupt {
+                    detail: "stored payload did not round-trip through the codec",
+                })?;
             Some(Bytes::from(buf))
         };
-        self.arena.free(handle).expect("live zswap handle");
-        out
+        self.arena
+            .free(handle)
+            .map_err(|_| KernelError::StaleHandle)?;
+        Ok(out)
     }
 
     /// Drops a stored page without decompressing (job exit, page free).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a stale handle — see [`ZswapStore::load`].
-    pub fn discard(&mut self, handle: ZsHandle) {
-        self.arena.free(handle).expect("live zswap handle");
+    /// [`KernelError::StaleHandle`] — see [`ZswapStore::load`].
+    pub fn discard(&mut self, handle: ZsHandle) -> Result<(), KernelError> {
+        self.arena
+            .free(handle)
+            .map_err(|_| KernelError::StaleHandle)
     }
 
     /// Payload size stored under `handle`.
@@ -188,10 +209,13 @@ mod tests {
         let mut g = PageGenerator::new(1);
         let page = Bytes::from(g.generate(PageClass::Text));
         let content = PageContent::Real(page.clone());
-        match store.store(&content) {
+        match store.store(&content).unwrap() {
             StoreOutcome::Stored(h) => {
                 assert!(store.stored_size(h).unwrap() <= MAX_COMPRESSED_PAYLOAD);
-                let back = store.load(h).expect("real content returns bytes");
+                let back = store
+                    .load(h)
+                    .unwrap()
+                    .expect("real content returns bytes");
                 assert_eq!(back, page);
             }
             StoreOutcome::Rejected { .. } => panic!("text page must store"),
@@ -209,7 +233,7 @@ mod tests {
         let mut store = ZswapStore::new(CodecKind::Lzo);
         let mut g = PageGenerator::new(2);
         let page = PageContent::Real(Bytes::from(g.generate(PageClass::Encrypted)));
-        match store.store(&page) {
+        match store.store(&page).unwrap() {
             StoreOutcome::Rejected { would_be_len } => {
                 assert!(would_be_len > MAX_COMPRESSED_PAYLOAD)
             }
@@ -223,11 +247,11 @@ mod tests {
     fn synthetic_content_respects_cutoff() {
         let mut store = ZswapStore::new(CodecKind::Lzo);
         assert!(matches!(
-            store.store(&PageContent::synthetic_of_len(2990)),
+            store.store(&PageContent::synthetic_of_len(2990)).unwrap(),
             StoreOutcome::Stored(_)
         ));
         assert!(matches!(
-            store.store(&PageContent::synthetic_of_len(2991)),
+            store.store(&PageContent::synthetic_of_len(2991)).unwrap(),
             StoreOutcome::Rejected { would_be_len: 2991 }
         ));
     }
@@ -235,41 +259,45 @@ mod tests {
     #[test]
     fn synthetic_load_returns_none_and_frees() {
         let mut store = ZswapStore::new(CodecKind::Lzo);
-        let h = match store.store(&PageContent::synthetic_of_len(700)) {
+        let h = match store.store(&PageContent::synthetic_of_len(700)).unwrap() {
             StoreOutcome::Stored(h) => h,
             _ => unreachable!(),
         };
         assert_eq!(store.resident_objects(), 1);
-        assert!(store.load(h).is_none());
+        assert!(store.load(h).unwrap().is_none());
         assert_eq!(store.resident_objects(), 0);
     }
 
     #[test]
     fn discard_frees_without_counting_a_load() {
         let mut store = ZswapStore::new(CodecKind::Lzo);
-        let h = match store.store(&PageContent::synthetic_of_len(700)) {
+        let h = match store.store(&PageContent::synthetic_of_len(700)).unwrap() {
             StoreOutcome::Stored(h) => h,
             _ => unreachable!(),
         };
-        store.discard(h);
+        store.discard(h).unwrap();
         assert_eq!(store.stats().loads, 0);
         assert_eq!(store.resident_objects(), 0);
+        assert_eq!(store.discard(h), Err(KernelError::StaleHandle));
+        assert_eq!(store.load(h), Err(KernelError::StaleHandle));
     }
 
     #[test]
     fn footprint_grows_with_stores_and_compacts() {
         let mut store = ZswapStore::new(CodecKind::Lzo);
         let handles: Vec<_> = (0..256)
-            .map(|_| match store.store(&PageContent::synthetic_of_len(512)) {
-                StoreOutcome::Stored(h) => h,
-                _ => unreachable!(),
-            })
+            .map(
+                |_| match store.store(&PageContent::synthetic_of_len(512)).unwrap() {
+                    StoreOutcome::Stored(h) => h,
+                    _ => unreachable!(),
+                },
+            )
             .collect();
         let full = store.footprint_pages();
         assert!(full.get() > 0);
         for (i, h) in handles.iter().enumerate() {
             if i % 8 != 0 {
-                store.discard(*h);
+                store.discard(*h).unwrap();
             }
         }
         store.compact();

@@ -31,8 +31,13 @@ pub struct FileScope {
     pub test_file: bool,
     /// D1/D2/T1 apply.
     pub determinism: bool,
-    /// P1 applies.
+    /// P1 applies because the file stands in for the production node
+    /// agent or cluster manager.
     pub control_plane: bool,
+    /// P1 applies because the file is machine-state code whose errors
+    /// must surface as typed `KernelError`s, not panics (the simulated
+    /// kernel after the store-lifecycle refactor).
+    pub panic_safety: bool,
     /// Rules granted a policy-level allowance for this file.
     pub allowed: Vec<Rule>,
 }
@@ -45,7 +50,7 @@ impl FileScope {
         }
         match rule {
             Rule::D1 | Rule::D2 | Rule::T1 => self.determinism,
-            Rule::P1 => self.control_plane,
+            Rule::P1 => self.control_plane || self.panic_safety,
             // Lock-ordering hazards deadlock either kind of code: the
             // pool's run() barrier in determinism scope, the agent's
             // event loop in control-plane scope.
@@ -66,8 +71,16 @@ const DETERMINISM_SCOPE: &[&str] = &[
     "crates/pool/src/",
 ];
 
-/// Path prefixes that carry the panic-safety contract.
+/// Path prefixes that carry the panic-safety contract because they stand
+/// in for production control-plane daemons.
 const CONTROL_PLANE_SCOPE: &[&str] = &["crates/agent/src/", "crates/cluster/src/"];
+
+/// Path prefixes that carry the panic-safety contract because they model
+/// machine state: the simulated kernel reports failures as typed
+/// [`KernelError`]s (stale handles, store corruption, missing tier-1
+/// devices), so `unwrap`/`expect` outside tests is a policy violation —
+/// genuine invariants take an inline `sdfm-lint: allow(P1)` waiver.
+const PANIC_SAFETY_SCOPE: &[&str] = &["crates/kernel/src/"];
 
 /// Files allowed to read the wall clock: they *measure* real CPU work
 /// (codec timing feeding the cost model, experiment overhead reporting)
@@ -100,6 +113,7 @@ pub fn classify(rel_path: &str) -> FileScope {
         || p.ends_with("build.rs");
     let determinism = DETERMINISM_SCOPE.iter().any(|s| p.starts_with(s));
     let control_plane = CONTROL_PLANE_SCOPE.iter().any(|s| p.starts_with(s));
+    let panic_safety = PANIC_SAFETY_SCOPE.iter().any(|s| p.starts_with(s));
     let mut allowed = Vec::new();
     if TIMING_ALLOWANCES.contains(&p.as_str()) {
         allowed.push(Rule::D1);
@@ -108,6 +122,7 @@ pub fn classify(rel_path: &str) -> FileScope {
         test_file,
         determinism,
         control_plane,
+        panic_safety,
         allowed,
     }
 }
@@ -138,7 +153,20 @@ mod tests {
     fn control_plane_paths_get_p1() {
         assert!(classify("crates/agent/src/node_agent.rs").enforces(Rule::P1));
         assert!(classify("crates/cluster/src/machine.rs").enforces(Rule::P1));
-        assert!(!classify("crates/kernel/src/kernel.rs").enforces(Rule::P1));
+    }
+
+    #[test]
+    fn kernel_paths_get_p1_via_panic_safety() {
+        // The simulated kernel returns typed KernelErrors for machine
+        // faults; panicking operators are banned there just like in the
+        // control plane, while crates outside both scopes stay exempt.
+        let kernel = classify("crates/kernel/src/kernel.rs");
+        assert!(kernel.panic_safety && !kernel.control_plane);
+        assert!(kernel.enforces(Rule::P1));
+        assert!(classify("crates/kernel/src/zswap.rs").enforces(Rule::P1));
+        assert!(classify("crates/kernel/src/writeback.rs").enforces(Rule::P1));
+        assert!(!classify("crates/kernel/tests/properties.rs").enforces(Rule::P1));
+        assert!(!classify("crates/autotuner/src/gp.rs").enforces(Rule::P1));
     }
 
     #[test]

@@ -5,9 +5,10 @@ use std::sync::OnceLock;
 
 use sdfm_pool::WorkerPool;
 
-use crate::replay::{replay_job, JobReplayOutcome};
+use crate::replay::{replay_job_with_pressure, JobReplayOutcome};
 use crate::trace::JobTrace;
 use sdfm_agent::{AgentParams, SloConfig};
+use sdfm_kernel::StorePressure;
 use sdfm_types::rate::NormalizedPromotionRate;
 use sdfm_types::stats::{percentile, Percentile};
 
@@ -18,14 +19,18 @@ pub struct ModelConfig {
     pub params: AgentParams,
     /// The SLO (fixed in production; configurable for experiments).
     pub slo: SloConfig,
+    /// The store-lifecycle policy the replay assumes node agents run
+    /// (disabled-store decay). Defaults to the production policy.
+    pub pressure: StorePressure,
 }
 
 impl ModelConfig {
-    /// A configuration with the production SLO.
+    /// A configuration with the production SLO and store lifecycle.
     pub fn new(params: AgentParams) -> Self {
         ModelConfig {
             params,
             slo: SloConfig::default(),
+            pressure: StorePressure::PAPER_DEFAULT,
         }
     }
 }
@@ -145,7 +150,7 @@ impl FarMemoryModel {
                     let tc = *tc;
                     move || {
                         tc.iter()
-                            .map(|t| replay_job(t, &c.params, &c.slo))
+                            .map(|t| replay_job_with_pressure(t, &c.params, &c.slo, c.pressure))
                             .collect::<Vec<_>>()
                     }
                 })
@@ -184,7 +189,7 @@ impl FarMemoryModel {
             return self
                 .traces
                 .iter()
-                .map(|t| replay_job(t, &config.params, &config.slo))
+                .map(|t| replay_job_with_pressure(t, &config.params, &config.slo, config.pressure))
                 .collect();
         }
         let chunk = self.traces.len().div_ceil(workers);
@@ -194,7 +199,9 @@ impl FarMemoryModel {
             .map(|tc| {
                 move || {
                     tc.iter()
-                        .map(|t| replay_job(t, &config.params, &config.slo))
+                        .map(|t| {
+                            replay_job_with_pressure(t, &config.params, &config.slo, config.pressure)
+                        })
                         .collect::<Vec<_>>()
                 }
             })

@@ -84,10 +84,7 @@ fn offline_model_predicts_live_promotion_scale() {
     let live_rate = live.decompressions as f64 / 240.0 / live.resident_pages.max(1) as f64;
 
     let model = FarMemoryModel::new(group_traces(system.take_traces()));
-    let result = model.evaluate(&ModelConfig {
-        params,
-        slo: SloConfig::default(),
-    });
+    let result = model.evaluate(&ModelConfig::new(params));
     let model_rate = result
         .p98_normalized_rate
         .expect("the run has enabled windows")
