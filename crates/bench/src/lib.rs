@@ -138,6 +138,25 @@ pub fn validate_bench_report(report: &serde_json::Value) -> Result<(), Vec<Strin
             &["threads", "configs", "splitter_active"],
             "config_evals_per_sec",
         ),
+        "codecs" => (
+            &[
+                "pages",
+                "seed",
+                "reps",
+                "available_parallelism",
+                "caveat",
+                "ratio",
+                "results",
+            ],
+            &[
+                "codec",
+                "threads",
+                "decompress_pages_per_sec",
+                "compress_ns_per_page",
+                "decompress_ns_per_page",
+            ],
+            "compress_pages_per_sec",
+        ),
         other => return Err(vec![format!("unknown bench `{other}`")]),
     };
     let mut problems = Vec::new();
@@ -169,6 +188,31 @@ pub fn validate_bench_report(report: &serde_json::Value) -> Result<(), Vec<Strin
                     )),
                     Err(_) => problems.push(format!("results[{i}] missing numeric `{throughput}`")),
                 }
+            }
+        }
+    }
+    // The codecs report carries the realized-ratio section the cost model
+    // is calibrated against; a report whose histogram vanished or whose
+    // ratios went non-finite is as unusable as one with no throughput.
+    if bench == "codecs" {
+        if let Ok(ratio) = report.field("ratio") {
+            for k in [
+                "median_ratio_permille",
+                "aggregate_ratio_permille",
+                "rejected_permille",
+            ] {
+                match ratio.field(k).and_then(|v| v.number()).map(|n| n.as_f64()) {
+                    Ok(x) if x.is_finite() && x >= 0.0 => {}
+                    Ok(x) => {
+                        problems.push(format!("ratio.{k} = {x} must be finite and non-negative"))
+                    }
+                    Err(_) => problems.push(format!("ratio missing numeric `{k}`")),
+                }
+            }
+            match ratio.field("histogram").and_then(|v| v.elements()) {
+                Ok([]) => problems.push("ratio.histogram is empty".into()),
+                Ok(_) => {}
+                Err(_) => problems.push("ratio.histogram is not an array".into()),
             }
         }
     }
@@ -270,10 +314,74 @@ mod tests {
         panic!("no results array");
     }
 
+    fn codecs_report() -> Value {
+        let rows = vec![serde_json::json!({
+            "codec": "lzo", "threads": 1u64,
+            "compress_pages_per_sec": 50_000.0f64,
+            "decompress_pages_per_sec": 90_000.0f64,
+            "compress_ns_per_page": 20_000.0f64,
+            "decompress_ns_per_page": 11_000.0f64,
+        })];
+        let histogram = vec![serde_json::json!({
+            "lo_permille": 1_000u64, "hi_permille": 1_500u64, "pages": 12u64,
+        })];
+        let ratio = serde_json::json!({
+            "codec": "lzo",
+            "measured_pages": 256u64,
+            "stored": 180u64,
+            "rejected": 76u64,
+            "median_ratio_permille": 3_100u64,
+            "aggregate_ratio_permille": 3_000u64,
+            "rejected_permille": 297u64,
+            "histogram": histogram,
+        });
+        serde_json::json!({
+            "bench": "codecs",
+            "pages": 256u64,
+            "seed": 0xC0DECu64,
+            "reps": 3u64,
+            "available_parallelism": 4u64,
+            "caveat": "noisy",
+            "ratio": ratio,
+            "results": rows,
+        })
+    }
+
     #[test]
     fn well_formed_reports_validate() {
         assert_eq!(validate_bench_report(&fleet_sim_report()), Ok(()));
         assert_eq!(validate_bench_report(&evaluate_many_report()), Ok(()));
+        assert_eq!(validate_bench_report(&codecs_report()), Ok(()));
+    }
+
+    #[test]
+    fn codecs_ratio_section_is_schema_checked() {
+        // A gutted ratio section fails even when the throughput rows pass.
+        let mut r = codecs_report();
+        let ratio = {
+            let mut found = None;
+            for (k, slot) in entries(&mut r).iter_mut() {
+                if k == "ratio" {
+                    found = Some(slot);
+                }
+            }
+            found.expect("ratio key")
+        };
+        remove_key(ratio, "median_ratio_permille");
+        set_key(ratio, "histogram", Value::Array(Vec::new()));
+        let problems = validate_bench_report(&r).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("median_ratio_permille")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("histogram is empty")),
+            "{problems:?}"
+        );
+        // Missing per-row cost fields are reported too.
+        let mut r = codecs_report();
+        remove_key(first_row(&mut r), "compress_ns_per_page");
+        assert!(validate_bench_report(&r).is_err());
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Batched page compression over a [`WorkerPool`], with index-ordered
+//! reassembly.
+//!
+//! kreclaimd drains whole reclaim batches at once, and the `codecs` bench
+//! measures pages/sec at several thread counts; both need to compress many
+//! independent 4 KiB pages without giving up the workspace determinism
+//! contract. The functions here chunk the input across the pool, run the
+//! (pure, per-page) codec in parallel, and reassemble outputs in the
+//! original index order — so the result is byte-for-byte identical to a
+//! sequential loop at *any* thread count, which the `batch_matches_
+//! sequential` tests pin.
+//!
+//! Error ordering is deterministic too: [`decompress_many`] reports the
+//! error of the lowest-index failing payload, regardless of which worker
+//! hit one first.
+
+use crate::codec::{DecompressError, PageCodec};
+use sdfm_pool::WorkerPool;
+
+/// How many pages each pool task handles at minimum; keeps per-task
+/// overhead negligible next to ~µs-scale codec work.
+const MIN_CHUNK: usize = 8;
+
+fn chunk_size(items: usize, threads: usize) -> usize {
+    items.div_ceil(threads.max(1)).max(MIN_CHUNK)
+}
+
+/// Compresses every page with `codec` across `pool`, returning the
+/// compressed payloads in input order.
+///
+/// Bit-identical to calling [`PageCodec::compress`] sequentially: each
+/// page's compression is independent and the outputs are reassembled by
+/// index, never by completion order.
+///
+/// # Panics
+///
+/// Propagates a worker panic (which, per the pool contract, means a codec
+/// bug — compression itself is infallible).
+pub fn compress_many<P: AsRef<[u8]> + Sync>(
+    codec: &dyn PageCodec,
+    pages: &[P],
+    pool: &WorkerPool,
+) -> Vec<Vec<u8>> {
+    if pages.is_empty() {
+        return Vec::new();
+    }
+    let tasks: Vec<_> = pages
+        .chunks(chunk_size(pages.len(), pool.threads()))
+        .map(|chunk| {
+            move || -> Vec<Vec<u8>> {
+                let mut out = Vec::with_capacity(chunk.len());
+                let mut buf = Vec::new();
+                for page in chunk {
+                    codec.compress(page.as_ref(), &mut buf);
+                    out.push(buf.clone());
+                }
+                out
+            }
+        })
+        .collect();
+    let chunks = pool
+        .run(tasks)
+        .unwrap_or_else(|e| panic!("compress_many worker failed: {e}"));
+    // `run` returns chunk results in submission order, so a flat concat
+    // restores the original page order exactly.
+    chunks.into_iter().flatten().collect()
+}
+
+/// Decompresses every payload with `codec` across `pool`, returning the
+/// pages in input order.
+///
+/// # Errors
+///
+/// Returns the error of the *lowest-index* payload that fails to decode —
+/// the same error a sequential loop would hit first — independent of
+/// worker scheduling.
+///
+/// # Panics
+///
+/// Propagates a worker panic (a codec bug, per the pool contract).
+pub fn decompress_many<P: AsRef<[u8]> + Sync>(
+    codec: &dyn PageCodec,
+    payloads: &[P],
+    pool: &WorkerPool,
+) -> Result<Vec<Vec<u8>>, DecompressError> {
+    if payloads.is_empty() {
+        return Ok(Vec::new());
+    }
+    let tasks: Vec<_> = payloads
+        .chunks(chunk_size(payloads.len(), pool.threads()))
+        .map(|chunk| {
+            move || -> Result<Vec<Vec<u8>>, DecompressError> {
+                let mut out = Vec::with_capacity(chunk.len());
+                let mut buf = Vec::new();
+                for payload in chunk {
+                    codec.decompress(payload.as_ref(), &mut buf)?;
+                    out.push(buf.clone());
+                }
+                Ok(out)
+            }
+        })
+        .collect();
+    let chunks = pool
+        .run(tasks)
+        .unwrap_or_else(|e| panic!("decompress_many worker failed: {e}"));
+    // Chunks arrive in submission order; each chunk stops at its first
+    // failure, so the first Err seen scanning in order is the error of the
+    // globally lowest failing index.
+    let mut pages = Vec::with_capacity(payloads.len());
+    for chunk in chunks {
+        pages.extend(chunk?);
+    }
+    Ok(pages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::CodecKind;
+    use crate::gen::{CompressibilityMix, PageGenerator};
+
+    fn corpus(n: usize) -> Vec<Vec<u8>> {
+        let mut g = PageGenerator::new(0xBA7C);
+        let mix = CompressibilityMix::fleet_default();
+        (0..n).map(|_| g.generate_from_mix(&mix).1).collect()
+    }
+
+    fn sequential_compress(codec: &dyn PageCodec, pages: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        pages
+            .iter()
+            .map(|p| {
+                let mut buf = Vec::new();
+                codec.compress(p, &mut buf);
+                buf
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_at_every_thread_count() {
+        let pages = corpus(37); // odd count: uneven final chunk
+        for kind in CodecKind::ALL {
+            let codec = kind.build();
+            let expect = sequential_compress(codec.as_ref(), &pages);
+            for threads in [1, 2, 4] {
+                let pool = WorkerPool::new(threads);
+                let got = compress_many(codec.as_ref(), &pages, &pool);
+                assert_eq!(got, expect, "{kind} diverged at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn decompress_many_roundtrips() {
+        let pages = corpus(25);
+        let codec = CodecKind::Lzo.build();
+        for threads in [1, 3] {
+            let pool = WorkerPool::new(threads);
+            let payloads = compress_many(codec.as_ref(), &pages, &pool);
+            let back = decompress_many(codec.as_ref(), &payloads, &pool)
+                .expect("self-produced payloads decode");
+            assert_eq!(back, pages);
+        }
+    }
+
+    #[test]
+    fn decompress_error_is_lowest_index() {
+        let pages = corpus(20);
+        let codec = CodecKind::Lzo.build();
+        let pool = WorkerPool::new(4);
+        let mut payloads = compress_many(codec.as_ref(), &pages, &pool);
+        // Corrupt two payloads in different chunks; truncation to one byte
+        // is an unconditional decode error for every codec.
+        payloads[17].truncate(1);
+        payloads[3].truncate(1);
+        let seq_err = |idx: usize| -> DecompressError {
+            let mut buf = Vec::new();
+            codec
+                .decompress(&payloads[idx], &mut buf)
+                .expect_err("truncated payload must not decode")
+        };
+        let late = seq_err(17);
+        let early = seq_err(3);
+        let got = decompress_many(codec.as_ref(), &payloads, &pool)
+            .expect_err("corrupt batch must fail");
+        assert_eq!(got, early, "must report index 3's error, not 17's ({late:?})");
+    }
+
+    #[test]
+    fn empty_batches_are_empty() {
+        let codec = CodecKind::Lzo.build();
+        let pool = WorkerPool::new(2);
+        let none: Vec<Vec<u8>> = Vec::new();
+        assert!(compress_many(codec.as_ref(), &none, &pool).is_empty());
+        assert!(decompress_many(codec.as_ref(), &none, &pool)
+            .expect("empty ok")
+            .is_empty());
+    }
+}

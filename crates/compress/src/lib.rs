@@ -39,13 +39,17 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod codec;
 pub mod gen;
 mod lz;
+pub mod measure;
 pub mod page;
 pub mod zsmalloc;
 
+pub use batch::{compress_many, decompress_many};
 pub use codec::{CodecKind, DecompressError, Lz4Codec, LzoCodec, PageCodec, SnappyCodec};
 pub use gen::{CompressibilityMix, PageClass, PageGenerator};
+pub use measure::{measure_fleet_ratios, ClassPayloadStats, ClassPayloadTable, MeasuredRatios};
 pub use page::{compress_page, CompressedPage, MAX_COMPRESSED_PAYLOAD};
 pub use zsmalloc::{ZsHandle, ZsmallocArena, ZsmallocStats};

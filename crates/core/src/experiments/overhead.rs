@@ -55,7 +55,9 @@ pub fn figure8(scale: &Scale) -> Fig8 {
     for _ in 0..scale.measure_windows {
         let s = sim.step_window();
         for j in &s.per_job {
-            let comp = j.compress_events as f64 * cost.compress_ns as f64;
+            // Rejected attempts burn the same compression cycles as stored
+            // pages (§5.1) — the overhead figure must include them.
+            let comp = (j.compress_events + j.rejected_events) as f64 * cost.compress_ns as f64;
             let decomp = j.decompress_events as f64 * cost.decompress_ns as f64;
             let cores = j.cpu_cores * window_secs;
             let e = jobs.entry(j.job.raw()).or_insert(Acc {

@@ -19,7 +19,9 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use sdfm_agent::{AgentParams, JobController, SloConfig};
-use sdfm_kernel::{CostModel, StorePressure};
+use sdfm_compress::codec::CodecKind;
+use sdfm_compress::measure::ClassPayloadTable;
+use sdfm_kernel::{CostModel, CpuAccounting, StorePressure};
 use sdfm_pool::WorkerPool;
 use sdfm_types::histogram::{PageAge, PromotionHistogram};
 use sdfm_types::ids::{ClusterId, JobId};
@@ -43,6 +45,31 @@ pub enum ParallelEngine {
     SpawnPerCall,
 }
 
+/// Where a job's realized compression outcome (acceptance fraction and
+/// ratio of stored pages) comes from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RatioSource {
+    /// Derived per job from a *measured* per-class payload table: the real
+    /// codec compressed generated pages of every class, and each job's
+    /// [`CompressibilityMix`](sdfm_compress::gen::CompressibilityMix)
+    /// weights those measurements. The default — the paper's ~3× ratio and
+    /// ~31% rejection emerge from the codec, not from constants.
+    Measured(ClassPayloadTable),
+    /// The static modeled fallback: the mix's *typical* incompressibility
+    /// (class labels, no codec in the loop) and the [`CostModel`]'s
+    /// configured ratio. Kept as an explicit mode for what-if runs with
+    /// hand-set ratios.
+    Modeled,
+}
+
+impl Default for RatioSource {
+    fn default() -> Self {
+        // lzo is the paper's production codec (§5.1); the table is
+        // deterministic and cached process-wide.
+        RatioSource::Measured(*ClassPayloadTable::measured_default(CodecKind::Lzo))
+    }
+}
+
 /// Fleet simulation parameters.
 #[derive(Debug, Clone)]
 pub struct FleetSimConfig {
@@ -61,6 +88,8 @@ pub struct FleetSimConfig {
     pub churn: bool,
     /// Per-page compression costs for CPU accounting.
     pub cost: CostModel,
+    /// Where per-job realized compression ratios come from.
+    pub ratio_source: RatioSource,
     /// Store-lifecycle policy: how fast a disabled job's zswap store
     /// decays back to DRAM (mirrors the kernel's writeback machinery).
     pub pressure: StorePressure,
@@ -83,6 +112,7 @@ impl FleetSimConfig {
             noise_sigma: StatJobModel::DEFAULT_SIGMA,
             churn: true,
             cost: CostModel::PAPER_DEFAULT,
+            ratio_source: RatioSource::default(),
             pressure: StorePressure::PAPER_DEFAULT,
             // 0 = unrequested: honors `SDFM_THREADS`, then host parallelism,
             // so CI runs on different hosts resolve reproducibly.
@@ -117,14 +147,25 @@ pub struct JobWindowStat {
     pub enabled: bool,
     /// Normalized promotion rate (fraction of WSS per minute).
     pub normalized_rate: f64,
-    /// Compression events charged this window.
+    /// Compression events charged this window (stored pages only; rejected
+    /// attempts are counted in `rejected_events`).
     pub compress_events: u64,
+    /// Compression attempts the cutoff rejected this window — wasted
+    /// cycles the paper still pays for (§5.1). Each cold page is attempted
+    /// once and then marked incompressible, so a steady cold mass stops
+    /// generating new rejections.
+    pub rejected_events: u64,
     /// Decompression events charged this window (promotions plus store
     /// writebacks).
     pub decompress_events: u64,
     /// Pages sitting in the zswap store at the end of this window (equals
     /// `far_pages` while enabled; decays toward zero while disabled).
     pub store_pages: u64,
+    /// Page frames of real memory the job's store occupies at its realized
+    /// compression ratio (`store_pages / ratio`, rounded up).
+    pub store_frames: u64,
+    /// The job's realized compression ratio over stored pages, per-mille.
+    pub ratio_permille: u32,
     /// Store pages written back to DRAM this window by the lifecycle
     /// policy (each one a charged decompression).
     pub writeback_events: u64,
@@ -146,6 +187,9 @@ pub struct FleetWindowStats {
     /// Sum of pages still in the zswap store (includes disabled jobs'
     /// decaying stores, which `far_pages` excludes).
     pub store_pages: u64,
+    /// Sum of page frames those stores actually occupy at each job's
+    /// realized ratio — the DRAM the compressed pool costs.
+    pub store_frames: u64,
     /// Per-job detail.
     pub per_job: Vec<JobWindowStat>,
 }
@@ -190,7 +234,15 @@ struct SimJob {
     controller: JobController,
     cumulative_promo: PromotionHistogram,
     expires: SimTime,
-    incompressible: f64,
+    /// Fraction of the job's pages the cutoff accepts, per-mille — from the
+    /// measured table (or the modeled fallback) over the job's mix.
+    stored_permille: u32,
+    /// Realized compression ratio of the job's stored pages, per-mille.
+    ratio_permille: u32,
+    /// High-water mark of cold pages already attempted and rejected: the
+    /// kernel marks incompressible pages so their wasted compression is
+    /// charged once, not every window (§5.1).
+    rejected_marked: u64,
     cpu_cores: f64,
     total_pages: u64,
     /// Pages currently in the job's zswap store. Tracks `far_pages` while
@@ -226,6 +278,10 @@ pub struct FleetSim {
     /// window ([`ParallelEngine::PersistentPool`] only) and shut down —
     /// workers joined — when the simulator drops.
     pool: OnceLock<WorkerPool>,
+    /// Cumulative CPU charged at the configured [`CostModel`] for every
+    /// compression (stored and rejected) and decompression the fleet
+    /// performed — same ledger the page-level kernel keeps.
+    cpu: CpuAccounting,
 }
 
 impl std::fmt::Debug for FleetSim {
@@ -250,6 +306,7 @@ impl FleetSim {
             rng: StdRng::seed_from_u64(seed),
             scratch: Vec::new(),
             pool: OnceLock::new(),
+            cpu: CpuAccounting::default(),
         };
         let clusters = sim.config.spec.clusters.clone();
         for (ci, cluster) in clusters.iter().enumerate() {
@@ -287,7 +344,18 @@ impl FleetSim {
         };
         let started = SimTime::from_secs(self.now.as_secs().saturating_sub(age_head_start));
         let expires = started + profile.lifetime;
-        let incompressible = profile.mix.incompressible_fraction();
+        let (stored_permille, ratio_permille) = match &self.config.ratio_source {
+            RatioSource::Measured(table) => (
+                table.stored_permille(&profile.mix),
+                table.ratio_permille(&profile.mix),
+            ),
+            RatioSource::Modeled => (
+                1000u32.saturating_sub(
+                    (profile.mix.incompressible_fraction() * 1000.0).round() as u32,
+                ),
+                self.config.cost.ratio_permille,
+            ),
+        };
         let cpu_cores = profile.cpu_cores;
         let total_pages = profile.total_pages().get();
         let cluster = self.config.spec.clusters[cluster_idx].id;
@@ -302,7 +370,9 @@ impl FleetSim {
             controller: JobController::new(self.config.params, self.config.slo, started),
             cumulative_promo: PromotionHistogram::new(),
             expires,
-            incompressible,
+            stored_permille,
+            ratio_permille,
+            rejected_marked: 0,
             cpu_cores,
             total_pages,
             store_pages: 0,
@@ -350,36 +420,50 @@ impl FleetSim {
         let cold_min = obs.cold_hist.pages_colder_than(min_threshold);
         let enabled = decision.zswap_enabled;
         let threshold = decision.threshold;
-        let compressible = 1.0 - j.incompressible;
-        let (far, promos) = if enabled {
+        // Integer per-mille scaling: the realized acceptance fraction of
+        // the job's mix decides how much of the cold mass actually lands
+        // in the store. Exact integer arithmetic keeps the step
+        // scheduling-independent bit for bit.
+        let stored = j.stored_permille as u64;
+        let (far, promos, reject_candidates) = if enabled {
             let cold_at_thr = obs.cold_hist.pages_colder_than(threshold);
             let promos_at_thr = obs.promo_delta.promotions_colder_than(threshold);
-            (
-                (cold_at_thr as f64 * compressible) as u64,
-                (promos_at_thr as f64 * compressible) as u64,
-            )
+            let far = cold_at_thr * stored / 1000;
+            (far, promos_at_thr * stored / 1000, cold_at_thr - far)
         } else {
-            (0, 0)
+            (0, 0, 0)
         };
         // CPU events: only pages *entering* the store compress. An enabled
         // window is charged the growth beyond what is still stored, plus
         // the re-compression of pages that faulted out and went cold again
-        // (the promotion rate). While disabled, the store-lifecycle policy
-        // writes the dead store back window by window — each writeback a
-        // charged decompression — so a long-disabled job's store reaches
-        // zero and a much later re-enable pays for the full cold mass.
-        let (compress_events, writeback_events) = if enabled {
+        // (the promotion rate). Incompressible candidates are attempted
+        // once — wasted cycles the paper still pays (§5.1) — then marked,
+        // so only cold mass beyond the high-water mark generates new
+        // rejections. While disabled, the store-lifecycle policy writes
+        // the dead store back window by window — each writeback a charged
+        // decompression — so a long-disabled job's store reaches zero and
+        // a much later re-enable pays for the full cold mass.
+        let (compress_events, rejected_events, writeback_events) = if enabled {
             let events = far.saturating_sub(j.store_pages) + promos;
             j.store_pages = far;
-            (events, 0)
+            let fresh_rejects = reject_candidates.saturating_sub(j.rejected_marked);
+            j.rejected_marked = j.rejected_marked.max(reject_candidates);
+            (events, fresh_rejects, 0)
         } else {
             let writebacks = pressure.decay_step(j.store_pages);
             j.store_pages -= writebacks;
-            (0, writebacks)
+            (0, 0, writebacks)
         };
         let rate = PromotionRate::from_count(promos, window)
             .normalized(decision.working_set)
             .fraction_per_min();
+        // The frames the store occupies at the job's realized ratio —
+        // this, not the raw page count, is what the compressed pool costs.
+        let store_frames = if j.store_pages == 0 {
+            0
+        } else {
+            (j.store_pages * 1000).div_ceil(j.ratio_permille.max(1000) as u64)
+        };
         JobWindowStat {
             job: j.id,
             cluster: j.cluster,
@@ -393,8 +477,11 @@ impl FleetSim {
             enabled,
             normalized_rate: rate,
             compress_events,
+            rejected_events,
             decompress_events: promos + writeback_events,
             store_pages: j.store_pages,
+            store_frames,
+            ratio_permille: j.ratio_permille,
             writeback_events,
             cpu_cores: j.cpu_cores,
         }
@@ -421,6 +508,7 @@ impl FleetSim {
             cold_pages: 0,
             far_pages: 0,
             store_pages: 0,
+            store_frames: 0,
             per_job: Vec::with_capacity(self.jobs.len()),
         };
 
@@ -478,11 +566,23 @@ impl FleetSim {
                 stats.per_job.append(buf);
             }
         }
+        let cost = self.config.cost;
         for s in &stats.per_job {
             stats.total_pages += s.total_pages;
             stats.cold_pages += s.cold_pages;
             stats.far_pages += s.far_pages;
             stats.store_pages += s.store_pages;
+            stats.store_frames += s.store_frames;
+            // Charge the window's events into the fleet CPU ledger exactly
+            // like the page-level kernel would: rejected attempts burn the
+            // same compression cycles, counted both in the total and apart.
+            self.cpu.merge(&CpuAccounting {
+                compress_ns: (s.compress_events + s.rejected_events) * cost.compress_ns,
+                decompress_ns: s.decompress_events * cost.decompress_ns,
+                compress_events: s.compress_events + s.rejected_events,
+                decompress_events: s.decompress_events,
+                rejected_compress_events: s.rejected_events,
+            });
         }
 
         // Churn: replace expired jobs.
@@ -519,6 +619,13 @@ impl FleetSim {
     /// The cost model in force.
     pub fn cost(&self) -> CostModel {
         self.config.cost
+    }
+
+    /// Cumulative fleet CPU charged at the cost model since construction —
+    /// compressions (stored and rejected, counted apart) and
+    /// decompressions, same ledger as the page-level kernel.
+    pub fn cpu_accounting(&self) -> CpuAccounting {
+        self.cpu
     }
 
     /// The window length.
@@ -817,6 +924,134 @@ mod tests {
             back.far_pages + promos,
             "re-enable after a full drain must recompress everything"
         );
+    }
+
+    /// The tentpole: store sizing and CPU accounting run off *measured*
+    /// per-job ratios. Over the fleet the implied aggregate ratio of the
+    /// compressed pool must land in the paper's ~3× regime, emerging from
+    /// the codec measurements, not from a constant.
+    #[test]
+    fn measured_ratios_size_the_store_in_paper_regime() {
+        assert!(
+            matches!(FleetSimConfig::new(1).ratio_source, RatioSource::Measured(_)),
+            "measured ratios must be the default"
+        );
+        let mut sim = small_sim(19);
+        let mut last = None;
+        for _ in 0..16 {
+            last = Some(sim.step_window());
+        }
+        let s = last.unwrap();
+        assert!(s.store_pages > 0, "no store built up");
+        assert!(
+            s.store_frames > 0 && s.store_frames < s.store_pages,
+            "store frames {} not compressed below {} pages",
+            s.store_frames,
+            s.store_pages
+        );
+        let fleet_ratio = s.store_pages as f64 / s.store_frames as f64;
+        assert!(
+            (2.2..=4.6).contains(&fleet_ratio),
+            "fleet-implied ratio {fleet_ratio} outside the ~3× regime"
+        );
+        // Per-job ratios span a real distribution (Figure 9a), not one value.
+        let ratios: Vec<u32> = s
+            .per_job
+            .iter()
+            .filter(|j| j.store_pages > 0)
+            .map(|j| j.ratio_permille)
+            .collect();
+        assert!(ratios.len() > 10, "too few stored jobs to check spread");
+        let (lo, hi) = (
+            *ratios.iter().min().unwrap(),
+            *ratios.iter().max().unwrap(),
+        );
+        assert!(hi > lo, "every job got the same ratio — not measured");
+        assert!(lo >= 1000 && hi <= 20_000, "ratio bounds implausible");
+    }
+
+    /// Rejected compression attempts are charged once per cold page (the
+    /// kernel marks incompressible pages), flow into the fleet CPU ledger,
+    /// and stop once the cold mass is fully attempted.
+    #[test]
+    fn rejections_are_charged_once_and_ledgered() {
+        let mut cfg = FleetSimConfig::new(2);
+        cfg.noise_sigma = 0.0;
+        cfg.churn = false;
+        let mut sim = FleetSim::new(cfg, 9);
+        sim.set_params(AgentParams::new(98.0, SimDuration::ZERO).unwrap());
+        let first_windows = sim.run_windows(12);
+        let rejected_total: u64 = first_windows
+            .iter()
+            .flat_map(|w| w.per_job.iter())
+            .map(|j| j.rejected_events)
+            .sum();
+        assert!(rejected_total > 0, "no rejections ever charged");
+        // Steady state: the cold mass is marked; new rejections dry up.
+        let late = sim.step_window();
+        let late_rejects: u64 = late.per_job.iter().map(|j| j.rejected_events).sum();
+        let late_compress: u64 = late.per_job.iter().map(|j| j.compress_events).sum();
+        assert!(
+            late_rejects <= late_compress / 2 + 1,
+            "steady-state rejections {late_rejects} still dominate {late_compress} compressions"
+        );
+        // The ledger saw every event, with rejects costed like stores.
+        let cpu = sim.cpu_accounting();
+        assert!(cpu.rejected_compress_events >= rejected_total);
+        assert!(cpu.compress_events > cpu.rejected_compress_events);
+        assert_eq!(
+            cpu.compress_ns,
+            cpu.compress_events * sim.cost().compress_ns,
+            "ledger ns disagrees with events × cost"
+        );
+        assert!(cpu.decompress_events > 0);
+    }
+
+    /// The modeled fallback stays available and actually behaves like the
+    /// static model: one fleet-wide ratio from the cost model.
+    #[test]
+    fn modeled_fallback_uses_static_constants() {
+        let mut cfg = FleetSimConfig::new(2);
+        cfg.noise_sigma = 0.0;
+        cfg.ratio_source = RatioSource::Modeled;
+        let mut sim = FleetSim::new(cfg, 21);
+        let mut last = None;
+        for _ in 0..10 {
+            last = Some(sim.step_window());
+        }
+        let s = last.unwrap();
+        assert!(s.store_pages > 0);
+        for j in s.per_job.iter().filter(|j| j.store_pages > 0) {
+            assert_eq!(
+                j.ratio_permille,
+                CostModel::PAPER_DEFAULT.ratio_permille,
+                "modeled mode must use the configured ratio"
+            );
+        }
+    }
+
+    /// Two-run determinism for the realized-ratio path specifically: the
+    /// measured table is computed independently per run (process-wide
+    /// cache aside) and the integer per-mille arithmetic is exact, so
+    /// same-seed runs serialize identically even across thread counts.
+    #[test]
+    fn realized_ratio_path_two_runs_bit_identical() {
+        let run = |threads: usize| {
+            let mut cfg = FleetSimConfig::new(2);
+            cfg.noise_sigma = 0.1;
+            cfg.threads = threads;
+            cfg.ratio_source = RatioSource::Measured(ClassPayloadTable::measure(
+                CodecKind::Lzo,
+                16,
+                42, // independent of the cached default: measured per run
+            ));
+            let mut sim = FleetSim::new(cfg, 23);
+            let windows = sim.run_windows(8);
+            serde_json::to_string(&windows).expect("fleet stats serialize")
+        };
+        let (a, b, c) = (run(1), run(1), run(4));
+        assert!(a == b, "two same-seed measured runs diverged");
+        assert!(a == c, "measured path diverged across thread counts");
     }
 
     /// Bit-identity across thread counts with store pressure active: the

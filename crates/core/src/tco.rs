@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use sdfm_kernel::CostModel;
 use sdfm_types::error::SdfmError;
 
 /// TCO arithmetic for a deployment.
@@ -58,6 +59,24 @@ impl TcoModel {
             dram_cost_per_gib,
             cpu_cost_per_core_sec,
         })
+    }
+
+    /// A model whose ratio is the [`CostModel`]'s *realized* compression
+    /// ratio — so TCO arithmetic runs off the same measured number that
+    /// sizes the simulated store, not an independent constant.
+    ///
+    /// # Errors
+    ///
+    /// [`SdfmError::InvalidParameter`] if the cost model's ratio does not
+    /// exceed 1× (a realized ratio at or below unity means compression
+    /// saves nothing and the TCO question is moot).
+    pub fn from_cost(cost: &CostModel) -> Result<Self, SdfmError> {
+        let paper = Self::paper_default();
+        Self::new(
+            cost.ratio(),
+            paper.dram_cost_per_gib,
+            paper.cpu_cost_per_core_sec,
+        )
     }
 
     /// Memory-cost reduction of a compressed page: `1 − 1/r` (the
@@ -160,5 +179,27 @@ mod tests {
     #[should_panic(expected = "coverage")]
     fn coverage_out_of_range_panics() {
         TcoModel::paper_default().dram_savings_fraction(1.5, 0.3);
+    }
+
+    /// The measured pipeline reaches the TCO arithmetic: a cost model with
+    /// measured ratios produces per-page savings in the paper's "67% or
+    /// higher" regime.
+    #[test]
+    fn tco_from_measured_cost_model() {
+        use sdfm_compress::codec::CodecKind;
+        let cost = CostModel::measured_ratios(CodecKind::Lzo);
+        let m = TcoModel::from_cost(&cost).expect("measured ratio exceeds 1×");
+        assert!((m.compression_ratio - cost.ratio()).abs() < 1e-12);
+        assert!(
+            m.compressed_page_cost_reduction() >= 0.55,
+            "measured per-page reduction {} below the paper's regime",
+            m.compressed_page_cost_reduction()
+        );
+        // A degenerate unit ratio is rejected, not silently accepted.
+        let unit = CostModel {
+            ratio_permille: 1000,
+            ..cost
+        };
+        assert!(TcoModel::from_cost(&unit).is_err());
     }
 }

@@ -1,39 +1,98 @@
-//! CPU-cost accounting for compression work.
+//! CPU-cost and realized-compression accounting for compression work.
 //!
 //! zswap's only hardware cost is CPU cycles (§3.1); Figures 8 and 9b report
 //! exactly those: per-job and per-machine fractions of CPU spent on
 //! compression and decompression, and the decompression latency
-//! distribution. The [`CostModel`] carries per-page costs — either the
-//! paper's measured defaults or values calibrated against this crate's real
-//! codecs on this host — and [`CpuAccounting`] accumulates charged time.
+//! distribution. The [`CostModel`] carries per-page costs *and* the
+//! realized compression outcome (ratio of stored pages, rejection
+//! fraction) — either the paper's figures or values measured against this
+//! crate's real codecs — and [`CpuAccounting`] accumulates charged time,
+//! counting rejected compression attempts separately (the paper pays
+//! compression CPU on rejects too, §5.1).
 
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 use sdfm_compress::codec::CodecKind;
 use sdfm_compress::gen::{CompressibilityMix, PageGenerator};
+use sdfm_compress::measure::ClassPayloadTable;
+use sdfm_types::size::PAGE_SIZE;
 use sdfm_types::time::SimDuration;
 
-/// Per-page CPU costs in nanoseconds.
+/// Where a [`CostModel`]'s numbers came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CostSource {
+    /// The paper's published figures (§5.1, §6.3).
+    PaperModel,
+    /// Measured against this workspace's real codecs.
+    Measured,
+}
+
+/// Per-page CPU costs in nanoseconds, plus the realized compression
+/// outcome the costs were measured with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CostModel {
     /// Cost of compressing one 4 KiB page (including rejected attempts).
     pub compress_ns: u64,
     /// Cost of decompressing one page on promotion.
     pub decompress_ns: u64,
+    /// Realized compression ratio of *stored* pages, in per-mille
+    /// (3000 = 3.00×). Sizes the compressed store: `pages` stored pages
+    /// occupy `pages / ratio` page frames of real memory.
+    pub ratio_permille: u32,
+    /// Fraction of compression attempts the §5.1 cutoff rejects, in
+    /// per-mille.
+    pub rejected_permille: u32,
+    /// Provenance of the numbers above.
+    pub source: CostSource,
 }
 
 impl CostModel {
-    /// The paper's measured figures: ~6.4 µs median decompression (§6.3)
-    /// and compression of the same order (lzo compresses slightly slower
-    /// than it decompresses).
+    /// The paper's measured figures: ~6.4 µs median decompression (§6.3),
+    /// compression of the same order (lzo compresses slightly slower than
+    /// it decompresses), a 3× median ratio and 31% incompressible pages
+    /// (Figure 9a).
     pub const PAPER_DEFAULT: CostModel = CostModel {
         compress_ns: 10_000,
         decompress_ns: 6_400,
+        ratio_permille: 3000,
+        rejected_permille: 310,
+        source: CostSource::PaperModel,
     };
 
+    /// Mean per-page cost from a total elapsed time over `pages` pages.
+    ///
+    /// This is the calibration arithmetic, kept pure so it can be tested
+    /// without a clock. Rounds *up* and floors at 1 ns: the historical
+    /// `total / pages` integer division truncated toward zero, so a fast
+    /// codec on a fast host could calibrate to 0 ns/page and silently
+    /// erase compression overhead from every downstream figure.
+    pub fn per_page_ns(total_ns: u128, pages: u64) -> u64 {
+        if pages == 0 {
+            return 1;
+        }
+        let per = total_ns.div_ceil(pages as u128);
+        u64::try_from(per).unwrap_or(u64::MAX).max(1)
+    }
+
+    /// A deterministic model: paper timing figures, but ratio and
+    /// rejection fraction *measured* by running `kind`'s real codec over
+    /// generated fleet-mix pages (no wall clock involved — safe anywhere
+    /// in the determinism scope).
+    pub fn measured_ratios(kind: CodecKind) -> CostModel {
+        let table = ClassPayloadTable::measured_default(kind);
+        let mix = CompressibilityMix::fleet_default();
+        CostModel {
+            ratio_permille: table.ratio_permille(&mix),
+            rejected_permille: table.rejected_permille(&mix),
+            source: CostSource::Measured,
+            ..CostModel::PAPER_DEFAULT
+        }
+    }
+
     /// Measures the real codec on this host: compresses and decompresses a
-    /// sample of fleet-mix pages and returns mean per-page costs.
+    /// sample of fleet-mix pages and returns mean per-page costs, plus the
+    /// realized ratio/rejection of the same codec.
     ///
     /// Used by benches so reported overheads reflect the actual
     /// implementation rather than the paper's hardware. This is the one
@@ -56,7 +115,7 @@ impl CostModel {
             codec.compress(p, &mut buf);
             bufs.push(buf);
         }
-        let compress_ns = t0.elapsed().as_nanos() as u64 / pages.len() as u64;
+        let compress_ns = Self::per_page_ns(t0.elapsed().as_nanos(), pages.len() as u64);
         let t1 = Instant::now();
         for buf in &bufs {
             compressed.clear();
@@ -67,11 +126,32 @@ impl CostModel {
                 // sdfm-lint: allow(P1) reason="calibration decodes the stream it just encoded in the same loop; a failure is a codec bug, not a machine state"
                 .expect("self-produced stream decodes");
         }
-        let decompress_ns = t1.elapsed().as_nanos() as u64 / pages.len() as u64;
+        let decompress_ns = Self::per_page_ns(t1.elapsed().as_nanos(), pages.len() as u64);
         CostModel {
-            compress_ns: compress_ns.max(1),
-            decompress_ns: decompress_ns.max(1),
+            compress_ns,
+            decompress_ns,
+            ..Self::measured_ratios(kind)
         }
+    }
+
+    /// The realized compression ratio as a float (3000‰ → 3.0).
+    pub fn ratio(&self) -> f64 {
+        self.ratio_permille.max(1000) as f64 / 1000.0
+    }
+
+    /// Page frames of real memory needed to hold `pages` compressed pages
+    /// at the realized ratio. Rounds up; never less than 1 for a non-empty
+    /// store.
+    pub fn store_frames(&self, pages: u64) -> u64 {
+        if pages == 0 {
+            return 0;
+        }
+        (pages * 1000).div_ceil(self.ratio_permille.max(1000) as u64)
+    }
+
+    /// Compressed bytes `pages` stored pages occupy at the realized ratio.
+    pub fn store_bytes(&self, pages: u64) -> u64 {
+        pages * PAGE_SIZE as u64 * 1000 / self.ratio_permille.max(1000) as u64
     }
 }
 
@@ -88,17 +168,30 @@ pub struct CpuAccounting {
     pub compress_ns: u64,
     /// Total nanoseconds charged to decompression.
     pub decompress_ns: u64,
-    /// Compression events charged.
+    /// Compression events charged (including rejected attempts).
     pub compress_events: u64,
     /// Decompression events charged.
     pub decompress_events: u64,
+    /// The subset of `compress_events` whose page the cutoff rejected —
+    /// cycles spent with nothing stored. The paper charges these too
+    /// (§5.1: the incompressible page stays in DRAM but the compression
+    /// attempt was real work).
+    pub rejected_compress_events: u64,
 }
 
 impl CpuAccounting {
-    /// Charges one page compression.
+    /// Charges one page compression that stored its page.
     pub fn charge_compress(&mut self, model: &CostModel) {
         self.compress_ns += model.compress_ns;
         self.compress_events += 1;
+    }
+
+    /// Charges one compression attempt the cutoff rejected: same CPU cost
+    /// as a stored page, counted in `compress_events` *and*
+    /// `rejected_compress_events`.
+    pub fn charge_rejected_compress(&mut self, model: &CostModel) {
+        self.charge_compress(model);
+        self.rejected_compress_events += 1;
     }
 
     /// Charges one page decompression.
@@ -134,6 +227,7 @@ impl CpuAccounting {
         self.decompress_ns += other.decompress_ns;
         self.compress_events += other.compress_events;
         self.decompress_events += other.decompress_events;
+        self.rejected_compress_events += other.rejected_compress_events;
     }
 }
 
@@ -146,6 +240,9 @@ mod tests {
         let m = CostModel::default();
         assert_eq!(m.decompress_ns, 6_400);
         assert!(m.compress_ns >= m.decompress_ns);
+        assert_eq!(m.ratio_permille, 3000);
+        assert_eq!(m.rejected_permille, 310);
+        assert_eq!(m.source, CostSource::PaperModel);
     }
 
     #[test]
@@ -159,6 +256,20 @@ mod tests {
         assert_eq!(acc.decompress_events, 1);
         assert_eq!(acc.compress_ns, 20_000);
         assert_eq!(acc.decompress_ns, 6_400);
+        assert_eq!(acc.rejected_compress_events, 0);
+    }
+
+    #[test]
+    fn rejected_attempts_cost_the_same_and_are_counted_apart() {
+        let m = CostModel::PAPER_DEFAULT;
+        let mut acc = CpuAccounting::default();
+        acc.charge_compress(&m);
+        acc.charge_rejected_compress(&m);
+        // The wasted attempt burned the same cycles...
+        assert_eq!(acc.compress_ns, 2 * m.compress_ns);
+        // ...and is visible both in the total and in its own counter.
+        assert_eq!(acc.compress_events, 2);
+        assert_eq!(acc.rejected_compress_events, 1);
     }
 
     #[test]
@@ -185,10 +296,29 @@ mod tests {
             decompress_ns: 20,
             compress_events: 1,
             decompress_events: 2,
+            rejected_compress_events: 1,
         };
         a.merge(&a.clone());
         assert_eq!(a.compress_ns, 20);
         assert_eq!(a.decompress_events, 4);
+        assert_eq!(a.rejected_compress_events, 2);
+    }
+
+    /// The calibration bugfix: mean-per-page arithmetic can never round a
+    /// fast codec down to zero cost.
+    #[test]
+    fn per_page_ns_never_truncates_to_zero() {
+        // The old `total / pages` truncation: 999 ns over 1000 pages -> 0.
+        assert_eq!(999u128 / 1000, 0);
+        assert_eq!(CostModel::per_page_ns(999, 1000), 1);
+        assert_eq!(CostModel::per_page_ns(0, 1000), 1);
+        assert_eq!(CostModel::per_page_ns(0, 0), 1);
+        // Rounds up, not down.
+        assert_eq!(CostModel::per_page_ns(1001, 1000), 2);
+        // Exact division stays exact.
+        assert_eq!(CostModel::per_page_ns(5000, 1000), 5);
+        // Saturates rather than wrapping on absurd totals.
+        assert_eq!(CostModel::per_page_ns(u128::MAX, 1), u64::MAX);
     }
 
     #[test]
@@ -202,5 +332,49 @@ mod tests {
             "decompress {} ns",
             m.decompress_ns
         );
+        assert_eq!(m.source, CostSource::Measured);
+        // Calibration also carries the measured compression outcome.
+        assert!((2200..=4600).contains(&m.ratio_permille));
+        assert!((200..=450).contains(&m.rejected_permille));
+    }
+
+    #[test]
+    fn measured_ratios_are_deterministic_and_in_regime() {
+        let a = CostModel::measured_ratios(CodecKind::Lzo);
+        let b = CostModel::measured_ratios(CodecKind::Lzo);
+        assert_eq!(a, b);
+        assert_eq!(a.source, CostSource::Measured);
+        // Timing stays at the paper defaults: no wall clock was read.
+        assert_eq!(a.compress_ns, CostModel::PAPER_DEFAULT.compress_ns);
+        assert_eq!(a.decompress_ns, CostModel::PAPER_DEFAULT.decompress_ns);
+        assert!(
+            (2200..=4600).contains(&a.ratio_permille),
+            "measured ratio {}‰ outside the ~3× regime",
+            a.ratio_permille
+        );
+        assert!(
+            (200..=450).contains(&a.rejected_permille),
+            "measured rejection {}‰ outside the ~31% regime",
+            a.rejected_permille
+        );
+    }
+
+    #[test]
+    fn store_frames_rounds_up_at_realized_ratio() {
+        let m = CostModel::PAPER_DEFAULT; // 3.0×
+        assert_eq!(m.store_frames(0), 0);
+        assert_eq!(m.store_frames(1), 1);
+        assert_eq!(m.store_frames(3), 1);
+        assert_eq!(m.store_frames(4), 2);
+        assert_eq!(m.store_frames(3000), 1000);
+        assert_eq!(m.store_bytes(3), PAGE_SIZE as u64);
+        // A degenerate ratio below 1× clamps to 1×: the store never
+        // occupies more frames than raw pages.
+        let bad = CostModel {
+            ratio_permille: 500,
+            ..m
+        };
+        assert_eq!(bad.store_frames(10), 10);
+        assert!((bad.ratio() - 1.0).abs() < 1e-12);
     }
 }

@@ -490,10 +490,10 @@ impl Kernel {
             outcome.examined += 1;
             // Overflow: tier-1 residents that aged past the zswap threshold.
             if matches!(page.state, PageState::Tier1) && page.age >= t2_threshold {
-                self.cpu.charge_compress(&cost);
                 cg.stats.compressions += 1;
                 match self.zswap.store(&page.content)? {
                     crate::zswap::StoreOutcome::Stored(h) => {
+                        self.cpu.charge_compress(&cost);
                         tier1.discard();
                         page.state = PageState::Zswapped(h);
                         cg.stats.tier1_pages -= 1;
@@ -504,7 +504,9 @@ impl Kernel {
                     }
                     crate::zswap::StoreOutcome::Rejected { .. } => {
                         // Incompressible: it stays in tier-1 (NVM holds raw
-                        // pages happily).
+                        // pages happily) — but the failed attempt burned the
+                        // same compression cycles (§5.1).
+                        self.cpu.charge_rejected_compress(&cost);
                         cg.stats.rejections += 1;
                         outcome.rejected += 1;
                     }
@@ -513,10 +515,10 @@ impl Kernel {
             }
             // DRAM → zswap for the deep-cold.
             if page.reclaim_eligible(t2_threshold) {
-                self.cpu.charge_compress(&cost);
                 cg.stats.compressions += 1;
                 match self.zswap.store(&page.content)? {
                     crate::zswap::StoreOutcome::Stored(h) => {
+                        self.cpu.charge_compress(&cost);
                         page.state = PageState::Zswapped(h);
                         cg.stats.resident_pages -= 1;
                         cg.stats.zswapped_pages += 1;
@@ -525,6 +527,7 @@ impl Kernel {
                         outcome.reclaimed += 1;
                     }
                     crate::zswap::StoreOutcome::Rejected { .. } => {
+                        self.cpu.charge_rejected_compress(&cost);
                         page.flags.incompressible = true;
                         cg.stats.incompressible_marked += 1;
                         cg.stats.rejections += 1;
@@ -586,11 +589,11 @@ impl Kernel {
                 let Some((idx, _)) = candidate else { break };
                 // Direct reclaim splits huge pages like the swap path does.
                 cg.split_huge_page(idx);
-                self.cpu.charge_compress(&cost);
                 cg.stats.compressions += 1;
                 let page = &mut cg.pages[idx];
                 match self.zswap.store(&page.content)? {
                     crate::zswap::StoreOutcome::Stored(h) => {
+                        self.cpu.charge_compress(&cost);
                         page.state = PageState::Zswapped(h);
                         cg.stats.resident_pages -= 1;
                         cg.stats.zswapped_pages += 1;
@@ -598,6 +601,7 @@ impl Kernel {
                             self.zswap.stored_size(h).ok_or(KernelError::StaleHandle)? as u64;
                     }
                     crate::zswap::StoreOutcome::Rejected { .. } => {
+                        self.cpu.charge_rejected_compress(&cost);
                         page.flags.incompressible = true;
                         cg.stats.incompressible_marked += 1;
                         cg.stats.rejections += 1;

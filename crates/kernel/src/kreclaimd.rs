@@ -64,11 +64,11 @@ pub fn reclaim_memcg(
         if cg.split_huge_page(i) {
             outcome.huge_splits += 1;
         }
-        cpu.charge_compress(cost);
         cg.stats.compressions += 1;
         let page = &mut cg.pages[i];
         match store.store(&page.content)? {
             StoreOutcome::Stored(handle) => {
+                cpu.charge_compress(cost);
                 page.state = PageState::Zswapped(handle);
                 outcome.reclaimed += 1;
                 cg.stats.resident_pages -= 1;
@@ -77,6 +77,9 @@ pub fn reclaim_memcg(
                     store.stored_size(handle).ok_or(KernelError::StaleHandle)? as u64;
             }
             StoreOutcome::Rejected { .. } => {
+                // The cutoff rejected the page, but the attempt burned the
+                // same compression cycles — charged explicitly (§5.1).
+                cpu.charge_rejected_compress(cost);
                 page.flags.incompressible = true;
                 cg.stats.incompressible_marked += 1;
                 cg.stats.rejections += 1;
@@ -207,6 +210,11 @@ mod tests {
         assert_eq!(o.rejected, 3);
         assert_eq!(cg.stats().rejections, 3);
         assert_eq!(cpu.compress_events, 3, "wasted cycles are still charged");
+        assert_eq!(
+            cpu.rejected_compress_events, 3,
+            "and attributed to rejection"
+        );
+        assert_eq!(cpu.compress_ns, 3 * CostModel::PAPER_DEFAULT.compress_ns);
         // Second pass: pages are marked, no new attempts.
         let o2 = reclaim_memcg(
             &mut cg,

@@ -54,7 +54,7 @@ pub mod tiering;
 pub mod writeback;
 pub mod zswap;
 
-pub use cost::{CostModel, CpuAccounting};
+pub use cost::{CostModel, CostSource, CpuAccounting};
 pub use error::KernelError;
 pub use kernel::{Kernel, KernelConfig, MachineStats};
 pub use memcg::{MemCgroup, MemcgStats};

@@ -256,6 +256,83 @@ mod tests {
         ));
     }
 
+    /// Pins the §5.1 cutoff boundary for synthetic content: the cutoff is
+    /// *inclusive* — a payload of exactly [`MAX_COMPRESSED_PAYLOAD`]
+    /// (2990 bytes, 73% of a 4 KiB page) still stores; rejection starts
+    /// one byte above.
+    #[test]
+    fn synthetic_cutoff_boundary_2989_2990_2991() {
+        assert_eq!(MAX_COMPRESSED_PAYLOAD, 2990, "§5.1 cutoff moved");
+        let mut store = ZswapStore::new(CodecKind::Lzo);
+        for (len, stored) in [(2989usize, true), (2990, true), (2991, false)] {
+            let outcome = store.store(&PageContent::synthetic_of_len(len)).unwrap();
+            match outcome {
+                StoreOutcome::Stored(h) => {
+                    assert!(stored, "synthetic {len} must reject");
+                    assert_eq!(store.stored_size(h), Some(len));
+                }
+                StoreOutcome::Rejected { would_be_len } => {
+                    assert!(!stored, "synthetic {len} must store");
+                    assert_eq!(would_be_len, len);
+                }
+            }
+        }
+        let s = store.stats();
+        assert_eq!((s.store_attempts, s.stores, s.rejections), (3, 2, 1));
+    }
+
+    /// Builds a real 4 KiB page whose LZO payload is exactly `target`
+    /// bytes: an incompressible random prefix of `k` bytes followed by
+    /// zeros. The payload length is (weakly) monotone in `k` and steps by
+    /// 1–2 bytes, so scanning `k` (over a few seeds, in case a 2-byte step
+    /// lands on `target`) finds an exact hit.
+    fn real_page_with_payload_len(target: usize) -> Bytes {
+        let codec = CodecKind::Lzo.build();
+        let mut buf = Vec::new();
+        for seed in 0..8u64 {
+            let mut g = PageGenerator::new(0xB0DA + seed);
+            let noise = g.generate(PageClass::Encrypted);
+            // A first probe brackets the k range; then walk it linearly.
+            for k in 2500..=3100usize {
+                let mut page = vec![0u8; PAGE_SIZE];
+                page[..k].copy_from_slice(&noise[..k]);
+                codec.compress(&page, &mut buf);
+                match buf.len().cmp(&target) {
+                    std::cmp::Ordering::Equal => return Bytes::from(page),
+                    std::cmp::Ordering::Greater => break, // monotone: overshot
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+        }
+        panic!("no page found with payload length {target}");
+    }
+
+    /// Pins the §5.1 cutoff boundary for *real* content, with the real
+    /// codec in the loop: exactly-2990 stores, 2991 rejects and reports
+    /// the offending length.
+    #[test]
+    fn real_cutoff_boundary_2989_2990_2991() {
+        let mut store = ZswapStore::new(CodecKind::Lzo);
+        for (target, stored) in [(2989usize, true), (2990, true), (2991, false)] {
+            let page = real_page_with_payload_len(target);
+            match store.store(&PageContent::Real(page)).unwrap() {
+                StoreOutcome::Stored(h) => {
+                    assert!(stored, "real payload {target} must reject");
+                    assert_eq!(store.stored_size(h), Some(target));
+                    // Boundary payloads round-trip like any other.
+                    let back = store.load(h).unwrap().expect("real content");
+                    assert_eq!(back.len(), PAGE_SIZE);
+                }
+                StoreOutcome::Rejected { would_be_len } => {
+                    assert!(!stored, "real payload {target} must store");
+                    assert_eq!(would_be_len, target);
+                }
+            }
+        }
+        let s = store.stats();
+        assert_eq!((s.stores, s.rejections), (2, 1));
+    }
+
     #[test]
     fn synthetic_load_returns_none_and_frees() {
         let mut store = ZswapStore::new(CodecKind::Lzo);

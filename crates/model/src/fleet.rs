@@ -5,10 +5,10 @@ use std::sync::OnceLock;
 
 use sdfm_pool::WorkerPool;
 
-use crate::replay::{replay_job_with_pressure, JobReplayOutcome};
+use crate::replay::{replay_job_with_model, JobReplayOutcome};
 use crate::trace::JobTrace;
 use sdfm_agent::{AgentParams, SloConfig};
-use sdfm_kernel::StorePressure;
+use sdfm_kernel::{CostModel, StorePressure};
 use sdfm_types::rate::NormalizedPromotionRate;
 use sdfm_types::stats::{percentile, Percentile};
 
@@ -22,6 +22,12 @@ pub struct ModelConfig {
     /// The store-lifecycle policy the replay assumes node agents run
     /// (disabled-store decay). Defaults to the production policy.
     pub pressure: StorePressure,
+    /// The CPU/compression cost model sizing the store's physical
+    /// footprint (`store_frames = ceil(store_pages / ratio)`). Defaults
+    /// to the paper's published figures; substitute
+    /// [`CostModel::measured_ratios`] or a calibrated model to drive the
+    /// fast model off realized ratios.
+    pub cost: CostModel,
 }
 
 impl ModelConfig {
@@ -31,7 +37,14 @@ impl ModelConfig {
             params,
             slo: SloConfig::default(),
             pressure: StorePressure::PAPER_DEFAULT,
+            cost: CostModel::PAPER_DEFAULT,
         }
+    }
+
+    /// Replaces the cost model (builder-style).
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
     }
 }
 
@@ -51,6 +64,11 @@ pub struct FleetModelResult {
     pub p98_normalized_rate: Option<NormalizedPromotionRate>,
     /// Mean cold-memory coverage across jobs.
     pub mean_coverage: f64,
+    /// Expected instantaneous fleet store footprint in physical 4 KiB
+    /// frames, at the configuration's realized compression ratio. The
+    /// gap between this and `avg_cold_pages` *is* the DRAM the paper's
+    /// TCO arithmetic credits.
+    pub avg_store_frames: f64,
     /// Jobs replayed.
     pub jobs: usize,
     /// Total windows replayed.
@@ -150,7 +168,9 @@ impl FarMemoryModel {
                     let tc = *tc;
                     move || {
                         tc.iter()
-                            .map(|t| replay_job_with_pressure(t, &c.params, &c.slo, c.pressure))
+                            .map(|t| {
+                                replay_job_with_model(t, &c.params, &c.slo, c.pressure, &c.cost)
+                            })
                             .collect::<Vec<_>>()
                     }
                 })
@@ -189,7 +209,15 @@ impl FarMemoryModel {
             return self
                 .traces
                 .iter()
-                .map(|t| replay_job_with_pressure(t, &config.params, &config.slo, config.pressure))
+                .map(|t| {
+                    replay_job_with_model(
+                        t,
+                        &config.params,
+                        &config.slo,
+                        config.pressure,
+                        &config.cost,
+                    )
+                })
                 .collect();
         }
         let chunk = self.traces.len().div_ceil(workers);
@@ -200,7 +228,13 @@ impl FarMemoryModel {
                 move || {
                     tc.iter()
                         .map(|t| {
-                            replay_job_with_pressure(t, &config.params, &config.slo, config.pressure)
+                            replay_job_with_model(
+                                t,
+                                &config.params,
+                                &config.slo,
+                                config.pressure,
+                                &config.cost,
+                            )
                         })
                         .collect::<Vec<_>>()
                 }
@@ -216,11 +250,13 @@ impl FarMemoryModel {
 
     fn aggregate(outcomes: &[JobReplayOutcome]) -> FleetModelResult {
         let mut avg_cold = 0.0;
+        let mut avg_frames = 0.0;
         let mut rates: Vec<f64> = Vec::new();
         let mut coverages: Vec<f64> = Vec::new();
         let mut windows = 0usize;
         for o in outcomes {
             avg_cold += o.mean_cold_pages();
+            avg_frames += o.mean_store_frames();
             windows += o.windows.len();
             for w in &o.windows {
                 if w.enabled {
@@ -244,6 +280,7 @@ impl FarMemoryModel {
             avg_cold_pages: avg_cold,
             p98_normalized_rate: p98,
             mean_coverage,
+            avg_store_frames: avg_frames,
             jobs: outcomes.len(),
             windows,
         }
@@ -459,6 +496,44 @@ mod tests {
                 .map(|r| r.fraction_per_min().to_bits()),
             b[0].p98_normalized_rate
                 .map(|r| r.fraction_per_min().to_bits())
+        );
+    }
+
+    /// The fast model sized off *measured* ratios: a cost model measured
+    /// against the real codecs over the fleet page mix drives the store's
+    /// frame footprint, and the realized fleet-level ratio lands in the
+    /// paper's ~3× regime — no constant in this test pins it there.
+    #[test]
+    fn measured_cost_model_sizes_the_fleet_store() {
+        use sdfm_compress::codec::CodecKind;
+        let traces: Vec<JobTrace> = (1..=6).map(|j| trace(j, 15, 3_000, 1)).collect();
+        let m = FarMemoryModel::new(traces).with_threads(2);
+        let measured = CostModel::measured_ratios(CodecKind::Lzo);
+        let r = m.evaluate(&config(98.0, 0).with_cost(measured));
+        assert!(r.avg_store_frames > 0.0, "store never sized");
+        let realized = r.avg_cold_pages / r.avg_store_frames;
+        assert!(
+            (2.2..=4.6).contains(&realized),
+            "fleet-level realized ratio {realized} outside the paper regime"
+        );
+        // A degenerate 1× model collapses frames onto pages exactly.
+        let unit = CostModel {
+            ratio_permille: 1000,
+            ..CostModel::PAPER_DEFAULT
+        };
+        let flat = m.evaluate(&config(98.0, 0).with_cost(unit));
+        assert_eq!(
+            flat.avg_store_frames.to_bits(),
+            flat.avg_cold_pages.to_bits()
+        );
+        // Identical measured configs are bit-identical across runs, pool
+        // or no pool: measurement is cached and deterministic.
+        let again = FarMemoryModel::new((1..=6).map(|j| trace(j, 15, 3_000, 1)).collect())
+            .with_threads(4)
+            .evaluate(&config(98.0, 0).with_cost(CostModel::measured_ratios(CodecKind::Lzo)));
+        assert_eq!(
+            r.avg_store_frames.to_bits(),
+            again.avg_store_frames.to_bits()
         );
     }
 

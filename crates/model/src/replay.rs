@@ -2,7 +2,7 @@
 
 use crate::trace::JobTrace;
 use sdfm_agent::{best_threshold_for_window, AgentParams, JobController, SloConfig};
-use sdfm_kernel::StorePressure;
+use sdfm_kernel::{CostModel, StorePressure};
 use sdfm_types::histogram::{PageAge, PromotionHistogram};
 use sdfm_types::rate::{NormalizedPromotionRate, PromotionRate};
 use sdfm_types::time::SimTime;
@@ -32,6 +32,12 @@ pub struct WindowOutcome {
     /// the [`StorePressure`] lifecycle policy instead of vanishing — the
     /// fast model mirrors the page-level simulator's store trajectory.
     pub store_pages: u64,
+    /// Physical 4 KiB frames the store occupies for those pages at the
+    /// cost model's *realized* compression ratio:
+    /// `ceil(store_pages / ratio)`. This is the number the TCO arithmetic
+    /// and store sizing actually care about — `store_pages` counts what
+    /// was compressed, `store_frames` what it still costs in DRAM.
+    pub store_frames: u64,
 }
 
 /// A replayed job.
@@ -50,6 +56,20 @@ impl JobReplayOutcome {
         self.windows
             .iter()
             .map(|w| w.cold_pages as f64)
+            .sum::<f64>()
+            / self.windows.len() as f64
+    }
+
+    /// Mean physical store frames over the job's windows — the realized
+    /// DRAM footprint of the compressed store, per the cost model the
+    /// replay ran with.
+    pub fn mean_store_frames(&self) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        self.windows
+            .iter()
+            .map(|w| w.store_frames as f64)
             .sum::<f64>()
             / self.windows.len() as f64
     }
@@ -95,6 +115,21 @@ pub fn replay_job_with_pressure(
     params: &AgentParams,
     slo: &SloConfig,
     pressure: StorePressure,
+) -> JobReplayOutcome {
+    replay_job_with_model(trace, params, slo, pressure, &CostModel::PAPER_DEFAULT)
+}
+
+/// [`replay_job_with_pressure`] with an explicit [`CostModel`]: the
+/// store's physical footprint ([`WindowOutcome::store_frames`]) is sized
+/// by the model's realized compression ratio, so a model calibrated or
+/// measured against the real codecs propagates its ratio into the fast
+/// model's store trajectory instead of the paper's 3× constant.
+pub fn replay_job_with_model(
+    trace: &JobTrace,
+    params: &AgentParams,
+    slo: &SloConfig,
+    pressure: StorePressure,
+    cost: &CostModel,
 ) -> JobReplayOutcome {
     let mut windows = Vec::with_capacity(trace.records.len());
     let mut store: u64 = 0;
@@ -145,6 +180,7 @@ pub fn replay_job_with_pressure(
             working_set: record.working_set.get(),
             normalized_rate: rate,
             store_pages: store,
+            store_frames: cost.store_frames(store),
         });
 
         // Update the pool with this window's best threshold, mirroring the
@@ -312,6 +348,46 @@ mod tests {
         // The steady trace converges: the last window's store is the full
         // 4000-page cold set, not a residue of the conservative start.
         assert_eq!(out.windows.last().unwrap().store_pages, 4_000);
+        // At the paper-default 3× ratio those 4000 compressed pages
+        // occupy ceil(4000 / 3) = 1334 physical frames.
+        assert_eq!(out.windows.last().unwrap().store_frames, 1_334);
+    }
+
+    #[test]
+    fn store_frames_track_the_cost_models_realized_ratio() {
+        let trace = JobTrace::new(
+            JobId::new(1),
+            (1..=8).map(|i| steady_record(i * 300)).collect(),
+        );
+        let p = params(98.0, 0);
+        let slo = SloConfig::default();
+        // A degenerate 1× model: frames equal pages, no savings.
+        let unit = CostModel {
+            ratio_permille: 1000,
+            ..CostModel::PAPER_DEFAULT
+        };
+        let out = replay_job_with_model(&trace, &p, &slo, StorePressure::PAPER_DEFAULT, &unit);
+        for w in &out.windows {
+            assert_eq!(w.store_frames, w.store_pages);
+        }
+        // A 4× model: exactly a quarter of the pages, rounded up.
+        let four_x = CostModel {
+            ratio_permille: 4000,
+            ..CostModel::PAPER_DEFAULT
+        };
+        let out = replay_job_with_model(&trace, &p, &slo, StorePressure::PAPER_DEFAULT, &four_x);
+        assert_eq!(out.windows.last().unwrap().store_pages, 4_000);
+        assert_eq!(out.windows.last().unwrap().store_frames, 1_000);
+        // The delegating entry point is exactly the paper-default model.
+        let a = replay_job_with_pressure(&trace, &p, &slo, StorePressure::PAPER_DEFAULT);
+        let b = replay_job_with_model(
+            &trace,
+            &p,
+            &slo,
+            StorePressure::PAPER_DEFAULT,
+            &CostModel::PAPER_DEFAULT,
+        );
+        assert_eq!(a, b);
     }
 
     #[test]
