@@ -119,6 +119,7 @@ impl RolloutPipeline {
                 }
                 None => {
                     // Fully proven in production: promote.
+                    // sdfm-lint: allow(P1) reason="healthy_streak only advances while a candidate rollout is in flight"
                     self.production = self.candidate.take().expect("candidate in flight");
                     self.stage = RolloutStage::Qualification;
                     self.healthy_streak = 0;

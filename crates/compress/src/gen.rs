@@ -146,6 +146,7 @@ impl CompressibilityMix {
     /// Samples a class according to the weights.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> PageClass {
         let dist = WeightedIndex::new(self.weights.iter().map(|(_, w)| *w))
+            // sdfm-lint: allow(P1) reason="weights are validated non-negative and non-empty at construction"
             .expect("weights validated at construction");
         self.weights[dist.sample(rng)].0
     }

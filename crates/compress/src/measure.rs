@@ -27,6 +27,7 @@ use serde::{Deserialize, Serialize};
 use crate::codec::CodecKind;
 use crate::gen::{CompressibilityMix, PageClass, PageGenerator};
 use crate::page::MAX_COMPRESSED_PAYLOAD;
+use sdfm_types::arith::permille_ratio;
 use sdfm_types::size::PAGE_SIZE;
 
 /// Sample size per class for [`ClassPayloadTable::measured_default`]:
@@ -80,7 +81,7 @@ impl ClassPayloadTable {
             mean_payload_bytes: PAGE_SIZE as u32,
             stored_permille: 0,
         }; PageClass::ALL.len()];
-        let mut buf = Vec::with_capacity(PAGE_SIZE + PAGE_SIZE / 8);
+        let mut buf = Vec::with_capacity(PAGE_SIZE + PAGE_SIZE.div_ceil(8));
         for class in PageClass::ALL {
             // Per-class generator stream: adding a class never perturbs
             // another class's sample.
@@ -218,7 +219,7 @@ pub fn measure_fleet_ratios(
     let codec = kind.build();
     let mut gen = PageGenerator::new(seed);
     let n = pages.max(16);
-    let mut buf = Vec::with_capacity(PAGE_SIZE + PAGE_SIZE / 8);
+    let mut buf = Vec::with_capacity(PAGE_SIZE + PAGE_SIZE.div_ceil(8));
     let mut stored_ratios: Vec<u32> = Vec::with_capacity(n);
     let mut payload_total = 0u64;
     let mut rejected = 0u64;
@@ -229,7 +230,7 @@ pub fn measure_fleet_ratios(
             rejected += 1;
         } else {
             payload_total += buf.len() as u64;
-            stored_ratios.push((PAGE_SIZE * 1000 / buf.len().max(1)) as u32);
+            stored_ratios.push(permille_ratio(PAGE_SIZE as u64, buf.len().max(1) as u64) as u32);
         }
     }
     stored_ratios.sort_unstable();

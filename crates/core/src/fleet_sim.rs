@@ -23,6 +23,7 @@ use sdfm_compress::codec::CodecKind;
 use sdfm_compress::measure::ClassPayloadTable;
 use sdfm_kernel::{CostModel, CpuAccounting, StorePressure};
 use sdfm_pool::WorkerPool;
+use sdfm_types::arith::permille_of;
 use sdfm_types::histogram::{PageAge, PromotionHistogram};
 use sdfm_types::ids::{ClusterId, JobId};
 use sdfm_types::rate::PromotionRate;
@@ -428,8 +429,8 @@ impl FleetSim {
         let (far, promos, reject_candidates) = if enabled {
             let cold_at_thr = obs.cold_hist.pages_colder_than(threshold);
             let promos_at_thr = obs.promo_delta.promotions_colder_than(threshold);
-            let far = cold_at_thr * stored / 1000;
-            (far, promos_at_thr * stored / 1000, cold_at_thr - far)
+            let far = permille_of(cold_at_thr, stored);
+            (far, permille_of(promos_at_thr, stored), cold_at_thr - far)
         } else {
             (0, 0, 0)
         };

@@ -16,6 +16,7 @@ use std::time::Instant;
 use sdfm_compress::codec::CodecKind;
 use sdfm_compress::gen::{CompressibilityMix, PageGenerator};
 use sdfm_compress::measure::ClassPayloadTable;
+use sdfm_types::arith::permille_ratio;
 use sdfm_types::size::PAGE_SIZE;
 use sdfm_types::time::SimDuration;
 
@@ -151,7 +152,7 @@ impl CostModel {
 
     /// Compressed bytes `pages` stored pages occupy at the realized ratio.
     pub fn store_bytes(&self, pages: u64) -> u64 {
-        pages * PAGE_SIZE as u64 * 1000 / self.ratio_permille.max(1000) as u64
+        permille_ratio(pages * PAGE_SIZE as u64, self.ratio_permille.max(1000) as u64)
     }
 }
 
@@ -243,6 +244,17 @@ mod tests {
         assert_eq!(m.ratio_permille, 3000);
         assert_eq!(m.rejected_permille, 310);
         assert_eq!(m.source, CostSource::PaperModel);
+    }
+
+    #[test]
+    fn store_bytes_survives_fleet_scale_page_counts() {
+        // The old `bytes * 1000 / ratio` wrapped once `bytes` crossed
+        // u64::MAX / 1000 (~2^54 pages); the widened permille_ratio must
+        // return the exact quotient instead of a wrapped remnant.
+        let m = CostModel::PAPER_DEFAULT;
+        let pages = 1u64 << 50;
+        let bytes = pages * PAGE_SIZE as u64; // 2^62, * 1000 would wrap
+        assert_eq!(m.store_bytes(pages), bytes / 3);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::cost::{CostModel, CpuAccounting};
+use sdfm_types::arith::permille_of;
 use crate::error::KernelError;
 use crate::memcg::MemCgroup;
 use crate::page::PageState;
@@ -73,7 +74,7 @@ impl StorePressure {
     /// Pages to write back this window from a store of `resident` pages.
     /// Always `<= resident`, and positive whenever `resident > 0`.
     pub const fn decay_step(&self, resident: u64) -> u64 {
-        let geometric = resident * self.decay_per_mille as u64 / 1000;
+        let geometric = permille_of(resident, self.decay_per_mille as u64);
         let step = if geometric < self.min_decay_pages {
             self.min_decay_pages
         } else {
@@ -288,6 +289,16 @@ mod tests {
             assert!(p.decay_step(n) <= n);
             assert!(p.decay_step(n) > 0);
         }
+    }
+
+    #[test]
+    fn decay_step_survives_saturated_stores() {
+        // `resident * 125` wrapped above u64::MAX / 125 in the old
+        // formulation; the widened permille_of keeps the step exact and
+        // bounded by the store all the way to u64::MAX.
+        let p = StorePressure::PAPER_DEFAULT;
+        assert_eq!(p.decay_step(u64::MAX), u64::MAX / 8);
+        assert!(p.decay_step(u64::MAX) <= u64::MAX);
     }
 
     #[test]

@@ -60,7 +60,7 @@ impl ZswapStore {
             codec: kind.build(),
             arena: ZsmallocArena::new(),
             stats: ZswapStats::default(),
-            scratch: Vec::with_capacity(PAGE_SIZE + PAGE_SIZE / 8),
+            scratch: Vec::with_capacity(PAGE_SIZE + PAGE_SIZE.div_ceil(8)),
         }
     }
 

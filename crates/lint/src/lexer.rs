@@ -34,6 +34,10 @@ pub enum TokenKind {
     Ident(String),
     /// A single punctuation character (`::` arrives as two `:` tokens).
     Punct(char),
+    /// A numeric literal, verbatim (`1000`, `0x5EED`, `1.5`, `1e9`). The
+    /// unit-discipline rules need literals as expression operands; the
+    /// token-pattern rules ignore them.
+    Number(String),
 }
 
 impl Token {
@@ -41,7 +45,7 @@ impl Token {
     pub fn ident(&self) -> Option<&str> {
         match &self.kind {
             TokenKind::Ident(s) => Some(s),
-            TokenKind::Punct(_) => None,
+            _ => None,
         }
     }
 
@@ -49,7 +53,15 @@ impl Token {
     pub fn punct(&self) -> Option<char> {
         match &self.kind {
             TokenKind::Punct(c) => Some(*c),
-            TokenKind::Ident(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The literal text, if this token is a number.
+    pub fn number(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Number(s) => Some(s),
+            _ => None,
         }
     }
 }
@@ -172,9 +184,11 @@ pub fn lex(source: &str) -> LexOutput {
                 }
             }
             _ if c.is_ascii_digit() => {
-                // Numbers are dropped. Consume alphanumerics/underscores and
-                // a decimal point only when a digit follows (so `0..n` and
-                // `1.max(2)` leave `..` / `.max` intact).
+                // Consume alphanumerics/underscores and a decimal point only
+                // when a digit follows (so `0..n` and `1.max(2)` leave
+                // `..` / `.max` intact). Emitted as a Number token: the
+                // unit-discipline rules treat literals as operands.
+                let start = i;
                 i += 1;
                 while i < bytes.len() {
                     let b = bytes[i];
@@ -186,6 +200,10 @@ pub fn lex(source: &str) -> LexOutput {
                     }
                     i += 1;
                 }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number(source[start..i].to_string()),
+                    line,
+                });
             }
             _ => {
                 if !c.is_ascii_whitespace() {
@@ -558,6 +576,18 @@ mod tests {
         assert_eq!(out.malformed.len(), 1);
         let out = lex("// sdfm-lint: allow(D1) reason=\"\"\n");
         assert_eq!(out.malformed.len(), 1);
+    }
+
+    #[test]
+    fn numbers_lex_as_operand_tokens() {
+        let out = lex("let x = 1000 + 0x5EED * 1.5e9; let y = a.0;");
+        let nums: Vec<&str> = out.tokens.iter().filter_map(Token::number).collect();
+        assert_eq!(nums, vec!["1000", "0x5EED", "1.5e9", "0"]);
+        // `0..n` and `1.max(2)` still leave `..` / `.max` intact.
+        let out = lex("for i in 0..n { let m = 1.max(2); }");
+        let nums: Vec<&str> = out.tokens.iter().filter_map(Token::number).collect();
+        assert_eq!(nums, vec!["0", "1", "2"]);
+        assert!(out.tokens.iter().any(|t| t.ident() == Some("max")));
     }
 
     #[test]

@@ -20,17 +20,23 @@
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parse;
 pub mod policy;
 pub mod rules;
+pub mod units;
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
-use lexer::{lex, test_spans};
+use callgraph::{CallGraph, FileUnit};
+use lexer::{lex, test_spans, LexOutput};
+use parse::{parse_file, FileTree};
 use policy::{classify, skip_entirely, FileScope};
-use rules::{scan, Rule};
+use rules::{scan, Hit, Rule, ALL_RULES};
 
 /// One reported violation (waived or not).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +60,8 @@ pub struct Violation {
 pub struct Report {
     /// Files actually linted (in scope, readable).
     pub files_checked: usize,
+    /// Wall-clock duration of the run, for the CI time budget.
+    pub duration_ms: u128,
     /// Every violation found, waived ones included.
     pub violations: Vec<Violation>,
 }
@@ -69,12 +77,39 @@ impl Report {
         self.violations.iter().filter(|v| v.waived).count()
     }
 
+    /// (unwaived, waived) counts for one rule.
+    pub fn rule_counts(&self, rule: Rule) -> (usize, usize) {
+        let mut unwaived = 0;
+        let mut waived = 0;
+        for v in self.violations.iter().filter(|v| v.rule == rule) {
+            if v.waived {
+                waived += 1;
+            } else {
+                unwaived += 1;
+            }
+        }
+        (unwaived, waived)
+    }
+
     /// Renders the machine-readable JSON report.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
         s.push_str(&format!("  \"files_checked\": {},\n", self.files_checked));
+        s.push_str(&format!("  \"duration_ms\": {},\n", self.duration_ms));
         s.push_str(&format!("  \"unwaived\": {},\n", self.unwaived()));
         s.push_str(&format!("  \"waived\": {},\n", self.waived()));
+        s.push_str("  \"rules\": {");
+        for (i, rule) in ALL_RULES.iter().enumerate() {
+            let (u, w) = self.rule_counts(*rule);
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    \"{}\": {{\"unwaived\": {u}, \"waived\": {w}}}",
+                rule.name()
+            ));
+        }
+        s.push_str("\n  },\n");
         s.push_str("  \"violations\": [");
         for (i, v) in self.violations.iter().enumerate() {
             if i > 0 {
@@ -114,19 +149,149 @@ fn escape_json(s: &str) -> String {
     out
 }
 
+/// One file after lexing and parsing — the unit the workspace pipeline
+/// operates on.
+struct ParsedFile {
+    rel: String,
+    scope: FileScope,
+    lexed: LexOutput,
+    spans: Vec<(usize, usize)>,
+    tree: FileTree,
+}
+
+impl ParsedFile {
+    fn new(rel: &str, source: &str, scope: FileScope) -> ParsedFile {
+        let lexed = lex(source);
+        let spans = test_spans(&lexed.tokens);
+        let tree = parse_file(&lexed.tokens, &spans);
+        ParsedFile {
+            rel: rel.to_string(),
+            scope,
+            lexed,
+            spans,
+            tree,
+        }
+    }
+
+    fn as_unit(&self) -> FileUnit<'_> {
+        FileUnit {
+            rel: &self.rel,
+            lexed: &self.lexed,
+            test_spans: &self.spans,
+            tree: &self.tree,
+            test_file: self.scope.test_file,
+            control_plane: self.scope.control_plane && !self.scope.test_file,
+        }
+    }
+
+    /// Whether any rule at all is enforced here (counts toward
+    /// `files_checked`; other files only feed the symbol table).
+    fn in_any_scope(&self) -> bool {
+        !self.scope.test_file
+            && (self.scope.determinism
+                || self.scope.control_plane
+                || self.scope.panic_safety
+                || self.scope.units
+                || self.scope.division)
+    }
+}
+
+/// Applies scope, test-span, and waiver filtering to raw hits, producing
+/// the file's reported violations.
+fn filter_hits(file: &ParsedFile, hits: Vec<Hit>, out: &mut Vec<Violation>) {
+    for hit in hits {
+        if !file.scope.enforces(hit.rule) {
+            continue;
+        }
+        if file
+            .spans
+            .iter()
+            .any(|&(s, e)| hit.token >= s && hit.token <= e)
+        {
+            continue; // test code is exempt from every rule
+        }
+        let waiver = file
+            .lexed
+            .waivers
+            .iter()
+            .find(|w| w.covers(hit.rule.name(), hit.line));
+        out.push(Violation {
+            file: file.rel.clone(),
+            line: hit.line,
+            rule: hit.rule,
+            message: hit.message,
+            waived: waiver.is_some(),
+            reason: waiver.map(|w| w.reason.clone()),
+        });
+    }
+}
+
+/// The workspace pipeline over pre-loaded sources: lex and parse every
+/// file, build the symbol table and panic-reachability call graph over
+/// all of them, then enforce each file's scoped rules. Files outside
+/// every scope still feed the symbol table — the control plane calls
+/// into `sdfm-types` and `sdfm-compress` helpers, and P2 must see their
+/// bodies to know which ones panic.
+pub fn lint_sources(inputs: &[(String, String)]) -> Report {
+    let parsed: Vec<ParsedFile> = inputs
+        .iter()
+        .map(|(rel, src)| ParsedFile::new(rel, src, classify(rel)))
+        .collect();
+    let file_units: Vec<FileUnit<'_>> = parsed.iter().map(ParsedFile::as_unit).collect();
+    let graph = CallGraph::build(&file_units);
+
+    let mut report = Report::default();
+    for (idx, file) in parsed.iter().enumerate() {
+        if !file.in_any_scope() {
+            continue;
+        }
+        report.files_checked += 1;
+
+        // Malformed waivers are violations in their own right (W0) and
+        // can never be waived: an unjustified waiver defeats the audit
+        // trail.
+        if file.scope.enforces(Rule::W0) {
+            for m in &file.lexed.malformed {
+                report.violations.push(Violation {
+                    file: file.rel.clone(),
+                    line: m.line,
+                    rule: Rule::W0,
+                    message: format!("malformed sdfm-lint waiver: {}", m.detail),
+                    waived: false,
+                    reason: None,
+                });
+            }
+        }
+
+        let mut hits = scan(&file.lexed.tokens);
+        hits.extend(units::scan_units(
+            &file.lexed.tokens,
+            &file.tree,
+            file.scope.enforces(Rule::U1),
+            file.scope.enforces(Rule::U2),
+        ));
+        hits.extend(graph.p2_hits(&file_units, idx));
+        filter_hits(file, hits, &mut report.violations);
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
 /// Lints one file's source under an explicit scope. Exposed so fixture
 /// tests can feed synthetic snippets through the exact production path.
+/// Single-file mode degrades P2 to same-file call resolution; the
+/// workspace walk ([`lint_sources`]) resolves across files.
 pub fn lint_source(rel_path: &str, source: &str, scope: &FileScope) -> Vec<Violation> {
     let mut out = Vec::new();
     if scope.test_file {
         return out;
     }
-    let lexed = lex(source);
+    let file = ParsedFile::new(rel_path, source, scope.clone());
 
-    // Malformed waivers are violations in their own right (W0) and can
-    // never be waived: an unjustified waiver defeats the audit trail.
     if scope.enforces(Rule::W0) {
-        for m in &lexed.malformed {
+        for m in &file.lexed.malformed {
             out.push(Violation {
                 file: rel_path.to_string(),
                 line: m.line,
@@ -138,27 +303,17 @@ pub fn lint_source(rel_path: &str, source: &str, scope: &FileScope) -> Vec<Viola
         }
     }
 
-    let spans = test_spans(&lexed.tokens);
-    for hit in scan(&lexed.tokens) {
-        if !scope.enforces(hit.rule) {
-            continue;
-        }
-        if spans.iter().any(|&(s, e)| hit.token >= s && hit.token <= e) {
-            continue; // test code is exempt from every rule
-        }
-        let waiver = lexed
-            .waivers
-            .iter()
-            .find(|w| w.covers(hit.rule.name(), hit.line));
-        out.push(Violation {
-            file: rel_path.to_string(),
-            line: hit.line,
-            rule: hit.rule,
-            message: hit.message,
-            waived: waiver.is_some(),
-            reason: waiver.map(|w| w.reason.clone()),
-        });
-    }
+    let file_units = vec![file.as_unit()];
+    let graph = CallGraph::build(&file_units);
+    let mut hits = scan(&file.lexed.tokens);
+    hits.extend(units::scan_units(
+        &file.lexed.tokens,
+        &file.tree,
+        scope.enforces(Rule::U1),
+        scope.enforces(Rule::U2),
+    ));
+    hits.extend(graph.p2_hits(&file_units, 0));
+    filter_hits(&file, hits, &mut out);
     out
 }
 
@@ -188,29 +343,27 @@ pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Lints every workspace source file under `root`.
+/// Lints every workspace source file under `root`. Loads **all**
+/// non-test, non-skipped sources — including crates outside every rule
+/// scope — so the P2 call graph can resolve helpers anywhere in the
+/// workspace; `files_checked` counts only the files with at least one
+/// enforced rule.
 pub fn lint_root(root: &Path) -> io::Result<Report> {
-    let mut report = Report::default();
+    let started = Instant::now();
+    let mut inputs = Vec::new();
     for path in collect_rs_files(root)? {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        if skip_entirely(&rel) {
+        if skip_entirely(&rel) || classify(&rel).test_file {
             continue;
         }
-        let scope = classify(&rel);
-        if scope.test_file || !(scope.determinism || scope.control_plane) {
-            continue;
-        }
-        let source = fs::read_to_string(&path)?;
-        report.files_checked += 1;
-        report.violations.extend(lint_source(&rel, &source, &scope));
+        inputs.push((rel, fs::read_to_string(&path)?));
     }
-    report
-        .violations
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let mut report = lint_sources(&inputs);
+    report.duration_ms = started.elapsed().as_millis();
     Ok(report)
 }
 
@@ -222,6 +375,7 @@ mod tests {
     fn json_report_escapes_and_counts() {
         let report = Report {
             files_checked: 2,
+            duration_ms: 41,
             violations: vec![Violation {
                 file: "a\\b.rs".into(),
                 line: 3,
@@ -233,9 +387,45 @@ mod tests {
         };
         let json = report.to_json();
         assert!(json.contains("\"files_checked\": 2"));
+        assert!(json.contains("\"duration_ms\": 41"));
         assert!(json.contains("\"unwaived\": 0"));
         assert!(json.contains("\"waived\": 1"));
         assert!(json.contains("a\\\\b.rs"));
         assert!(json.contains("say \\\"no\\\""));
+        // Per-rule summary block: D2 carries the one waived hit, every
+        // catalog rule is present.
+        assert!(json.contains("\"D2\": {\"unwaived\": 0, \"waived\": 1}"));
+        assert!(json.contains("\"U1\": {\"unwaived\": 0, \"waived\": 0}"));
+        assert!(json.contains("\"U2\": "));
+        assert!(json.contains("\"P2\": "));
+    }
+
+    #[test]
+    fn lint_sources_resolves_panics_across_files() {
+        let inputs = vec![
+            (
+                "crates/agent/src/lib.rs".to_string(),
+                "fn tick() { risky_helper(); }".to_string(),
+            ),
+            (
+                "crates/types/src/helper.rs".to_string(),
+                "pub fn risky_helper() { x.unwrap(); }".to_string(),
+            ),
+        ];
+        let report = lint_sources(&inputs);
+        let p2: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::P2)
+            .collect();
+        assert_eq!(p2.len(), 1, "violations: {:?}", report.violations);
+        assert_eq!(p2[0].file, "crates/agent/src/lib.rs");
+        assert!(!p2[0].waived);
+        // The helper itself is in types: P1 not enforced there, so the
+        // only finding is the reachability one at the call site.
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.file != "crates/types/src/helper.rs"));
     }
 }

@@ -1,4 +1,5 @@
-//! CLI entry point: `cargo run -p sdfm-lint --release [-- --json] [--root PATH]`.
+//! CLI entry point: `cargo run -p sdfm-lint --release [-- --json] [--root PATH]
+//! [--explain RULE]`.
 //!
 //! Exit codes: 0 = clean (no unwaived violations), 1 = unwaived
 //! violations found, 2 = usage or I/O error.
@@ -7,6 +8,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use sdfm_lint::lint_root;
+use sdfm_lint::rules::{Rule, ALL_RULES};
 
 fn main() -> ExitCode {
     let mut json = false;
@@ -22,12 +24,36 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--explain" => {
+                return match args.next() {
+                    Some(name) => match Rule::parse(&name) {
+                        Some(rule) => {
+                            println!("{}", rule.explain());
+                            ExitCode::SUCCESS
+                        }
+                        None => {
+                            let known: Vec<&str> = ALL_RULES.iter().map(|r| r.name()).collect();
+                            eprintln!(
+                                "sdfm-lint: unknown rule `{name}` (known: {})",
+                                known.join(", ")
+                            );
+                            ExitCode::from(2)
+                        }
+                    },
+                    None => {
+                        eprintln!("sdfm-lint: --explain requires a rule name (e.g. --explain U2)");
+                        ExitCode::from(2)
+                    }
+                };
+            }
             "--help" | "-h" => {
                 println!(
                     "sdfm-lint: workspace invariant checker\n\n\
-                     USAGE: sdfm-lint [--json] [--root PATH]\n\n\
-                     Enforces the determinism (D1/D2/T1) and panic-safety (P1)\n\
-                     contracts documented in DESIGN.md's invariant catalog.\n\
+                     USAGE: sdfm-lint [--json] [--root PATH] [--explain RULE]\n\n\
+                     Enforces the determinism (D1/D2/T1/T2), panic-safety (P1/P2),\n\
+                     and unit-discipline (U1/U2) contracts documented in DESIGN.md's\n\
+                     invariant catalog. `--explain RULE` prints a rule's rationale,\n\
+                     a firing example, and the waiver syntax.\n\
                      Waive a violation inline with:\n\
                      // sdfm-lint: allow(RULE) reason=\"why this is sound\""
                 );
@@ -76,8 +102,9 @@ fn main() -> ExitCode {
             println!("{}:{}: {} [{}] {}", v.file, v.line, v.rule, status, v.message);
         }
         println!(
-            "sdfm-lint: {} files checked, {} unwaived violation(s), {} waived",
+            "sdfm-lint: {} files checked in {} ms, {} unwaived violation(s), {} waived",
             report.files_checked,
+            report.duration_ms,
             report.unwaived(),
             report.waived()
         );

@@ -1,0 +1,418 @@
+//! A lightweight syntactic layer over the token stream.
+//!
+//! The lexer-only rules in [`crate::rules`] see a flat token sequence;
+//! the dataflow rules (U1/U2 unit discipline, P2 interprocedural panic
+//! reachability) need *structure*: which tokens form a function body,
+//! which function a call site lives in, which `impl` block qualifies a
+//! method name. This module recovers exactly that much syntax — an item
+//! tree of functions with body spans and call sites — without becoming a
+//! full parser. Expression-level structure (operands, operators,
+//! let-bindings) is recovered lazily inside [`crate::units`], which walks
+//! the body spans this module hands it.
+//!
+//! The parser is resilient by construction: it scans for `fn` items and
+//! balances delimiters, so any token soup it does not understand is
+//! simply skipped — the checker must never fail on the code it audits.
+
+use crate::lexer::Token;
+
+/// One parsed function item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDecl {
+    /// The bare function name (`calibrate`).
+    pub name: String,
+    /// The qualifying owner, when the fn sits in an `impl` block
+    /// (`CostModel` for `CostModel::calibrate`); empty for free functions.
+    pub owner: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token span of the parameter list, inclusive of both parens.
+    pub params: (usize, usize),
+    /// Token span of the body braces, inclusive; `None` for bodyless trait
+    /// method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Whether the fn sits inside a `#[cfg(test)]` span (test helper —
+    /// exempt from every rule and excluded from the call graph).
+    pub in_test_span: bool,
+}
+
+/// A call site inside a function body: `name(...)`, `path::name(...)`, or
+/// `.name(...)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// The called name (last path segment).
+    pub name: String,
+    /// The path segment immediately before `::name`, when the call was
+    /// path-qualified (`CostModel` in `CostModel::calibrate(...)`). Used to
+    /// narrow overload resolution; empty for bare and method calls.
+    pub qualifier: String,
+    /// Whether this was a method call (`receiver.name(...)`).
+    pub method: bool,
+    /// 1-based source line.
+    pub line: u32,
+    /// Token index of the called name.
+    pub token: usize,
+}
+
+/// The item tree of one file: every function with its body span and call
+/// sites, in source order.
+#[derive(Debug, Default)]
+pub struct FileTree {
+    /// All parsed functions (free fns, inherent/trait methods, nested fns).
+    pub fns: Vec<FnDecl>,
+}
+
+impl FileTree {
+    /// The innermost function whose body contains token index `tok`, if
+    /// any. Nested fns win over their enclosing fn because their span is
+    /// strictly smaller.
+    pub fn enclosing_fn(&self, tok: usize) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (span width, idx)
+        for (i, f) in self.fns.iter().enumerate() {
+            if let Some((s, e)) = f.body {
+                if tok >= s && tok <= e {
+                    let width = e - s;
+                    if best.is_none_or(|(w, _)| width < w) {
+                        best = Some((width, i));
+                    }
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+}
+
+/// Keywords that look like calls when followed by `(`.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "move", "in", "as", "let", "else",
+    "break", "continue", "unsafe", "where", "impl", "dyn",
+];
+
+/// Parses the token stream into a [`FileTree`]. `test_spans` are the
+/// inclusive token spans of `#[cfg(test)]` items (from
+/// [`crate::lexer::test_spans`]); fns inside them are marked test helpers.
+pub fn parse_file(tokens: &[Token], test_spans: &[(usize, usize)]) -> FileTree {
+    let mut tree = FileTree::default();
+    // Stack of (owner name, brace depth at which the impl block opened).
+    let mut impl_stack: Vec<(String, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let in_test = |tok: usize| test_spans.iter().any(|&(s, e)| tok >= s && tok <= e);
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match tokens[i].punct() {
+            Some('{') => {
+                depth += 1;
+                i += 1;
+                continue;
+            }
+            Some('}') => {
+                depth = depth.saturating_sub(1);
+                // An impl opened at depth d owns depths > d; returning to
+                // d closes it.
+                impl_stack.retain(|&(_, d)| d < depth);
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        let Some(ident) = tokens[i].ident() else {
+            i += 1;
+            continue;
+        };
+        match ident {
+            "impl" => {
+                // `impl Type {`, `impl<T> Type {`, `impl Trait for Type {`.
+                // Take the last CamelCase-ish ident before the opening
+                // brace, preferring the segment after `for`.
+                let mut j = i + 1;
+                let mut owner = String::new();
+                let mut saw_for = false;
+                while j < tokens.len() {
+                    match (&tokens[j].ident(), tokens[j].punct()) {
+                        (Some("for"), _) => {
+                            saw_for = true;
+                            owner.clear();
+                        }
+                        (Some("where"), _) | (_, Some('{')) | (_, Some(';')) => break,
+                        (Some(name), _) => {
+                            // Within one path, the last segment wins; after
+                            // `for` only the target type's segments count.
+                            let _ = saw_for;
+                            owner = name.to_string();
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j < tokens.len() && tokens[j].punct() == Some('{') {
+                    impl_stack.push((owner, depth));
+                }
+                i = j;
+            }
+            "fn" => {
+                let Some(name) = tokens.get(i + 1).and_then(Token::ident) else {
+                    // `fn(` — a function-pointer type, not a declaration.
+                    i += 1;
+                    continue;
+                };
+                let fn_line = tokens[i].line;
+                let mut j = i + 2;
+                // Skip generics between the name and the param list; angle
+                // brackets balance, with `->` inside `Fn(..) -> ..` bounds
+                // excluded from closing.
+                if tokens.get(j).and_then(Token::punct) == Some('<') {
+                    let mut angle = 0isize;
+                    while j < tokens.len() {
+                        match tokens[j].punct() {
+                            Some('<') => angle += 1,
+                            Some('>') => {
+                                let arrow = j > 0 && tokens[j - 1].punct() == Some('-');
+                                if !arrow {
+                                    angle -= 1;
+                                    if angle == 0 {
+                                        j += 1;
+                                        break;
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                // Parameter list.
+                if tokens.get(j).and_then(Token::punct) != Some('(') {
+                    i += 2;
+                    continue;
+                }
+                let params_start = j;
+                let mut paren = 0usize;
+                while j < tokens.len() {
+                    match tokens[j].punct() {
+                        Some('(') => paren += 1,
+                        Some(')') => {
+                            paren -= 1;
+                            if paren == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let params_end = j.min(tokens.len().saturating_sub(1));
+                // Body: the first `{` before a `;` (trait declarations end
+                // at the `;`; return types and where clauses are braceless).
+                j += 1;
+                let mut body = None;
+                while j < tokens.len() {
+                    match tokens[j].punct() {
+                        Some(';') => break,
+                        Some('{') => {
+                            let body_start = j;
+                            let mut braces = 0usize;
+                            while j < tokens.len() {
+                                match tokens[j].punct() {
+                                    Some('{') => braces += 1,
+                                    Some('}') => {
+                                        braces -= 1;
+                                        if braces == 0 {
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                j += 1;
+                            }
+                            body = Some((body_start, j.min(tokens.len().saturating_sub(1))));
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                tree.fns.push(FnDecl {
+                    name: name.to_string(),
+                    owner: impl_stack.last().map(|(o, _)| o.clone()).unwrap_or_default(),
+                    line: fn_line,
+                    params: (params_start, params_end),
+                    body,
+                    in_test_span: in_test(i),
+                });
+                // Resume *inside* the header so nested fns in the body are
+                // found by the outer loop (brace depth is tracked there).
+                i += 2;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    tree
+}
+
+/// Extracts the call sites inside one body span. A call is an ident
+/// directly followed by `(`, excluding keywords, macro invocations
+/// (`ident!(`), declarations (`fn ident(`), and CamelCase constructors
+/// (`Some(`, `Ok(`, tuple structs) — workspace functions are snake_case.
+pub fn call_sites(tokens: &[Token], body: (usize, usize)) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let (start, end) = body;
+    for i in start..=end.min(tokens.len().saturating_sub(1)) {
+        let Some(name) = tokens[i].ident() else {
+            continue;
+        };
+        if tokens.get(i + 1).and_then(Token::punct) != Some('(') {
+            continue;
+        }
+        if CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        if name.starts_with(|c: char| c.is_ascii_uppercase()) {
+            continue;
+        }
+        if i > 0 && tokens[i - 1].ident() == Some("fn") {
+            continue;
+        }
+        // `#[attr(...)]` arguments are not calls.
+        if i > 0 && tokens[i - 1].punct() == Some('[') && i > 1 && tokens[i - 2].punct() == Some('#')
+        {
+            continue;
+        }
+        let method = i > 0 && tokens[i - 1].punct() == Some('.');
+        let qualifier = if i >= 3
+            && tokens[i - 1].punct() == Some(':')
+            && tokens[i - 2].punct() == Some(':')
+        {
+            tokens[i - 3].ident().unwrap_or("").to_string()
+        } else {
+            String::new()
+        };
+        out.push(CallSite {
+            name: name.to_string(),
+            qualifier,
+            method,
+            line: tokens[i].line,
+            token: i,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_spans};
+
+    fn parse(src: &str) -> (Vec<Token>, FileTree) {
+        let out = lex(src);
+        let spans = test_spans(&out.tokens);
+        let tree = parse_file(&out.tokens, &spans);
+        (out.tokens, tree)
+    }
+
+    #[test]
+    fn free_and_impl_fns_are_qualified() {
+        let src = "fn free(a: u32) -> u32 { a }\n\
+                   impl CostModel {\n    fn calibrate(&self) {}\n    pub fn per_page(&self) {}\n}\n\
+                   impl Default for StorePressure { fn default() -> Self { todo() } }\n";
+        let (_, tree) = parse(src);
+        let names: Vec<(&str, &str)> = tree
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_str()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", ""),
+                ("calibrate", "CostModel"),
+                ("per_page", "CostModel"),
+                ("default", "StorePressure"),
+            ]
+        );
+    }
+
+    #[test]
+    fn bodies_span_their_braces_and_trait_decls_have_none() {
+        let src = "trait T { fn decl(&self); fn with_default(&self) { helper(); } }";
+        let (tokens, tree) = parse(src);
+        assert_eq!(tree.fns.len(), 2);
+        assert_eq!(tree.fns[0].body, None);
+        let (s, e) = tree.fns[1].body.expect("default body");
+        assert_eq!(tokens[s].punct(), Some('{'));
+        assert_eq!(tokens[e].punct(), Some('}'));
+        let calls = call_sites(&tokens, (s, e));
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].name, "helper");
+    }
+
+    #[test]
+    fn generics_with_fn_bounds_do_not_derail_params() {
+        let src = "fn spawn<F: Fn(u32) -> u32>(f: F) -> u32 { f(1) }";
+        let (tokens, tree) = parse(src);
+        assert_eq!(tree.fns.len(), 1);
+        let (ps, pe) = tree.fns[0].params;
+        assert_eq!(tokens[ps].punct(), Some('('));
+        assert_eq!(tokens[pe].punct(), Some(')'));
+        assert!(tree.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn nested_fns_resolve_innermost() {
+        let src = "fn outer() { fn inner() { x.unwrap(); } inner(); }";
+        let (tokens, tree) = parse(src);
+        assert_eq!(tree.fns.len(), 2);
+        let unwrap_tok = tokens
+            .iter()
+            .position(|t| t.ident() == Some("unwrap"))
+            .unwrap();
+        let idx = tree.enclosing_fn(unwrap_tok).unwrap();
+        assert_eq!(tree.fns[idx].name, "inner");
+    }
+
+    #[test]
+    fn call_sites_classify_bare_path_and_method_calls() {
+        let src = "fn f() { helper(); CostModel::calibrate(); obj.step_job(); Some(1); assert!(x); }";
+        let (tokens, tree) = parse(src);
+        let calls = call_sites(&tokens, tree.fns[0].body.unwrap());
+        let summary: Vec<(&str, &str, bool)> = calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.qualifier.as_str(), c.method))
+            .collect();
+        assert_eq!(
+            summary,
+            vec![
+                ("helper", "", false),
+                ("calibrate", "CostModel", false),
+                ("step_job", "", true),
+            ],
+            "Some(..) ctor and assert! macro are not calls"
+        );
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn helper() { x.unwrap(); } }";
+        let (_, tree) = parse(src);
+        assert!(!tree.fns[0].in_test_span);
+        assert!(tree.fns[1].in_test_span);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_declarations() {
+        let src = "fn real(cb: fn(u32) -> u32) -> u32 { cb(1) }";
+        let (_, tree) = parse(src);
+        assert_eq!(tree.fns.len(), 1);
+        assert_eq!(tree.fns[0].name, "real");
+    }
+
+    #[test]
+    fn impl_stack_pops_with_braces() {
+        let src = "impl A { fn one(&self) {} }\nfn free_after() {}";
+        let (_, tree) = parse(src);
+        assert_eq!(tree.fns[0].owner, "A");
+        assert_eq!(tree.fns[1].owner, "");
+    }
+}

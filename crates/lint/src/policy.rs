@@ -38,6 +38,12 @@ pub struct FileScope {
     /// must surface as typed `KernelError`s, not panics (the simulated
     /// kernel after the store-lifecycle refactor).
     pub panic_safety: bool,
+    /// U1 applies: the file participates in the unit-suffix convention
+    /// (`_ns`/`_permille`/`_pages`/`_frames`/`_bytes`).
+    pub units: bool,
+    /// U2 applies: truncating integer division on unit-tagged values must
+    /// state its rounding direction (simulator/kernel/model/compress).
+    pub division: bool,
     /// Rules granted a policy-level allowance for this file.
     pub allowed: Vec<Rule>,
 }
@@ -55,8 +61,16 @@ impl FileScope {
             // pool's run() barrier in determinism scope, the agent's
             // event loop in control-plane scope.
             Rule::T2 => self.determinism || self.control_plane,
+            Rule::U1 => self.units,
+            Rule::U2 => self.division,
+            // Panic reachability matters where P1 does for daemons: the
+            // control plane must not crash through its helpers either.
+            Rule::P2 => self.control_plane,
             // Waiver hygiene is checked everywhere in scope of anything.
-            Rule::W0 => self.determinism || self.control_plane,
+            Rule::W0 => {
+                self.determinism || self.control_plane || self.panic_safety || self.units
+                    || self.division
+            }
         }
     }
 }
@@ -81,6 +95,31 @@ const CONTROL_PLANE_SCOPE: &[&str] = &["crates/agent/src/", "crates/cluster/src/
 /// devices), so `unwrap`/`expect` outside tests is a policy violation —
 /// genuine invariants take an inline `sdfm-lint: allow(P1)` waiver.
 const PANIC_SAFETY_SCOPE: &[&str] = &["crates/kernel/src/"];
+
+/// Path prefixes that follow the unit-suffix convention (U1): every crate
+/// whose arithmetic is unit-tagged integer math. Bench binaries and the
+/// autotuner (float-heavy GP code) are out.
+const UNITS_SCOPE: &[&str] = &[
+    "crates/types/src/",
+    "crates/compress/src/",
+    "crates/kernel/src/",
+    "crates/core/src/",
+    "crates/model/src/",
+    "crates/workloads/src/",
+    "crates/agent/src/",
+    "crates/cluster/src/",
+];
+
+/// Path prefixes where bare integer division on unit-tagged values must
+/// state its rounding direction (U2): the crates whose quotients feed
+/// simulator decisions, where a silent floor is a correctness bug (the
+/// PR 6 calibrate truncation lived in `kernel/src/cost.rs`).
+const DIVISION_SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/kernel/src/",
+    "crates/model/src/",
+    "crates/compress/src/",
+];
 
 /// Files allowed to read the wall clock: they *measure* real CPU work
 /// (codec timing feeding the cost model, experiment overhead reporting)
@@ -114,6 +153,8 @@ pub fn classify(rel_path: &str) -> FileScope {
     let determinism = DETERMINISM_SCOPE.iter().any(|s| p.starts_with(s));
     let control_plane = CONTROL_PLANE_SCOPE.iter().any(|s| p.starts_with(s));
     let panic_safety = PANIC_SAFETY_SCOPE.iter().any(|s| p.starts_with(s));
+    let units = UNITS_SCOPE.iter().any(|s| p.starts_with(s));
+    let division = DIVISION_SCOPE.iter().any(|s| p.starts_with(s));
     let mut allowed = Vec::new();
     if TIMING_ALLOWANCES.contains(&p.as_str()) {
         allowed.push(Rule::D1);
@@ -123,6 +164,8 @@ pub fn classify(rel_path: &str) -> FileScope {
         determinism,
         control_plane,
         panic_safety,
+        units,
+        division,
         allowed,
     }
 }
@@ -175,6 +218,31 @@ mod tests {
         assert!(!cost.enforces(Rule::D1));
         assert!(cost.enforces(Rule::D2), "only D1 is waived for cost.rs");
         assert!(!classify("crates/core/src/experiments/overhead.rs").enforces(Rule::D1));
+    }
+
+    #[test]
+    fn unit_discipline_scopes() {
+        // U1 covers every unit-tagged crate, including types and the
+        // control plane; U2 only where quotients feed simulator decisions.
+        assert!(classify("crates/types/src/size.rs").enforces(Rule::U1));
+        assert!(classify("crates/agent/src/node_agent.rs").enforces(Rule::U1));
+        assert!(classify("crates/compress/src/measure.rs").enforces(Rule::U2));
+        assert!(classify("crates/kernel/src/cost.rs").enforces(Rule::U2));
+        assert!(classify("crates/core/src/fleet_sim.rs").enforces(Rule::U2));
+        assert!(!classify("crates/types/src/size.rs").enforces(Rule::U2));
+        assert!(!classify("crates/agent/src/node_agent.rs").enforces(Rule::U2));
+        assert!(!classify("crates/autotuner/src/gp.rs").enforces(Rule::U1));
+        assert!(!classify("crates/kernel/tests/properties.rs").enforces(Rule::U2));
+    }
+
+    #[test]
+    fn p2_follows_control_plane_and_w0_follows_any_scope() {
+        assert!(classify("crates/agent/src/node_agent.rs").enforces(Rule::P2));
+        assert!(classify("crates/cluster/src/machine.rs").enforces(Rule::P2));
+        assert!(!classify("crates/kernel/src/cost.rs").enforces(Rule::P2));
+        // types is only units-scoped, but waiver hygiene still applies.
+        assert!(classify("crates/types/src/size.rs").enforces(Rule::W0));
+        assert!(!classify("crates/autotuner/src/gp.rs").enforces(Rule::W0));
     }
 
     #[test]

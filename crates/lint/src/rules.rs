@@ -28,9 +28,29 @@ pub enum Rule {
     T1,
     /// Nested lock-guard acquisition (lock-ordering hazard).
     T2,
+    /// Mixed-unit arithmetic or unit-dropping assignment.
+    U1,
+    /// Bare truncating integer division on a unit-tagged quantity.
+    U2,
+    /// Control-plane call into a function that can reach a panic.
+    P2,
     /// Malformed waiver comment.
     W0,
 }
+
+/// Every rule, in catalog order (for `--explain` listings and per-rule
+/// JSON summaries).
+pub const ALL_RULES: &[Rule] = &[
+    Rule::D1,
+    Rule::D2,
+    Rule::P1,
+    Rule::P2,
+    Rule::T1,
+    Rule::T2,
+    Rule::U1,
+    Rule::U2,
+    Rule::W0,
+];
 
 impl Rule {
     /// The catalog name, as used in `allow(...)` waivers.
@@ -41,7 +61,179 @@ impl Rule {
             Rule::P1 => "P1",
             Rule::T1 => "T1",
             Rule::T2 => "T2",
+            Rule::U1 => "U1",
+            Rule::U2 => "U2",
+            Rule::P2 => "P2",
             Rule::W0 => "W0",
+        }
+    }
+
+    /// Parses a catalog name back to a rule (for `--explain <RULE>`).
+    pub fn parse(name: &str) -> Option<Rule> {
+        ALL_RULES
+            .iter()
+            .copied()
+            .find(|r| r.name().eq_ignore_ascii_case(name))
+    }
+
+    /// The rule's rationale, a firing example, and the waiver syntax —
+    /// printed by `sdfm-lint --explain <RULE>`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::D1 => "\
+D1 — no wall clock or ambient randomness in determinism scope
+
+Why: `FleetSim::step_window` must be bit-identical per seed at any thread
+count. `Instant::now()`, `SystemTime`, and `thread_rng()` inject state the
+seed does not control, so one run can never be reproduced or diffed.
+
+Fires on:
+    let t = Instant::now();          // in crates/core, model, kernel, ...
+
+Fix: derive all time from `SimTime` and thread a seeded `StdRng` from the
+caller. Timing-measurement modules (codec cost tables) carry a policy
+allowance and need no per-line waiver.
+
+Waiver:
+    let t = Instant::now(); // sdfm-lint: allow(D1) reason=\"measures real codec cost\"",
+            Rule::D2 => "\
+D2 — no HashMap/HashSet in determinism scope
+
+Why: std hash iteration order is seeded per process; any hash-ordered walk
+that reaches simulator output breaks bit-identical replay.
+
+Fires on:
+    let mut seen = HashSet::new();   // in determinism-scoped crates
+
+Fix: use `BTreeMap`/`BTreeSet`, or drain through an explicit sort before
+order reaches output.
+
+Waiver:
+    let m = HashMap::new(); // sdfm-lint: allow(D2) reason=\"drained through a sort below\"",
+            Rule::P1 => "\
+P1 — no panicking operators in control-plane or kernel scope
+
+Why: the paper's contract is graceful degradation — a far-memory control
+plane that crashes the machine is worse than no far memory. `unwrap`,
+`expect`, and the `panic!` macro family turn a recoverable condition into
+a machine-wide outage.
+
+Fires on:
+    let cfg = load().unwrap();       // in crates/agent, cluster, kernel
+
+Fix: return a typed error (`SdfmError`/`KernelError`), skip the job, or
+fall back to a safe default. Test code (`#[cfg(test)]`, tests/) is exempt.
+
+Waiver:
+    let v = xs.first().unwrap(); // sdfm-lint: allow(P1) reason=\"len checked above\"",
+            Rule::T1 => "\
+T1 — only scoped thread spawns in determinism scope
+
+Why: `thread::spawn` detaches past the simulation window barrier; a
+straggler writing after the barrier races the next window and breaks
+reproducibility. Crossbeam scoped threads cannot outlive the state they
+borrow.
+
+Fires on:
+    std::thread::spawn(move || work());
+
+Fix: `thread::scope(|s| { s.spawn(...); })` or the shared worker pool.
+
+Waiver:
+    thread::spawn(f); // sdfm-lint: allow(T1) reason=\"joined before window end\"",
+            Rule::T2 => "\
+T2 — no nested lock acquisitions
+
+Why: two code paths nesting the same pair of locks in opposite orders
+deadlock; a deadlocked agent is as dead as a crashed one. The workspace
+contract is that no function ever holds two guards at once.
+
+Fires on:
+    let a = m1.lock().unwrap_or_else(p);
+    let b = m2.lock().unwrap_or_else(p);   // second acquisition, a live
+
+Fix: release the first guard (scope it, `drop(a)`, or end the statement)
+before taking the second.
+
+Waiver:
+    let b = m2.lock(); // sdfm-lint: allow(T2) reason=\"global ordering documented in pool.rs\"",
+            Rule::U1 => "\
+U1 — no mixed-unit arithmetic or unit-dropping assignment
+
+Why: every control-plane quantity is integer arithmetic in a fixed unit,
+tagged by an identifier suffix: `_ns`, `_permille`/`_per_mille`, `_pages`,
+`_frames`, `_bytes` (and `PAGE_SIZE` is bytes). Adding pages to bytes or
+assigning a pages value to an `_ns` binding is meaningless arithmetic the
+type system cannot see. Tags propagate through `let` bindings whose
+right-hand side has one unambiguous unit.
+
+Fires on:
+    let budget = cold_pages + spare_bytes;   // pages + bytes
+    total_ns = elapsed_pages;                // assignment drops the unit
+
+Silent when any operand's unit is unknown or a conversion is visible
+(`pages * PAGE_SIZE`, any non-transparent call).
+
+Fix: convert explicitly (multiply by PAGE_SIZE, call a `*_ns`-named
+conversion) so both sides carry the same unit.
+
+Waiver:
+    let x = a_pages + b_bytes; // sdfm-lint: allow(U1) reason=\"intentional packed encoding\"",
+            Rule::U2 => "\
+U2 — no bare integer division on unit-tagged quantities
+
+Why: integer `/` silently floors. PR 6's headline bug was exactly this:
+`CostModel::calibrate` computed `total_elapsed_ns / pages` and truncated a
+fast codec's per-page cost to 0 ns, making far memory look free. In
+`core`/`kernel`/`model`/`compress`, a division whose dividend, divisor, or
+binding target carries a unit must state its rounding direction.
+
+Fires on:
+    let per_page_ns = total_elapsed_ns / pages;   // the PR 6 shape
+
+Exempt: float division (`as f64`), and divisions inside an explicit
+rounding helper (`div_ceil_u64`, `div_floor_u64`, `permille_of`,
+`permille_ratio` from sdfm_types::arith, or `.div_ceil(...)`).
+
+Fix: use the sdfm_types::arith helpers — they name the rounding and widen
+through u128 so `a * 1000 / b` cannot wrap.
+
+Waiver:
+    let x = a_ns / b; // sdfm-lint: allow(U2) reason=\"exact: b divides a by construction\"",
+            Rule::P2 => "\
+P2 — no control-plane calls into panic-reachable functions
+
+Why: P1 keeps panicking operators out of `crates/agent` and
+`crates/cluster` textually, but a helper in sdfm-types that calls
+`.unwrap()` crashes the agent just the same. P2 walks the workspace call
+graph: any function containing an unwaived panicking operation outside
+tests is panic-reachable, and so is anything that calls it, transitively.
+Control-plane call sites of such functions are flagged.
+
+Fires on:
+    fn tick(&mut self) { let v = risky_helper(); }   // risky_helper unwraps
+
+A definition-site `allow(P1)` waiver declares the panic justified and is
+honored transitively — waived helpers are not hazards.
+
+Fix: handle the error at the boundary, add a non-panicking variant, or
+waive the call site.
+
+Waiver:
+    let v = risky_helper(); // sdfm-lint: allow(P2) reason=\"input validated two lines up\"",
+            Rule::W0 => "\
+W0 — waivers must parse and carry a non-empty reason
+
+Why: the waiver trail is the audit log for every intentional contract
+exception; a typo'd rule list or empty reason silently disables a rule
+with no accountability. W0 itself can never be waived.
+
+Fires on:
+    // sdfm-lint: allow(D2)                    (missing reason)
+    // sdfm-lint: allow() reason=\"x\"           (no rule listed)
+
+Fix: write `// sdfm-lint: allow(RULE[, RULE]) reason=\"non-empty justification\"`
+on the violating line or the line above.",
         }
     }
 }

@@ -1,0 +1,823 @@
+//! Unit-discipline dataflow: rules U1 (mixed units) and U2 (truncating
+//! division).
+//!
+//! The workspace's arithmetic safety rests on a naming convention:
+//! quantities carry their unit as an identifier suffix (`_ns`,
+//! `_permille`/`_per_mille`, `_pages`, `_frames`, `_bytes`), and the
+//! constant `PAGE_SIZE` is bytes. This module infers a [`Unit`] tag from
+//! those suffixes, propagates tags through `let`-bindings whose
+//! right-hand side has a single unambiguous unit, and then checks two
+//! contracts over each function body:
+//!
+//! * **U1** — `+`, `-`, comparisons, and compound assignments must not
+//!   mix two *different* known units (`cold_pages + budget_bytes`), and a
+//!   binding/assignment whose target carries one unit must not be fed a
+//!   right-hand side that unambiguously carries another without an
+//!   explicit conversion call in between.
+//! * **U2** — bare integer `/` (or `/=`) is banned when the dividend
+//!   chain, the divisor chain, or the enclosing binding target is
+//!   unit-tagged: integer division silently floors, which is exactly how
+//!   PR 6's `CostModel::calibrate` truncated a fast codec's per-page cost
+//!   to 0 ns. Divisions through `f64`/`f32` casts, float literals, or
+//!   inside an explicit rounding helper (`div_*`, `*ceil*`, `*floor*`,
+//!   `permille_*`) are exempt — those state their rounding intent.
+//!
+//! Both rules are deliberately conservative: they fire only when every
+//! unit involved is *known*. An operand containing zero tagged
+//! identifiers, or more than one (a genuine conversion like
+//! `pages * PAGE_SIZE`), stays silent.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::Token;
+use crate::parse::FileTree;
+use crate::rules::{Hit, Rule};
+
+/// A unit tag inferred from the identifier-suffix convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Unit {
+    /// Nanoseconds of (simulated or measured) time — suffix `_ns`.
+    Ns,
+    /// Parts-per-thousand ratio — suffix `_permille` or `_per_mille`.
+    Permille,
+    /// Page counts — suffix `_pages`.
+    Pages,
+    /// Frame counts (zswap store frames) — suffix `_frames`.
+    Frames,
+    /// Byte counts — suffix `_bytes`, or the constant `PAGE_SIZE`.
+    Bytes,
+}
+
+impl Unit {
+    /// Human-readable unit name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::Ns => "ns",
+            Unit::Permille => "permille",
+            Unit::Pages => "pages",
+            Unit::Frames => "frames",
+            Unit::Bytes => "bytes",
+        }
+    }
+
+    /// Infers a unit from an identifier per the suffix convention.
+    /// Constants are SCREAMING_CASE, so matching is case-insensitive.
+    pub fn of_ident(name: &str) -> Option<Unit> {
+        if name == "PAGE_SIZE" {
+            return Some(Unit::Bytes);
+        }
+        let lower = name.to_ascii_lowercase();
+        const SUFFIXES: &[(&str, Unit)] = &[
+            ("_ns", Unit::Ns),
+            ("_permille", Unit::Permille),
+            ("_per_mille", Unit::Permille),
+            ("_pages", Unit::Pages),
+            ("_frames", Unit::Frames),
+            ("_bytes", Unit::Bytes),
+        ];
+        for &(suffix, unit) in SUFFIXES {
+            if lower.ends_with(suffix) {
+                return Some(unit);
+            }
+        }
+        None
+    }
+}
+
+/// Identifiers that end an operand chain when reached (statement or
+/// expression structure the chain must not cross).
+const CHAIN_STOP_KEYWORDS: &[&str] = &[
+    "let", "return", "if", "else", "match", "while", "for", "in", "loop", "break", "continue",
+    "where", "fn", "use", "pub", "struct", "enum", "impl", "const", "static", "trait", "mod",
+    "unsafe", "move", "dyn", "ref",
+];
+
+/// Methods/functions that pass their receiver's unit through unchanged,
+/// so a right-hand side using only these keeps a known unit.
+const TRANSPARENT_CALLS: &[&str] = &[
+    "min",
+    "max",
+    "clamp",
+    "saturating_add",
+    "saturating_sub",
+    "saturating_mul",
+    "checked_add",
+    "checked_sub",
+    "abs_diff",
+    "get",
+    "copied",
+    "cloned",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "sum",
+    "from",
+];
+
+/// Whether a callee name states explicit rounding intent, exempting any
+/// `/` lexically inside its argument list from U2.
+fn is_rounding_helper(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.contains("div") || lower.contains("ceil") || lower.contains("floor")
+        || lower.starts_with("permille")
+}
+
+/// What one operand chain walk learned.
+#[derive(Debug, Default)]
+struct ChainInfo {
+    /// Distinct units seen among the chain's identifiers.
+    units: Vec<Unit>,
+    /// A `as f64`/`as f32` cast or float literal appeared — the
+    /// expression is float arithmetic, exempt from U2.
+    float: bool,
+}
+
+impl ChainInfo {
+    fn add(&mut self, unit: Option<Unit>) {
+        if let Some(u) = unit {
+            if !self.units.contains(&u) {
+                self.units.push(u);
+            }
+        }
+    }
+
+    /// The chain's unit, when exactly one distinct unit was seen.
+    fn single(&self) -> Option<Unit> {
+        match self.units.as_slice() {
+            [u] => Some(*u),
+            _ => None,
+        }
+    }
+}
+
+/// Per-function binding environment: names tagged by `let` propagation.
+type Env = BTreeMap<String, Unit>;
+
+fn unit_of(name: &str, env: &Env) -> Option<Unit> {
+    Unit::of_ident(name).or_else(|| env.get(name).copied())
+}
+
+/// Walks one operand chain leftward from `end` (inclusive), collecting
+/// units across a multiplicative/path/field chain. Call argument lists
+/// and index expressions are skipped wholesale (balanced), so only the
+/// callee name contributes — `permille_of(cold, stored)` never leaks its
+/// arguments' tags.
+fn chain_left(tokens: &[Token], end: usize, env: &Env) -> ChainInfo {
+    let mut info = ChainInfo::default();
+    let mut j = end as isize;
+    while j >= 0 {
+        let t = &tokens[j as usize];
+        if let Some(n) = t.number() {
+            if n.contains('.') {
+                info.float = true;
+            }
+            j -= 1;
+            continue;
+        }
+        if let Some(id) = t.ident() {
+            if CHAIN_STOP_KEYWORDS.contains(&id) {
+                break;
+            }
+            if id == "as" {
+                // Walking leftward we already passed the cast target type
+                // (at j+1); only float casts matter.
+                if matches!(
+                    tokens.get(j as usize + 1).and_then(Token::ident),
+                    Some("f64" | "f32")
+                ) {
+                    info.float = true;
+                }
+            } else {
+                info.add(unit_of(id, env));
+            }
+            j -= 1;
+            continue;
+        }
+        match t.punct() {
+            Some(')') | Some(']') => {
+                // Balanced skip of the whole group; its interior is a call
+                // argument list / index and does not join the chain.
+                let close = t.punct().unwrap_or(')');
+                let open = if close == ')' { '(' } else { '[' };
+                let mut depth = 0usize;
+                while j >= 0 {
+                    match tokens[j as usize].punct() {
+                        Some(c) if c == close => depth += 1,
+                        Some(c) if c == open => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+                j -= 1;
+            }
+            Some('.') | Some('*') | Some('/') | Some('%') | Some('?') | Some('&') => j -= 1,
+            Some(':')
+                if j >= 1 && tokens[j as usize - 1].punct() == Some(':') =>
+            {
+                j -= 2; // `::` path separator
+            }
+            _ => break,
+        }
+    }
+    info
+}
+
+/// Mirror of [`chain_left`]: walks rightward from `start` (inclusive).
+fn chain_right(tokens: &[Token], start: usize, env: &Env) -> ChainInfo {
+    let mut info = ChainInfo::default();
+    let mut j = start;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if let Some(n) = t.number() {
+            if n.contains('.') {
+                info.float = true;
+            }
+            j += 1;
+            continue;
+        }
+        if let Some(id) = t.ident() {
+            if CHAIN_STOP_KEYWORDS.contains(&id) {
+                break;
+            }
+            if id == "as" {
+                if matches!(tokens.get(j + 1).and_then(Token::ident), Some("f64" | "f32")) {
+                    info.float = true;
+                }
+                j += 2; // skip the cast target type
+                continue;
+            }
+            info.add(unit_of(id, env));
+            j += 1;
+            continue;
+        }
+        match t.punct() {
+            Some('(') | Some('[') => {
+                let open = t.punct().unwrap_or('(');
+                let close = if open == '(' { ')' } else { ']' };
+                let mut depth = 0usize;
+                while j < tokens.len() {
+                    match tokens[j].punct() {
+                        Some(c) if c == open => depth += 1,
+                        Some(c) if c == close => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                j += 1;
+            }
+            Some('.') | Some('*') | Some('/') | Some('%') | Some('?') | Some('&') => j += 1,
+            Some(':') if tokens.get(j + 1).and_then(Token::punct) == Some(':') => j += 2,
+            _ => break,
+        }
+    }
+    info
+}
+
+/// Infers the unit of a full right-hand side (`start..=end`). Stricter
+/// than a chain walk: any construct that could change units — a call to a
+/// non-transparent, non-unit-named function, a macro, a block, float
+/// arithmetic — poisons the inference and the RHS stays untagged. Exactly
+/// one distinct unit among the surviving identifiers tags the RHS.
+fn rhs_unit(tokens: &[Token], start: usize, end: usize, env: &Env) -> Option<Unit> {
+    let mut units: Vec<Unit> = Vec::new();
+    let mut j = start;
+    while j <= end && j < tokens.len() {
+        let t = &tokens[j];
+        if let Some(n) = t.number() {
+            if n.contains('.') {
+                return None; // float arithmetic
+            }
+            j += 1;
+            continue;
+        }
+        if let Some(id) = t.ident() {
+            if id == "as" {
+                match tokens.get(j + 1).and_then(Token::ident) {
+                    Some("f64" | "f32") => return None,
+                    _ => {
+                        j += 2; // integer cast is unit-transparent
+                        continue;
+                    }
+                }
+            }
+            let next = tokens.get(j + 1).and_then(Token::punct);
+            if next == Some('!') {
+                return None; // macro invocation
+            }
+            if next == Some('(') {
+                // A call: a unit-suffixed callee (`pages_to_frames(...)`)
+                // tags the result; a transparent helper passes its
+                // receiver through; anything else poisons the RHS.
+                match unit_of(id, env).filter(|_| Unit::of_ident(id).is_some()) {
+                    Some(u) => {
+                        if !units.contains(&u) {
+                            units.push(u);
+                        }
+                    }
+                    None if TRANSPARENT_CALLS.contains(&id) => {}
+                    None => return None,
+                }
+                // Skip the argument list wholesale.
+                let mut depth = 0usize;
+                let mut k = j + 1;
+                while k <= end && k < tokens.len() {
+                    match tokens[k].punct() {
+                        Some('(') => depth += 1,
+                        Some(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                j = k + 1;
+                continue;
+            }
+            if CHAIN_STOP_KEYWORDS.contains(&id) {
+                return None; // `if`/`match`/… — control flow, give up
+            }
+            if let Some(u) = unit_of(id, env) {
+                if !units.contains(&u) {
+                    units.push(u);
+                }
+            }
+            j += 1;
+            continue;
+        }
+        if t.punct() == Some('{') {
+            return None; // block expression
+        }
+        j += 1;
+    }
+    match units.as_slice() {
+        [u] => Some(*u),
+        _ => None,
+    }
+}
+
+/// Scans every function body in the file for U1/U2 hits. The caller
+/// filters by scope (`units`/`division`), test spans, and waivers.
+pub fn scan_units(tokens: &[Token], tree: &FileTree, check_u1: bool, check_u2: bool) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for f in &tree.fns {
+        let Some((body_start, body_end)) = f.body else {
+            continue;
+        };
+        scan_body(
+            tokens,
+            body_start + 1,
+            body_end.saturating_sub(1),
+            check_u1,
+            check_u2,
+            &mut hits,
+        );
+    }
+    hits.sort_by_key(|h| h.token);
+    hits.dedup_by_key(|h| (h.token, h.rule));
+    hits
+}
+
+/// One paren-stack frame inside a body walk.
+struct ParenFrame {
+    /// The callee that owns this argument list, when the `(` directly
+    /// followed an identifier; empty for grouping parens.
+    rounding_helper: bool,
+    /// Binding-target unit suspended while inside a call's arguments
+    /// (a `/` inside `foo(a / b)` does not produce the `let` target).
+    saved_target: Option<Unit>,
+    /// Whether the frame suspended the target (call frames do).
+    is_call: bool,
+}
+
+#[allow(clippy::too_many_lines)]
+fn scan_body(
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    check_u1: bool,
+    check_u2: bool,
+    hits: &mut Vec<Hit>,
+) {
+    let mut env: Env = Env::new();
+    // Unit of the current statement's binding/assignment target.
+    let mut target: Option<Unit> = None;
+    // A pending `let name = …` whose RHS unit we resolve at the `;`.
+    let mut pending_let: Option<(String, usize)> = None; // (name, rhs start)
+    let mut parens: Vec<ParenFrame> = Vec::new();
+
+    let u1 = |hits: &mut Vec<Hit>, tok: usize, line: u32, msg: String| {
+        if check_u1 {
+            hits.push(Hit {
+                rule: Rule::U1,
+                line,
+                token: tok,
+                message: msg,
+            });
+        }
+    };
+
+    let mut i = start;
+    while i <= end && i < tokens.len() {
+        let t = &tokens[i];
+        let line = t.line;
+        let prev = |k: usize| {
+            if k == 0 {
+                None
+            } else {
+                tokens.get(k - 1).and_then(Token::punct)
+            }
+        };
+        let next = |k: usize| tokens.get(k + 1).and_then(Token::punct);
+
+        // --- statement / structure bookkeeping -----------------------
+        if let Some(id) = t.ident() {
+            if id == "let" {
+                // `let [mut] name [: Ty] = …` — single-name patterns only.
+                let mut j = i + 1;
+                if tokens.get(j).and_then(Token::ident) == Some("mut") {
+                    j += 1;
+                }
+                if let Some(name) = tokens.get(j).and_then(Token::ident) {
+                    // Find the `=` before statement end, skipping a type
+                    // annotation.
+                    let mut k = j + 1;
+                    let mut eq = None;
+                    while k <= end {
+                        match tokens[k].punct() {
+                            Some('=') if next(k) != Some('=') => {
+                                eq = Some(k);
+                                break;
+                            }
+                            Some(';') | Some('{') => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    if let Some(eq) = eq {
+                        target = Unit::of_ident(name);
+                        pending_let = Some((name.to_string(), eq + 1));
+                        i = eq + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+                continue;
+            }
+        }
+        match t.punct() {
+            Some(';') | Some('{') | Some('}') => {
+                if let Some((name, rhs_start)) = pending_let.take() {
+                    if t.punct() == Some(';') && rhs_start < i {
+                        let rhs = rhs_unit(tokens, rhs_start, i - 1, &env);
+                        match (Unit::of_ident(&name), rhs) {
+                            (Some(t_unit), Some(r_unit)) if t_unit != r_unit => u1(
+                                hits,
+                                rhs_start,
+                                tokens[rhs_start].line,
+                                format!(
+                                    "`let {name}` drops units: target is {} but the \
+                                     right-hand side is {} with no explicit conversion call",
+                                    t_unit.name(),
+                                    r_unit.name()
+                                ),
+                            ),
+                            (None, Some(r_unit)) => {
+                                env.insert(name, r_unit);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                target = None;
+                i += 1;
+                continue;
+            }
+            Some('(') => {
+                let callee = if i > 0 {
+                    tokens[i - 1].ident().unwrap_or("")
+                } else {
+                    ""
+                };
+                let is_call = !callee.is_empty() && !CHAIN_STOP_KEYWORDS.contains(&callee);
+                parens.push(ParenFrame {
+                    rounding_helper: is_call && is_rounding_helper(callee),
+                    saved_target: target,
+                    is_call,
+                });
+                if is_call {
+                    target = None;
+                }
+                i += 1;
+                continue;
+            }
+            Some(')') => {
+                if let Some(frame) = parens.pop() {
+                    if frame.is_call {
+                        target = frame.saved_target;
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+
+        // --- the checked operators -----------------------------------
+        let p = t.punct();
+
+        // U2: bare `/` or `/=`.
+        if check_u2 && p == Some('/') {
+            let compound = next(i) == Some('=');
+            let left = chain_left(tokens, i.saturating_sub(1), &env);
+            let right = chain_right(tokens, i + if compound { 2 } else { 1 }, &env);
+            let in_helper = parens.iter().any(|f| f.rounding_helper);
+            let tagged = !left.units.is_empty() || !right.units.is_empty() || target.is_some();
+            if tagged && !left.float && !right.float && !in_helper {
+                let what = left
+                    .units
+                    .first()
+                    .or(right.units.first())
+                    .copied()
+                    .or(target)
+                    .map(Unit::name)
+                    .unwrap_or("unit");
+                hits.push(Hit {
+                    rule: Rule::U2,
+                    line,
+                    token: i,
+                    message: format!(
+                        "bare integer `/` on a {what}-tagged quantity silently floors \
+                         (the PR 6 calibrate bug class); state the rounding with \
+                         `div_ceil_u64`/`div_floor_u64`/`permille_of`/`permille_ratio` \
+                         from sdfm_types::arith, or waive with a reason"
+                    ),
+                });
+            }
+            i += if compound { 2 } else { 1 };
+            continue;
+        }
+
+        // U1: mixed-unit additive/comparison/compound operators.
+        if check_u1 {
+            let op: Option<(&str, usize)> = match p {
+                Some('+') => match next(i) {
+                    Some('=') => Some(("+=", 2)),
+                    _ => Some(("+", 1)),
+                },
+                Some('-') => match next(i) {
+                    Some('>') => None, // `->` return-type arrow
+                    Some('=') => Some(("-=", 2)),
+                    _ => Some(("-", 1)),
+                },
+                Some('<') => {
+                    if next(i) == Some('<') || prev(i) == Some('<') {
+                        None // shift
+                    } else if next(i) == Some('=') {
+                        Some(("<=", 2))
+                    } else {
+                        Some(("<", 1))
+                    }
+                }
+                Some('>') => {
+                    if next(i) == Some('>')
+                        || matches!(prev(i), Some('>') | Some('-') | Some('='))
+                    {
+                        None // shift, `->`, `=>`
+                    } else if next(i) == Some('=') {
+                        Some((">=", 2))
+                    } else {
+                        Some((">", 1))
+                    }
+                }
+                Some('=') if next(i) == Some('=') && prev(i) != Some('=') => Some(("==", 2)),
+                Some('!') if next(i) == Some('=') => Some(("!=", 2)),
+                _ => None,
+            };
+            if let Some((op, width)) = op {
+                // Compound parts already consumed elsewhere produce
+                // duplicate checks at the second char; prev-char guards
+                // above prevent that for `==`/`=>`/`->`/shifts.
+                if i > 0 {
+                    let left = chain_left(tokens, i - 1, &env);
+                    let right = chain_right(tokens, i + width, &env);
+                    if let (Some(l), Some(r)) = (left.single(), right.single()) {
+                        if l != r && !left.float && !right.float {
+                            u1(
+                                hits,
+                                i,
+                                line,
+                                format!(
+                                    "`{op}` mixes units: left operand is {}, right operand \
+                                     is {} — convert explicitly before combining",
+                                    l.name(),
+                                    r.name()
+                                ),
+                            );
+                        }
+                    }
+                }
+                i += width;
+                continue;
+            }
+            // Plain assignment: unit-dropping reassignment + target
+            // tracking for U2.
+            if p == Some('=')
+                && next(i) != Some('=')
+                && next(i) != Some('>')
+                && !matches!(
+                    prev(i),
+                    Some('=' | '!' | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^')
+                )
+            {
+                let left = chain_left(tokens, i.saturating_sub(1), &env);
+                target = left.single();
+                if let Some(t_unit) = target {
+                    // Find statement end for the RHS inference.
+                    let mut k = i + 1;
+                    while k <= end && tokens[k].punct() != Some(';') {
+                        if tokens[k].punct() == Some('{') {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    if k > i + 1 {
+                        if let Some(r_unit) = rhs_unit(tokens, i + 1, k - 1, &env) {
+                            if r_unit != t_unit {
+                                u1(
+                                    hits,
+                                    i,
+                                    line,
+                                    format!(
+                                        "assignment drops units: target is {} but the \
+                                         right-hand side is {} with no explicit conversion \
+                                         call",
+                                        t_unit.name(),
+                                        r_unit.name()
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                i += 1;
+                continue;
+            }
+        } else if p == Some('=')
+            && next(i) != Some('=')
+            && next(i) != Some('>')
+            && !matches!(
+                prev(i),
+                Some('=' | '!' | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^')
+            )
+        {
+            // U2-only scope still needs the binding-target tag.
+            target = chain_left(tokens, i.saturating_sub(1), &env).single();
+        }
+
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_spans};
+    use crate::parse::parse_file;
+
+    fn hits(src: &str) -> Vec<(Rule, u32)> {
+        let out = lex(src);
+        let spans = test_spans(&out.tokens);
+        let tree = parse_file(&out.tokens, &spans);
+        scan_units(&out.tokens, &tree, true, true)
+            .into_iter()
+            .map(|h| (h.rule, h.line))
+            .collect()
+    }
+
+    #[test]
+    fn suffixes_map_to_units() {
+        assert_eq!(Unit::of_ident("elapsed_ns"), Some(Unit::Ns));
+        assert_eq!(Unit::of_ident("decay_per_mille"), Some(Unit::Permille));
+        assert_eq!(Unit::of_ident("ratio_permille"), Some(Unit::Permille));
+        assert_eq!(Unit::of_ident("cold_pages"), Some(Unit::Pages));
+        assert_eq!(Unit::of_ident("store_frames"), Some(Unit::Frames));
+        assert_eq!(Unit::of_ident("PAGE_SIZE"), Some(Unit::Bytes));
+        assert_eq!(Unit::of_ident("SCAN_PERIOD_NS"), Some(Unit::Ns));
+        assert_eq!(Unit::of_ident("permille_of"), None, "prefix is not a suffix");
+        assert_eq!(Unit::of_ident("pages"), None, "bare word, no suffix");
+    }
+
+    #[test]
+    fn u1_fires_on_mixed_addition_and_comparison() {
+        assert_eq!(
+            hits("fn f() { let x = cold_pages + budget_bytes; }"),
+            vec![(Rule::U1, 1)]
+        );
+        assert_eq!(
+            hits("fn f() { if elapsed_ns < cold_pages { g(); } }"),
+            vec![(Rule::U1, 1)]
+        );
+        assert_eq!(
+            hits("fn f() { total_ns += delta_pages; }"),
+            vec![(Rule::U1, 1)]
+        );
+    }
+
+    #[test]
+    fn u1_silent_on_same_unit_unknowns_and_conversions() {
+        assert!(hits("fn f() { let x = a_ns + b_ns; }").is_empty());
+        assert!(hits("fn f() { let x = a + b; }").is_empty());
+        // Multiplication converts; the product chain has two units and is
+        // deliberately not judged.
+        assert!(hits("fn f() { let b = cold_pages * PAGE_SIZE; }").is_empty());
+        // Comparison against a literal is unit-preserving.
+        assert!(hits("fn f() { if cold_pages == 0 { g(); } }").is_empty());
+        // Generic bounds and arrows are not arithmetic.
+        assert!(hits("fn f<T: Clone + Send>(x: T) -> u64 { 0 }").is_empty());
+    }
+
+    #[test]
+    fn u1_fires_on_unit_dropping_binding() {
+        assert_eq!(
+            hits("fn f() { let total_ns = cold_pages; }"),
+            vec![(Rule::U1, 1)]
+        );
+        assert_eq!(
+            hits("fn f(mut t_ns: u64) { t_ns = cold_pages; }"),
+            vec![(Rule::U1, 1)]
+        );
+        // An intervening non-transparent call could convert: silent.
+        assert!(hits("fn f() { let total_ns = to_nanos(cold_pages); }").is_empty());
+        // A unit-suffixed conversion fn tags its result: consistent.
+        assert!(hits("fn f() { let total_ns = page_cost_ns(cold_pages); }").is_empty());
+    }
+
+    #[test]
+    fn env_propagates_units_through_let() {
+        // `stored` picks up permille from its initializer, then trips U2.
+        let src = "fn f(j: &Job) { let stored = j.stored_permille as u64; \
+                   let kept = cold_at_thr * stored / 1000; }";
+        assert_eq!(hits(src), vec![(Rule::U2, 1)]);
+    }
+
+    #[test]
+    fn u2_fires_on_the_pr6_calibrate_shape() {
+        // Dividend tagged.
+        assert_eq!(
+            hits("fn f() { let per_page = total_elapsed_ns / pages; }"),
+            vec![(Rule::U2, 1)]
+        );
+        // Only the binding target tagged.
+        assert_eq!(
+            hits("fn f() { let compress_ns = total / count; }"),
+            vec![(Rule::U2, 1)]
+        );
+        // Divisor tagged.
+        assert_eq!(
+            hits("fn f() { let share = budget / cold_pages; }"),
+            vec![(Rule::U2, 1)]
+        );
+    }
+
+    #[test]
+    fn u2_exempts_floats_helpers_and_untagged() {
+        assert!(hits("fn f() { let r = far_pages as f64 / cold_pages as f64; }").is_empty());
+        assert!(hits("fn f() { let x = a / b; }").is_empty());
+        assert!(hits("fn f() { let x_ns = div_ceil_u64(total_ns, pages); }").is_empty());
+        // `/` lexically inside a rounding helper's arguments.
+        assert!(hits("fn f() { let x = div_ceil_u64(total_ns / 2, pages); }").is_empty());
+        // Method form.
+        assert!(hits("fn f() { let p = (j.store_pages * 1000).div_ceil(denom); }").is_empty());
+    }
+
+    #[test]
+    fn u2_target_suspended_inside_unrelated_call_args() {
+        // The division inside `foo(...)` does not produce `x_ns` directly
+        // and its operands are untagged: silent.
+        assert!(hits("fn f() { let x_ns = foo(a / b); }").is_empty());
+        // But tagged operands inside a non-rounding call still fire.
+        assert_eq!(
+            hits("fn f() { let x = foo(total_ns / 2); }"),
+            vec![(Rule::U2, 1)]
+        );
+    }
+
+    #[test]
+    fn comments_and_paths_do_not_derail() {
+        assert!(hits("fn f() { // pages / ns in prose\n let x = a; }").is_empty());
+        assert!(hits("fn f() { let x = Self::BASE + other::thing; }").is_empty());
+    }
+}

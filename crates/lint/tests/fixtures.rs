@@ -189,6 +189,158 @@ fn t2_silent_when_first_guard_is_scoped_or_dropped() {
     assert!(lint_source(path, src, &classify(path)).is_empty());
 }
 
+// ---------------------------------------------------------------- U1
+
+#[test]
+fn u1_fires_on_mixed_unit_arithmetic() {
+    let src = "fn budget(&self) -> u64 {\n    self.cold_pages + self.spare_bytes\n}\n";
+    let v = lint_source(SIM_PATH, src, &sim_scope());
+    assert_eq!(rules_of(&v), vec![(Rule::U1, false)]);
+    assert_eq!(v[0].line, 2);
+}
+
+#[test]
+fn u1_fires_on_unit_dropping_binding() {
+    let src = "fn f(&self) {\n    let total_ns = self.resident_pages;\n}\n";
+    let v = lint_source(SIM_PATH, src, &sim_scope());
+    assert_eq!(rules_of(&v), vec![(Rule::U1, false)]);
+}
+
+#[test]
+fn u1_waivable_with_justification() {
+    let src = "fn f(&self) -> u64 {\n    // sdfm-lint: allow(U1) reason=\"packed (pages<<32)|bytes encoding for the wire\"\n    self.cold_pages + self.spare_bytes\n}\n";
+    let v = lint_source(SIM_PATH, src, &sim_scope());
+    assert_eq!(rules_of(&v), vec![(Rule::U1, true)]);
+}
+
+#[test]
+fn u1_silent_on_visible_conversions_and_unknowns() {
+    // Multiplying by PAGE_SIZE is the conversion idiom; untagged names
+    // never fire; the autotuner (float GP code) is out of scope.
+    let src = "fn f(&self) { let b = self.cold_pages * PAGE_SIZE; let x = a + b; }\n";
+    assert!(lint_source(SIM_PATH, src, &sim_scope()).is_empty());
+    let src = "fn f() -> u64 { cold_pages + spare_bytes }\n";
+    let path = "crates/autotuner/src/gp.rs";
+    assert!(lint_source(path, src, &classify(path)).is_empty());
+}
+
+// ---------------------------------------------------------------- U2
+
+#[test]
+fn u2_fires_on_pr6_calibrate_truncation_shape() {
+    // The exact bug class PR 6 fixed by hand: `CostModel::calibrate`
+    // divided total elapsed ns by page count with bare integer `/`,
+    // truncating a fast codec's per-page cost to 0 ns and making far
+    // memory look free. This pre-fix shape must never land again.
+    let src = "impl CostModel {\n    fn calibrate(&mut self, pages: u64, total_elapsed_ns: u64) {\n        self.compress_page_ns = total_elapsed_ns / pages.max(1);\n    }\n}\n";
+    let path = "crates/kernel/src/cost.rs";
+    let v = lint_source(path, src, &classify(path));
+    assert_eq!(rules_of(&v), vec![(Rule::U2, false)], "violations: {v:?}");
+    assert_eq!(v[0].line, 3);
+}
+
+#[test]
+fn u2_fires_when_only_the_binding_target_is_tagged() {
+    let src = "fn f(total: u64, count: u64) {\n    let per_page_ns = total / count;\n}\n";
+    let v = lint_source(SIM_PATH, src, &sim_scope());
+    assert_eq!(rules_of(&v), vec![(Rule::U2, false)]);
+}
+
+#[test]
+fn u2_waivable_with_exactness_argument() {
+    let src = "fn f(&self) -> u64 {\n    // sdfm-lint: allow(U2) reason=\"exact: store_bytes is page-aligned by construction\"\n    self.store_bytes / PAGE_SIZE\n}\n";
+    let v = lint_source(SIM_PATH, src, &sim_scope());
+    assert_eq!(rules_of(&v), vec![(Rule::U2, true)]);
+}
+
+#[test]
+fn u2_silent_on_explicit_rounding_and_float_division() {
+    let src = "fn f(&self) -> u64 { div_ceil_u64(self.total_ns, self.pages_done) }\n";
+    assert!(lint_source(SIM_PATH, src, &sim_scope()).is_empty());
+    let src = "fn f(&self) -> f64 { self.far_pages as f64 / self.cold_pages as f64 }\n";
+    assert!(lint_source(SIM_PATH, src, &sim_scope()).is_empty());
+    let src = "fn f(&self) -> u64 { (self.store_pages * 1000).div_ceil(self.cap.max(1)) }\n";
+    assert!(lint_source(SIM_PATH, src, &sim_scope()).is_empty());
+    // U2 is not enforced in the control plane (agent does no quotient
+    // math that feeds simulator decisions).
+    let src = "fn f(x_ns: u64) -> u64 { x_ns / 2 }\n";
+    assert!(lint_source(AGENT_PATH, src, &agent_scope()).is_empty());
+}
+
+// ---------------------------------------------------------------- P2
+
+/// A two-hop panic chain: agent → outer (types) → inner (types) →
+/// `unwrap()`. P1 never fires (the panic lives outside P1 scope); P2 must
+/// carry the reachability to the agent's call site.
+fn two_hop_inputs(helper_src: &str) -> Vec<(String, String)> {
+    vec![
+        (
+            AGENT_PATH.to_string(),
+            "fn tick(&mut self) {\n    let v = outer_helper();\n}\n".to_string(),
+        ),
+        ("crates/types/src/helper.rs".to_string(), helper_src.to_string()),
+    ]
+}
+
+#[test]
+fn p2_fires_across_a_two_hop_call_chain() {
+    let helpers = "pub fn outer_helper() -> u32 { inner_helper() }\n\
+                   pub fn inner_helper() -> u32 { parse().unwrap() }\n";
+    let report = sdfm_lint::lint_sources(&two_hop_inputs(helpers));
+    let p2: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == Rule::P2)
+        .collect();
+    assert_eq!(p2.len(), 1, "violations: {:?}", report.violations);
+    assert_eq!(p2[0].file, AGENT_PATH);
+    assert_eq!(p2[0].line, 2);
+    assert!(!p2[0].waived);
+    assert!(
+        p2[0].message.contains("inner_helper") && p2[0].message.contains("unwrap"),
+        "witness chain names the hop and the panic: {}",
+        p2[0].message
+    );
+}
+
+#[test]
+fn p2_call_site_waiver_suppresses() {
+    let mut inputs = two_hop_inputs(
+        "pub fn outer_helper() -> u32 { inner_helper() }\n\
+         pub fn inner_helper() -> u32 { parse().unwrap() }\n",
+    );
+    inputs[0].1 = "fn tick(&mut self) {\n    // sdfm-lint: allow(P2) reason=\"startup path; config validated by loader\"\n    let v = outer_helper();\n}\n".to_string();
+    let report = sdfm_lint::lint_sources(&inputs);
+    assert_eq!(
+        rules_of(&report.violations),
+        vec![(Rule::P2, true)],
+        "violations: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn p2_honors_definition_site_p1_waiver_transitively() {
+    let helpers = "pub fn outer_helper() -> u32 { inner_helper() }\n\
+                   pub fn inner_helper() -> u32 {\n    \
+                   // sdfm-lint: allow(P1) reason=\"input length validated by caller contract\"\n    \
+                   parse().unwrap()\n}\n";
+    let report = sdfm_lint::lint_sources(&two_hop_inputs(helpers));
+    assert!(
+        report.violations.is_empty(),
+        "a justified panic is not a hazard: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn p2_silent_when_helpers_cannot_panic() {
+    let helpers = "pub fn outer_helper() -> u32 { inner_helper() }\n\
+                   pub fn inner_helper() -> u32 { parse().unwrap_or(0) }\n";
+    let report = sdfm_lint::lint_sources(&two_hop_inputs(helpers));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
 // ---------------------------------------------------------------- W0
 
 #[test]
@@ -227,6 +379,7 @@ fn json_report_round_trips_key_fields() {
     let violations = lint_source(SIM_PATH, src, &sim_scope());
     let report = sdfm_lint::Report {
         files_checked: 1,
+        duration_ms: 0,
         violations,
     };
     assert_eq!(report.unwaived(), 1);

@@ -1,0 +1,152 @@
+//! Explicit-rounding integer arithmetic for unit-tagged quantities.
+//!
+//! The control plane is safe only because every quantity is integer
+//! arithmetic in fixed units — nanoseconds, per-mille ratios, pages,
+//! frames, bytes — and the two classic failure modes of that discipline
+//! are silent truncation (`total_ns / pages` rounding a fast codec to
+//! 0 ns/page, the PR 6 calibration bug) and silent overflow
+//! (`pages * 1000` wrapping long before `u64::MAX` pages). These helpers
+//! make the rounding direction part of the call site's name and widen to
+//! `u128` internally so the product form `a * scale / b` never wraps.
+//!
+//! `sdfm-lint` rule U2 bans bare integer `/` on unit-tagged values in the
+//! simulator/kernel/model/compress crates; converting a division to one of
+//! these helpers is the sanctioned fix (the other is a justified waiver).
+//!
+//! All helpers are total: a zero divisor yields 0 rather than panicking,
+//! so they are safe in control-plane code where P1 bans panics. A zero
+//! result from a zero divisor is always the caller's "nothing to divide
+//! by" case in this workspace (empty store, empty sample), never a
+//! silent wrong answer.
+
+/// Floor division, total: `num / den`, or 0 when `den == 0`.
+///
+/// ```
+/// # use sdfm_types::arith::div_floor_u64;
+/// assert_eq!(div_floor_u64(7, 2), 3);
+/// assert_eq!(div_floor_u64(7, 0), 0);
+/// ```
+pub const fn div_floor_u64(num: u64, den: u64) -> u64 {
+    match num.checked_div(den) {
+        Some(v) => v,
+        None => 0,
+    }
+}
+
+/// Ceiling division, total: `⌈num / den⌉`, or 0 when `den == 0`.
+///
+/// ```
+/// # use sdfm_types::arith::div_ceil_u64;
+/// assert_eq!(div_ceil_u64(7, 2), 4);
+/// assert_eq!(div_ceil_u64(6, 2), 3);
+/// assert_eq!(div_ceil_u64(0, 5), 0);
+/// assert_eq!(div_ceil_u64(7, 0), 0);
+/// ```
+pub const fn div_ceil_u64(num: u64, den: u64) -> u64 {
+    if den == 0 {
+        0
+    } else {
+        num.div_ceil(den)
+    }
+}
+
+/// The per-mille share of `value`: `⌊value × permille / 1000⌋`, widened
+/// through `u128` so the product never wraps.
+///
+/// This is the scaling direction ("how many of these pages does a 310‰
+/// acceptance fraction keep"). The inverse — expressing one quantity as a
+/// per-mille fraction of another — is [`permille_ratio`].
+///
+/// ```
+/// # use sdfm_types::arith::permille_of;
+/// assert_eq!(permille_of(1000, 125), 125);
+/// assert_eq!(permille_of(7, 125), 0); // floor
+/// assert_eq!(permille_of(u64::MAX, 1000), u64::MAX); // no wrap
+/// ```
+pub const fn permille_of(value: u64, permille: u64) -> u64 {
+    let wide = value as u128 * permille as u128 / 1000;
+    if wide > u64::MAX as u128 {
+        u64::MAX
+    } else {
+        wide as u64
+    }
+}
+
+/// `num` as a per-mille fraction of `den`: `⌊num × 1000 / den⌋`, widened
+/// through `u128`; 0 when `den == 0`.
+///
+/// ```
+/// # use sdfm_types::arith::permille_ratio;
+/// assert_eq!(permille_ratio(31, 100), 310);
+/// assert_eq!(permille_ratio(1, 3), 333); // floor
+/// assert_eq!(permille_ratio(5, 0), 0);
+/// ```
+pub const fn permille_ratio(num: u64, den: u64) -> u64 {
+    if den == 0 {
+        return 0;
+    }
+    let wide = num as u128 * 1000 / den as u128;
+    if wide > u64::MAX as u128 {
+        u64::MAX
+    } else {
+        wide as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_and_ceil_bracket_the_exact_quotient() {
+        for (n, d) in [(0u64, 3u64), (1, 3), (3, 3), (4, 3), (999, 1000), (1001, 1000)] {
+            let f = div_floor_u64(n, d);
+            let c = div_ceil_u64(n, d);
+            assert!(f <= c);
+            assert!(c - f <= 1);
+            assert_eq!(f, n / d);
+            assert_eq!(c, n.div_ceil(d));
+        }
+    }
+
+    #[test]
+    fn zero_divisors_are_total_not_panics() {
+        assert_eq!(div_floor_u64(5, 0), 0);
+        assert_eq!(div_ceil_u64(5, 0), 0);
+        assert_eq!(permille_ratio(5, 0), 0);
+    }
+
+    #[test]
+    fn permille_of_scales_and_floors() {
+        assert_eq!(permille_of(1000, 310), 310);
+        assert_eq!(permille_of(0, 310), 0);
+        assert_eq!(permille_of(3, 333), 0);
+        assert_eq!(permille_of(4, 333), 1);
+        // Identity at 1000‰.
+        assert_eq!(permille_of(123_456, 1000), 123_456);
+    }
+
+    #[test]
+    fn permille_round_trip_is_within_floor_error() {
+        for v in [1u64, 7, 999, 12_345] {
+            let share = permille_of(v, 125);
+            assert!(share <= v);
+            let back = permille_ratio(share, v);
+            assert!(back <= 125);
+        }
+    }
+
+    /// The widening contract: the `a * scale / b` product form must not
+    /// wrap at `u64` scale. The pre-helper code in `StorePressure::
+    /// decay_step` and `CostModel::store_bytes` multiplied first in `u64`
+    /// and overflowed for large stores; these are the regression pins.
+    #[test]
+    fn products_widen_instead_of_wrapping() {
+        // u64::MAX * 125 would wrap; the widened form floors correctly.
+        assert_eq!(permille_of(u64::MAX, 125), u64::MAX / 1000 * 125 + (u64::MAX % 1000) * 125 / 1000);
+        assert_eq!(permille_ratio(u64::MAX, u64::MAX), 1000);
+        // Saturation (not wrap) when the true quotient exceeds u64.
+        assert_eq!(permille_of(u64::MAX, 2000), u64::MAX);
+        assert_eq!(permille_ratio(u64::MAX, 1), u64::MAX);
+    }
+}

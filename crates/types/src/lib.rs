@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arith;
 pub mod error;
 pub mod histogram;
 pub mod ids;
@@ -38,6 +39,7 @@ pub mod time;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::arith::{div_ceil_u64, div_floor_u64, permille_of, permille_ratio};
     pub use crate::error::SdfmError;
     pub use crate::histogram::{ColdAgeHistogram, PageAge, PromotionHistogram, MAX_AGE_SCANS};
     pub use crate::ids::{ClusterId, JobId, MachineId, PageId};

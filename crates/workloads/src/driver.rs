@@ -155,6 +155,7 @@ impl PageLevelDriver {
                 // Sparse: draw the count, then sample pages (collisions
                 // are rare at p ≤ 5% and merely drop duplicate touches).
                 let k = Binomial::new(bucket.pages, p)
+                    // sdfm-lint: allow(P1) reason="touch probability is clamped into (0,1) before the draw"
                     .expect("p validated in (0,1)")
                     .sample(&mut self.rng);
                 for _ in 0..k {

@@ -40,6 +40,7 @@ impl ClusterSpec {
             }
             x -= w;
         }
+        // sdfm-lint: allow(P1) reason="template weights are compiled-in specs, non-empty by construction"
         self.template_weights.last().expect("non-empty weights").0
     }
 }

@@ -197,6 +197,7 @@ impl StatJobModel {
             return;
         }
         let innov_sd = self.sigma * (1.0 - self.rho * self.rho).sqrt();
+        // sdfm-lint: allow(P1) reason="innovation sd is finite and non-negative for rho in [0, 1]"
         let normal = Normal::new(0.0, innov_sd).expect("positive sd");
         for x in &mut self.bucket_noise {
             let ln = self.rho * x.ln() + normal.sample(&mut self.rng);

@@ -204,6 +204,7 @@ impl JobTemplate {
                     .iter()
                     .map(|&(c, w)| (c, if c == class { w * factor } else { w }))
                     .collect();
+                // sdfm-lint: allow(P1) reason="scaling strictly positive weights by a positive factor keeps the mix valid"
                 CompressibilityMix::new(weights).expect("scaled weights stay valid")
             }
             None => CompressibilityMix::fleet_default(),
