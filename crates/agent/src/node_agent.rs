@@ -117,6 +117,20 @@ impl NodeAgent {
                         Ok(())
                     }
                 })
+                // Demotion tick: with a chain attached, one decay step of
+                // the job's coldest compressed pages sinks down the
+                // ladder (no-op without a tier below the store). Disabled
+                // jobs demote through the lifecycle tick instead, so the
+                // store never decays twice per minute.
+                .and_then(|()| {
+                    if decision.zswap_enabled {
+                        let zswapped = kernel.memcg(job)?.stats().zswapped_pages;
+                        let budget = self.pressure.decay_step(zswapped);
+                        kernel.demote_job(job, budget).map(|_| ())
+                    } else {
+                        Ok(())
+                    }
+                })
                 // Store lifecycle: decay a disabled job's store one step,
                 // or restore working-set pages a raised soft limit now
                 // protects.
@@ -256,6 +270,39 @@ mod tests {
         assert_eq!(s.zswapped_pages, 0, "dead store survived the decay");
         assert_eq!(s.writebacks, stored);
         assert_eq!(s.resident_pages, 1000);
+    }
+
+    #[test]
+    fn agent_demotes_down_an_attached_chain() {
+        use sdfm_kernel::BackendConfig;
+        let (mut agent, mut kernel, job) = setup(4);
+        kernel.enable_chain(&[
+            BackendConfig::compressed_ram(),
+            BackendConfig::ssd(PageCount::new(200)),
+            BackendConfig::remote(),
+        ]);
+        agent.register_job(job, SimTime::ZERO);
+        kernel
+            .alloc_pages(job, 1000, |_| PageContent::synthetic_of_len(600))
+            .unwrap();
+        // Idle pages compress, then the per-minute demotion tick sinks
+        // the coldest of them down the chain — past the 200-page SSD and
+        // onto the remote tier.
+        run_minutes(&mut agent, &mut kernel, 0, 120);
+        let s = kernel.memcg(job).unwrap().stats();
+        assert!(
+            s.demoted_total() > 200,
+            "demotion tick never overflowed the SSD: {} demoted",
+            s.demoted_total()
+        );
+        let stats = kernel.chain_stats().unwrap();
+        assert!(stats[1].resident_pages > 0, "SSD tier empty");
+        assert!(stats[2].resident_pages > 0, "remote tier empty");
+        // Conservation: everything lives in exactly one place.
+        assert_eq!(
+            s.resident_pages + s.zswapped_pages + s.demoted_total(),
+            1000
+        );
     }
 
     #[test]

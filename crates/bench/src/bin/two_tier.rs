@@ -1,5 +1,5 @@
 //! §8 future work: one software tier vs one hardware tier vs the two-tier
-//! ladder, on identical workloads.
+//! ladder vs the three-tier demotion chain, on identical workloads.
 
 use sdfm_bench::{emit, parse_options};
 use sdfm_core::experiments::two_tier::experiment_two_tier;
@@ -13,25 +13,34 @@ fn main() {
     };
     let outcomes = experiment_two_tier(minutes, 4_000, options.scale.seed);
     emit(&options, &outcomes, || {
-        println!("Two-tier far memory (§8 future work) — {minutes} simulated minutes,");
-        println!("4000-page NVM device, identical workloads\n");
+        println!("Tiered far memory (§8 future work) — {minutes} simulated minutes,");
+        println!("4000-page device tier, identical workloads\n");
         println!(
-            "{:>12} {:>12} {:>10} {:>9} {:>9} {:>14} {:>10}",
-            "mode", "DRAM saved", "NVM used", "t1 flt", "t2 flt", "mean fault µs", "stranded"
+            "{:>12} {:>12} {:>10} {:>9} {:>9} {:>14} {:>10} {:>12}",
+            "mode",
+            "DRAM saved",
+            "dev used",
+            "dev flt",
+            "zswp flt",
+            "mean fault µs",
+            "stranded",
+            "$ (ncents)"
         );
         for o in &outcomes {
             println!(
-                "{:>12} {:>12.0} {:>10.0} {:>9} {:>9} {:>14.2} {:>10}",
+                "{:>12} {:>12.0} {:>10.0} {:>9} {:>9} {:>14.2} {:>10} {:>12}",
                 o.mode.to_string(),
                 o.mean_dram_saved,
                 o.mean_nvm_used,
                 o.tier1_faults,
                 o.tier2_faults,
                 o.mean_fault_latency_us,
-                o.stranding_rejections
+                o.stranding_rejections,
+                o.transfer_cost_nanocents
             );
         }
         println!("\nThe ladder keeps zswap's elasticity (no stranding) while the warm-cold");
-        println!("faults hit the sub-µs device — the paper's predicted end state.");
+        println!("faults hit the sub-µs device; the three-tier chain trades latency for");
+        println!("overflow capacity on the costed remote tier.");
     });
 }

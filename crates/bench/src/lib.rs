@@ -157,6 +157,19 @@ pub fn validate_bench_report(report: &serde_json::Value) -> Result<(), Vec<Strin
             ],
             "compress_pages_per_sec",
         ),
+        "backends" => (
+            &["pages", "available_parallelism", "caveat", "results"],
+            &[
+                "backend",
+                "threads",
+                "fault_pages_per_sec",
+                "fault_p50_ns",
+                "fault_p95_ns",
+                "fault_p99_ns",
+                "ns_charged_checksum",
+            ],
+            "demote_pages_per_sec",
+        ),
         other => return Err(vec![format!("unknown bench `{other}`")]),
     };
     let mut problems = Vec::new();
@@ -213,6 +226,37 @@ pub fn validate_bench_report(report: &serde_json::Value) -> Result<(), Vec<Strin
                 Ok([]) => problems.push("ratio.histogram is empty".into()),
                 Ok(_) => {}
                 Err(_) => problems.push("ratio.histogram is not an array".into()),
+            }
+        }
+    }
+    // The backends report must carry every tier of the demotion chain: a
+    // refactor that drops a backend from the sweep would otherwise ship a
+    // trajectory that silently stopped tracking a tier. Fault-back
+    // throughput is a first-class number too, held to the same
+    // finite-and-positive bar as the primary (demotion) throughput.
+    if bench == "backends" {
+        if let Ok(rows) = report.field("results").and_then(|v| v.elements()) {
+            for tier in ["compressed_ram", "simulated_ssd", "simulated_remote"] {
+                let present = rows.iter().any(|row| {
+                    row.field("backend").and_then(|v| v.str()) == Ok(tier)
+                });
+                if !present {
+                    problems.push(format!("no results for backend `{tier}`"));
+                }
+            }
+            for (i, row) in rows.iter().enumerate() {
+                match row
+                    .field("fault_pages_per_sec")
+                    .and_then(|v| v.number())
+                    .map(|n| n.as_f64())
+                {
+                    Ok(x) if x.is_finite() && x > 0.0 => {}
+                    Ok(x) => problems.push(format!(
+                        "results[{i}].fault_pages_per_sec = {x} must be finite and positive"
+                    )),
+                    Err(_) => problems
+                        .push(format!("results[{i}] missing numeric `fault_pages_per_sec`")),
+                }
             }
         }
     }
@@ -347,11 +391,62 @@ mod tests {
         })
     }
 
+    fn backends_report() -> Value {
+        let rows: Vec<Value> = ["compressed_ram", "simulated_ssd", "simulated_remote"]
+            .iter()
+            .map(|tier| {
+                serde_json::json!({
+                    "backend": *tier, "threads": 1u64,
+                    "demote_pages_per_sec": 1e6f64,
+                    "fault_pages_per_sec": 2e6f64,
+                    "fault_p50_ns": 20_000u64,
+                    "fault_p95_ns": 35_000u64,
+                    "fault_p99_ns": 38_000u64,
+                    "ns_charged_checksum": 123u64,
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "bench": "backends",
+            "pages": 1_000u64,
+            "available_parallelism": 4u64,
+            "caveat": "noisy",
+            "results": rows,
+        })
+    }
+
     #[test]
     fn well_formed_reports_validate() {
         assert_eq!(validate_bench_report(&fleet_sim_report()), Ok(()));
         assert_eq!(validate_bench_report(&evaluate_many_report()), Ok(()));
         assert_eq!(validate_bench_report(&codecs_report()), Ok(()));
+        assert_eq!(validate_bench_report(&backends_report()), Ok(()));
+    }
+
+    #[test]
+    fn backends_report_requires_every_tier() {
+        // Dropping one tier's rows fails even though the rest validate.
+        let mut r = backends_report();
+        for (k, slot) in entries(&mut r).iter_mut() {
+            if k == "results" {
+                match slot {
+                    Value::Array(rows) => rows.truncate(2),
+                    other => panic!("results is {}", other.kind()),
+                }
+            }
+        }
+        let problems = validate_bench_report(&r).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("simulated_remote")),
+            "{problems:?}"
+        );
+        // Fault-back throughput is schema-checked like demotion throughput.
+        let mut r = backends_report();
+        set_key(first_row(&mut r), "fault_pages_per_sec", serde_json::json!(0.0f64));
+        assert!(validate_bench_report(&r).is_err(), "zero fault throughput passed");
+        let mut r = backends_report();
+        remove_key(first_row(&mut r), "fault_p99_ns");
+        assert!(validate_bench_report(&r).is_err(), "missing percentile passed");
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub struct MachineReport {
     pub pages_touched: u64,
     /// Dead-store pages written back under host pressure this minute.
     pub written_back: u64,
+    /// Dead-store pages demoted down the chain under host pressure this
+    /// minute (chains with a tier below the store demote instead of
+    /// writing back).
+    pub demoted: u64,
     /// Arena frames released by pressure-driven compaction this minute.
     pub compacted_frames: u64,
 }
@@ -105,6 +109,13 @@ impl Machine {
     /// Rolls out new agent parameters.
     pub fn set_agent_params(&mut self, params: AgentParams) {
         self.agent.set_params(params);
+    }
+
+    /// Attaches a demotion chain to the machine's kernel (before placing
+    /// jobs): the agent's per-minute demotion tick and the host-pressure
+    /// path then sink cold store pages down the configured tiers.
+    pub fn enable_chain(&mut self, configs: &[sdfm_kernel::BackendConfig]) {
+        self.kernel.enable_chain(configs);
     }
 
     /// Attempts to admit a job: allocates its memory and registers it with
@@ -256,6 +267,8 @@ impl Machine {
             used_pages: ms.resident + PageCount::new(ms.zswapped_pages),
             compress_ns: cpu.compress_ns,
             decompress_ns: cpu.decompress_ns,
+            demoted_pages: ms.demoted_pages,
+            tier_io_ns: cpu.tier_io_ns,
             jobs: self.jobs.len(),
         });
 
@@ -270,6 +283,7 @@ impl Machine {
                 .relieve_host_pressure(&StorePressure::PAPER_DEFAULT)
             {
                 report.written_back += o.writeback.written_back;
+                report.demoted += o.demotion.demoted;
                 report.compacted_frames += o.compacted.get();
             }
         }
@@ -394,6 +408,36 @@ mod tests {
         assert!(last.coverage().unwrap() > 0.5);
         let job = db.job_snapshots().last().unwrap();
         assert!(job.compressions > 0);
+    }
+
+    #[test]
+    fn chained_machine_reports_demoted_telemetry() {
+        use sdfm_kernel::BackendConfig;
+        let mut m = machine(20_000);
+        m.enable_chain(&[
+            BackendConfig::compressed_ram(),
+            BackendConfig::ssd(PageCount::new(300)),
+            BackendConfig::remote(),
+        ]);
+        let p = small_profile(5_000, 10_000, JobPriority::Batch);
+        m.try_place(JobId::new(1), &p, SimTime::ZERO, 1);
+        let mut db = TelemetryDb::new();
+        for minute in 1..=90u64 {
+            m.step_minute(SimTime::ZERO + MINUTE * minute, &mut db);
+        }
+        let last = db.machine_snapshots().last().unwrap();
+        // The agent's demotion tick sank cold store pages into the SSD
+        // and past its 300-page cap onto the remote tier.
+        assert!(last.demoted_pages[1] > 0, "SSD tier empty: {last:?}");
+        assert!(
+            last.demoted_pages[1] <= 300,
+            "SSD overfilled: {last:?}"
+        );
+        assert!(last.demoted_pages[2] > 0, "remote tier empty: {last:?}");
+        assert!(last.tier_io_ns > 0, "device traffic never charged");
+        // The un-chained machines in every other test report zeros.
+        let kernel_stats = m.kernel().machine_stats();
+        assert_eq!(kernel_stats.demoted_pages, last.demoted_pages);
     }
 
     #[test]

@@ -62,6 +62,12 @@ pub struct MachineSnapshot {
     pub compress_ns: u64,
     /// Machine-level decompression CPU time so far (ns).
     pub decompress_ns: u64,
+    /// Pages demoted onto device tiers (per chain tier, warmest first;
+    /// all zeros without a chain).
+    pub demoted_pages: [u64; sdfm_kernel::MAX_TIERS],
+    /// Machine-level device-tier I/O time so far (ns) — demotion stores
+    /// plus fault-back loads across the chain.
+    pub tier_io_ns: u64,
     /// Jobs running.
     pub jobs: usize,
 }
@@ -160,6 +166,8 @@ mod tests {
             used_pages: PageCount::new(used),
             compress_ns: 0,
             decompress_ns: 0,
+            demoted_pages: [0; sdfm_kernel::MAX_TIERS],
+            tier_io_ns: 0,
             jobs: 1,
         }
     }

@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 use sdfm_agent::{AgentParams, JobController, SloConfig};
 use sdfm_compress::codec::CodecKind;
 use sdfm_compress::measure::ClassPayloadTable;
-use sdfm_kernel::{CostModel, CpuAccounting, StorePressure};
+use sdfm_kernel::{ChainPolicy, CostModel, CpuAccounting, StorePressure};
 use sdfm_pool::WorkerPool;
 use sdfm_types::arith::permille_of;
 use sdfm_types::histogram::{PageAge, PromotionHistogram};
@@ -94,6 +94,11 @@ pub struct FleetSimConfig {
     /// Store-lifecycle policy: how fast a disabled job's zswap store
     /// decays back to DRAM (mirrors the kernel's writeback machinery).
     pub pressure: StorePressure,
+    /// Optional three-tier demotion chain (zswap → SSD → remote): each
+    /// window one decay step of a job's coldest stored pages sinks down
+    /// the ladder, and a disabled job's store demotes instead of writing
+    /// back. `None` (the default) keeps the two-tier behavior unchanged.
+    pub chain: Option<ChainPolicy>,
     /// Worker threads for the per-job window step (1 = sequential). The
     /// output is identical at any thread count: each job's state is
     /// self-contained, and results are aggregated in job order.
@@ -115,6 +120,7 @@ impl FleetSimConfig {
             cost: CostModel::PAPER_DEFAULT,
             ratio_source: RatioSource::default(),
             pressure: StorePressure::PAPER_DEFAULT,
+            chain: None,
             // 0 = unrequested: honors `SDFM_THREADS`, then host parallelism,
             // so CI runs on different hosts resolve reproducibly.
             threads: sdfm_pool::resolve_threads(0),
@@ -170,6 +176,20 @@ pub struct JobWindowStat {
     /// Store pages written back to DRAM this window by the lifecycle
     /// policy (each one a charged decompression).
     pub writeback_events: u64,
+    /// Pages parked on the SSD tier at window end (chain runs only).
+    pub ssd_pages: u64,
+    /// Pages parked on the remote tier at window end (chain runs only).
+    pub remote_pages: u64,
+    /// Store pages demoted into the SSD tier this window (each a charged
+    /// decompression plus a device store).
+    pub ssd_demotions: u64,
+    /// Store pages that overflowed the SSD quota onto the remote tier
+    /// this window.
+    pub remote_demotions: u64,
+    /// Device pages faulted back from the SSD tier this window.
+    pub ssd_faults: u64,
+    /// Device pages faulted back from the remote tier this window.
+    pub remote_faults: u64,
     /// The job's CPU footprint (cores).
     pub cpu_cores: f64,
 }
@@ -191,6 +211,10 @@ pub struct FleetWindowStats {
     /// Sum of page frames those stores actually occupy at each job's
     /// realized ratio — the DRAM the compressed pool costs.
     pub store_frames: u64,
+    /// Sum of pages parked on the SSD tier (chain runs only).
+    pub ssd_pages: u64,
+    /// Sum of pages parked on the remote tier (chain runs only).
+    pub remote_pages: u64,
     /// Per-job detail.
     pub per_job: Vec<JobWindowStat>,
 }
@@ -253,6 +277,10 @@ struct SimJob {
     /// On re-enable, only growth beyond what is still stored is charged
     /// as compression work.
     store_pages: u64,
+    /// Pages parked on the SSD tier (chain runs only).
+    ssd_pages: u64,
+    /// Pages parked on the remote tier (chain runs only).
+    remote_pages: u64,
 }
 
 // The parallel window step hands chunks of jobs to scoped worker threads;
@@ -377,6 +405,8 @@ impl FleetSim {
             cpu_cores,
             total_pages,
             store_pages: 0,
+            ssd_pages: 0,
+            remote_pages: 0,
         });
     }
 
@@ -412,6 +442,7 @@ impl FleetSim {
         window: SimDuration,
         min_threshold: PageAge,
         pressure: StorePressure,
+        chain: Option<ChainPolicy>,
     ) -> JobWindowStat {
         let obs = j.model.observe(now, window);
         j.cumulative_promo.merge(&obs.promo_delta);
@@ -444,17 +475,64 @@ impl FleetSim {
         // the dead store back window by window — each writeback a charged
         // decompression — so a long-disabled job's store reaches zero and
         // a much later re-enable pays for the full cold mass.
+        let mut ssd_faults = 0u64;
+        let mut remote_faults = 0u64;
         let (compress_events, rejected_events, writeback_events) = if enabled {
-            let events = far.saturating_sub(j.store_pages) + promos;
-            j.store_pages = far;
+            // With a chain attached, `far` is the job's *total* far-memory
+            // footprint; device residency comes off the top and the store
+            // holds the rest, so demoted pages are never recompressed.
+            let device = j.ssd_pages + j.remote_pages;
+            let store_target = if far >= device {
+                far - device
+            } else {
+                // The cold mass shrank below the device residency: the
+                // warmest device pages fault back (SSD before remote),
+                // each a charged device load.
+                let mut need = device - far;
+                ssd_faults = need.min(j.ssd_pages);
+                j.ssd_pages -= ssd_faults;
+                need -= ssd_faults;
+                remote_faults = need.min(j.remote_pages);
+                j.remote_pages -= remote_faults;
+                0
+            };
+            let events = store_target.saturating_sub(j.store_pages) + promos;
+            j.store_pages = store_target;
             let fresh_rejects = reject_candidates.saturating_sub(j.rejected_marked);
             j.rejected_marked = j.rejected_marked.max(reject_candidates);
             (events, fresh_rejects, 0)
+        } else if chain.is_some() {
+            // A chain gives the dead store somewhere slower to go: the
+            // demotion step below drains it down the ladder instead of
+            // writing it back to DRAM (the kernel's
+            // `store_lifecycle_tick` demote path).
+            (0, 0, 0)
         } else {
             let writebacks = pressure.decay_step(j.store_pages);
             j.store_pages -= writebacks;
             (0, 0, writebacks)
         };
+        // Demotion trickle: one decay step of the store's coldest pages
+        // sinks to the SSD tier up to the per-job quota and overflows to
+        // remote — under the chain's own policy while enabled, under the
+        // lifecycle pressure while disabled. Each demotion loads the page
+        // out of the store (a charged decompression) and stores it on the
+        // device (charged tier I/O), exactly like the kernel's
+        // `demote_coldest`.
+        let (ssd_demotions, remote_demotions) = match chain {
+            Some(cp) => {
+                let policy = if enabled { cp.demote } else { pressure };
+                let step = policy.decay_step(j.store_pages);
+                let to_ssd = step.min(cp.ssd_quota_pages.saturating_sub(j.ssd_pages));
+                let to_remote = step - to_ssd;
+                j.store_pages -= step;
+                j.ssd_pages += to_ssd;
+                j.remote_pages += to_remote;
+                (to_ssd, to_remote)
+            }
+            None => (0, 0),
+        };
+        let demote_events = ssd_demotions + remote_demotions;
         let rate = PromotionRate::from_count(promos, window)
             .normalized(decision.working_set)
             .fraction_per_min();
@@ -479,11 +557,17 @@ impl FleetSim {
             normalized_rate: rate,
             compress_events,
             rejected_events,
-            decompress_events: promos + writeback_events,
+            decompress_events: promos + writeback_events + demote_events,
             store_pages: j.store_pages,
             store_frames,
             ratio_permille: j.ratio_permille,
             writeback_events,
+            ssd_pages: j.ssd_pages,
+            remote_pages: j.remote_pages,
+            ssd_demotions,
+            remote_demotions,
+            ssd_faults,
+            remote_faults,
             cpu_cores: j.cpu_cores,
         }
     }
@@ -503,6 +587,7 @@ impl FleetSim {
         let window = self.config.window;
         let min_threshold = self.config.slo.min_threshold;
         let pressure = self.config.pressure;
+        let chain = self.config.chain;
         let mut stats = FleetWindowStats {
             at: now,
             total_pages: 0,
@@ -510,6 +595,8 @@ impl FleetSim {
             far_pages: 0,
             store_pages: 0,
             store_frames: 0,
+            ssd_pages: 0,
+            remote_pages: 0,
             per_job: Vec::with_capacity(self.jobs.len()),
         };
 
@@ -518,7 +605,7 @@ impl FleetSim {
             for j in &mut self.jobs {
                 stats
                     .per_job
-                    .push(Self::step_job(j, now, window, min_threshold, pressure));
+                    .push(Self::step_job(j, now, window, min_threshold, pressure, chain));
             }
         } else {
             let chunk = self.jobs.len().div_ceil(workers);
@@ -535,7 +622,7 @@ impl FleetSim {
                             move || {
                                 buf.clear();
                                 buf.extend(chunk.iter_mut().map(|j| {
-                                    Self::step_job(j, now, window, min_threshold, pressure)
+                                    Self::step_job(j, now, window, min_threshold, pressure, chain)
                                 }));
                             }
                         })
@@ -553,7 +640,7 @@ impl FleetSim {
                             s.spawn(move |_| {
                                 buf.clear();
                                 buf.extend(chunk.iter_mut().map(|j| {
-                                    Self::step_job(j, now, window, min_threshold, pressure)
+                                    Self::step_job(j, now, window, min_threshold, pressure, chain)
                                 }));
                             });
                         }
@@ -574,6 +661,22 @@ impl FleetSim {
             stats.far_pages += s.far_pages;
             stats.store_pages += s.store_pages;
             stats.store_frames += s.store_frames;
+            stats.ssd_pages += s.ssd_pages;
+            stats.remote_pages += s.remote_pages;
+            // Device traffic is priced by the chain's backend configs:
+            // demotions pay the tier's store cost, fault-backs its fault
+            // cost — the same per-op arithmetic the page-level chain
+            // charges through `charge_tier_io`.
+            let (tier_io_ns, tier_io_events) = match chain {
+                Some(cp) => (
+                    s.ssd_demotions * cp.ssd.store_op_ns()
+                        + s.remote_demotions * cp.remote.store_op_ns()
+                        + s.ssd_faults * cp.ssd.fault_ns()
+                        + s.remote_faults * cp.remote.fault_ns(),
+                    s.ssd_demotions + s.remote_demotions + s.ssd_faults + s.remote_faults,
+                ),
+                None => (0, 0),
+            };
             // Charge the window's events into the fleet CPU ledger exactly
             // like the page-level kernel would: rejected attempts burn the
             // same compression cycles, counted both in the total and apart.
@@ -583,6 +686,8 @@ impl FleetSim {
                 compress_events: s.compress_events + s.rejected_events,
                 decompress_events: s.decompress_events,
                 rejected_compress_events: s.rejected_events,
+                tier_io_ns,
+                tier_io_events,
             });
         }
 
@@ -1085,5 +1190,96 @@ mod tests {
             .map(|j| j.writeback_events)
             .sum();
         assert!(decayed > 0, "no writebacks in the disabled phase");
+    }
+
+    /// The three-tier chain trajectory is bit-identical at any thread
+    /// count (the ISSUE's acceptance gate at threads 1/2/4), and two
+    /// same-seed runs serialize to the same bytes.
+    #[test]
+    fn three_tier_chain_is_bit_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut cfg = FleetSimConfig::new(2);
+            cfg.noise_sigma = 0.1;
+            cfg.threads = threads;
+            // A tight per-job SSD quota so overflow reaches the remote tier.
+            cfg.chain = Some(ChainPolicy::paper_default(64));
+            let mut sim = FleetSim::new(cfg, 31);
+            let windows = sim.run_windows(16);
+            serde_json::to_string(&windows).expect("fleet stats serialize")
+        };
+        let (one, again, two, four) = (run(1), run(1), run(2), run(4));
+        assert!(one == again, "two same-seed chain runs diverged");
+        assert!(one == two, "1 vs 2 threads diverged under the chain");
+        assert!(one == four, "1 vs 4 threads diverged under the chain");
+        let parsed: Vec<FleetWindowStats> = serde_json::from_str(&one).unwrap();
+        let last = parsed.last().unwrap();
+        // The decay trickle populated the SSD tier and its quota overflow
+        // reached the remote tier.
+        assert!(last.ssd_pages > 0, "nothing demoted to SSD");
+        assert!(last.remote_pages > 0, "SSD quota never overflowed");
+        // Demotions and fault-backs were charged as device traffic.
+        for w in &parsed {
+            for j in &w.per_job {
+                if j.enabled {
+                    // The far footprint is conserved across the ladder.
+                    assert_eq!(
+                        j.far_pages,
+                        j.store_pages + j.ssd_pages + j.remote_pages,
+                        "far-memory pages leaked between tiers"
+                    );
+                }
+                assert_eq!(
+                    j.decompress_events,
+                    j.promotions + j.writeback_events + j.ssd_demotions + j.remote_demotions,
+                    "demotions not charged as store loads"
+                );
+            }
+        }
+    }
+
+    /// With a chain attached, a disabled job's store demotes down the
+    /// ladder instead of writing back to DRAM — the fast-model mirror of
+    /// the kernel's `store_lifecycle_tick` demote path.
+    #[test]
+    fn disabled_store_demotes_instead_of_writing_back_under_chain() {
+        let mut cfg = FleetSimConfig::new(2);
+        cfg.noise_sigma = 0.0;
+        cfg.churn = false;
+        cfg.chain = Some(ChainPolicy::paper_default(128));
+        let mut sim = FleetSim::new(cfg, 9);
+        sim.set_params(AgentParams::new(98.0, SimDuration::ZERO).unwrap());
+        let mut steady = None;
+        for _ in 0..12 {
+            steady = Some(sim.step_window());
+        }
+        let steady = steady.unwrap();
+        assert!(steady.store_pages > 0, "no store built up");
+
+        sim.set_params(AgentParams::new(98.0, SimDuration::from_hours(10_000)).unwrap());
+        let mut prev = steady.store_pages + steady.ssd_pages + steady.remote_pages;
+        for w in 0..40 {
+            let s = sim.step_window();
+            let writebacks: u64 = s.per_job.iter().map(|j| j.writeback_events).sum();
+            let demoted: u64 = s
+                .per_job
+                .iter()
+                .map(|j| j.ssd_demotions + j.remote_demotions)
+                .sum();
+            assert_eq!(writebacks, 0, "chain run wrote back at window {w}");
+            // Every page leaving the store lands on a device tier: the
+            // total far-memory mass is conserved while disabled.
+            let held = s.store_pages + s.ssd_pages + s.remote_pages;
+            assert_eq!(held, prev, "pages vanished during demotion at window {w}");
+            prev = held;
+            if s.store_pages == 0 {
+                assert!(demoted == 0 || w > 0);
+                break;
+            }
+            assert!(demoted > 0, "store stopped demoting at window {w}");
+        }
+        // Device traffic reached the fleet CPU ledger.
+        let cpu = sim.cpu_accounting();
+        assert!(cpu.tier_io_events > 0, "no tier I/O charged");
+        assert!(cpu.tier_io_ns > 0);
     }
 }

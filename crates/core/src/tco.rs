@@ -122,6 +122,73 @@ impl TcoModel {
         self.dram_savings_cost(coverage, cold_ceiling, total_gib)
             - self.cpu_overhead_cost(cpu_core_seconds)
     }
+
+    /// The break-even per-GiB cost of a device tier, as a fraction of
+    /// DRAM cost: `1/r`.
+    ///
+    /// A compressed page still occupies `1/r` of its size in DRAM, so a
+    /// device tier (SSD, remote) only beats buying that DRAM when its
+    /// per-GiB cost ratio is *below* this number — at the paper's 3×
+    /// ratio, an SSD must cost less than a third of DRAM per GiB before a
+    /// second tier wins on capacity cost alone (latency aside, §8).
+    pub fn tier_break_even_cost_ratio(&self) -> f64 {
+        1.0 / self.compression_ratio
+    }
+
+    /// Fraction of total DRAM cost freed by parking covered cold memory
+    /// on a device tier whose per-GiB cost is `tier_cost_ratio` × DRAM:
+    /// `C × F × (1 − c)`. The device-tier analogue of
+    /// [`dram_savings_fraction`](Self::dram_savings_fraction), which it
+    /// beats exactly when `c < 1/r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all three arguments are in `[0, 1]` — a tier costing
+    /// more than DRAM can never save money by holding pages.
+    pub fn tier_savings_fraction(
+        &self,
+        coverage: f64,
+        cold_ceiling: f64,
+        tier_cost_ratio: f64,
+    ) -> f64 {
+        assert!((0.0..=1.0).contains(&coverage), "coverage {coverage}");
+        assert!(
+            (0.0..=1.0).contains(&cold_ceiling),
+            "cold ceiling {cold_ceiling}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&tier_cost_ratio),
+            "tier cost ratio {tier_cost_ratio}"
+        );
+        coverage * cold_ceiling * (1.0 - tier_cost_ratio)
+    }
+
+    /// Per-byte transfer dollars accrued by costed tiers, converted from
+    /// the chain's nanocent ledger
+    /// ([`BackendStats::bytes_transferred`](sdfm_kernel::BackendStats) ×
+    /// the config's per-byte price) into the model's currency units
+    /// (1 unit = 100 cents = 10¹¹ nanocents).
+    pub fn transfer_cost(&self, nanocents: u64) -> f64 {
+        nanocents as f64 * 1e-11
+    }
+
+    /// Net saving of a device tier: DRAM cost freed minus the tier's
+    /// transfer traffic — the "when does an SSD tier beat buying DRAM"
+    /// number. Compare against [`net_savings`](Self::net_savings) for the
+    /// compressed-RAM alternative on the same coverage.
+    pub fn net_tier_savings(
+        &self,
+        coverage: f64,
+        cold_ceiling: f64,
+        total_gib: f64,
+        tier_cost_ratio: f64,
+        transfer_nanocents: u64,
+    ) -> f64 {
+        self.tier_savings_fraction(coverage, cold_ceiling, tier_cost_ratio)
+            * total_gib
+            * self.dram_cost_per_gib
+            - self.transfer_cost(transfer_nanocents)
+    }
 }
 
 impl Default for TcoModel {
@@ -179,6 +246,43 @@ mod tests {
     #[should_panic(expected = "coverage")]
     fn coverage_out_of_range_panics() {
         TcoModel::paper_default().dram_savings_fraction(1.5, 0.3);
+    }
+
+    /// The tier arithmetic: a device tier beats compressed RAM exactly
+    /// when its per-GiB cost is below the `1/r` break-even ratio.
+    #[test]
+    fn tier_break_even_against_compression() {
+        let m = TcoModel::paper_default();
+        let be = m.tier_break_even_cost_ratio();
+        assert!((be - 1.0 / 3.0).abs() < 1e-12);
+        let (c, f) = (0.20, 0.32);
+        let zswap = m.dram_savings_fraction(c, f);
+        // A cheap SSD (10% of DRAM cost) frees more dollars than the
+        // compressed store on the same coverage.
+        assert!(m.tier_savings_fraction(c, f, 0.10) > zswap);
+        // An expensive device (50% of DRAM) loses to compression.
+        assert!(m.tier_savings_fraction(c, f, 0.50) < zswap);
+        // At the break-even ratio the two are equal.
+        assert!((m.tier_savings_fraction(c, f, be) - zswap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn net_tier_savings_subtract_transfer_traffic() {
+        let m = TcoModel::paper_default();
+        let gross = m.net_tier_savings(0.2, 0.32, 1_000.0, 0.1, 0);
+        assert!(gross > 0.0);
+        // 10^11 nanocents = 1 currency unit.
+        let net = m.net_tier_savings(0.2, 0.32, 1_000.0, 0.1, 100_000_000_000);
+        assert!((gross - net - 1.0).abs() < 1e-9);
+        // Enough remote traffic can erase the capacity win entirely.
+        let drowned = m.net_tier_savings(0.2, 0.32, 1_000.0, 0.1, u64::MAX);
+        assert!(drowned < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tier cost ratio")]
+    fn tier_cost_ratio_out_of_range_panics() {
+        TcoModel::paper_default().tier_savings_fraction(0.2, 0.3, 1.5);
     }
 
     /// The measured pipeline reaches the TCO arithmetic: a cost model with

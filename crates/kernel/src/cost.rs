@@ -178,6 +178,14 @@ pub struct CpuAccounting {
     /// (§5.1: the incompressible page stays in DRAM but the compression
     /// attempt was real work).
     pub rejected_compress_events: u64,
+    /// Total nanoseconds charged to device-tier traffic (demotion stores
+    /// and fault-back loads across the chain, including transfer time).
+    /// Historically the tier device tracked its own `ns_charged` that
+    /// never reached this ledger; every backend operation now flows here
+    /// like writeback decompressions do.
+    pub tier_io_ns: u64,
+    /// Device-tier operations charged (stores + loads).
+    pub tier_io_events: u64,
 }
 
 impl CpuAccounting {
@@ -199,6 +207,13 @@ impl CpuAccounting {
     pub fn charge_decompress(&mut self, model: &CostModel) {
         self.decompress_ns += model.decompress_ns;
         self.decompress_events += 1;
+    }
+
+    /// Charges one device-tier operation (a demotion store or a
+    /// fault-back load) at the backend's per-op cost.
+    pub fn charge_tier_io(&mut self, op_ns: u64) {
+        self.tier_io_ns += op_ns;
+        self.tier_io_events += 1;
     }
 
     /// Fraction of `cpu_time` spent compressing, where `cpu_time` is the
@@ -229,6 +244,8 @@ impl CpuAccounting {
         self.compress_events += other.compress_events;
         self.decompress_events += other.decompress_events;
         self.rejected_compress_events += other.rejected_compress_events;
+        self.tier_io_ns += other.tier_io_ns;
+        self.tier_io_events += other.tier_io_events;
     }
 }
 
@@ -309,11 +326,24 @@ mod tests {
             compress_events: 1,
             decompress_events: 2,
             rejected_compress_events: 1,
+            tier_io_ns: 30,
+            tier_io_events: 3,
         };
         a.merge(&a.clone());
         assert_eq!(a.compress_ns, 20);
         assert_eq!(a.decompress_events, 4);
         assert_eq!(a.rejected_compress_events, 2);
+        assert_eq!(a.tier_io_ns, 60);
+        assert_eq!(a.tier_io_events, 6);
+    }
+
+    #[test]
+    fn tier_io_charges_accumulate() {
+        let mut acc = CpuAccounting::default();
+        acc.charge_tier_io(700);
+        acc.charge_tier_io(300);
+        assert_eq!(acc.tier_io_ns, 1_000);
+        assert_eq!(acc.tier_io_events, 2);
     }
 
     /// The calibration bugfix: mean-per-page arithmetic can never round a

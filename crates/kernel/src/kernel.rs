@@ -3,14 +3,17 @@
 
 use std::collections::BTreeMap;
 
+use crate::backend::{BackendConfig, BackendStats, DemotionChain, MAX_TIERS};
 use crate::cost::{CostModel, CpuAccounting};
 use crate::error::KernelError;
 use crate::kreclaimd::{self, ReclaimOutcome};
 use crate::kstaled::{self, ScanOutcome};
 use crate::memcg::{MemCgroup, MemcgStats};
 use crate::page::{Page, PageContent, PageState};
-use crate::tiering::{Tier1Config, Tier1Stats, Tier1Store};
-use crate::writeback::{self, HostPressureOutcome, StorePressure, WritebackOutcome};
+use crate::tiering::{Tier1Config, Tier1Stats};
+use crate::writeback::{
+    self, DemotionOutcome, HostPressureOutcome, LifecycleOutcome, StorePressure, WritebackOutcome,
+};
 use crate::zswap::ZswapStore;
 use sdfm_compress::codec::CodecKind;
 use sdfm_types::histogram::PageAge;
@@ -51,8 +54,10 @@ pub struct MachineStats {
     pub zswap_footprint: PageCount,
     /// Pages stored compressed.
     pub zswapped_pages: u64,
-    /// Pages stored in the NVM-like tier-1 device (off-DRAM entirely).
-    pub tier1_pages: u64,
+    /// Pages resident per device tier of the demotion chain, indexed by
+    /// chain position (off-DRAM entirely; compressed-RAM tiers stay zero —
+    /// their pages are `zswapped_pages`).
+    pub demoted_pages: [u64; MAX_TIERS],
     /// Free frames.
     pub free: PageCount,
     /// Live memcgs.
@@ -66,10 +71,16 @@ impl MachineStats {
         PageCount::new(self.zswapped_pages).saturating_sub(self.zswap_footprint)
     }
 
-    /// DRAM saved including tier-1 demotions (tier-1 pages leave DRAM
-    /// wholesale; the NVM cost is accounted separately in the TCO model).
-    pub fn pages_saved_with_tier1(&self) -> PageCount {
-        self.pages_saved() + PageCount::new(self.tier1_pages)
+    /// Pages resident across every device tier.
+    pub fn demoted_total(&self) -> u64 {
+        self.demoted_pages.iter().sum()
+    }
+
+    /// DRAM saved including device-tier demotions (demoted pages leave
+    /// DRAM wholesale; the device cost is accounted separately in the TCO
+    /// model).
+    pub fn pages_saved_with_demoted(&self) -> PageCount {
+        self.pages_saved() + PageCount::new(self.demoted_total())
     }
 
     /// Bytes saved.
@@ -83,7 +94,7 @@ impl MachineStats {
 pub struct Kernel {
     config: KernelConfig,
     zswap: ZswapStore,
-    tier1: Option<Tier1Store>,
+    chain: Option<DemotionChain>,
     memcgs: BTreeMap<JobId, MemCgroup>,
     cpu: CpuAccounting,
     scans: u64,
@@ -94,7 +105,7 @@ impl Kernel {
     pub fn new(config: KernelConfig) -> Self {
         Kernel {
             zswap: ZswapStore::new(config.codec),
-            tier1: None,
+            chain: None,
             config,
             memcgs: BTreeMap::new(),
             cpu: CpuAccounting::default(),
@@ -102,14 +113,38 @@ impl Kernel {
         }
     }
 
-    /// Attaches an NVM-like tier-1 device (two-tier far memory, §8).
+    /// Attaches an NVM-like tier-1 device (two-tier far memory, §8) —
+    /// the two-backend special case of [`enable_chain`](Self::enable_chain):
+    /// the device (warmest) followed by compressed RAM.
     pub fn enable_tier1(&mut self, config: Tier1Config) {
-        self.tier1 = Some(Tier1Store::new(config));
+        self.enable_chain(&[config.backend(), BackendConfig::compressed_ram()]);
     }
 
-    /// Tier-1 device counters, if a device is attached.
+    /// Attaches a demotion chain of far-memory tiers, warmest first (e.g.
+    /// `[compressed RAM, SSD, remote]` for the three-tier ladder).
+    /// Replaces any chain attached earlier; pages already demoted to a
+    /// previous chain keep their per-memcg accounting, so swap chains only
+    /// on an empty ladder.
+    pub fn enable_chain(&mut self, configs: &[BackendConfig]) {
+        self.chain = Some(DemotionChain::from_configs(configs));
+    }
+
+    /// The attached demotion chain, if any.
+    pub fn chain(&self) -> Option<&DemotionChain> {
+        self.chain.as_ref()
+    }
+
+    /// Per-tier backend counters, in chain order, if a chain is attached.
+    pub fn chain_stats(&self) -> Option<Vec<BackendStats>> {
+        self.chain.as_ref().map(|c| c.stats())
+    }
+
+    /// Tier-1 device counters (the first device tier of the chain), if a
+    /// chain with a device tier is attached.
     pub fn tier1_stats(&self) -> Option<Tier1Stats> {
-        self.tier1.as_ref().map(|t| t.stats())
+        let chain = self.chain.as_ref()?;
+        let first = chain.first_device_index()?;
+        chain.tier(first).map(|t| t.stats().into())
     }
 
     /// The configuration this kernel booted with.
@@ -147,11 +182,15 @@ impl Kernel {
         for page in &cg.pages {
             match page.state {
                 PageState::Zswapped(h) => self.zswap.discard(h)?,
-                PageState::Tier1 => self
-                    .tier1
+                PageState::Demoted(t) => self
+                    .chain
                     .as_mut()
                     .ok_or(KernelError::Tier1Missing)?
-                    .discard(),
+                    .tier_mut(t as usize)
+                    .ok_or(KernelError::StoreCorrupt {
+                        detail: "page demoted to a tier the chain does not have",
+                    })?
+                    .discard_page(),
                 PageState::Resident => {}
             }
         }
@@ -322,12 +361,16 @@ impl Kernel {
                         self.zswap.stored_size(h).ok_or(KernelError::StaleHandle)? as u64;
                     self.zswap.discard(h)?;
                 }
-                PageState::Tier1 => {
-                    cg.stats.tier1_pages -= 1;
-                    self.tier1
+                PageState::Demoted(t) => {
+                    cg.stats.demoted_pages[t as usize] -= 1;
+                    self.chain
                         .as_mut()
                         .ok_or(KernelError::Tier1Missing)?
-                        .discard();
+                        .tier_mut(t as usize)
+                        .ok_or(KernelError::StoreCorrupt {
+                            detail: "page demoted to a tier the chain does not have",
+                        })?
+                        .discard_page();
                 }
                 PageState::Resident => cg.stats.resident_pages -= page.span as u64,
             }
@@ -374,15 +417,23 @@ impl Kernel {
                 self.cpu.charge_decompress(&cost);
                 true
             }
-            PageState::Tier1 => {
-                self.tier1
+            PageState::Demoted(t) => {
+                let ns = self
+                    .chain
                     .as_mut()
                     .ok_or(KernelError::Tier1Missing)?
-                    .load();
+                    .tier_mut(t as usize)
+                    .ok_or(KernelError::StoreCorrupt {
+                        detail: "page demoted to a tier the chain does not have",
+                    })?
+                    .load_page();
+                // Fault-back I/O is CPU-visible wait time, charged like
+                // writeback decompressions are.
+                self.cpu.charge_tier_io(ns);
                 p.state = PageState::Resident;
-                cg.stats.tier1_pages -= 1;
+                cg.stats.demoted_pages[t as usize] -= 1;
                 cg.stats.resident_pages += 1;
-                cg.stats.tier1_loads += 1;
+                cg.stats.demoted_loads[t as usize] += 1;
                 true
             }
             PageState::Resident => false,
@@ -439,15 +490,20 @@ impl Kernel {
 
     /// Two-tier reclaim (§8): pages at age ≥ `t2_threshold` compress into
     /// zswap; pages at age ≥ `t1_threshold` (but younger than `t2`) demote
-    /// uncompressed into the tier-1 device while it has room. Tier-1 pages
-    /// that age past `t2_threshold` overflow into zswap, keeping the fixed
-    /// device available for the warm end of the cold spectrum.
+    /// uncompressed into the chain's warm device tier while it has room.
+    /// Warm-device residents that age past `t2_threshold` overflow into
+    /// zswap, keeping the fixed device available for the warm end of the
+    /// cold spectrum.
     ///
     /// # Errors
     ///
     /// [`KernelError::NoSuchMemcg`] if the job has no memcg;
-    /// [`KernelError::Tier1Missing`] if no tier-1 device is attached
-    /// (call [`enable_tier1`](Self::enable_tier1) first).
+    /// [`KernelError::Tier1Missing`] if no chain with a device tier
+    /// warmer than compressed RAM is attached (call
+    /// [`enable_tier1`](Self::enable_tier1) or
+    /// [`enable_chain`](Self::enable_chain) first — chains whose devices
+    /// all sit *below* compressed RAM demote via
+    /// [`demote_job`](Self::demote_job) instead).
     ///
     /// # Panics
     ///
@@ -464,7 +520,8 @@ impl Kernel {
             "tier-1 threshold must not exceed tier-2's"
         );
         let cost = self.config.cost;
-        let tier1 = self.tier1.as_mut().ok_or(KernelError::Tier1Missing)?;
+        let chain = self.chain.as_mut().ok_or(KernelError::Tier1Missing)?;
+        let dev = chain.warm_device_index().ok_or(KernelError::Tier1Missing)?;
         let cg = self
             .memcgs
             .get_mut(&job)
@@ -480,7 +537,7 @@ impl Kernel {
             // zswap store nor the page-granular device takes a 2 MiB
             // mapping whole).
             if cg.pages[i].is_huge()
-                && cg.pages[i].tier1_eligible(t1_threshold)
+                && cg.pages[i].demote_eligible(t1_threshold)
                 && cg.split_huge_page(i)
             {
                 outcome.huge_splits += 1;
@@ -488,24 +545,28 @@ impl Kernel {
             let page = &mut cg.pages[i];
             i += 1;
             outcome.examined += 1;
-            // Overflow: tier-1 residents that aged past the zswap threshold.
-            if matches!(page.state, PageState::Tier1) && page.age >= t2_threshold {
+            // Overflow: warm-device residents that aged past the zswap
+            // threshold.
+            if page.state == PageState::Demoted(dev as u8) && page.age >= t2_threshold {
                 cg.stats.compressions += 1;
                 match self.zswap.store(&page.content)? {
                     crate::zswap::StoreOutcome::Stored(h) => {
                         self.cpu.charge_compress(&cost);
-                        tier1.discard();
+                        let tier = chain.tier_mut(dev).ok_or(KernelError::StoreCorrupt {
+                            detail: "warm device tier vanished mid-pass",
+                        })?;
+                        tier.discard_page();
                         page.state = PageState::Zswapped(h);
-                        cg.stats.tier1_pages -= 1;
+                        cg.stats.demoted_pages[dev] -= 1;
                         cg.stats.zswapped_pages += 1;
                         cg.stats.zswapped_bytes +=
                             self.zswap.stored_size(h).ok_or(KernelError::StaleHandle)? as u64;
                         outcome.reclaimed += 1;
                     }
                     crate::zswap::StoreOutcome::Rejected { .. } => {
-                        // Incompressible: it stays in tier-1 (NVM holds raw
-                        // pages happily) — but the failed attempt burned the
-                        // same compression cycles (§5.1).
+                        // Incompressible: it stays on the device (which
+                        // holds raw pages happily) — but the failed attempt
+                        // burned the same compression cycles (§5.1).
                         self.cpu.charge_rejected_compress(&cost);
                         cg.stats.rejections += 1;
                         outcome.rejected += 1;
@@ -536,22 +597,51 @@ impl Kernel {
                 }
                 continue;
             }
-            // DRAM → tier-1 for the warm-cold, capacity permitting.
-            if page.tier1_eligible(t1_threshold) {
-                if tier1.free().get() > 0 && tier1.store() {
-                    page.state = PageState::Tier1;
+            // DRAM → warm device for the warm-cold, capacity permitting.
+            if page.demote_eligible(t1_threshold) {
+                let tier = chain.tier_mut(dev).ok_or(KernelError::StoreCorrupt {
+                    detail: "warm device tier vanished mid-pass",
+                })?;
+                if tier.has_room() {
+                    let ns = tier.store_page().ok_or(KernelError::StoreCorrupt {
+                        detail: "warm device tier filled mid-check",
+                    })?;
+                    self.cpu.charge_tier_io(ns);
+                    page.state = PageState::Demoted(dev as u8);
                     cg.stats.resident_pages -= 1;
-                    cg.stats.tier1_pages += 1;
+                    cg.stats.demoted_pages[dev] += 1;
+                    cg.stats.demotions += 1;
                     outcome.reclaimed += 1;
                 } else if !stranded_this_pass {
                     // Demand exists but the fixed device is full: one
                     // stranding event per pass (§2.1's provisioning risk).
-                    tier1.record_stranding();
+                    tier.record_stranding();
                     stranded_this_pass = true;
                 }
             }
         }
         Ok(outcome)
+    }
+
+    /// Demotes up to `budget` of `job`'s coldest compressed pages down the
+    /// chain (zswap → SSD → remote), overflowing past full tiers. A no-op
+    /// (all counters zero) when no chain is attached or the chain has no
+    /// device tier below compressed RAM — the two-tier configuration keeps
+    /// its cold pages compressed.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchMemcg`], or a store inconsistency mid-pass.
+    pub fn demote_job(&mut self, job: JobId, budget: u64) -> Result<DemotionOutcome, KernelError> {
+        let cost = self.config.cost;
+        let Some(chain) = self.chain.as_mut() else {
+            return Ok(DemotionOutcome::default());
+        };
+        let cg = self
+            .memcgs
+            .get_mut(&job)
+            .ok_or(KernelError::NoSuchMemcg { job })?;
+        writeback::demote_coldest(cg, &mut self.zswap, chain, budget, &cost, &mut self.cpu)
     }
 
     /// Direct reclaim under machine memory pressure: compresses the oldest
@@ -642,7 +732,9 @@ impl Kernel {
     /// this once per control window):
     ///
     /// * zswap disabled with a nonempty store — the dead store decays by
-    ///   [`StorePressure::decay_step`] pages (LRU writeback, ages kept);
+    ///   [`StorePressure::decay_step`] pages: demoted down the chain when
+    ///   a tier below compressed RAM is attached, written back to DRAM
+    ///   otherwise (LRU order, ages kept either way);
     /// * zswap enabled but the soft limit exceeds resident pages — part of
     ///   the protected working set sits compressed; the youngest
     ///   compressed pages come back hot until the deficit closes;
@@ -655,7 +747,7 @@ impl Kernel {
         &mut self,
         job: JobId,
         policy: &StorePressure,
-    ) -> Result<WritebackOutcome, KernelError> {
+    ) -> Result<LifecycleOutcome, KernelError> {
         let cost = self.config.cost;
         let cg = self
             .memcgs
@@ -663,7 +755,7 @@ impl Kernel {
             .ok_or(KernelError::NoSuchMemcg { job })?;
         let zswapped = cg.stats.zswapped_pages;
         if zswapped == 0 {
-            return Ok(WritebackOutcome::default());
+            return Ok(LifecycleOutcome::default());
         }
         if cg.zswap_enabled() {
             let deficit = cg
@@ -671,16 +763,38 @@ impl Kernel {
                 .get()
                 .saturating_sub(cg.stats.resident_pages)
                 .min(zswapped);
-            writeback::writeback_youngest(cg, &mut self.zswap, deficit, &cost, &mut self.cpu)
-        } else {
-            let budget = policy.decay_step(zswapped);
-            writeback::writeback_coldest(cg, &mut self.zswap, budget, &cost, &mut self.cpu)
+            let writeback =
+                writeback::writeback_youngest(cg, &mut self.zswap, deficit, &cost, &mut self.cpu)?;
+            return Ok(LifecycleOutcome {
+                writeback,
+                ..LifecycleOutcome::default()
+            });
         }
+        let budget = policy.decay_step(zswapped);
+        if let Some(chain) = self
+            .chain
+            .as_mut()
+            .filter(|c| c.device_below_compressed().is_some())
+        {
+            let demotion =
+                writeback::demote_coldest(cg, &mut self.zswap, chain, budget, &cost, &mut self.cpu)?;
+            return Ok(LifecycleOutcome {
+                demotion,
+                ..LifecycleOutcome::default()
+            });
+        }
+        let writeback =
+            writeback::writeback_coldest(cg, &mut self.zswap, budget, &cost, &mut self.cpu)?;
+        Ok(LifecycleOutcome {
+            writeback,
+            ..LifecycleOutcome::default()
+        })
     }
 
-    /// Decays every disabled job's store by one window of `policy` (LRU
-    /// writeback, ages kept). Walks memcgs in `JobId` order, so the pass
-    /// is deterministic.
+    /// Decays every disabled job's store by one window of `policy`
+    /// (demotion down the chain when a tier below compressed RAM is
+    /// attached, LRU writeback otherwise; ages kept). Walks memcgs in
+    /// `JobId` order, so the pass is deterministic.
     ///
     /// # Errors
     ///
@@ -688,21 +802,36 @@ impl Kernel {
     pub fn decay_disabled_stores(
         &mut self,
         policy: &StorePressure,
-    ) -> Result<WritebackOutcome, KernelError> {
+    ) -> Result<LifecycleOutcome, KernelError> {
         let cost = self.config.cost;
-        let mut total = WritebackOutcome::default();
+        let mut total = LifecycleOutcome::default();
+        let mut chain = self
+            .chain
+            .as_mut()
+            .filter(|c| c.device_below_compressed().is_some());
         for cg in self.memcgs.values_mut() {
             if cg.zswap_enabled() || cg.stats.zswapped_pages == 0 {
                 continue;
             }
             let budget = policy.decay_step(cg.stats.zswapped_pages);
-            total.merge(writeback::writeback_coldest(
-                cg,
-                &mut self.zswap,
-                budget,
-                &cost,
-                &mut self.cpu,
-            )?);
+            if let Some(chain) = chain.as_deref_mut() {
+                total.demotion.merge(writeback::demote_coldest(
+                    cg,
+                    &mut self.zswap,
+                    chain,
+                    budget,
+                    &cost,
+                    &mut self.cpu,
+                )?);
+            } else {
+                total.writeback.merge(writeback::writeback_coldest(
+                    cg,
+                    &mut self.zswap,
+                    budget,
+                    &cost,
+                    &mut self.cpu,
+                )?);
+            }
         }
         Ok(total)
     }
@@ -722,10 +851,11 @@ impl Kernel {
         &mut self,
         policy: &StorePressure,
     ) -> Result<HostPressureOutcome, KernelError> {
-        let writeback = self.decay_disabled_stores(policy)?;
+        let lifecycle = self.decay_disabled_stores(policy)?;
         let compacted = self.zswap.compact();
         Ok(HostPressureOutcome {
-            writeback,
+            writeback: lifecycle.writeback,
+            demotion: lifecycle.demotion,
             compacted,
         })
     }
@@ -753,13 +883,18 @@ impl Kernel {
             .values()
             .map(|cg| cg.stats().zswapped_pages)
             .sum();
-        let tier1_pages: u64 = self.memcgs.values().map(|cg| cg.stats().tier1_pages).sum();
+        let mut demoted_pages = [0u64; MAX_TIERS];
+        for cg in self.memcgs.values() {
+            for (sum, tier) in demoted_pages.iter_mut().zip(cg.stats().demoted_pages) {
+                *sum += tier;
+            }
+        }
         MachineStats {
             capacity: self.config.capacity,
             resident: PageCount::new(resident),
             zswap_footprint: self.zswap.footprint_pages(),
             zswapped_pages: zswapped,
-            tier1_pages,
+            demoted_pages,
             free: self.free_frames(),
             jobs: self.memcgs.len(),
         }
@@ -974,7 +1109,7 @@ mod tests {
         let mut windows = 0;
         while k.memcg(job).unwrap().stats().zswapped_pages > 0 {
             let o = k.store_lifecycle_tick(job, &policy).unwrap();
-            assert_eq!(o.written_back, policy.decay_step(expected));
+            assert_eq!(o.writeback.written_back, policy.decay_step(expected));
             expected = policy.store_after_window(expected);
             assert_eq!(k.memcg(job).unwrap().stats().zswapped_pages, expected);
             windows += 1;
@@ -1000,7 +1135,7 @@ mod tests {
         let o = k
             .store_lifecycle_tick(job, &StorePressure::PAPER_DEFAULT)
             .unwrap();
-        assert_eq!(o.written_back, 30);
+        assert_eq!(o.writeback.written_back, 30);
         let s = k.memcg(job).unwrap().stats();
         assert_eq!(s.resident_pages, 30);
         assert_eq!(s.zswapped_pages, 20);
@@ -1015,7 +1150,7 @@ mod tests {
         let o = k
             .store_lifecycle_tick(job, &StorePressure::PAPER_DEFAULT)
             .unwrap();
-        assert_eq!(o, WritebackOutcome::default());
+        assert_eq!(o, LifecycleOutcome::default());
         assert_eq!(k.memcg(job).unwrap().stats().zswapped_pages, 10);
     }
 
@@ -1054,6 +1189,105 @@ mod tests {
             k.reclaim_job_tiered(job, PageAge::from_scans(1), PageAge::from_scans(2)),
             Err(KernelError::Tier1Missing)
         );
+        // A chain whose only device sits *below* compressed RAM has no
+        // warm tier-1 either.
+        k.enable_chain(&[
+            crate::BackendConfig::compressed_ram(),
+            crate::BackendConfig::ssd(PageCount::new(100)),
+        ]);
+        assert_eq!(
+            k.reclaim_job_tiered(job, PageAge::from_scans(1), PageAge::from_scans(2)),
+            Err(KernelError::Tier1Missing)
+        );
+    }
+
+    #[test]
+    fn tier_faults_and_demotions_charge_cpu_tier_io() {
+        // Regression: Tier1Stats::ns_charged used to accumulate on the
+        // device but never flow into CpuAccounting.
+        let (mut k, job) = kernel_with_job(10_000, 10_000);
+        k.set_zswap_enabled(job, true).unwrap();
+        k.enable_tier1(crate::Tier1Config::nvm_like(PageCount::new(100)));
+        k.alloc_pages(job, 10, |_| PageContent::synthetic_of_len(600))
+            .unwrap();
+        for _ in 0..2 {
+            k.run_scan();
+        }
+        // Warm-cold only: everything lands on the device.
+        let o = k
+            .reclaim_job_tiered(job, PageAge::from_scans(1), PageAge::from_scans(50))
+            .unwrap();
+        assert_eq!(o.reclaimed, 10);
+        let cpu = k.cpu_accounting();
+        assert_eq!(cpu.tier_io_events, 10);
+        assert_eq!(cpu.tier_io_ns, 10 * 700, "10 stores at nvm_like store_ns");
+        // Fault one back: the load is charged too.
+        assert!(k.touch(job, PageId::new(0), false).unwrap());
+        let cpu = k.cpu_accounting();
+        assert_eq!(cpu.tier_io_events, 11);
+        assert_eq!(cpu.tier_io_ns, 10 * 700 + 300);
+        assert_eq!(
+            cpu.tier_io_ns,
+            k.chain().unwrap().total_ns_charged(),
+            "every device nanosecond reaches CPU accounting"
+        );
+        let s = k.memcg(job).unwrap().stats();
+        assert_eq!(s.demoted_loads_total(), 1);
+        assert_eq!(s.demoted_total(), 9);
+    }
+
+    #[test]
+    fn three_tier_lifecycle_demotes_instead_of_writing_back() {
+        let (mut k, job) = compressed_job(100);
+        k.enable_chain(&[
+            crate::BackendConfig::compressed_ram(),
+            crate::BackendConfig::ssd(PageCount::new(8)),
+            crate::BackendConfig::remote(),
+        ]);
+        k.set_zswap_enabled(job, false).unwrap();
+        let policy = StorePressure::PAPER_DEFAULT;
+        let o = k.store_lifecycle_tick(job, &policy).unwrap();
+        assert_eq!(o.writeback, WritebackOutcome::default());
+        assert_eq!(o.demotion.demoted, policy.decay_step(100));
+        let s = k.memcg(job).unwrap().stats();
+        assert_eq!(s.resident_pages, 0, "demotion never re-residents pages");
+        assert_eq!(s.zswapped_pages, 100 - o.demotion.demoted);
+        // Keep ticking: the SSD fills at 8 pages, the rest overflow remote.
+        while k.memcg(job).unwrap().stats().zswapped_pages > 0 {
+            k.store_lifecycle_tick(job, &policy).unwrap();
+        }
+        let s = k.memcg(job).unwrap().stats();
+        assert_eq!(s.demoted_pages[1], 8);
+        assert_eq!(s.demoted_pages[2], 92);
+        assert_eq!(s.demotions, 100);
+        // Machine stats and the chain agree (conservation).
+        let ms = k.machine_stats();
+        assert_eq!(ms.demoted_total(), 100);
+        assert_eq!(k.chain().unwrap().device_resident_pages(), 100);
+        assert!(ms.pages_saved_with_demoted().get() >= 100);
+        // Faulting a remote page back works and is charged.
+        assert!(k.touch(job, PageId::new(0), false).unwrap());
+        assert_eq!(k.machine_stats().demoted_total(), 99);
+    }
+
+    #[test]
+    fn removing_a_memcg_discards_its_demoted_pages() {
+        let (mut k, job) = compressed_job(20);
+        k.enable_chain(&[
+            crate::BackendConfig::compressed_ram(),
+            crate::BackendConfig::ssd(PageCount::new(4)),
+            crate::BackendConfig::remote(),
+        ]);
+        k.set_zswap_enabled(job, false).unwrap();
+        while k.memcg(job).unwrap().stats().zswapped_pages > 0 {
+            k.store_lifecycle_tick(job, &StorePressure::PAPER_DEFAULT)
+                .unwrap();
+        }
+        assert_eq!(k.chain().unwrap().device_resident_pages(), 20);
+        k.remove_memcg(job).unwrap();
+        assert_eq!(k.chain().unwrap().device_resident_pages(), 0);
+        let stats = k.chain_stats().unwrap();
+        assert_eq!(stats[1].discards + stats[2].discards, 20);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cost;
 mod error;
 #[allow(clippy::module_inception)]
@@ -54,14 +55,18 @@ pub mod tiering;
 pub mod writeback;
 pub mod zswap;
 
+pub use backend::{
+    BackendConfig, BackendKind, BackendStats, ChainPolicy, DemotionChain, FarBackend, MAX_TIERS,
+};
 pub use cost::{CostModel, CostSource, CpuAccounting};
 pub use error::KernelError;
 pub use kernel::{Kernel, KernelConfig, MachineStats};
 pub use memcg::{MemCgroup, MemcgStats};
 pub use page::{Page, PageContent, PageState};
 pub use thermostat::{ThermostatEstimate, ThermostatSampler};
-pub use tiering::{Tier1Config, Tier1Stats, Tier1Store};
+pub use tiering::{Tier1Config, Tier1Stats};
 pub use writeback::{
-    HostPressureOutcome, StorePressure, StorePressureSource, WritebackOutcome,
+    DemotionOutcome, HostPressureOutcome, LifecycleOutcome, StorePressure, StorePressureSource,
+    WritebackOutcome,
 };
 pub use zswap::{StoreOutcome, ZswapStats, ZswapStore};

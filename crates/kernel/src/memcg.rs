@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::backend::MAX_TIERS;
 use crate::page::Page;
 use sdfm_types::histogram::{ColdAgeHistogram, PageAge, PromotionHistogram};
 use sdfm_types::ids::JobId;
@@ -29,10 +30,15 @@ pub struct MemcgStats {
     pub rejections: u64,
     /// Pages currently carrying the incompressible mark.
     pub incompressible_marked: u64,
-    /// Pages currently in the NVM-like tier-1 device.
-    pub tier1_pages: u64,
-    /// Cumulative fault-backs from tier-1.
-    pub tier1_loads: u64,
+    /// Pages currently resident per device tier of the demotion chain,
+    /// indexed by chain position (compressed-RAM tiers stay zero — their
+    /// pages are `zswapped_pages`).
+    pub demoted_pages: [u64; MAX_TIERS],
+    /// Cumulative fault-backs per device tier, indexed by chain position.
+    pub demoted_loads: [u64; MAX_TIERS],
+    /// Cumulative pages demoted from zswap down the chain (store decay
+    /// with a colder tier attached).
+    pub demotions: u64,
     /// Cumulative pages written back from zswap without an access (store
     /// decay, soft-limit restoration, host pressure) — distinct from
     /// `decompressions`, which counts access-driven promotions.
@@ -40,10 +46,20 @@ pub struct MemcgStats {
 }
 
 impl MemcgStats {
-    /// Total pages charged to the memcg (resident + compressed +
-    /// tier-1).
+    /// Pages resident across every device tier of the chain.
+    pub fn demoted_total(&self) -> u64 {
+        self.demoted_pages.iter().sum()
+    }
+
+    /// Fault-backs across every device tier of the chain.
+    pub fn demoted_loads_total(&self) -> u64 {
+        self.demoted_loads.iter().sum()
+    }
+
+    /// Total pages charged to the memcg (resident + compressed + demoted
+    /// to device tiers).
     pub fn usage(&self) -> PageCount {
-        PageCount::new(self.resident_pages + self.zswapped_pages + self.tier1_pages)
+        PageCount::new(self.resident_pages + self.zswapped_pages + self.demoted_total())
     }
 }
 

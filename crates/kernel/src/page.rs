@@ -24,9 +24,11 @@ pub enum PageState {
     /// Compressed in the zswap store (far memory); the handle locates the
     /// payload in the zsmalloc arena.
     Zswapped(ZsHandle),
-    /// Stored uncompressed in the NVM-like tier-1 device (two-tier
-    /// configuration, §8 future work).
-    Tier1,
+    /// Stored uncompressed in a device tier of the demotion chain (§8
+    /// multi-tier configuration); the index names the chain tier holding
+    /// the page. Never points at a compressed-RAM tier — those pages are
+    /// `Zswapped`.
+    Demoted(u8),
 }
 
 /// The bytes (or statistical description) backing a page.
@@ -173,10 +175,10 @@ impl Page {
             && !self.flags.accessed
     }
 
-    /// Whether the page may demote to the uncompressed tier-1 device:
-    /// like [`reclaim_eligible`](Self::reclaim_eligible) but the
-    /// incompressible mark does not matter — NVM stores raw pages.
-    pub fn tier1_eligible(&self, threshold: PageAge) -> bool {
+    /// Whether the page may demote to an uncompressed device tier of the
+    /// chain: like [`reclaim_eligible`](Self::reclaim_eligible) but the
+    /// incompressible mark does not matter — devices store raw pages.
+    pub fn demote_eligible(&self, threshold: PageAge) -> bool {
         matches!(self.state, PageState::Resident)
             && self.age >= threshold
             && threshold > PageAge::HOT

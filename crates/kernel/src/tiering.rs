@@ -1,23 +1,22 @@
-//! Two-tier far memory: the paper's §8 end state.
+//! Two-tier compatibility surface over the generalized demotion chain.
 //!
 //! "An exciting end state would be one where the system uses both hardware
 //! and software approaches and multiple tiers of far memory (sub-µs tier-1
-//! and single-µs tier-2), all managed intelligently."
+//! and single-µs tier-2), all managed intelligently." (§8)
 //!
-//! [`Tier1Store`] models an NVM-like device tier: **fixed capacity**
-//! (the stranding risk §2.1 warns about), uncompressed page-granular
-//! storage, sub-microsecond loads. The zswap store remains tier-2:
-//! elastic capacity, ~3× compression, single-digit-µs decompression.
-//!
-//! The demotion ladder runs DRAM → tier-1 → tier-2: pages past the cold-age
-//! threshold go to tier-1 while it has room (fast to fault back); when
-//! tier-1 fills, its *oldest* pages overflow into compressed tier-2, and
-//! further reclaim bypasses straight to tier-2. See
-//! [`Kernel::reclaim_job_tiered`](crate::Kernel::reclaim_job_tiered) and
-//! the `two_tier` experiment binary.
+//! The original `Tier1Store` modeled exactly one NVM-like device tier in
+//! front of zswap. That hard-coded ladder is now the two-backend special
+//! case of [`DemotionChain`](crate::backend::DemotionChain): an NVM/SSD
+//! device (warmest) followed by compressed RAM. [`Tier1Config`] and
+//! [`Tier1Stats`] remain the stable two-tier vocabulary —
+//! [`Kernel::enable_tier1`](crate::Kernel::enable_tier1) builds the
+//! equivalent chain and [`Kernel::tier1_stats`](crate::Kernel::tier1_stats)
+//! projects the first device tier's [`BackendStats`] back into
+//! [`Tier1Stats`].
 
 use serde::{Deserialize, Serialize};
 
+use crate::backend::{BackendConfig, BackendKind, BackendStats};
 use sdfm_types::size::PageCount;
 
 /// Configuration for the NVM-like first tier.
@@ -41,9 +40,25 @@ impl Tier1Config {
             store_ns: 700,
         }
     }
+
+    /// The equivalent backend config: a device tier with ideal (infinite)
+    /// bandwidth and no queueing, so per-op costs are exactly `load_ns`
+    /// and `store_ns` as before.
+    pub fn backend(&self) -> BackendConfig {
+        BackendConfig {
+            kind: BackendKind::SimulatedSsd,
+            capacity: self.capacity,
+            load_ns: self.load_ns,
+            store_ns: self.store_ns,
+            bandwidth_bytes_per_us: 0,
+            queue_depth: 1,
+            cost_nanocents_per_byte: 0,
+        }
+    }
 }
 
-/// Cumulative tier-1 counters.
+/// Cumulative tier-1 counters (projected from the first device tier of
+/// the chain).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Tier1Stats {
     /// Pages currently stored.
@@ -58,80 +73,15 @@ pub struct Tier1Stats {
     pub ns_charged: u64,
 }
 
-/// The fixed-capacity NVM-like tier. Pages are tracked by count only — the
-/// kernel owns per-page state ([`crate::PageState::Tier1`]).
-#[derive(Debug)]
-pub struct Tier1Store {
-    config: Tier1Config,
-    stats: Tier1Stats,
-}
-
-impl Tier1Store {
-    /// Creates an empty device.
-    pub fn new(config: Tier1Config) -> Self {
-        Tier1Store {
-            config,
-            stats: Tier1Stats::default(),
+impl From<BackendStats> for Tier1Stats {
+    fn from(s: BackendStats) -> Self {
+        Tier1Stats {
+            resident: s.resident_pages,
+            stores: s.stores,
+            loads: s.loads,
+            full_rejections: s.full_rejections,
+            ns_charged: s.ns_charged,
         }
-    }
-
-    /// The device configuration.
-    pub fn config(&self) -> Tier1Config {
-        self.config
-    }
-
-    /// Free device pages.
-    pub fn free(&self) -> PageCount {
-        self.config
-            .capacity
-            .saturating_sub(PageCount::new(self.stats.resident))
-    }
-
-    /// Attempts to store one page; `false` when the device is full.
-    pub fn store(&mut self) -> bool {
-        if self.stats.resident >= self.config.capacity.get() {
-            self.stats.full_rejections += 1;
-            return false;
-        }
-        self.stats.resident += 1;
-        self.stats.stores += 1;
-        self.stats.ns_charged += self.config.store_ns;
-        true
-    }
-
-    /// Records that demand existed while the device was full, without an
-    /// actual store attempt (callers gate attempts and report stranding
-    /// once per reclaim pass).
-    pub fn record_stranding(&mut self) {
-        self.stats.full_rejections += 1;
-    }
-
-    /// Loads (removes) one page on fault-back.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the device is empty — the kernel only loads pages it
-    /// stored.
-    pub fn load(&mut self) {
-        assert!(self.stats.resident > 0, "tier-1 load from empty device");
-        self.stats.resident -= 1;
-        self.stats.loads += 1;
-        self.stats.ns_charged += self.config.load_ns;
-    }
-
-    /// Drops one page without a fault (job exit / demotion to tier-2).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the device is empty.
-    pub fn discard(&mut self) {
-        assert!(self.stats.resident > 0, "tier-1 discard from empty device");
-        self.stats.resident -= 1;
-    }
-
-    /// Counters.
-    pub fn stats(&self) -> Tier1Stats {
-        self.stats
     }
 }
 
@@ -140,44 +90,40 @@ mod tests {
     use super::*;
 
     #[test]
+    fn nvm_like_backend_keeps_exact_per_op_costs() {
+        let cfg = Tier1Config::nvm_like(PageCount::new(10)).backend();
+        // Infinite bandwidth, queue depth 1: the backend charges exactly
+        // the configured latencies, like the old Tier1Store did.
+        assert_eq!(cfg.fault_ns(), 300);
+        assert_eq!(cfg.store_op_ns(), 700);
+        let mut dev = cfg.build();
+        dev.store_page();
+        dev.load_page();
+        assert_eq!(dev.stats().ns_charged, 1_000);
+    }
+
+    #[test]
+    fn backend_stats_project_into_tier1_stats() {
+        let mut dev = Tier1Config::nvm_like(PageCount::new(2)).backend().build();
+        dev.store_page();
+        dev.store_page();
+        assert!(dev.store_page().is_none());
+        dev.load_page();
+        let t1: Tier1Stats = dev.stats().into();
+        assert_eq!(t1.resident, 1);
+        assert_eq!(t1.stores, 2);
+        assert_eq!(t1.loads, 1);
+        assert_eq!(t1.full_rejections, 1);
+        assert_eq!(t1.ns_charged, 2 * 700 + 300);
+    }
+
+    #[test]
     fn capacity_is_hard() {
-        let mut t = Tier1Store::new(Tier1Config::nvm_like(PageCount::new(2)));
-        assert!(t.store());
-        assert!(t.store());
-        assert!(!t.store(), "third store must reject");
-        assert_eq!(t.stats().full_rejections, 1);
-        assert_eq!(t.free(), PageCount::ZERO);
-    }
-
-    #[test]
-    fn load_and_discard_release_capacity() {
-        let mut t = Tier1Store::new(Tier1Config::nvm_like(PageCount::new(4)));
-        t.store();
-        t.store();
-        t.load();
-        assert_eq!(t.stats().resident, 1);
-        assert_eq!(t.stats().loads, 1);
-        t.discard();
-        assert_eq!(t.stats().resident, 0);
-        assert_eq!(t.free(), PageCount::new(4));
-    }
-
-    #[test]
-    fn costs_accumulate() {
-        let mut t = Tier1Store::new(Tier1Config {
-            capacity: PageCount::new(10),
-            load_ns: 300,
-            store_ns: 700,
-        });
-        t.store();
-        t.load();
-        assert_eq!(t.stats().ns_charged, 1_000);
-    }
-
-    #[test]
-    #[should_panic(expected = "empty device")]
-    fn load_from_empty_panics() {
-        let mut t = Tier1Store::new(Tier1Config::nvm_like(PageCount::new(1)));
-        t.load();
+        let mut dev = Tier1Config::nvm_like(PageCount::new(2)).backend().build();
+        assert!(dev.store_page().is_some());
+        assert!(dev.store_page().is_some());
+        assert!(dev.store_page().is_none(), "third store must reject");
+        assert_eq!(dev.stats().full_rejections, 1);
+        assert_eq!(dev.free(), PageCount::ZERO);
     }
 }

@@ -23,6 +23,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::backend::DemotionChain;
 use crate::cost::{CostModel, CpuAccounting};
 use sdfm_types::arith::permille_of;
 use crate::error::KernelError;
@@ -130,11 +131,57 @@ impl WritebackOutcome {
     }
 }
 
+/// Counters from one demotion pass over one memcg (zswap → device tier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DemotionOutcome {
+    /// Compressed pages moved down the chain to a device tier.
+    pub demoted: u64,
+    /// Compressed candidates examined.
+    pub examined: u64,
+    /// Victims left compressed because every tier below was full.
+    pub rejected: u64,
+    /// Arena payload bytes released (frames return on compaction).
+    pub bytes_freed: u64,
+}
+
+impl DemotionOutcome {
+    /// Accumulates another pass into this one.
+    pub fn merge(&mut self, other: DemotionOutcome) {
+        self.demoted += other.demoted;
+        self.examined += other.examined;
+        self.rejected += other.rejected;
+        self.bytes_freed += other.bytes_freed;
+    }
+}
+
+/// What one store-lifecycle tick achieved. A tick shrinks the store one
+/// of two ways: plain writeback to DRAM (no chain, or no tier below
+/// compressed RAM) or demotion down the chain — so exactly one of the two
+/// outcomes is nonzero per tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LifecycleOutcome {
+    /// Compressed pages written back to DRAM.
+    pub writeback: WritebackOutcome,
+    /// Compressed pages demoted to a device tier.
+    pub demotion: DemotionOutcome,
+}
+
+impl LifecycleOutcome {
+    /// Accumulates another tick into this one.
+    pub fn merge(&mut self, other: LifecycleOutcome) {
+        self.writeback.merge(other.writeback);
+        self.demotion.merge(other.demotion);
+    }
+}
+
 /// What one host-pressure relief pass achieved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct HostPressureOutcome {
     /// Dead-handle writeback across disabled memcgs.
     pub writeback: WritebackOutcome,
+    /// Dead-handle demotion down the chain across disabled memcgs (when a
+    /// tier below compressed RAM is attached).
+    pub demotion: DemotionOutcome,
     /// Physical frames released by arena compaction.
     pub compacted: PageCount,
 }
@@ -187,6 +234,84 @@ pub fn writeback_youngest(
     cpu: &mut CpuAccounting,
 ) -> Result<WritebackOutcome, KernelError> {
     writeback_pass(cg, store, budget, VictimOrder::YoungestFirst, true, cost, cpu)
+}
+
+/// Demotes the oldest (LRU) compressed pages of `cg` down the chain, up
+/// to `budget` pages: each victim is decompressed out of the store
+/// (charged to `cpu` like a writeback), then stored into the first device
+/// tier below the chain's compressed-RAM tier, overflowing past full
+/// tiers (each full tier counts a `full_rejections`; the backend's per-op
+/// cost is charged to `cpu` as tier I/O). When every tier below is full
+/// the victim stays compressed and the pass stops.
+///
+/// A no-op (all counters zero) when the chain has no tier below
+/// compressed RAM — the two-tier configuration decays by plain writeback
+/// instead.
+///
+/// # Errors
+///
+/// [`KernelError::StaleHandle`] / [`KernelError::StoreCorrupt`] when the
+/// store and the page tables disagree; the pass stops at the first
+/// inconsistency.
+pub fn demote_coldest(
+    cg: &mut MemCgroup,
+    store: &mut ZswapStore,
+    chain: &mut DemotionChain,
+    budget: u64,
+    cost: &CostModel,
+    cpu: &mut CpuAccounting,
+) -> Result<DemotionOutcome, KernelError> {
+    let mut outcome = DemotionOutcome::default();
+    let Some(start) = chain.device_below_compressed() else {
+        return Ok(outcome);
+    };
+    if budget == 0 {
+        return Ok(outcome);
+    }
+    let mut victims: Vec<(PageAge, usize)> = cg
+        .pages
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| matches!(p.state, PageState::Zswapped(_)))
+        .map(|(i, p)| (p.age, i))
+        .collect();
+    outcome.examined = victims.len() as u64;
+    victims.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for (_, idx) in victims.into_iter().take(budget as usize) {
+        let PageState::Zswapped(handle) = cg.pages[idx].state else {
+            return Err(KernelError::StoreCorrupt {
+                detail: "demotion victim left the store mid-pass",
+            });
+        };
+        // Capacity check before touching the store, so a full ladder
+        // leaves the page compressed rather than orphaned.
+        if chain.accepting_device_from(start).is_none() {
+            // One store attempt records the stranding on every full tier.
+            chain.store_with_overflow(start);
+            outcome.rejected += 1;
+            break;
+        }
+        let size = store.stored_size(handle).ok_or(KernelError::StaleHandle)? as u64;
+        // Moving a page out of zswap decompresses it (real writeback
+        // decompresses before handing the page to the device).
+        store.load(handle)?;
+        cpu.charge_decompress(cost);
+        let Some((tier, op_ns)) = chain.store_with_overflow(start) else {
+            return Err(KernelError::StoreCorrupt {
+                detail: "accepting tier filled mid-pass",
+            });
+        };
+        cpu.charge_tier_io(op_ns);
+        let page = &mut cg.pages[idx];
+        page.state = PageState::Demoted(tier as u8);
+        cg.stats.zswapped_pages -= 1;
+        cg.stats.zswapped_bytes -= size;
+        cg.stats.demoted_pages[tier] += 1;
+        cg.stats.demotions += 1;
+        outcome.demoted += 1;
+        outcome.bytes_freed += size;
+    }
+    Ok(outcome)
 }
 
 fn writeback_pass(
@@ -298,7 +423,6 @@ mod tests {
         // bounded by the store all the way to u64::MAX.
         let p = StorePressure::PAPER_DEFAULT;
         assert_eq!(p.decay_step(u64::MAX), u64::MAX / 8);
-        assert!(p.decay_step(u64::MAX) <= u64::MAX);
     }
 
     #[test]
@@ -394,6 +518,87 @@ mod tests {
         assert_eq!(cg.stats().zswapped_pages, 0);
         assert_eq!(store.resident_objects(), 0);
         assert_eq!(cpu.decompress_events, 5);
+    }
+
+    #[test]
+    fn demotion_moves_lru_victims_down_the_chain() {
+        use crate::backend::BackendConfig;
+        let (mut cg, mut store, mut cpu) = compressed_memcg(10);
+        let mut chain = DemotionChain::from_configs(&[
+            BackendConfig::compressed_ram(),
+            BackendConfig::ssd(PageCount::new(3)),
+            BackendConfig::remote(),
+        ]);
+        let o = demote_coldest(
+            &mut cg,
+            &mut store,
+            &mut chain,
+            5,
+            &CostModel::PAPER_DEFAULT,
+            &mut cpu,
+        )
+        .unwrap();
+        assert_eq!(o.demoted, 5);
+        assert_eq!(o.examined, 10);
+        assert_eq!(o.rejected, 0);
+        assert!(o.bytes_freed > 0);
+        // 3 landed on the SSD, the overflow went remote.
+        assert_eq!(cg.stats().demoted_pages[1], 3);
+        assert_eq!(cg.stats().demoted_pages[2], 2);
+        assert_eq!(cg.stats().demotions, 5);
+        assert_eq!(cg.stats().zswapped_pages, 5);
+        let stats = chain.stats();
+        assert_eq!(stats[1].resident_pages, 3);
+        assert_eq!(stats[2].resident_pages, 2);
+        // Every move decompressed once and charged the backend op.
+        assert_eq!(cpu.decompress_events, 5);
+        assert_eq!(cpu.tier_io_events, 5);
+        assert_eq!(cpu.tier_io_ns, chain.total_ns_charged());
+    }
+
+    #[test]
+    fn full_ladder_leaves_victims_compressed_and_counts_rejection() {
+        use crate::backend::BackendConfig;
+        let (mut cg, mut store, mut cpu) = compressed_memcg(4);
+        let mut chain = DemotionChain::from_configs(&[
+            BackendConfig::compressed_ram(),
+            BackendConfig::ssd(PageCount::new(1)),
+        ]);
+        let o = demote_coldest(
+            &mut cg,
+            &mut store,
+            &mut chain,
+            3,
+            &CostModel::PAPER_DEFAULT,
+            &mut cpu,
+        )
+        .unwrap();
+        assert_eq!(o.demoted, 1);
+        assert_eq!(o.rejected, 1, "pass stops at the first full ladder");
+        assert_eq!(cg.stats().zswapped_pages, 3);
+        assert_eq!(chain.stats()[1].full_rejections, 1);
+        assert_eq!(store.resident_objects(), 3, "rejected victims stay stored");
+    }
+
+    #[test]
+    fn demotion_is_a_noop_without_a_tier_below_compressed() {
+        use crate::backend::BackendConfig;
+        let (mut cg, mut store, mut cpu) = compressed_memcg(4);
+        let mut chain = DemotionChain::from_configs(&[
+            BackendConfig::ssd(PageCount::new(8)),
+            BackendConfig::compressed_ram(),
+        ]);
+        let o = demote_coldest(
+            &mut cg,
+            &mut store,
+            &mut chain,
+            10,
+            &CostModel::PAPER_DEFAULT,
+            &mut cpu,
+        )
+        .unwrap();
+        assert_eq!(o, DemotionOutcome::default());
+        assert_eq!(cg.stats().zswapped_pages, 4);
     }
 
     #[test]

@@ -186,10 +186,10 @@ fn tiered_reclaim_splits_huge_pages_before_either_tier() {
     let s = k.memcg(job).unwrap().stats();
     // Warm-cold frames fill the 600-page device; the rest stays resident
     // (they are younger than the 40-scan zswap threshold).
-    assert_eq!(s.tier1_pages, 600);
+    assert_eq!(s.demoted_total(), 600);
     assert_eq!(k.tier1_stats().unwrap().resident, 600);
     assert_eq!(
-        s.resident_pages + s.tier1_pages + s.zswapped_pages,
+        s.resident_pages + s.demoted_total() + s.zswapped_pages,
         2 * HUGE_SPAN as u64,
         "frame conservation through tiered split"
     );

@@ -30,7 +30,7 @@ fn check_conservation(kernel: &Kernel, job: JobId, expected_pages: u64) {
     let cg = kernel.memcg(job).expect("job exists");
     let s = cg.stats();
     assert_eq!(
-        s.resident_pages + s.zswapped_pages + s.tier1_pages,
+        s.resident_pages + s.zswapped_pages + s.demoted_total(),
         expected_pages,
         "page conservation broken: {s:?}"
     );
@@ -38,10 +38,23 @@ fn check_conservation(kernel: &Kernel, job: JobId, expected_pages: u64) {
     let ms = kernel.machine_stats();
     assert_eq!(ms.resident.get(), s.resident_pages);
     assert_eq!(ms.zswapped_pages, s.zswapped_pages);
-    assert_eq!(ms.tier1_pages, s.tier1_pages);
+    assert_eq!(ms.demoted_pages, s.demoted_pages);
     assert!(ms.resident + ms.zswap_footprint + ms.free == ms.capacity);
     // The zswap arena holds exactly the memcg's compressed pages.
     assert_eq!(kernel.zswap().resident_objects(), s.zswapped_pages);
+    // The chain's device residency matches the page tables' view.
+    if let Some(chain) = kernel.chain() {
+        assert_eq!(chain.device_resident_pages(), s.demoted_total());
+        for (i, tier) in chain.stats().iter().enumerate() {
+            // Every page a tier accepted is exactly one of: still
+            // resident there, faulted back, or discarded.
+            assert_eq!(
+                tier.stores,
+                tier.resident_pages + tier.loads + tier.discards,
+                "tier {i} leaked pages: {tier:?}"
+            );
+        }
+    }
 }
 
 proptest! {
@@ -144,12 +157,86 @@ proptest! {
             let tier1 = kernel.tier1_stats().expect("device attached");
             prop_assert_eq!(
                 tier1.resident,
-                kernel.memcg(job).unwrap().stats().tier1_pages
+                kernel.memcg(job).unwrap().stats().demoted_total()
             );
             prop_assert!(tier1.resident <= nvm, "device overfilled");
         }
         kernel.remove_memcg(job).unwrap();
         prop_assert_eq!(kernel.tier1_stats().unwrap().resident, 0);
+    }
+
+    /// Three-tier kernel (zswap → SSD → remote): conservation holds across
+    /// interleavings of demotion ticks, faults, and frees; capacity-full
+    /// SSD rejections overflow to the remote tier and are counted.
+    #[test]
+    fn chain_accounting_is_conserved(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        ssd in 10u64..120,
+    ) {
+        use sdfm_kernel::{BackendConfig, StorePressure};
+        let mut kernel = Kernel::new(KernelConfig {
+            capacity: PageCount::new(4_000),
+            ..KernelConfig::default()
+        });
+        kernel.enable_chain(&[
+            BackendConfig::compressed_ram(),
+            BackendConfig::ssd(PageCount::new(ssd)),
+            BackendConfig::remote(),
+        ]);
+        let job = JobId::new(1);
+        kernel.create_memcg(job, PageCount::new(8_000)).unwrap();
+        kernel
+            .alloc_pages(job, 800, |i| PageContent::synthetic_of_len(300 + (i % 12) * 256))
+            .unwrap();
+        kernel.set_zswap_enabled(job, true).unwrap();
+        let mut live = 800u64;
+        for op in ops {
+            match op {
+                Op::Touch(p, w) => {
+                    if live > 0 {
+                        kernel.touch(job, PageId::new(p as u64 % live), w).unwrap();
+                    }
+                }
+                Op::Scan => {
+                    kernel.run_scan();
+                }
+                Op::Reclaim(t) => {
+                    // Compress the cold mass, then push one decay window
+                    // of the coldest compressed pages down the chain.
+                    kernel.reclaim_job(job, PageAge::from_scans(t.clamp(1, 250))).unwrap();
+                    let zswapped = kernel.memcg(job).unwrap().stats().zswapped_pages;
+                    let budget = StorePressure::PAPER_DEFAULT.decay_step(zswapped);
+                    kernel.demote_job(job, budget).unwrap();
+                }
+                Op::Free(n) => {
+                    let n = (n as u64).min(live) as usize;
+                    kernel.free_pages(job, n).unwrap();
+                    live -= n as u64;
+                }
+                Op::Compact => {
+                    kernel.compact_zswap();
+                }
+            }
+            check_conservation(&kernel, job, live);
+            let stats = kernel.chain_stats().expect("chain attached");
+            // The SSD never overfills; demand past its capacity lands on
+            // the remote tier (and each spill counts a rejection).
+            prop_assert!(stats[1].resident_pages <= ssd, "SSD overfilled");
+            if stats[2].stores > 0 {
+                prop_assert!(
+                    stats[1].full_rejections >= stats[2].stores,
+                    "remote stores without SSD rejections: {stats:?}"
+                );
+            }
+        }
+        kernel.remove_memcg(job).unwrap();
+        let stats = kernel.chain_stats().unwrap();
+        prop_assert_eq!(kernel.chain().unwrap().device_resident_pages(), 0);
+        // Teardown closes the books: everything stored was loaded back or
+        // discarded.
+        for tier in &stats {
+            prop_assert_eq!(tier.stores, tier.loads + tier.discards);
+        }
     }
 
     /// Faulted pages always come back with identical content (real pages,

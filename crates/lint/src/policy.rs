@@ -236,6 +236,28 @@ mod tests {
     }
 
     #[test]
+    fn backend_module_is_rule_scoped() {
+        // The FarBackend tiers and demotion chain (kernel/src/backend.rs)
+        // feed bit-identical fleet output and machine-state accounting, so
+        // the full kernel rule set must cover them: determinism (D1/D2/T1),
+        // panic safety (P1), unit suffixes and rounding discipline (U1/U2),
+        // and waiver hygiene (W0). CI runs this test by name so a scope
+        // refactor cannot silently drop the module from enforcement.
+        let backend = classify("crates/kernel/src/backend.rs");
+        assert!(!backend.test_file);
+        for rule in [Rule::D1, Rule::D2, Rule::T1, Rule::P1, Rule::U1, Rule::U2, Rule::W0] {
+            assert!(backend.enforces(rule), "backend.rs must enforce {rule:?}");
+        }
+        // The chain's control-plane callers (the agent demotion tick, the
+        // machine telemetry push) additionally carry panic reachability.
+        assert!(classify("crates/agent/src/node_agent.rs").enforces(Rule::P2));
+        assert!(classify("crates/cluster/src/machine.rs").enforces(Rule::P2));
+        // The bench harness driving the same backends is measurement code,
+        // not simulator state: out of every scope.
+        assert!(classify("crates/bench/benches/backends.rs").test_file);
+    }
+
+    #[test]
     fn p2_follows_control_plane_and_w0_follows_any_scope() {
         assert!(classify("crates/agent/src/node_agent.rs").enforces(Rule::P2));
         assert!(classify("crates/cluster/src/machine.rs").enforces(Rule::P2));

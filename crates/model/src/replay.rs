@@ -2,7 +2,7 @@
 
 use crate::trace::JobTrace;
 use sdfm_agent::{best_threshold_for_window, AgentParams, JobController, SloConfig};
-use sdfm_kernel::{CostModel, StorePressure};
+use sdfm_kernel::{ChainPolicy, CostModel, StorePressure};
 use sdfm_types::histogram::{PageAge, PromotionHistogram};
 use sdfm_types::rate::{NormalizedPromotionRate, PromotionRate};
 use sdfm_types::time::SimTime;
@@ -38,6 +38,13 @@ pub struct WindowOutcome {
     /// and store sizing actually care about — `store_pages` counts what
     /// was compressed, `store_frames` what it still costs in DRAM.
     pub store_frames: u64,
+    /// Pages parked on the SSD tier at window end (chain replays only;
+    /// zero otherwise). Together with `remote_pages` and `store_pages`
+    /// these partition `cold_pages` while zswap is enabled.
+    pub ssd_pages: u64,
+    /// Pages parked on the remote tier at window end (chain replays
+    /// only).
+    pub remote_pages: u64,
 }
 
 /// A replayed job.
@@ -131,8 +138,28 @@ pub fn replay_job_with_model(
     pressure: StorePressure,
     cost: &CostModel,
 ) -> JobReplayOutcome {
+    replay_job_with_chain(trace, params, slo, pressure, cost, None)
+}
+
+/// [`replay_job_with_model`] with an optional three-tier demotion chain:
+/// each window one decay step of the store's coldest pages sinks to the
+/// SSD tier (up to the policy's per-job quota, overflowing to remote),
+/// and a disabled job's store demotes down the ladder instead of writing
+/// back — the same recurrence the fleet simulator runs, so the fast model
+/// mirrors its three-tier trajectory exactly. `None` reproduces
+/// [`replay_job_with_model`] bit for bit.
+pub fn replay_job_with_chain(
+    trace: &JobTrace,
+    params: &AgentParams,
+    slo: &SloConfig,
+    pressure: StorePressure,
+    cost: &CostModel,
+    chain: Option<ChainPolicy>,
+) -> JobReplayOutcome {
     let mut windows = Vec::with_capacity(trace.records.len());
     let mut store: u64 = 0;
+    let mut ssd: u64 = 0;
+    let mut remote: u64 = 0;
     let mut pool: Vec<PageAge> = Vec::new();
     let empty = PromotionHistogram::new();
     // Job start: one window before the first record.
@@ -165,11 +192,38 @@ pub fn replay_job_with_model(
             (0, 0)
         };
         let rate = PromotionRate::from_count(promos, record.window).normalized(record.working_set);
-        store = if enabled {
-            cold
-        } else {
-            pressure.store_after_window(store)
-        };
+        // The store trajectory, chain-aware: while enabled the job's
+        // *total* far footprint tracks `cold` — device residency comes
+        // off the top (shrinkage faults the warmest device pages back,
+        // SSD before remote) and the store holds the rest. While
+        // disabled, a chain demotes the dead store down the ladder; bare
+        // zswap writes it back.
+        if enabled {
+            let device = ssd + remote;
+            store = if cold >= device {
+                cold - device
+            } else {
+                let mut need = device - cold;
+                let from_ssd = need.min(ssd);
+                ssd -= from_ssd;
+                need -= from_ssd;
+                remote -= need.min(remote);
+                0
+            };
+        } else if chain.is_none() {
+            store = pressure.store_after_window(store);
+        }
+        // Demotion trickle: one decay step of the store's coldest pages
+        // sinks to the SSD tier up to the quota, overflowing to remote —
+        // mirroring the fleet simulator's per-window step.
+        if let Some(cp) = chain {
+            let policy = if enabled { cp.demote } else { pressure };
+            let step = policy.decay_step(store);
+            let to_ssd = step.min(cp.ssd_quota_pages.saturating_sub(ssd));
+            store -= step;
+            ssd += to_ssd;
+            remote += step - to_ssd;
+        }
         windows.push(WindowOutcome {
             at: record.at,
             enabled,
@@ -181,6 +235,8 @@ pub fn replay_job_with_model(
             normalized_rate: rate,
             store_pages: store,
             store_frames: cost.store_frames(store),
+            ssd_pages: ssd,
+            remote_pages: remote,
         });
 
         // Update the pool with this window's best threshold, mirroring the
@@ -388,6 +444,59 @@ mod tests {
             &CostModel::PAPER_DEFAULT,
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chain_replay_partitions_cold_across_tiers() {
+        let trace = JobTrace::new(
+            JobId::new(1),
+            (1..=14).map(|i| steady_record(i * 300)).collect(),
+        );
+        let p = params(98.0, 0);
+        let slo = SloConfig::default();
+        let cp = ChainPolicy::paper_default(500);
+        let out = replay_job_with_chain(
+            &trace,
+            &p,
+            &slo,
+            StorePressure::PAPER_DEFAULT,
+            &CostModel::PAPER_DEFAULT,
+            Some(cp),
+        );
+        // While enabled, the three tiers exactly partition the cold set —
+        // demotion moves pages within far memory, never out of it.
+        for w in out.windows.iter().filter(|w| w.enabled) {
+            assert_eq!(
+                w.store_pages + w.ssd_pages + w.remote_pages,
+                w.cold_pages,
+                "tiers do not partition the cold set: {w:?}"
+            );
+        }
+        let last = out.windows.last().unwrap();
+        assert!(last.ssd_pages > 0, "nothing demoted to SSD");
+        assert!(last.ssd_pages <= 500, "SSD quota exceeded");
+        assert!(last.remote_pages > 0, "quota overflow never reached remote");
+        // `None` reproduces the chain-free replay bit for bit.
+        let a = replay_job_with_chain(
+            &trace,
+            &p,
+            &slo,
+            StorePressure::PAPER_DEFAULT,
+            &CostModel::PAPER_DEFAULT,
+            None,
+        );
+        let b = replay_job_with_model(
+            &trace,
+            &p,
+            &slo,
+            StorePressure::PAPER_DEFAULT,
+            &CostModel::PAPER_DEFAULT,
+        );
+        assert_eq!(a, b);
+        for w in &a.windows {
+            assert_eq!(w.ssd_pages, 0);
+            assert_eq!(w.remote_pages, 0);
+        }
     }
 
     #[test]

@@ -158,9 +158,9 @@ fn store_flush_follows_the_policy_recurrence_the_fast_model_mirrors() {
         let step = policy.decay_step(expected);
         let outcome = kernel.store_lifecycle_tick(job, &policy).unwrap();
         assert_eq!(
-            outcome.written_back, step,
+            outcome.writeback.written_back, step,
             "window {window}: wrote back {} pages, policy says {step}",
-            outcome.written_back
+            outcome.writeback.written_back
         );
         expected = policy.store_after_window(expected);
         let stats = kernel.memcg(job).unwrap().stats();
@@ -179,5 +179,5 @@ fn store_flush_follows_the_policy_recurrence_the_fast_model_mirrors() {
     assert_eq!(kernel.memcg(job).unwrap().stats().zswapped_pages, 0);
     // Drained means drained: the next tick is a no-op.
     let idle = kernel.store_lifecycle_tick(job, &policy).unwrap();
-    assert_eq!(idle.written_back, 0);
+    assert_eq!(idle.writeback.written_back, 0);
 }
