@@ -1,0 +1,270 @@
+//! Fleet scale-out: the headline numbers for the SoA sweep layout, the
+//! machine-sharded window step, and the hierarchical fidelity cutoff.
+//!
+//! Four sections, one `BENCH_fleet_scale.json` at the workspace root:
+//!
+//! 1. `sweep` — ns/page for the struct-of-arrays [`PageTable::sweep`]
+//!    cache-linear pass (incremental histogram included).
+//! 2. `results` — fleet windows/sec at threads 1/2/4 on a mid-size fleet
+//!    (the monotone thread section CI's schema gate checks).
+//! 3. `fleet` — the scale deliverable: a 10k-machine fleet stepped
+//!    through a multi-day run, wall-clock and windows/sec.
+//! 4. `fidelity` — drift of the fidelity-cutoff machines (page-level
+//!    kernels) against the same machines on the stat recurrence, with
+//!    the bound the gate enforces.
+//!
+//! Iteration budget is tunable for CI smoke runs:
+//!
+//! * `SDFM_BENCH_PAGES`          — pages in the sweep table (default 200k)
+//! * `SDFM_BENCH_REPS`           — timed sweep repetitions (default 5)
+//! * `SDFM_BENCH_WARMUP`         — windows before timing (default 8)
+//! * `SDFM_BENCH_WINDOWS`        — timed windows per thread count (default 16)
+//! * `SDFM_BENCH_FLEET_MACHINES` — machines per cluster for the
+//!   10-cluster scale run (default 1000 → 10k machines)
+//! * `SDFM_BENCH_FLEET_WINDOWS` — windows for the scale run (default
+//!   576, i.e. two simulated days at 5 min)
+//! * `SDFM_BENCH_FIDELITY_WINDOWS` — windows for the drift section
+//!   (default 24)
+//!
+//! Run with `cargo bench -p sdfm-bench --bench fleet_scale`.
+
+use std::time::Instant;
+
+use sdfm_core::fleet_sim::{FleetSim, FleetSimConfig, FleetWindowStats};
+use sdfm_kernel::page_table::PageTable;
+use sdfm_kernel::{Page, PageContent};
+use sdfm_types::histogram::PromotionHistogram;
+use sdfm_types::ids::ClusterId;
+
+const SEED: u64 = 42;
+/// Loose smoke-gate ceiling on the cutoff drift for cold memory. The
+/// tight per-metric tolerances (0.30–0.35) live in the
+/// `fleet_cross_validation` tests, which run the two tiers head-to-head
+/// at full budgets; the bench gate only has to catch a broken cutoff
+/// (drift near 1.0), not re-litigate model fidelity on a smoke budget.
+const COLD_DRIFT_BOUND: f64 = 0.5;
+
+fn env_budget(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// ns/page for the SoA sweep: a table of `pages` entries, one in five
+/// touched between sweeps (so both the bucket-shift fast path and the
+/// move-to-HOT fixups are exercised), timed over `reps` sweeps.
+fn measure_sweep(pages: usize, reps: usize) -> (f64, f64) {
+    let mut pt = PageTable::new();
+    for i in 0..pages {
+        let mut p = Page::new(PageContent::synthetic_of_len(400 + (i % 7) * 100));
+        p.age = sdfm_types::histogram::PageAge::from_scans((i % 9) as u8);
+        pt.push(p);
+    }
+    let mut promo = PromotionHistogram::new();
+    // Prime once so ages settle into the sweep's own distribution.
+    pt.sweep(&mut promo);
+    let mut total_ns = 0u128;
+    for _ in 0..reps {
+        for i in (0..pages).step_by(5) {
+            pt.set_accessed(i, true);
+        }
+        let t0 = Instant::now();
+        std::hint::black_box(pt.sweep(&mut promo));
+        total_ns += t0.elapsed().as_nanos();
+    }
+    let swept = (pages * reps) as f64;
+    let ns_per_page = total_ns as f64 / swept;
+    (ns_per_page, 1e9 / ns_per_page)
+}
+
+/// Windows per second at one thread count on a mid-size fleet.
+fn measure_windows_per_sec(threads: usize, warmup: usize, windows: usize) -> f64 {
+    let mut cfg = FleetSimConfig::new(6);
+    cfg.threads = threads;
+    let mut sim = FleetSim::new(cfg, SEED);
+    for _ in 0..warmup {
+        sim.step_window();
+    }
+    let t0 = Instant::now();
+    for _ in 0..windows {
+        std::hint::black_box(sim.step_window());
+    }
+    windows as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// The scale deliverable: `machines_per_cluster × 10` machines stepped
+/// through `windows` windows, folding stats instead of collecting them
+/// (per-job detail for 100k jobs × hundreds of windows would not fit).
+fn measure_fleet_scale(
+    machines_per_cluster: usize,
+    windows: usize,
+) -> (serde_json::Value, f64, f64) {
+    let cfg = FleetSimConfig::new(machines_per_cluster);
+    let threads = cfg.threads;
+    let window_secs = cfg.window.as_secs();
+    let build0 = Instant::now();
+    let mut sim = FleetSim::new(cfg, SEED);
+    let build_secs = build0.elapsed().as_secs_f64();
+    let jobs = sim.job_count();
+    let machines = machines_per_cluster * 10;
+    let t0 = Instant::now();
+    let mut far_last = 0u64;
+    for _ in 0..windows {
+        let s = sim.step_window();
+        far_last = s.far_pages;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let wps = windows as f64 / elapsed;
+    let report = serde_json::json!({
+        "machines": machines,
+        "jobs": jobs,
+        "threads": threads,
+        "windows": windows,
+        "simulated_days": (windows as u64 * window_secs) as f64 / 86_400.0,
+        "build_secs": build_secs,
+        "elapsed_secs": elapsed,
+        "windows_per_sec": wps,
+        "final_far_pages": far_last,
+    });
+    (report, elapsed, wps)
+}
+
+/// Sums a per-window metric over the jobs hosted on the first
+/// `cutoff` machines (machines_per_cluster = 1, so machine k lives in
+/// cluster k and cluster identity selects the tier).
+fn cutoff_total(
+    windows: &[FleetWindowStats],
+    page_clusters: &[ClusterId],
+    metric: impl Fn(&sdfm_core::fleet_sim::JobWindowStat) -> u64,
+) -> u64 {
+    windows
+        .iter()
+        .flat_map(|w| w.per_job.iter())
+        .filter(|j| page_clusters.contains(&j.cluster))
+        .map(&metric)
+        .sum()
+}
+
+/// Drift of the page-level tier against the stat recurrence on the same
+/// machines: two same-seed runs, cutoff 0 vs cutoff `k`; totals are
+/// summed over the post-warmup windows of the cutoff machines only (the
+/// stat-tier jobs are bit-identical between the runs by construction).
+fn measure_fidelity_drift(windows: usize) -> (serde_json::Value, Vec<(String, f64, f64)>) {
+    let cutoff = 2usize;
+    let base_cfg = FleetSimConfig::new(1);
+    let page_clusters: Vec<ClusterId> = base_cfg.spec.clusters[..cutoff]
+        .iter()
+        .map(|c| c.id)
+        .collect();
+    let run = |fidelity_cutoff: usize| {
+        let mut cfg = FleetSimConfig::new(1);
+        cfg.fidelity_cutoff = fidelity_cutoff;
+        let mut sim = FleetSim::new(cfg, SEED);
+        sim.run_windows(windows)
+    };
+    let stat = run(0);
+    let page = run(cutoff);
+    // Skip the first quarter as warmup: both tiers start with empty
+    // histograms and tiny absolute numbers make relative drift noisy.
+    let skip = windows / 4;
+    let mut printed = Vec::new();
+    let mut drift_row =
+        |name: &str, bound: f64, f: &dyn Fn(&sdfm_core::fleet_sim::JobWindowStat) -> u64| {
+            let a = cutoff_total(&stat[skip..], &page_clusters, f);
+            let b = cutoff_total(&page[skip..], &page_clusters, f);
+            let drift = (a.abs_diff(b)) as f64 / (a.max(b).max(1)) as f64;
+            printed.push((name.to_string(), drift, bound));
+            serde_json::json!({
+                "metric": name,
+                "stat_total": a,
+                "page_total": b,
+                "drift": drift,
+                "bound": bound,
+            })
+        };
+    let metrics = vec![
+        // total_pages is drawn from the same profile stream in both
+        // runs — zero drift by construction, a cheap sanity anchor.
+        drift_row("total_pages", 1e-9, &|j| j.total_pages),
+        drift_row("cold_pages", COLD_DRIFT_BOUND, &|j| j.cold_pages),
+        // Informational ceiling: far memory also depends on per-job
+        // controller enablement timing, which the drift sum may
+        // legitimately saturate on short smoke budgets.
+        drift_row("far_pages", 1.0, &|j| j.far_pages),
+    ];
+    let report = serde_json::json!({
+        "cutoff_machines": cutoff,
+        "windows": windows,
+        "warmup_skipped": skip,
+        "metrics": metrics,
+    });
+    (report, printed)
+}
+
+fn main() {
+    let pages = env_budget("SDFM_BENCH_PAGES", 200_000);
+    let reps = env_budget("SDFM_BENCH_REPS", 5);
+    let warmup = env_budget("SDFM_BENCH_WARMUP", 8);
+    let windows = env_budget("SDFM_BENCH_WINDOWS", 16);
+    let fleet_machines = env_budget("SDFM_BENCH_FLEET_MACHINES", 1000);
+    let fleet_windows = env_budget("SDFM_BENCH_FLEET_WINDOWS", 576);
+    let fidelity_windows = env_budget("SDFM_BENCH_FIDELITY_WINDOWS", 24);
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let caveat = "thread counts above the container's available \
+                  parallelism measure scheduling overhead, not speedup";
+    eprintln!("fleet_scale bench: sweep {pages} pages × {reps} reps");
+    eprintln!("available parallelism: {available} ({caveat})");
+
+    let (sweep_ns_per_page, sweep_pages_per_sec) = measure_sweep(pages, reps);
+    eprintln!("  sweep: {sweep_ns_per_page:.2} ns/page ({sweep_pages_per_sec:.0} pages/s)");
+
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let wps = measure_windows_per_sec(threads, warmup, windows);
+        eprintln!("  threads={threads}: {wps:.2} windows/s");
+        rows.push(serde_json::json!({
+            "threads": threads,
+            "windows_per_sec": wps,
+        }));
+    }
+
+    eprintln!(
+        "  scale run: {} machines × {fleet_windows} windows",
+        fleet_machines * 10
+    );
+    let (fleet, fleet_elapsed, fleet_wps) = measure_fleet_scale(fleet_machines, fleet_windows);
+    eprintln!("  scale run: {fleet_elapsed:.1}s elapsed, {fleet_wps:.2} windows/s");
+
+    let (fidelity, drifts) = measure_fidelity_drift(fidelity_windows);
+    for (metric, drift, bound) in &drifts {
+        eprintln!("  fidelity drift {metric}: {drift:.4} (bound {bound})");
+    }
+
+    let sweep = serde_json::json!({
+        "pages": pages,
+        "reps": reps,
+        "accessed_fraction": 0.2,
+        "sweep_ns_per_page": sweep_ns_per_page,
+        "sweep_pages_per_sec": sweep_pages_per_sec,
+    });
+    let report = serde_json::json!({
+        "bench": "fleet_scale",
+        "seed": SEED,
+        "available_parallelism": available,
+        "caveat": caveat,
+        "sweep": sweep,
+        "results": rows,
+        "fleet": fleet,
+        "fidelity": fidelity,
+    });
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("BENCH_fleet_scale.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&report).expect("report serializes"))
+        .expect("write bench report");
+    eprintln!("wrote {}", out.display());
+}

@@ -170,6 +170,19 @@ pub fn validate_bench_report(report: &serde_json::Value) -> Result<(), Vec<Strin
             ],
             "demote_pages_per_sec",
         ),
+        "fleet_scale" => (
+            &[
+                "seed",
+                "available_parallelism",
+                "caveat",
+                "sweep",
+                "fleet",
+                "fidelity",
+                "results",
+            ],
+            &["threads"],
+            "windows_per_sec",
+        ),
         other => return Err(vec![format!("unknown bench `{other}`")]),
     };
     let mut problems = Vec::new();
@@ -258,6 +271,65 @@ pub fn validate_bench_report(report: &serde_json::Value) -> Result<(), Vec<Strin
                         .push(format!("results[{i}] missing numeric `fault_pages_per_sec`")),
                 }
             }
+        }
+    }
+    // The fleet_scale report is the scale-out deliverable: its thread
+    // section must be monotone in thread count (a shuffled or duplicated
+    // sweep would make trend diffs across reports meaningless), the SoA
+    // sweep and the 10k-machine run must carry finite positive
+    // throughput, and every fidelity metric must state its drift bound
+    // and sit inside it — a cutoff whose page-level tier wandered away
+    // from the stat recurrence must fail the build, not ship a report.
+    if bench == "fleet_scale" {
+        if let Ok(rows) = report.field("results").and_then(|v| v.elements()) {
+            let threads: Vec<f64> = rows
+                .iter()
+                .filter_map(|r| r.field("threads").and_then(|v| v.number()).ok())
+                .map(|n| n.as_f64())
+                .collect();
+            if threads.len() != rows.len() || threads.windows(2).any(|w| w[0] >= w[1]) {
+                problems.push("results thread counts must be strictly increasing".into());
+            }
+        }
+        for (section, key) in [
+            ("sweep", "sweep_ns_per_page"),
+            ("fleet", "windows_per_sec"),
+        ] {
+            match report
+                .field(section)
+                .and_then(|s| s.field(key))
+                .and_then(|v| v.number())
+                .map(|n| n.as_f64())
+            {
+                Ok(x) if x.is_finite() && x > 0.0 => {}
+                Ok(x) => {
+                    problems.push(format!("{section}.{key} = {x} must be finite and positive"))
+                }
+                Err(_) => problems.push(format!("{section} missing numeric `{key}`")),
+            }
+        }
+        match report
+            .field("fidelity")
+            .and_then(|f| f.field("metrics"))
+            .and_then(|v| v.elements())
+        {
+            Ok([]) => problems.push("fidelity.metrics is empty".into()),
+            Ok(metrics) => {
+                for (i, m) in metrics.iter().enumerate() {
+                    let drift = m.field("drift").and_then(|v| v.number()).map(|n| n.as_f64());
+                    let bound = m.field("bound").and_then(|v| v.number()).map(|n| n.as_f64());
+                    match (drift, bound) {
+                        (Ok(d), Ok(b))
+                            if d.is_finite() && b.is_finite() && d >= 0.0 && d <= b => {}
+                        (Ok(d), Ok(b)) => problems
+                            .push(format!("fidelity.metrics[{i}] drift {d} outside bound {b}")),
+                        _ => problems.push(format!(
+                            "fidelity.metrics[{i}] missing numeric `drift`/`bound`"
+                        )),
+                    }
+                }
+            }
+            Err(_) => problems.push("fidelity.metrics is not an array".into()),
         }
     }
     if problems.is_empty() {
@@ -415,12 +487,135 @@ mod tests {
         })
     }
 
+    fn fleet_scale_report() -> Value {
+        let rows: Vec<Value> = [1u64, 2, 4]
+            .iter()
+            .map(|threads| {
+                serde_json::json!({
+                    "threads": *threads, "windows_per_sec": 8.0f64 * *threads as f64,
+                })
+            })
+            .collect();
+        let sweep = serde_json::json!({
+            "pages": 200_000u64,
+            "reps": 5u64,
+            "accessed_fraction": 0.2f64,
+            "sweep_ns_per_page": 6.5f64,
+            "sweep_pages_per_sec": 1.5e8f64,
+        });
+        let fleet = serde_json::json!({
+            "machines": 10_000u64,
+            "jobs": 100_000u64,
+            "threads": 4u64,
+            "windows": 576u64,
+            "simulated_days": 2.0f64,
+            "build_secs": 3.0f64,
+            "elapsed_secs": 240.0f64,
+            "windows_per_sec": 2.4f64,
+            "final_far_pages": 1_000_000u64,
+        });
+        let metrics = vec![
+            serde_json::json!({
+                "metric": "cold_pages", "stat_total": 100u64, "page_total": 104u64,
+                "drift": 0.04f64, "bound": 0.5f64,
+            }),
+            serde_json::json!({
+                "metric": "far_pages", "stat_total": 50u64, "page_total": 60u64,
+                "drift": 0.17f64, "bound": 1.0f64,
+            }),
+        ];
+        let fidelity = serde_json::json!({
+            "cutoff_machines": 2u64,
+            "windows": 24u64,
+            "warmup_skipped": 6u64,
+            "metrics": metrics,
+        });
+        serde_json::json!({
+            "bench": "fleet_scale",
+            "seed": 42u64,
+            "available_parallelism": 4u64,
+            "caveat": "noisy",
+            "sweep": sweep,
+            "fleet": fleet,
+            "fidelity": fidelity,
+            "results": rows,
+        })
+    }
+
     #[test]
     fn well_formed_reports_validate() {
         assert_eq!(validate_bench_report(&fleet_sim_report()), Ok(()));
         assert_eq!(validate_bench_report(&evaluate_many_report()), Ok(()));
         assert_eq!(validate_bench_report(&codecs_report()), Ok(()));
         assert_eq!(validate_bench_report(&backends_report()), Ok(()));
+        assert_eq!(validate_bench_report(&fleet_scale_report()), Ok(()));
+    }
+
+    #[test]
+    fn fleet_scale_thread_section_must_be_monotone() {
+        // Swapping two thread counts out of order is caught.
+        let mut r = fleet_scale_report();
+        set_key(first_row(&mut r), "threads", serde_json::json!(8u64));
+        let problems = validate_bench_report(&r).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("strictly increasing")),
+            "{problems:?}"
+        );
+        // A zero windows/sec fails the shared throughput check.
+        let mut r = fleet_scale_report();
+        set_key(first_row(&mut r), "windows_per_sec", serde_json::json!(0.0f64));
+        assert!(validate_bench_report(&r).is_err(), "zero throughput passed");
+    }
+
+    #[test]
+    fn fleet_scale_sections_are_schema_checked() {
+        // The sweep and scale-run sections must carry their throughput.
+        let mut r = fleet_scale_report();
+        remove_key(&mut r, "sweep");
+        let problems = validate_bench_report(&r).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("sweep_ns_per_page")),
+            "{problems:?}"
+        );
+        let mut r = fleet_scale_report();
+        for (k, slot) in entries(&mut r).iter_mut() {
+            if k == "fleet" {
+                set_key(slot, "windows_per_sec", Value::Null);
+            }
+        }
+        assert!(validate_bench_report(&r).is_err(), "null fleet throughput passed");
+    }
+
+    #[test]
+    fn fleet_scale_drift_must_sit_inside_its_bound() {
+        let mut r = fleet_scale_report();
+        for (k, slot) in entries(&mut r).iter_mut() {
+            if k == "fidelity" {
+                for (fk, fslot) in entries(slot).iter_mut() {
+                    if fk == "metrics" {
+                        match fslot {
+                            Value::Array(rows) => {
+                                set_key(&mut rows[0], "drift", serde_json::json!(0.9f64))
+                            }
+                            other => panic!("metrics is {}", other.kind()),
+                        }
+                    }
+                }
+            }
+        }
+        let problems = validate_bench_report(&r).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("outside bound")),
+            "{problems:?}"
+        );
+        // A metrics-free fidelity section is as unusable as a missing one.
+        let mut r = fleet_scale_report();
+        for (k, slot) in entries(&mut r).iter_mut() {
+            if k == "fidelity" {
+                set_key(slot, "metrics", Value::Array(Vec::new()));
+            }
+        }
+        assert!(validate_bench_report(&r).is_err(), "empty metrics passed");
     }
 
     #[test]

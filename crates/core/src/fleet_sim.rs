@@ -21,16 +21,17 @@ use serde::{Deserialize, Serialize};
 use sdfm_agent::{AgentParams, JobController, SloConfig};
 use sdfm_compress::codec::CodecKind;
 use sdfm_compress::measure::ClassPayloadTable;
-use sdfm_kernel::{ChainPolicy, CostModel, CpuAccounting, StorePressure};
+use sdfm_kernel::{ChainPolicy, CostModel, CpuAccounting, Kernel, KernelConfig, StorePressure};
 use sdfm_pool::WorkerPool;
 use sdfm_types::arith::permille_of;
 use sdfm_types::histogram::{PageAge, PromotionHistogram};
 use sdfm_types::ids::{ClusterId, JobId};
 use sdfm_types::rate::PromotionRate;
-use sdfm_types::time::{SimDuration, SimTime, DAY};
+use sdfm_types::size::PageCount;
+use sdfm_types::time::{SimDuration, SimTime, DAY, KSTALED_SCAN_PERIOD};
 use sdfm_workloads::fleet::FleetSpec;
 use sdfm_workloads::profile::JobProfile;
-use sdfm_workloads::StatJobModel;
+use sdfm_workloads::{PageLevelDriver, StatJobModel, WindowObservation};
 
 /// How the per-job window step fans out across workers. Both engines
 /// produce bit-identical output; they differ only in scheduling cost.
@@ -105,6 +106,16 @@ pub struct FleetSimConfig {
     pub threads: usize,
     /// How the parallel window step schedules its workers.
     pub engine: ParallelEngine,
+    /// Hierarchical fidelity cutoff: machines whose **global index** —
+    /// cluster-major order straight from the spec (cluster 0's machines
+    /// first, then cluster 1's, …) — is *below* this count run their jobs
+    /// on real page-level kernels ([`Kernel`] + [`PageLevelDriver`]:
+    /// per-page ages, kstaled sweeps, actual histograms), while the rest
+    /// keep the validated [`StatJobModel`] recurrence. The selection is a
+    /// pure function of the spec, so it is deterministic and identical at
+    /// any thread count. `0` (the default) runs the whole fleet on the
+    /// stat recurrence — the previous behavior, bit for bit.
+    pub fidelity_cutoff: usize,
 }
 
 impl FleetSimConfig {
@@ -125,6 +136,7 @@ impl FleetSimConfig {
             // so CI runs on different hosts resolve reproducibly.
             threads: sdfm_pool::resolve_threads(0),
             engine: ParallelEngine::default(),
+            fidelity_cutoff: 0,
         }
     }
 }
@@ -250,12 +262,100 @@ impl FleetWindowStats {
     }
 }
 
+/// A high-fidelity job below the cutoff: a real page-level [`Kernel`]
+/// driven window by window, observed through the same histogram surface
+/// the stat model synthesizes — so everything downstream of the
+/// observation (controller, per-mille store arithmetic, CPU ledger) is
+/// shared between the two fidelity tiers.
+struct PageLevelJob {
+    kernel: Kernel,
+    driver: PageLevelDriver,
+    /// Simulated seconds elapsed since the last kstaled scan (the 300 s
+    /// window is not a multiple of the 120 s scan period; the remainder
+    /// carries over so long runs scan at exactly the kernel cadence).
+    scan_debt_secs: u64,
+    /// Snapshot of the kernel's cumulative promotion histogram at the
+    /// previous window; the observation needs the per-window delta.
+    prev_promo: PromotionHistogram,
+}
+
+impl PageLevelJob {
+    fn observe(&mut self, at: SimTime, window: SimDuration) -> WindowObservation {
+        let job = self.driver.job();
+        // Interleave drive slices with kstaled scans at the real cadence.
+        // Running the window's touches first and its scans back-to-back
+        // afterwards would let the second scan see zero accessed bits and
+        // age *every* page — the kernel would report its entire footprint
+        // cold. Slicing the window at scan boundaries (carrying the
+        // remainder across windows) reproduces the page-level ordering
+        // the cross-validation suite validates against.
+        let start = at.as_secs().saturating_sub(window.as_secs());
+        let mut cursor = 0u64;
+        let mut remaining = window.as_secs();
+        while remaining > 0 {
+            let until_scan = KSTALED_SCAN_PERIOD.as_secs() - self.scan_debt_secs;
+            let slice = remaining.min(until_scan);
+            cursor += slice;
+            self.driver
+                .run_window(
+                    &mut self.kernel,
+                    SimTime::from_secs(start + cursor),
+                    SimDuration::from_secs(slice),
+                )
+                // sdfm-lint: allow(P1) reason="the memcg is created at spawn and never torn down while the job lives"
+                .expect("page-level drive failed");
+            self.scan_debt_secs += slice;
+            remaining -= slice;
+            if self.scan_debt_secs >= KSTALED_SCAN_PERIOD.as_secs() {
+                self.kernel.run_scan();
+                self.scan_debt_secs = 0;
+            }
+        }
+        // sdfm-lint: allow(P1) reason="the memcg is created at spawn and never torn down while the job lives"
+        let cg = self.kernel.memcg(job).expect("page-level memcg vanished");
+        let cold_hist = cg.cold_age_histogram().clone();
+        let promo = cg.promotion_histogram().clone();
+        let mut promo_delta = PromotionHistogram::new();
+        for ((age, cur), (_, prev)) in promo.iter().zip(self.prev_promo.iter()) {
+            if cur > prev {
+                promo_delta.record_promotion(age, cur - prev);
+            }
+        }
+        self.prev_promo = promo;
+        let working_set = PageCount::new(cold_hist.pages_younger_than(PageAge::from_scans(1)));
+        WindowObservation {
+            at,
+            window,
+            working_set,
+            cold_hist,
+            promo_delta,
+            multiplier: 1.0,
+        }
+    }
+}
+
+/// Which engine produces a job's per-window observations.
+// The stat variant stays inline by design: virtually every job in a
+// fleet-scale run is stat-tier, and boxing it would put a pointer chase
+// on the hot observe path to shrink an enum only the rare page-level
+// jobs (already boxed) care about.
+#[allow(clippy::large_enum_variant)]
+enum JobEngine {
+    /// The validated analytic recurrence (machines at or above the
+    /// fidelity cutoff — the fleet-scale default).
+    Stat(StatJobModel),
+    /// A real page-level kernel (machines below the cutoff). Boxed: the
+    /// kernel holds per-page state and would bloat every stat job's
+    /// `SimJob` by its full size otherwise.
+    PageLevel(Box<PageLevelJob>),
+}
+
 struct SimJob {
     id: JobId,
     cluster: ClusterId,
     cluster_idx: usize,
     machine: usize,
-    model: StatJobModel,
+    engine: JobEngine,
     controller: JobController,
     cumulative_promo: PromotionHistogram,
     expires: SimTime,
@@ -289,6 +389,7 @@ struct SimJob {
 const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<StatJobModel>();
+    assert_send::<PageLevelJob>();
     assert_send::<JobController>();
     assert_send::<SimJob>();
 };
@@ -300,9 +401,10 @@ pub struct FleetSim {
     now: SimTime,
     next_id: u64,
     rng: StdRng,
-    /// Per-worker output buffers, kept across windows so the parallel
-    /// step allocates nothing in steady state.
-    scratch: Vec<Vec<JobWindowStat>>,
+    /// Per-worker output buffers — `(original job index, stat)` pairs,
+    /// kept across windows so the parallel step's per-segment output
+    /// allocates nothing in steady state.
+    scratch: Vec<Vec<(usize, JobWindowStat)>>,
     /// The persistent worker pool, created lazily on the first parallel
     /// window ([`ParallelEngine::PersistentPool`] only) and shut down —
     /// workers joined — when the simulator drops.
@@ -388,14 +490,38 @@ impl FleetSim {
         let cpu_cores = profile.cpu_cores;
         let total_pages = profile.total_pages().get();
         let cluster = self.config.spec.clusters[cluster_idx].id;
-        let mut model = StatJobModel::with_noise(profile, seed, self.config.noise_sigma);
-        model.set_start(started);
+        // Both arms consume exactly the one `seed` drawn above, so the
+        // sim-level RNG stream — and therefore every *other* job's seed and
+        // the churn sequence — is untouched by where the cutoff falls.
+        let engine = if self.page_level_machine(cluster_idx, machine) {
+            let capacity = profile.total_pages() + profile.total_pages();
+            let mut kernel = Kernel::new(KernelConfig {
+                capacity,
+                codec: CodecKind::Lzo,
+                cost: self.config.cost,
+            });
+            let mut driver = PageLevelDriver::new(id, profile, seed);
+            driver
+                .populate(&mut kernel)
+                // sdfm-lint: allow(P1) reason="the kernel is freshly booted with twice the job's pages of DRAM, so populate cannot hit a limit"
+                .expect("page-level populate failed");
+            JobEngine::PageLevel(Box::new(PageLevelJob {
+                kernel,
+                driver,
+                scan_debt_secs: 0,
+                prev_promo: PromotionHistogram::new(),
+            }))
+        } else {
+            let mut model = StatJobModel::with_noise(profile, seed, self.config.noise_sigma);
+            model.set_start(started);
+            JobEngine::Stat(model)
+        };
         self.jobs.push(SimJob {
             id,
             cluster,
             cluster_idx,
             machine,
-            model,
+            engine,
             controller: JobController::new(self.config.params, self.config.slo, started),
             cumulative_promo: PromotionHistogram::new(),
             expires,
@@ -408,6 +534,22 @@ impl FleetSim {
             ssd_pages: 0,
             remote_pages: 0,
         });
+    }
+
+    /// Whether the machine at `(cluster_idx, machine)` sits below the
+    /// fidelity cutoff. The global index is cluster-major straight from
+    /// the spec, so the answer is a pure function of config — stable
+    /// across churn, threads, and window count.
+    fn page_level_machine(&self, cluster_idx: usize, machine: usize) -> bool {
+        if self.config.fidelity_cutoff == 0 {
+            return false;
+        }
+        let global: usize = self.config.spec.clusters[..cluster_idx]
+            .iter()
+            .map(|c| c.machines)
+            .sum::<usize>()
+            + machine;
+        global < self.config.fidelity_cutoff
     }
 
     /// Current time.
@@ -444,7 +586,10 @@ impl FleetSim {
         pressure: StorePressure,
         chain: Option<ChainPolicy>,
     ) -> JobWindowStat {
-        let obs = j.model.observe(now, window);
+        let obs = match &mut j.engine {
+            JobEngine::Stat(model) => model.observe(now, window),
+            JobEngine::PageLevel(pl) => pl.observe(now, window),
+        };
         j.cumulative_promo.merge(&obs.promo_delta);
         let decision = j
             .controller
@@ -575,9 +720,10 @@ impl FleetSim {
     /// Advances one window and returns the fleet stats.
     ///
     /// The per-job work fans out across [`FleetSimConfig::threads`]
-    /// workers — by default on the simulator's persistent [`WorkerPool`]
-    /// (chunks are submitted in index order and reassembled in index
-    /// order, so scheduling never reaches the output); job churn then
+    /// workers — by default on the simulator's persistent [`WorkerPool`] —
+    /// sharded at *machine* granularity (segment cuts fall only on
+    /// machine boundaries, and results are reassembled by original job
+    /// index, so scheduling never reaches the output); job churn then
     /// runs sequentially on the sim-level RNG. The result — including the
     /// order of `per_job` and the RNG stream — is bit-for-bit identical
     /// at any thread count and under either [`ParallelEngine`].
@@ -608,21 +754,64 @@ impl FleetSim {
                     .push(Self::step_job(j, now, window, min_threshold, pressure, chain));
             }
         } else {
-            let chunk = self.jobs.len().div_ceil(workers);
-            let chunks: Vec<&mut [SimJob]> = self.jobs.chunks_mut(chunk).collect();
-            self.scratch.resize_with(chunks.len(), Vec::new);
+            // Shard at MACHINE granularity. Jobs are ordered by index
+            // pairs — `self.jobs` itself never moves, so the churn RNG
+            // sequence and `per_job` order are untouched — into
+            // cluster-major machine order, and segment cuts fall only on
+            // machine boundaries. All of one machine's jobs (in
+            // particular a page-level kernel and its co-resident
+            // neighbors) therefore step on a single worker, and the sort
+            // and cut points are pure functions of the job list, so the
+            // partition — and with it the output — is identical at any
+            // thread count.
+            let mut order: Vec<(usize, &mut SimJob)> =
+                self.jobs.iter_mut().enumerate().collect();
+            order.sort_by_key(|(i, j)| (j.cluster_idx, j.machine, *i));
+            let len = order.len();
+            let target = len.div_ceil(workers);
+            // Segment lengths: close a segment at the first machine
+            // boundary at or past the per-worker target.
+            let mut seg_lens: Vec<usize> = Vec::with_capacity(workers);
+            let mut start = 0usize;
+            for k in 1..=len {
+                let boundary = k == len || {
+                    let a = &order[k - 1].1;
+                    let b = &order[k].1;
+                    (a.cluster_idx, a.machine) != (b.cluster_idx, b.machine)
+                };
+                if boundary && k - start >= target {
+                    seg_lens.push(k - start);
+                    start = k;
+                }
+            }
+            if start < len {
+                seg_lens.push(len - start);
+            }
+            let mut segments: Vec<&mut [(usize, &mut SimJob)]> =
+                Vec::with_capacity(seg_lens.len());
+            let mut rest = order.as_mut_slice();
+            for &n in &seg_lens {
+                let tmp = rest;
+                let (seg, tail) = tmp.split_at_mut(n);
+                segments.push(seg);
+                rest = tail;
+            }
+            self.scratch.resize_with(segments.len(), Vec::new);
             match self.config.engine {
                 ParallelEngine::PersistentPool => {
                     let threads = self.config.threads;
                     let pool = self.pool.get_or_init(|| WorkerPool::new(threads));
-                    let tasks: Vec<_> = chunks
+                    let tasks: Vec<_> = segments
                         .into_iter()
                         .zip(self.scratch.iter_mut())
-                        .map(|(chunk, buf)| {
+                        .map(|(seg, buf)| {
                             move || {
                                 buf.clear();
-                                buf.extend(chunk.iter_mut().map(|j| {
-                                    Self::step_job(j, now, window, min_threshold, pressure, chain)
+                                buf.extend(seg.iter_mut().map(|(i, j)| {
+                                    let stat = Self::step_job(
+                                        j, now, window, min_threshold, pressure, chain,
+                                    );
+                                    (*i, stat)
                                 }));
                             }
                         })
@@ -636,11 +825,14 @@ impl FleetSim {
                 }
                 ParallelEngine::SpawnPerCall => {
                     thread::scope(|s| {
-                        for (chunk, buf) in chunks.into_iter().zip(self.scratch.iter_mut()) {
+                        for (seg, buf) in segments.into_iter().zip(self.scratch.iter_mut()) {
                             s.spawn(move |_| {
                                 buf.clear();
-                                buf.extend(chunk.iter_mut().map(|j| {
-                                    Self::step_job(j, now, window, min_threshold, pressure, chain)
+                                buf.extend(seg.iter_mut().map(|(i, j)| {
+                                    let stat = Self::step_job(
+                                        j, now, window, min_threshold, pressure, chain,
+                                    );
+                                    (*i, stat)
                                 }));
                             });
                         }
@@ -648,11 +840,19 @@ impl FleetSim {
                     .expect("fleet window worker panicked");
                 }
             }
-            // Drain in chunk order: per_job comes out in job order exactly
-            // as the sequential path produces it.
+            // Index-ordered reassembly: every original index appears in
+            // exactly one segment, so slotting by index reproduces the
+            // sequential `per_job` order bit for bit.
+            let mut slots: Vec<Option<JobWindowStat>> = vec![None; len];
             for buf in &mut self.scratch {
-                stats.per_job.append(buf);
+                for (i, stat) in buf.drain(..) {
+                    slots[i] = Some(stat);
+                }
             }
+            stats.per_job.extend(slots.into_iter().map(|s| {
+                // sdfm-lint: allow(P1) reason="the machine-boundary cuts partition 0..len exactly, so every slot is filled"
+                s.expect("job index missing from sharded window step")
+            }));
         }
         let cost = self.config.cost;
         for s in &stats.per_job {
@@ -1235,6 +1435,78 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The hierarchical fidelity cutoff keeps the bit-identity contract:
+    /// with page-level kernels running on the machines below the cutoff,
+    /// the fleet trajectory still serializes to the same bytes at threads
+    /// 1, 2, and 4 (the machine-boundary shard cuts guarantee a kernel
+    /// and its co-resident jobs never straddle workers).
+    #[test]
+    fn fidelity_cutoff_is_bit_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut cfg = FleetSimConfig::new(1);
+            cfg.noise_sigma = 0.1;
+            cfg.threads = threads;
+            cfg.fidelity_cutoff = 3;
+            let mut sim = FleetSim::new(cfg, 37);
+            let windows = sim.run_windows(6);
+            serde_json::to_string(&windows).expect("fleet stats serialize")
+        };
+        let (one, again, two, four) = (run(1), run(1), run(2), run(4));
+        assert!(one == again, "two same-seed cutoff runs diverged");
+        assert!(one == two, "1 vs 2 threads diverged with the cutoff active");
+        assert!(one == four, "1 vs 4 threads diverged with the cutoff active");
+    }
+
+    /// Turning the cutoff on must not perturb any job *outside* it:
+    /// `spawn_job` draws exactly one seed per job regardless of engine, so
+    /// the sim-level RNG stream — template sampling, churn, every stat
+    /// job's noise seed — is identical between cutoff 0 and cutoff K. The
+    /// stat-tier jobs therefore reproduce their cutoff-free trajectories
+    /// bit for bit, and the page-level jobs report physically coherent
+    /// stats (cold ⊆ total, far ⊆ cold, cold mass actually observed).
+    #[test]
+    fn cutoff_perturbs_only_the_machines_below_it() {
+        let cfg = FleetSimConfig::new(1);
+        let page_clusters: Vec<ClusterId> =
+            cfg.spec.clusters[..2].iter().map(|c| c.id).collect();
+        let run = |cutoff: usize| {
+            let mut cfg = FleetSimConfig::new(1);
+            cfg.noise_sigma = 0.1;
+            cfg.threads = 2;
+            cfg.fidelity_cutoff = cutoff;
+            let mut sim = FleetSim::new(cfg, 41);
+            sim.run_windows(6)
+        };
+        let base = run(0);
+        let cut = run(2);
+        for (w, (wa, wb)) in base.iter().zip(cut.iter()).enumerate() {
+            assert_eq!(wa.at, wb.at);
+            assert_eq!(wa.per_job.len(), wb.per_job.len(), "population diverged");
+            for (ja, jb) in wa.per_job.iter().zip(wb.per_job.iter()) {
+                assert_eq!(ja.job, jb.job, "job order diverged at window {w}");
+                if page_clusters.contains(&ja.cluster) {
+                    continue; // below the cutoff: fidelity legitimately differs
+                }
+                assert_eq!(ja, jb, "stat-tier job perturbed by the cutoff at window {w}");
+            }
+        }
+        let last = cut.last().unwrap();
+        let page_jobs: Vec<&JobWindowStat> = last
+            .per_job
+            .iter()
+            .filter(|j| page_clusters.contains(&j.cluster))
+            .collect();
+        assert!(!page_jobs.is_empty(), "no page-level jobs materialized");
+        for j in &page_jobs {
+            assert!(j.cold_pages <= j.total_pages, "cold exceeds total");
+            assert!(j.far_pages <= j.cold_pages, "far exceeds cold");
+        }
+        assert!(
+            page_jobs.iter().any(|j| j.cold_pages > 0),
+            "page-level kernels observed no cold memory after 15 scans"
+        );
     }
 
     /// With a chain attached, a disabled job's store demotes down the

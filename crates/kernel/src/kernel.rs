@@ -179,8 +179,8 @@ impl Kernel {
             .memcgs
             .remove(&job)
             .ok_or(KernelError::NoSuchMemcg { job })?;
-        for page in &cg.pages {
-            match page.state {
+        for state in cg.pages.states() {
+            match state {
                 PageState::Zswapped(h) => self.zswap.discard(h)?,
                 PageState::Demoted(t) => self
                     .chain
@@ -394,22 +394,24 @@ impl Kernel {
             .memcgs
             .get_mut(&job)
             .ok_or(KernelError::NoSuchMemcg { job })?;
-        let p = cg
+        let idx = page.index();
+        let state = cg
             .pages
-            .get_mut(page.index())
+            .get_state(idx)
             .ok_or(KernelError::NoSuchPage { job, page })?;
-        let promoted = match p.state {
+        let promoted = match state {
             PageState::Zswapped(h) => {
                 let size = self.zswap.stored_size(h).ok_or(KernelError::StaleHandle)? as u64;
                 let bytes = self.zswap.load(h)?;
-                if let (Some(loaded), PageContent::Real(original)) = (&bytes, &p.content) {
+                if let (Some(loaded), PageContent::Real(original)) = (&bytes, cg.pages.content(idx))
+                {
                     if loaded != original {
                         return Err(KernelError::StoreCorrupt {
                             detail: "zswap corrupted page contents",
                         });
                     }
                 }
-                p.state = PageState::Resident;
+                cg.pages.set_state(idx, PageState::Resident);
                 cg.stats.zswapped_pages -= 1;
                 cg.stats.zswapped_bytes -= size;
                 cg.stats.resident_pages += 1;
@@ -430,7 +432,7 @@ impl Kernel {
                 // Fault-back I/O is CPU-visible wait time, charged like
                 // writeback decompressions are.
                 self.cpu.charge_tier_io(ns);
-                p.state = PageState::Resident;
+                cg.pages.set_state(idx, PageState::Resident);
                 cg.stats.demoted_pages[t as usize] -= 1;
                 cg.stats.resident_pages += 1;
                 cg.stats.demoted_loads[t as usize] += 1;
@@ -438,14 +440,14 @@ impl Kernel {
             }
             PageState::Resident => false,
         };
-        p.flags.accessed = true;
+        cg.pages.set_accessed(idx, true);
         if write {
-            p.flags.dirty = true;
+            cg.pages.set_dirty(idx, true);
         }
-        if p.flags.poisoned {
+        if cg.pages.poisoned(idx) {
             // Thermostat-style sampling: the poisoned page soft-faulted.
-            p.flags.poisoned = false;
-            p.sample_faulted = true;
+            cg.pages.set_poisoned(idx, false);
+            cg.pages.set_sample_faulted(idx, true);
         }
         Ok(promoted)
     }
@@ -460,6 +462,7 @@ impl Kernel {
             total.pages_accessed += o.pages_accessed;
             total.would_be_promotions += o.would_be_promotions;
             total.incompressible_cleared += o.incompressible_cleared;
+            total.incompressible_marked += o.incompressible_marked;
         }
         total
     }
@@ -536,27 +539,29 @@ impl Kernel {
             // Huge pages split before entering either tier (neither the
             // zswap store nor the page-granular device takes a 2 MiB
             // mapping whole).
-            if cg.pages[i].is_huge()
-                && cg.pages[i].demote_eligible(t1_threshold)
+            if cg.pages.is_huge(i)
+                && cg.pages.demote_eligible(i, t1_threshold)
                 && cg.split_huge_page(i)
             {
                 outcome.huge_splits += 1;
             }
-            let page = &mut cg.pages[i];
+            let idx = i;
             i += 1;
             outcome.examined += 1;
             // Overflow: warm-device residents that aged past the zswap
             // threshold.
-            if page.state == PageState::Demoted(dev as u8) && page.age >= t2_threshold {
+            if cg.pages.state(idx) == PageState::Demoted(dev as u8)
+                && cg.pages.age(idx) >= t2_threshold
+            {
                 cg.stats.compressions += 1;
-                match self.zswap.store(&page.content)? {
+                match self.zswap.store(cg.pages.content(idx))? {
                     crate::zswap::StoreOutcome::Stored(h) => {
                         self.cpu.charge_compress(&cost);
                         let tier = chain.tier_mut(dev).ok_or(KernelError::StoreCorrupt {
                             detail: "warm device tier vanished mid-pass",
                         })?;
                         tier.discard_page();
-                        page.state = PageState::Zswapped(h);
+                        cg.pages.set_state(idx, PageState::Zswapped(h));
                         cg.stats.demoted_pages[dev] -= 1;
                         cg.stats.zswapped_pages += 1;
                         cg.stats.zswapped_bytes +=
@@ -575,12 +580,12 @@ impl Kernel {
                 continue;
             }
             // DRAM → zswap for the deep-cold.
-            if page.reclaim_eligible(t2_threshold) {
+            if cg.pages.reclaim_eligible(idx, t2_threshold) {
                 cg.stats.compressions += 1;
-                match self.zswap.store(&page.content)? {
+                match self.zswap.store(cg.pages.content(idx))? {
                     crate::zswap::StoreOutcome::Stored(h) => {
                         self.cpu.charge_compress(&cost);
-                        page.state = PageState::Zswapped(h);
+                        cg.pages.set_state(idx, PageState::Zswapped(h));
                         cg.stats.resident_pages -= 1;
                         cg.stats.zswapped_pages += 1;
                         cg.stats.zswapped_bytes +=
@@ -589,7 +594,7 @@ impl Kernel {
                     }
                     crate::zswap::StoreOutcome::Rejected { .. } => {
                         self.cpu.charge_rejected_compress(&cost);
-                        page.flags.incompressible = true;
+                        cg.pages.set_incompressible(idx, true);
                         cg.stats.incompressible_marked += 1;
                         cg.stats.rejections += 1;
                         outcome.rejected += 1;
@@ -598,7 +603,7 @@ impl Kernel {
                 continue;
             }
             // DRAM → warm device for the warm-cold, capacity permitting.
-            if page.demote_eligible(t1_threshold) {
+            if cg.pages.demote_eligible(idx, t1_threshold) {
                 let tier = chain.tier_mut(dev).ok_or(KernelError::StoreCorrupt {
                     detail: "warm device tier vanished mid-pass",
                 })?;
@@ -607,7 +612,7 @@ impl Kernel {
                         detail: "warm device tier filled mid-check",
                     })?;
                     self.cpu.charge_tier_io(ns);
-                    page.state = PageState::Demoted(dev as u8);
+                    cg.pages.set_state(idx, PageState::Demoted(dev as u8));
                     cg.stats.resident_pages -= 1;
                     cg.stats.demoted_pages[dev] += 1;
                     cg.stats.demotions += 1;
@@ -670,21 +675,17 @@ impl Kernel {
                 }
                 // Oldest eligible resident page (direct reclaim reuses the
                 // ages kstaled already reaped, §5.1).
-                let candidate = cg
-                    .pages
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, p)| p.reclaim_eligible(PageAge::from_scans(1)))
-                    .max_by_key(|(_, p)| p.age);
-                let Some((idx, _)) = candidate else { break };
+                let candidate = (0..cg.pages.len())
+                    .filter(|&i| cg.pages.reclaim_eligible(i, PageAge::from_scans(1)))
+                    .max_by_key(|&i| cg.pages.age(i));
+                let Some(idx) = candidate else { break };
                 // Direct reclaim splits huge pages like the swap path does.
                 cg.split_huge_page(idx);
                 cg.stats.compressions += 1;
-                let page = &mut cg.pages[idx];
-                match self.zswap.store(&page.content)? {
+                match self.zswap.store(cg.pages.content(idx))? {
                     crate::zswap::StoreOutcome::Stored(h) => {
                         self.cpu.charge_compress(&cost);
-                        page.state = PageState::Zswapped(h);
+                        cg.pages.set_state(idx, PageState::Zswapped(h));
                         cg.stats.resident_pages -= 1;
                         cg.stats.zswapped_pages += 1;
                         cg.stats.zswapped_bytes +=
@@ -692,7 +693,7 @@ impl Kernel {
                     }
                     crate::zswap::StoreOutcome::Rejected { .. } => {
                         self.cpu.charge_rejected_compress(&cost);
-                        page.flags.incompressible = true;
+                        cg.pages.set_incompressible(idx, true);
                         cg.stats.incompressible_marked += 1;
                         cg.stats.rejections += 1;
                     }

@@ -55,21 +55,20 @@ pub fn reclaim_memcg(
     let mut i = 0;
     while i < cg.pages.len() {
         outcome.examined += 1;
-        if !cg.pages[i].reclaim_eligible(threshold) {
+        if !cg.pages.reclaim_eligible(i, threshold) {
             i += 1;
             continue;
         }
         // zswap works at base-page granularity: split first, then fall
         // through to compress the (now base) page at `i`.
-        if cg.split_huge_page(i) {
+        if cg.pages.split_huge(i) {
             outcome.huge_splits += 1;
         }
         cg.stats.compressions += 1;
-        let page = &mut cg.pages[i];
-        match store.store(&page.content)? {
+        match store.store(cg.pages.content(i))? {
             StoreOutcome::Stored(handle) => {
                 cpu.charge_compress(cost);
-                page.state = PageState::Zswapped(handle);
+                cg.pages.set_state(i, PageState::Zswapped(handle));
                 outcome.reclaimed += 1;
                 cg.stats.resident_pages -= 1;
                 cg.stats.zswapped_pages += 1;
@@ -80,7 +79,7 @@ pub fn reclaim_memcg(
                 // The cutoff rejected the page, but the attempt burned the
                 // same compression cycles — charged explicitly (§5.1).
                 cpu.charge_rejected_compress(cost);
-                page.flags.incompressible = true;
+                cg.pages.set_incompressible(i, true);
                 cg.stats.incompressible_marked += 1;
                 cg.stats.rejections += 1;
                 outcome.rejected += 1;
@@ -143,8 +142,8 @@ mod tests {
         let (mut cg, mut store) = setup(4, 600);
         age_by_scans(&mut cg, 3); // age 2
                                   // Touch two pages so they reset at the next scan.
-        cg.pages[0].flags.accessed = true;
-        cg.pages[1].flags.accessed = true;
+        cg.pages.set_accessed(0, true);
+        cg.pages.set_accessed(1, true);
         scan_memcg(&mut cg); // pages 0,1 at age 0; 2,3 at age 3
         let mut cpu = CpuAccounting::default();
         let o = reclaim_memcg(
@@ -156,8 +155,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(o.reclaimed, 2);
-        assert!(cg.pages[0].state == PageState::Resident);
-        assert!(cg.pages[2].is_zswapped());
+        assert!(cg.pages.state(0) == PageState::Resident);
+        assert!(cg.pages.is_zswapped(2));
     }
 
     #[test]

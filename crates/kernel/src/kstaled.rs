@@ -10,68 +10,59 @@
 //!   now);
 //! * untouched → increment the age (saturating at 255 scans).
 //!
-//! After the walk it rebuilds the **cold-age histogram** from the new ages.
-//! Pages already in zswap continue to age (they are unaccessed by
-//! construction) and appear in the cold-age histogram — so the coverage
-//! metric "zswap size / cold size" is well defined.
+//! The cold-age histogram is **not** rebuilt after the walk: the
+//! [`crate::page_table::PageTable`] keeps a live histogram that the sweep
+//! updates incrementally (one bucket shift for the untouched population,
+//! one move-to-HOT delta per accessed entry); the scan publishes a
+//! snapshot of it into the memcg, preserving the "as of the last scan"
+//! observable semantics. Pages already in zswap continue to age (they are
+//! unaccessed by construction) and appear in the cold-age histogram — so
+//! the coverage metric "zswap size / cold size" is well defined.
 
 use crate::memcg::MemCgroup;
-use sdfm_types::histogram::PageAge;
 
 /// Counters from one kstaled pass over one memcg.
+///
+/// Units follow the U1 suffix convention: huge pages make *entries* and
+/// *frames* diverge. A huge page is one page-table entry mapping
+/// [`crate::page::HUGE_SPAN`] base-page frames, and its single accessed
+/// bit covers all of them — so the walk counters below are entry-counted
+/// while the promotion counter is frame-counted. The regression test
+/// `huge_page_scan_counts_entries_but_promotes_frames` pins this split.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ScanOutcome {
-    /// Pages walked.
+    /// Page-table entries walked (**entries**, not frames: a huge page
+    /// counts once).
     pub pages_scanned: u64,
-    /// Pages observed accessed since the previous scan.
+    /// Entries observed accessed since the previous scan (**entries**: a
+    /// huge page has one accessed bit).
     pub pages_accessed: u64,
-    /// Accesses recorded in the promotion histogram (age ≥ 1 at access).
+    /// Accesses recorded in the promotion histogram, weighted by span
+    /// (**frames**: an accessed huge entry at age ≥ 1 contributes
+    /// [`crate::page::HUGE_SPAN`] would-be promotions, as if the region
+    /// had been split and compressed at base granularity).
     pub would_be_promotions: u64,
-    /// Incompressible marks cleared because the page was dirtied.
+    /// Incompressible marks cleared because the page was dirtied
+    /// (**entries**).
     pub incompressible_cleared: u64,
+    /// Entries carrying the incompressible mark after this scan
+    /// (**entries**; published to [`crate::MemcgStats`]).
+    pub incompressible_marked: u64,
 }
 
 /// Runs one kstaled scan over a memcg, updating ages and both histograms.
 pub fn scan_memcg(cg: &mut MemCgroup) -> ScanOutcome {
-    let mut outcome = ScanOutcome::default();
-    cg.cold_hist.clear();
-    let mut incompressible_marked = 0u64;
-    for page in &mut cg.pages {
-        outcome.pages_scanned += 1;
-        if page.flags.accessed {
-            outcome.pages_accessed += 1;
-            if page.age > PageAge::HOT {
-                // Huge entries carry one accessed bit for all their
-                // frames: an access is span would-be promotions (had the
-                // region been split and compressed at base granularity).
-                cg.promo_hist.record_promotion(page.age, page.span as u64);
-                outcome.would_be_promotions += page.span as u64;
-            }
-            page.age = PageAge::HOT;
-            page.flags.accessed = false;
-            if page.flags.dirty {
-                if page.flags.incompressible {
-                    page.flags.incompressible = false;
-                    outcome.incompressible_cleared += 1;
-                }
-                page.flags.dirty = false;
-            }
-        } else {
-            page.age = page.age.incremented();
-        }
-        if page.flags.incompressible {
-            incompressible_marked += 1;
-        }
-        cg.cold_hist.record_page(page.age, page.span as u64);
-    }
-    cg.stats.incompressible_marked = incompressible_marked;
+    let outcome = cg.pages.sweep(&mut cg.promo_hist);
+    cg.stats.incompressible_marked = outcome.incompressible_marked;
+    cg.cold_hist.clone_from(cg.pages.live_histogram());
     outcome
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::page::{Page, PageContent};
+    use crate::page::{Page, PageContent, HUGE_SPAN};
+    use sdfm_types::histogram::PageAge;
     use sdfm_types::ids::JobId;
     use sdfm_types::size::PageCount;
 
@@ -106,7 +97,7 @@ mod tests {
             scan_memcg(&mut cg);
         }
         // Touch page 0 only.
-        cg.pages[0].flags.accessed = true;
+        cg.pages.set_accessed(0, true);
         let o = scan_memcg(&mut cg);
         assert_eq!(o.pages_accessed, 1);
         assert_eq!(o.would_be_promotions, 1);
@@ -130,7 +121,7 @@ mod tests {
     fn access_at_age_zero_is_not_a_promotion() {
         let mut cg = memcg_with_pages(1);
         scan_memcg(&mut cg); // resets the allocation access
-        cg.pages[0].flags.accessed = true; // hot-page access
+        cg.pages.set_accessed(0, true); // hot-page access
         let o = scan_memcg(&mut cg);
         assert_eq!(o.pages_accessed, 1);
         assert_eq!(o.would_be_promotions, 0);
@@ -141,19 +132,19 @@ mod tests {
     fn dirty_access_clears_incompressible_mark() {
         let mut cg = memcg_with_pages(1);
         scan_memcg(&mut cg);
-        cg.pages[0].flags.incompressible = true;
+        cg.pages.set_incompressible(0, true);
         // Read access alone does not clear the mark.
-        cg.pages[0].flags.accessed = true;
+        cg.pages.set_accessed(0, true);
         let o = scan_memcg(&mut cg);
         assert_eq!(o.incompressible_cleared, 0);
-        assert!(cg.pages[0].flags.incompressible);
+        assert!(cg.pages.incompressible(0));
         assert_eq!(cg.stats().incompressible_marked, 1);
         // A write does.
-        cg.pages[0].flags.accessed = true;
-        cg.pages[0].flags.dirty = true;
+        cg.pages.set_accessed(0, true);
+        cg.pages.set_dirty(0, true);
         let o = scan_memcg(&mut cg);
         assert_eq!(o.incompressible_cleared, 1);
-        assert!(!cg.pages[0].flags.incompressible);
+        assert!(!cg.pages.incompressible(0));
         assert_eq!(cg.stats().incompressible_marked, 0);
     }
 
@@ -173,5 +164,60 @@ mod tests {
         scan_memcg(&mut cg);
         // Total pages in the histogram must equal the page count, not grow.
         assert_eq!(cg.cold_age_histogram().total_pages(), 3);
+    }
+
+    #[test]
+    fn incremental_histogram_matches_full_rebuild_after_every_scan() {
+        let mut cg = memcg_with_pages(16);
+        cg.pages
+            .push(Page::new_huge(PageContent::synthetic_of_len(300)));
+        for round in 0..8usize {
+            for i in 0..cg.pages.len() {
+                if (i + round) % 5 == 0 {
+                    cg.pages.set_accessed(i, true);
+                }
+            }
+            scan_memcg(&mut cg);
+            assert_eq!(
+                cg.cold_age_histogram(),
+                &cg.pages.rebuilt_histogram(),
+                "round {round}: published histogram diverged from rebuild"
+            );
+        }
+    }
+
+    /// Satellite regression test for the entries-vs-frames unit split
+    /// documented on [`ScanOutcome`]: a huge page is scanned as one
+    /// *entry* but promotes as [`HUGE_SPAN`] *frames*. The SoA sweep must
+    /// not silently change either unit.
+    #[test]
+    fn huge_page_scan_counts_entries_but_promotes_frames() {
+        let mut cg = MemCgroup::new(JobId::new(1), PageCount::new(1 << 20));
+        cg.pages.push(Page::new(PageContent::synthetic_of_len(500)));
+        cg.pages
+            .push(Page::new_huge(PageContent::synthetic_of_len(500)));
+        scan_memcg(&mut cg); // clears the allocation accesses
+        scan_memcg(&mut cg); // ages both entries to 1
+        cg.pages.set_accessed(0, true);
+        cg.pages.set_accessed(1, true);
+        let o = scan_memcg(&mut cg);
+        assert_eq!(o.pages_scanned, 2, "entries, not frames");
+        assert_eq!(o.pages_accessed, 2, "one accessed bit per entry");
+        assert_eq!(
+            o.would_be_promotions,
+            1 + HUGE_SPAN as u64,
+            "promotions are frame-weighted"
+        );
+        // The frame weighting flows into the promotion histogram too.
+        assert_eq!(
+            cg.promotion_histogram()
+                .promotions_colder_than(PageAge::from_scans(1)),
+            1 + HUGE_SPAN as u64
+        );
+        // And the cold-age histogram stays frame-weighted throughout.
+        assert_eq!(
+            cg.cold_age_histogram().total_pages(),
+            1 + HUGE_SPAN as u64
+        );
     }
 }

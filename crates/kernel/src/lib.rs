@@ -50,6 +50,7 @@ pub mod kreclaimd;
 pub mod kstaled;
 pub mod memcg;
 pub mod page;
+pub mod page_table;
 pub mod thermostat;
 pub mod tiering;
 pub mod writeback;
@@ -63,6 +64,7 @@ pub use error::KernelError;
 pub use kernel::{Kernel, KernelConfig, MachineStats};
 pub use memcg::{MemCgroup, MemcgStats};
 pub use page::{Page, PageContent, PageState};
+pub use page_table::PageTable;
 pub use thermostat::{ThermostatEstimate, ThermostatSampler};
 pub use tiering::{Tier1Config, Tier1Stats};
 pub use writeback::{

@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::backend::MAX_TIERS;
-use crate::page::Page;
+use crate::page_table::PageTable;
 use sdfm_types::histogram::{ColdAgeHistogram, PageAge, PromotionHistogram};
 use sdfm_types::ids::JobId;
 use sdfm_types::size::PageCount;
@@ -70,7 +70,7 @@ pub struct MemCgroup {
     limit: PageCount,
     soft_limit: PageCount,
     zswap_enabled: bool,
-    pub(crate) pages: Vec<Page>,
+    pub(crate) pages: PageTable,
     pub(crate) cold_hist: ColdAgeHistogram,
     pub(crate) promo_hist: PromotionHistogram,
     pub(crate) stats: MemcgStats,
@@ -84,7 +84,7 @@ impl MemCgroup {
             limit,
             soft_limit: PageCount::ZERO,
             zswap_enabled: false,
-            pages: Vec::new(),
+            pages: PageTable::new(),
             cold_hist: ColdAgeHistogram::new(),
             promo_hist: PromotionHistogram::new(),
             stats: MemcgStats::default(),
@@ -139,11 +139,12 @@ impl MemCgroup {
     /// individual pages.
     pub fn page_in_zswap(&self, page: sdfm_types::ids::PageId) -> Option<bool> {
         self.pages
-            .get(page.index())
-            .map(|p| matches!(p.state, crate::page::PageState::Zswapped(_)))
+            .get_state(page.index())
+            .map(|s| matches!(s, crate::page::PageState::Zswapped(_)))
     }
 
-    /// The instantaneous cold-age histogram (rebuilt by kstaled each scan).
+    /// The instantaneous cold-age histogram (maintained incrementally by
+    /// the page table; kstaled publishes a snapshot here each scan).
     pub fn cold_age_histogram(&self) -> &ColdAgeHistogram {
         &self.cold_hist
     }
@@ -170,23 +171,14 @@ impl MemCgroup {
     /// the same age and flags (the kernel's split-before-swap path).
     /// Returns `false` if the entry is not huge.
     pub(crate) fn split_huge_page(&mut self, idx: usize) -> bool {
-        if !self.pages[idx].is_huge() {
-            return false;
-        }
-        let clones = self.pages[idx].span - 1;
-        self.pages[idx].span = 1;
-        let template = self.pages[idx].clone();
-        for _ in 0..clones {
-            self.pages.push(template.clone());
-        }
-        true
+        self.pages.split_huge(idx)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::page::PageContent;
+    use crate::page::{Page, PageContent};
 
     #[test]
     fn new_memcg_is_empty_and_disabled() {

@@ -76,8 +76,8 @@ impl ThermostatSampler {
     pub fn begin_period(&mut self, cg: &mut MemCgroup) -> u64 {
         // Clear stale poison from the previous period.
         for &idx in &self.poisoned {
-            if let Some(p) = cg.pages.get_mut(idx) {
-                p.flags.poisoned = false;
+            if idx < cg.pages.len() {
+                cg.pages.set_poisoned(idx, false);
             }
         }
         self.poisoned.clear();
@@ -94,10 +94,9 @@ impl ThermostatSampler {
             chosen.insert(self.rng.gen_range(0..n));
         }
         for idx in chosen {
-            let p = &mut cg.pages[idx];
-            if matches!(p.state, PageState::Resident) {
-                p.flags.poisoned = true;
-                p.sample_faulted = false;
+            if matches!(cg.pages.state(idx), PageState::Resident) {
+                cg.pages.set_poisoned(idx, true);
+                cg.pages.set_sample_faulted(idx, false);
                 self.poisoned.push(idx);
             }
         }
@@ -110,12 +109,12 @@ impl ThermostatSampler {
         let sampled = self.poisoned.len() as u64;
         let mut faulted = 0u64;
         for &idx in &self.poisoned {
-            if let Some(p) = cg.pages.get_mut(idx) {
-                if p.sample_faulted {
+            if idx < cg.pages.len() {
+                if cg.pages.sample_faulted(idx) {
                     faulted += 1;
                 }
-                p.flags.poisoned = false;
-                p.sample_faulted = false;
+                cg.pages.set_poisoned(idx, false);
+                cg.pages.set_sample_faulted(idx, false);
             }
         }
         self.poisoned.clear();
@@ -169,7 +168,7 @@ mod tests {
         let mut t = ThermostatSampler::new(0.01, 2.0, 1);
         let sampled = t.begin_period(&mut cg);
         assert!((90..=110).contains(&sampled), "sampled {sampled}");
-        let poisoned = cg.pages.iter().filter(|p| p.flags.poisoned).count() as u64;
+        let poisoned = (0..cg.pages.len()).filter(|&i| cg.pages.poisoned(i)).count() as u64;
         assert_eq!(poisoned, sampled);
     }
 
@@ -179,9 +178,9 @@ mod tests {
         let mut t = ThermostatSampler::new(0.5, 1.0, 2);
         t.begin_period(&mut cg);
         // Touch the first half of memory: poisoned pages there fault.
-        for p in cg.pages.iter_mut().take(500) {
-            if p.flags.poisoned {
-                p.sample_faulted = true;
+        for i in 0..500 {
+            if cg.pages.poisoned(i) {
+                cg.pages.set_sample_faulted(i, true);
             }
         }
         let e = t.end_period(&mut cg);
@@ -198,7 +197,7 @@ mod tests {
             e.est_promotions_per_min
         );
         // Poison cleared afterwards.
-        assert!(cg.pages.iter().all(|p| !p.flags.poisoned));
+        assert!((0..cg.pages.len()).all(|i| !cg.pages.poisoned(i)));
     }
 
     #[test]
@@ -207,7 +206,7 @@ mod tests {
         let mut t = ThermostatSampler::new(0.2, 1.0, 3);
         t.begin_period(&mut cg);
         t.begin_period(&mut cg);
-        let poisoned = cg.pages.iter().filter(|p| p.flags.poisoned).count();
+        let poisoned = (0..cg.pages.len()).filter(|&i| cg.pages.poisoned(i)).count();
         assert!(poisoned <= 25, "stale poison accumulated: {poisoned}");
     }
 

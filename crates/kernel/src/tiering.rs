@@ -22,8 +22,12 @@ use sdfm_types::size::PageCount;
 /// Configuration for the NVM-like first tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Tier1Config {
-    /// Device capacity in pages — fixed at provisioning time, unlike
-    /// zswap's elastic footprint.
+    /// Device capacity in base-page *frames* — fixed at provisioning
+    /// time, unlike zswap's elastic footprint. Frames, not page-table
+    /// entries: a huge page is one [`PageTable`](crate::page_table::PageTable)
+    /// entry but demotes frame-by-frame after splitting, so device
+    /// occupancy is always counted in frames (the same entries-vs-frames
+    /// distinction `ScanOutcome` pins for scan counters).
     pub capacity: PageCount,
     /// Load (fault-back) cost in nanoseconds (sub-µs class: ~300 ns).
     pub load_ns: u64,

@@ -268,17 +268,14 @@ pub fn demote_coldest(
     if budget == 0 {
         return Ok(outcome);
     }
-    let mut victims: Vec<(PageAge, usize)> = cg
-        .pages
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| matches!(p.state, PageState::Zswapped(_)))
-        .map(|(i, p)| (p.age, i))
+    let mut victims: Vec<(PageAge, usize)> = (0..cg.pages.len())
+        .filter(|&i| cg.pages.is_zswapped(i))
+        .map(|i| (cg.pages.age(i), i))
         .collect();
     outcome.examined = victims.len() as u64;
     victims.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
     for (_, idx) in victims.into_iter().take(budget as usize) {
-        let PageState::Zswapped(handle) = cg.pages[idx].state else {
+        let PageState::Zswapped(handle) = cg.pages.state(idx) else {
             return Err(KernelError::StoreCorrupt {
                 detail: "demotion victim left the store mid-pass",
             });
@@ -302,8 +299,7 @@ pub fn demote_coldest(
             });
         };
         cpu.charge_tier_io(op_ns);
-        let page = &mut cg.pages[idx];
-        page.state = PageState::Demoted(tier as u8);
+        cg.pages.set_state(idx, PageState::Demoted(tier as u8));
         cg.stats.zswapped_pages -= 1;
         cg.stats.zswapped_bytes -= size;
         cg.stats.demoted_pages[tier] += 1;
@@ -328,12 +324,9 @@ fn writeback_pass(
         return Ok(outcome);
     }
     // Deterministic victim list: (age, index) is pure simulation state.
-    let mut victims: Vec<(PageAge, usize)> = cg
-        .pages
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| matches!(p.state, PageState::Zswapped(_)))
-        .map(|(i, p)| (p.age, i))
+    let mut victims: Vec<(PageAge, usize)> = (0..cg.pages.len())
+        .filter(|&i| cg.pages.is_zswapped(i))
+        .map(|i| (cg.pages.age(i), i))
         .collect();
     outcome.examined = victims.len() as u64;
     match order {
@@ -343,7 +336,7 @@ fn writeback_pass(
         VictimOrder::YoungestFirst => victims.sort_unstable(),
     }
     for (_, idx) in victims.into_iter().take(budget as usize) {
-        let PageState::Zswapped(handle) = cg.pages[idx].state else {
+        let PageState::Zswapped(handle) = cg.pages.state(idx) else {
             return Err(KernelError::StoreCorrupt {
                 detail: "victim left the store mid-pass",
             });
@@ -353,10 +346,11 @@ fn writeback_pass(
         // already mirrored in the page, synthetic ones have none.
         store.load(handle)?;
         cpu.charge_decompress(cost);
-        let page = &mut cg.pages[idx];
-        page.state = PageState::Resident;
+        cg.pages.set_state(idx, PageState::Resident);
         if restore_hot {
-            page.age = PageAge::HOT;
+            // Through set_age, not a raw array write: the page table's
+            // live histogram must see the move to HOT.
+            cg.pages.set_age(idx, PageAge::HOT);
         }
         cg.stats.zswapped_pages -= 1;
         cg.stats.zswapped_bytes -= size;
@@ -445,7 +439,7 @@ mod tests {
     fn coldest_first_writeback_targets_lru_and_charges_cpu() {
         let (mut cg, mut store, mut cpu) = compressed_memcg(10);
         // Ages currently uniform; make page 3 the coldest.
-        cg.pages[3].age = PageAge::from_scans(50);
+        cg.pages.set_age(3, PageAge::from_scans(50));
         let o = writeback_coldest(
             &mut cg,
             &mut store,
@@ -457,9 +451,9 @@ mod tests {
         assert_eq!(o.written_back, 1);
         assert_eq!(o.examined, 10);
         assert!(o.bytes_freed > 0);
-        assert_eq!(cg.pages[3].state, PageState::Resident);
+        assert_eq!(cg.pages.state(3), PageState::Resident);
         // Store decay keeps the age: a re-enable recompresses the page.
-        assert_eq!(cg.pages[3].age, PageAge::from_scans(50));
+        assert_eq!(cg.pages.age(3), PageAge::from_scans(50));
         assert_eq!(cg.stats().zswapped_pages, 9);
         assert_eq!(cg.stats().resident_pages, 1);
         assert_eq!(cg.stats().writebacks, 1);
@@ -470,7 +464,7 @@ mod tests {
     #[test]
     fn youngest_first_writeback_restores_working_set_hot() {
         let (mut cg, mut store, mut cpu) = compressed_memcg(6);
-        cg.pages[2].age = PageAge::from_scans(1); // the youngest
+        cg.pages.set_age(2, PageAge::from_scans(1)); // the youngest
         let o = writeback_youngest(
             &mut cg,
             &mut store,
@@ -480,9 +474,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(o.written_back, 1);
-        assert_eq!(cg.pages[2].state, PageState::Resident);
+        assert_eq!(cg.pages.state(2), PageState::Resident);
         assert_eq!(
-            cg.pages[2].age,
+            cg.pages.age(2),
             PageAge::HOT,
             "restored working-set pages must not re-reclaim immediately"
         );

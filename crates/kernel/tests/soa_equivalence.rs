@@ -1,0 +1,167 @@
+//! SoA-vs-AoS equivalence: the struct-of-arrays [`PageTable`] must be
+//! observationally identical to the array-of-structs model it replaced.
+//!
+//! The reference model here is a plain `Vec<Page>` driven by the original
+//! per-page scan rules (reset-on-access, saturating aging, dirty clears
+//! the incompressible mark) and the original split-before-swap semantics.
+//! A seeded random schedule of touches, splits, pushes, pops, and scans
+//! runs against both; after every scan the table's ages, flags, live
+//! histogram, promotion histogram, and reclaim/demote victim sets must
+//! all match the reference exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdfm_kernel::page_table::PageTable;
+use sdfm_kernel::{Page, PageContent};
+use sdfm_types::histogram::{ColdAgeHistogram, PageAge, PromotionHistogram};
+
+/// The pre-SoA representation: one struct per entry, full rebuilds.
+struct ReferenceModel {
+    pages: Vec<Page>,
+}
+
+impl ReferenceModel {
+    fn scan(&mut self, promo: &mut PromotionHistogram) {
+        for p in &mut self.pages {
+            if p.flags.accessed {
+                if p.age > PageAge::HOT {
+                    promo.record_promotion(p.age, p.span as u64);
+                }
+                p.age = PageAge::HOT;
+                p.flags.accessed = false;
+                if p.flags.dirty {
+                    p.flags.incompressible = false;
+                    p.flags.dirty = false;
+                }
+            } else {
+                p.age = p.age.incremented();
+            }
+        }
+    }
+
+    fn histogram(&self) -> ColdAgeHistogram {
+        let mut h = ColdAgeHistogram::new();
+        for p in &self.pages {
+            h.record_page(p.age, p.span as u64);
+        }
+        h
+    }
+
+    fn split(&mut self, idx: usize) -> bool {
+        if self.pages[idx].span <= 1 {
+            return false;
+        }
+        let clones = (self.pages[idx].span - 1) as usize;
+        self.pages[idx].span = 1;
+        for _ in 0..clones {
+            let clone = self.pages[idx].clone();
+            self.pages.push(clone);
+        }
+        true
+    }
+}
+
+fn random_page(rng: &mut StdRng) -> Page {
+    let mut p = if rng.gen_bool(0.1) {
+        Page::new_huge(PageContent::synthetic_of_len(rng.gen_range(100..2000)))
+    } else {
+        Page::new(PageContent::synthetic_of_len(rng.gen_range(100..2000)))
+    };
+    p.flags.accessed = rng.gen_bool(0.5);
+    p.flags.dirty = rng.gen_bool(0.2);
+    p.flags.unevictable = rng.gen_bool(0.05);
+    p.flags.incompressible = rng.gen_bool(0.1);
+    p.age = PageAge::from_scans(rng.gen_range(0..20));
+    p
+}
+
+fn assert_equivalent(pt: &PageTable, reference: &ReferenceModel, round: usize) {
+    assert_eq!(pt.len(), reference.pages.len(), "round {round}: length");
+    for (i, rp) in reference.pages.iter().enumerate() {
+        let sp = pt.page(i).unwrap();
+        assert_eq!(sp.age, rp.age, "round {round}, entry {i}: age");
+        assert_eq!(sp.flags, rp.flags, "round {round}, entry {i}: flags");
+        assert_eq!(sp.span, rp.span, "round {round}, entry {i}: span");
+        assert_eq!(sp.state, rp.state, "round {round}, entry {i}: state");
+        assert_eq!(sp.content, rp.content, "round {round}, entry {i}: content");
+    }
+    assert_eq!(
+        pt.live_histogram(),
+        &reference.histogram(),
+        "round {round}: live histogram diverged from the AoS rebuild"
+    );
+    for t in [1u8, 3, 8, 200] {
+        let t = PageAge::from_scans(t);
+        let soa: Vec<usize> = (0..pt.len()).filter(|&i| pt.reclaim_eligible(i, t)).collect();
+        let aos: Vec<usize> = reference
+            .pages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.reclaim_eligible(t))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(soa, aos, "round {round}: reclaim victims at threshold {t:?}");
+        let soa: Vec<usize> = (0..pt.len()).filter(|&i| pt.demote_eligible(i, t)).collect();
+        let aos: Vec<usize> = reference
+            .pages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.demote_eligible(t))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(soa, aos, "round {round}: demote victims at threshold {t:?}");
+    }
+}
+
+#[test]
+fn soa_table_matches_aos_reference_under_random_schedules() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pt = PageTable::new();
+        let mut reference = ReferenceModel { pages: Vec::new() };
+        let mut soa_promo = PromotionHistogram::new();
+        let mut aos_promo = PromotionHistogram::new();
+        for _ in 0..30 {
+            let p = random_page(&mut rng);
+            pt.push(p.clone());
+            reference.pages.push(p);
+        }
+        for round in 0..60 {
+            // Random touches (with occasional writes).
+            for i in 0..pt.len() {
+                if rng.gen_bool(0.3) {
+                    pt.set_accessed(i, true);
+                    reference.pages[i].flags.accessed = true;
+                    if rng.gen_bool(0.3) {
+                        pt.set_dirty(i, true);
+                        reference.pages[i].flags.dirty = true;
+                    }
+                }
+            }
+            // Occasional structural churn.
+            match rng.gen_range(0..5) {
+                0 => {
+                    let p = random_page(&mut rng);
+                    pt.push(p.clone());
+                    reference.pages.push(p);
+                }
+                1 if pt.len() > 1 => {
+                    let back = pt.pop().unwrap();
+                    let rback = reference.pages.pop().unwrap();
+                    assert_eq!(back.age, rback.age);
+                    assert_eq!(back.flags, rback.flags);
+                    assert_eq!(back.span, rback.span);
+                }
+                2 => {
+                    let idx = rng.gen_range(0..pt.len());
+                    assert_eq!(pt.split_huge(idx), reference.split(idx));
+                }
+                _ => {}
+            }
+            pt.sweep(&mut soa_promo);
+            reference.scan(&mut aos_promo);
+            assert_eq!(soa_promo, aos_promo, "round {round}: promotion histogram");
+            assert_equivalent(&pt, &reference, round);
+        }
+    }
+}

@@ -258,6 +258,28 @@ mod tests {
     }
 
     #[test]
+    fn page_table_module_is_rule_scoped() {
+        // The SoA PageTable (kernel/src/page_table.rs) is the hot-state
+        // layout every sweep, scan, and incremental-histogram update runs
+        // through; a determinism or unit slip there skews the whole fleet.
+        // CI runs this test by name so a scope refactor cannot silently
+        // drop the module from enforcement: determinism (D1/D2/T1), panic
+        // safety (P1), unit and rounding discipline (U1/U2), waivers (W0).
+        let pt = classify("crates/kernel/src/page_table.rs");
+        assert!(!pt.test_file);
+        for rule in [Rule::D1, Rule::D2, Rule::T1, Rule::P1, Rule::U1, Rule::U2, Rule::W0] {
+            assert!(pt.enforces(rule), "page_table.rs must enforce {rule:?}");
+        }
+        // The sharded steppers that consume its sweeps stay scoped too.
+        assert!(classify("crates/core/src/fleet_sim.rs").enforces(Rule::D1));
+        assert!(classify("crates/cluster/src/cluster.rs").enforces(Rule::P1));
+        // The SoA/AoS equivalence suite and the scale bench are
+        // measurement code, outside simulator-state enforcement.
+        assert!(classify("crates/kernel/tests/soa_equivalence.rs").test_file);
+        assert!(classify("crates/bench/benches/fleet_scale.rs").test_file);
+    }
+
+    #[test]
     fn p2_follows_control_plane_and_w0_follows_any_scope() {
         assert!(classify("crates/agent/src/node_agent.rs").enforces(Rule::P2));
         assert!(classify("crates/cluster/src/machine.rs").enforces(Rule::P2));

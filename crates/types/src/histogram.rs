@@ -134,6 +134,36 @@ impl AgeCounts {
         }
     }
 
+    /// Moves every bucket up by one age, merging the top two buckets into
+    /// the saturated bucket. This is the effect of one kstaled scan on a
+    /// population of pages none of which were accessed.
+    fn shift_up_one(&mut self) {
+        let top = self.counts[AGE_BUCKETS - 1] + self.counts[AGE_BUCKETS - 2];
+        for i in (1..AGE_BUCKETS - 1).rev() {
+            self.counts[i] = self.counts[i - 1];
+        }
+        self.counts[AGE_BUCKETS - 1] = top;
+        self.counts[0] = 0;
+    }
+
+    fn remove(&mut self, age: PageAge, n: u64) {
+        let bucket = &mut self.counts[age.0 as usize];
+        debug_assert!(
+            *bucket >= n,
+            "removing {n} pages from age-{} bucket holding {bucket}",
+            age.0
+        );
+        *bucket = bucket.saturating_sub(n);
+    }
+
+    fn move_weight(&mut self, from: PageAge, to: PageAge, n: u64) {
+        if from == to || n == 0 {
+            return;
+        }
+        self.remove(from, n);
+        self.counts[to.0 as usize] += n;
+    }
+
     fn iter(&self) -> impl Iterator<Item = (PageAge, u64)> + '_ {
         self.counts
             .iter()
@@ -211,6 +241,29 @@ impl ColdAgeHistogram {
     /// Adds every bucket of `other` into `self` (for cluster-level rollups).
     pub fn merge(&mut self, other: &ColdAgeHistogram) {
         self.inner.merge(&other.inner);
+    }
+
+    /// Ages the whole histogram by one scan period in O(buckets): every
+    /// bucket moves up by one age and the top two buckets merge into the
+    /// saturated bucket — the effect of a kstaled scan on a population in
+    /// which no page was accessed. Callers then fix up the accessed pages
+    /// with [`move_pages`](Self::move_pages).
+    pub fn shift_up_one(&mut self) {
+        self.inner.shift_up_one();
+    }
+
+    /// Removes `n` pages currently recorded at `age` (page freed or
+    /// migrated out). Debug builds assert the bucket actually holds them.
+    pub fn remove_page(&mut self, age: PageAge, n: u64) {
+        self.inner.remove(age, n);
+    }
+
+    /// Moves `n` pages from the `from` bucket to the `to` bucket — an
+    /// incremental age update for pages whose age changed without the rest
+    /// of the histogram moving (e.g. an accessed page resetting to HOT
+    /// after a [`shift_up_one`](Self::shift_up_one)).
+    pub fn move_pages(&mut self, from: PageAge, to: PageAge, n: u64) {
+        self.inner.move_weight(from, to, n);
     }
 
     /// Iterates over `(age, page count)` pairs, including empty buckets.
@@ -412,6 +465,54 @@ mod tests {
         let v: Vec<_> = h.iter().filter(|&(_, c)| c != 0).collect();
         assert_eq!(v, vec![(PageAge::from_scans(10), 7)]);
         assert_eq!(h.iter().count(), AGE_BUCKETS);
+    }
+
+    #[test]
+    fn shift_up_one_matches_per_page_aging() {
+        let mut h = ColdAgeHistogram::new();
+        h.record_page(PageAge::from_scans(0), 5);
+        h.record_page(PageAge::from_scans(7), 3);
+        h.record_page(PageAge::from_scans(254), 2);
+        h.record_page(PageAge::from_scans(255), 4);
+        h.shift_up_one();
+        // Per-page: each age increments saturating at 255.
+        let mut expect = ColdAgeHistogram::new();
+        expect.record_page(PageAge::from_scans(1), 5);
+        expect.record_page(PageAge::from_scans(8), 3);
+        expect.record_page(PageAge::from_scans(255), 6);
+        assert_eq!(h, expect);
+        assert_eq!(h.total_pages(), 14, "shift must conserve total weight");
+    }
+
+    #[test]
+    fn move_pages_is_weight_neutral() {
+        let mut h = ColdAgeHistogram::new();
+        h.record_page(PageAge::from_scans(9), 10);
+        h.move_pages(PageAge::from_scans(9), PageAge::HOT, 4);
+        assert_eq!(h.total_pages(), 10);
+        assert_eq!(h.pages_colder_than(PageAge::from_scans(1)), 6);
+        // Same-bucket and zero-count moves are no-ops.
+        h.move_pages(PageAge::from_scans(9), PageAge::from_scans(9), 6);
+        h.move_pages(PageAge::from_scans(9), PageAge::HOT, 0);
+        assert_eq!(h.pages_colder_than(PageAge::from_scans(1)), 6);
+    }
+
+    #[test]
+    fn remove_page_subtracts_from_one_bucket() {
+        let mut h = ColdAgeHistogram::new();
+        h.record_page(PageAge::from_scans(3), 5);
+        h.remove_page(PageAge::from_scans(3), 2);
+        assert_eq!(h.total_pages(), 3);
+        assert_eq!(h.pages_colder_than(PageAge::from_scans(3)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "removing")]
+    #[cfg(debug_assertions)]
+    fn remove_page_underflow_asserts_in_debug() {
+        let mut h = ColdAgeHistogram::new();
+        h.record_page(PageAge::from_scans(3), 1);
+        h.remove_page(PageAge::from_scans(3), 2);
     }
 
     #[test]
