@@ -137,6 +137,7 @@ fn main() {
         "bench": "backends",
         "pages": pages,
         "available_parallelism": available,
+        "host_cpus": available,
         "caveat": caveat,
         "results": rows,
     });

@@ -157,6 +157,7 @@ fn main() {
         "seed": SEED,
         "reps": reps,
         "available_parallelism": available,
+        "host_cpus": available,
         "caveat": caveat,
         "ratio": ratio_section,
         "results": rows,

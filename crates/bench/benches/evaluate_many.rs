@@ -89,6 +89,7 @@ fn main() {
         "total_windows": windows,
         "reps": reps,
         "available_parallelism": available,
+        "host_cpus": available,
         "caveat": caveat,
         "results": rows,
     });

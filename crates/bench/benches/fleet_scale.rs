@@ -85,11 +85,11 @@ fn measure_windows_per_sec(threads: usize, warmup: usize, windows: usize) -> f64
     cfg.threads = threads;
     let mut sim = FleetSim::new(cfg, SEED);
     for _ in 0..warmup {
-        sim.step_window();
+        sim.step_window().expect("fleet window step");
     }
     let t0 = Instant::now();
     for _ in 0..windows {
-        std::hint::black_box(sim.step_window());
+        std::hint::black_box(sim.step_window().expect("fleet window step"));
     }
     windows as f64 / t0.elapsed().as_secs_f64()
 }
@@ -112,7 +112,7 @@ fn measure_fleet_scale(
     let t0 = Instant::now();
     let mut far_last = 0u64;
     for _ in 0..windows {
-        let s = sim.step_window();
+        let s = sim.step_window().expect("fleet window step");
         far_last = s.far_pages;
     }
     let elapsed = t0.elapsed().as_secs_f64();
@@ -162,7 +162,7 @@ fn measure_fidelity_drift(windows: usize) -> (serde_json::Value, Vec<(String, f6
         let mut cfg = FleetSimConfig::new(1);
         cfg.fidelity_cutoff = fidelity_cutoff;
         let mut sim = FleetSim::new(cfg, SEED);
-        sim.run_windows(windows)
+        sim.run_windows(windows).expect("fleet windows")
     };
     let stat = run(0);
     let page = run(cutoff);
@@ -253,6 +253,7 @@ fn main() {
         "bench": "fleet_scale",
         "seed": SEED,
         "available_parallelism": available,
+        "host_cpus": available,
         "caveat": caveat,
         "sweep": sweep,
         "results": rows,

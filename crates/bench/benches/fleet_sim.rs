@@ -34,11 +34,11 @@ fn measure(threads: usize, engine: ParallelEngine, warmup: usize, windows: usize
     let mut sim = FleetSim::new(cfg, SEED);
     // Warm past the S-boundary so every timed window does full work.
     for _ in 0..warmup {
-        sim.step_window();
+        sim.step_window().expect("fleet window step");
     }
     let t0 = Instant::now();
     for _ in 0..windows {
-        std::hint::black_box(sim.step_window());
+        std::hint::black_box(sim.step_window().expect("fleet window step"));
     }
     windows as f64 / t0.elapsed().as_secs_f64()
 }
@@ -76,6 +76,7 @@ fn main() {
         "warmup_windows": warmup,
         "timed_windows": windows,
         "available_parallelism": available,
+        "host_cpus": available,
         "caveat": caveat,
         "results": rows,
     });

@@ -1,0 +1,225 @@
+//! Prefetch/promotion-prediction trajectory: no-prefetch vs stride vs
+//! stride+Markov across workload templates, one `BENCH_prefetch.json` at
+//! the workspace root.
+//!
+//! Each row is one (template, mode) cell of the sweep, run on a
+//! single-template fleet so the predictor's fit to each archetype is
+//! visible instead of averaged away. Reported per cell:
+//!
+//! * coverage — prefetched promotions / all promotions (per-mille);
+//! * accuracy — prefetched pages later touched / pages issued (per-mille);
+//! * timeliness — predicted pages that arrived before their demand fault
+//!   / all predicted pages (per-mille);
+//! * `stall_ns_saved` — demand promotions hidden relative to the
+//!   no-prefetch baseline, charged at the cost model's per-page
+//!   decompression time (the promotion-stall reduction the schema gate
+//!   requires on at least one template).
+//!
+//! The harness is also a determinism gate: one cell is re-run at worker
+//! threads 1/2/4 and the full serialized window trajectory must be
+//! bit-identical, and every run must conserve
+//! `used + wasted == issued`. Iteration budget is tunable for CI smoke
+//! runs:
+//!
+//! * `SDFM_BENCH_WARMUP`         — windows before measuring (default 6)
+//! * `SDFM_BENCH_WINDOWS`        — measured windows per cell (default 24)
+//! * `SDFM_BENCH_FLEET_MACHINES` — machines in the single-template
+//!   cluster (default 6)
+//!
+//! Run with `cargo bench -p sdfm-bench --bench prefetch`.
+
+use std::time::Instant;
+
+use sdfm_core::fleet_sim::{FleetSim, FleetSimConfig};
+use sdfm_kernel::{CostModel, PrefetchMode, PrefetchPolicy};
+use sdfm_types::ids::ClusterId;
+use sdfm_workloads::{ClusterSpec, FleetSpec, JobTemplate};
+
+const SEED: u64 = 42;
+
+/// The archetypes the sweep runs head-to-head: a serving job with tight
+/// strides, a storage server, and a batch scanner.
+const TEMPLATES: [JobTemplate; 3] = [
+    JobTemplate::WebFrontend,
+    JobTemplate::Bigtable,
+    JobTemplate::BatchAnalytics,
+];
+
+fn env_budget(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// A one-cluster fleet hosting only `template` jobs, so each row of the
+/// report isolates one archetype's access pattern.
+fn cell_config(
+    template: JobTemplate,
+    machines: usize,
+    policy: Option<PrefetchPolicy>,
+    threads: usize,
+) -> FleetSimConfig {
+    let mut cfg = FleetSimConfig::new(1);
+    cfg.spec = FleetSpec {
+        clusters: vec![ClusterSpec {
+            id: ClusterId::new(0),
+            machines,
+            template_weights: vec![(template, 1.0)],
+            jobs_per_machine: (6, 14),
+        }],
+    };
+    cfg.prefetch = policy;
+    cfg.threads = threads;
+    cfg
+}
+
+/// Integer totals over the measured windows of one cell.
+#[derive(Clone, Default)]
+struct CellTotals {
+    demand_promotions: u64,
+    issued: u64,
+    used: u64,
+    wasted: u64,
+    late: u64,
+    windows_per_sec: f64,
+}
+
+fn run_cell(
+    template: JobTemplate,
+    machines: usize,
+    warmup: usize,
+    windows: usize,
+    policy: Option<PrefetchPolicy>,
+    threads: usize,
+) -> CellTotals {
+    let mut sim = FleetSim::new(cell_config(template, machines, policy, threads), SEED);
+    for _ in 0..warmup {
+        sim.step_window().expect("fleet window step");
+    }
+    let mut t = CellTotals::default();
+    let t0 = Instant::now();
+    for _ in 0..windows {
+        let s = sim.step_window().expect("fleet window step");
+        t.issued += s.prefetch_issued;
+        t.used += s.prefetch_used;
+        t.wasted += s.prefetch_wasted;
+        t.late += s.prefetch_late;
+        t.demand_promotions += s.per_job.iter().map(|j| j.promotions).sum::<u64>();
+    }
+    t.windows_per_sec = windows as f64 / t0.elapsed().as_secs_f64();
+    t
+}
+
+/// Integer per-mille ratio; zero denominator reports zero, matching the
+/// conventions of `sdfm_types::arith::permille_of`.
+fn permille(num: u64, den: u64) -> u64 {
+    (num * 1000).checked_div(den).unwrap_or(0)
+}
+
+/// The serialized window trajectory of one cell — the bit-identity
+/// witness compared across worker thread counts.
+fn trajectory(template: JobTemplate, machines: usize, windows: usize, threads: usize) -> String {
+    let policy = Some(PrefetchPolicy::paper_default(PrefetchMode::StrideMarkov));
+    let mut sim = FleetSim::new(cell_config(template, machines, policy, threads), SEED);
+    let stats = sim.run_windows(windows).expect("fleet windows");
+    serde_json::to_string(&stats).expect("window stats serialize")
+}
+
+fn main() {
+    let warmup = env_budget("SDFM_BENCH_WARMUP", 6);
+    let windows = env_budget("SDFM_BENCH_WINDOWS", 24);
+    let machines = env_budget("SDFM_BENCH_FLEET_MACHINES", 6);
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let caveat = "thread counts above the container's available \
+                  parallelism measure scheduling overhead, not speedup";
+    let decompress_ns = CostModel::PAPER_DEFAULT.decompress_ns;
+    let threads = sdfm_pool::resolve_threads(0);
+    eprintln!("prefetch bench: {machines} machines × {windows} windows per cell");
+    eprintln!("available parallelism: {available} ({caveat})");
+
+    // Determinism gate first: the same cell at threads 1/2/4 must produce
+    // a bit-identical serialized trajectory (the prefetch recurrence and
+    // the per-job stepping are pure integer functions of the seed).
+    let witness: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| trajectory(TEMPLATES[0], machines, warmup + windows, threads))
+        .collect();
+    assert!(
+        witness.windows(2).all(|w| w[0] == w[1]),
+        "prefetch-enabled trajectory diverged across thread counts"
+    );
+    eprintln!("  threads 1/2/4 bit-identity: ok");
+
+    let modes: [(&str, Option<PrefetchPolicy>); 3] = [
+        ("none", None),
+        ("stride", Some(PrefetchPolicy::paper_default(PrefetchMode::Stride))),
+        (
+            "stride_markov",
+            Some(PrefetchPolicy::paper_default(PrefetchMode::StrideMarkov)),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for template in TEMPLATES {
+        let baseline = run_cell(template, machines, warmup, windows, None, threads);
+        for (mode, policy) in &modes {
+            let t = match policy {
+                None => baseline.clone(),
+                Some(_) => run_cell(template, machines, warmup, windows, *policy, threads),
+            };
+            assert_eq!(
+                t.used + t.wasted,
+                t.issued,
+                "{template}/{mode}: prefetch counters must conserve"
+            );
+            // Demand faults hidden by prediction, charged at the per-page
+            // decompression cost the demand path would have stalled on.
+            let hidden = baseline.demand_promotions.saturating_sub(t.demand_promotions);
+            let stall_ns_saved = hidden * decompress_ns;
+            let coverage = permille(t.used, t.used + t.demand_promotions);
+            let accuracy = permille(t.used, t.issued);
+            let timeliness = permille(t.used, t.used + t.late);
+            eprintln!(
+                "  {template} {mode}: coverage {coverage}‰, accuracy {accuracy}‰, \
+                 timeliness {timeliness}‰, stall saved {stall_ns_saved} ns"
+            );
+            rows.push(serde_json::json!({
+                "template": template.to_string(),
+                "mode": *mode,
+                "threads": threads,
+                "windows_per_sec": t.windows_per_sec,
+                "demand_promotions": t.demand_promotions,
+                "prefetch_issued": t.issued,
+                "prefetch_used": t.used,
+                "prefetch_wasted": t.wasted,
+                "prefetch_late": t.late,
+                "coverage_permille": coverage,
+                "accuracy_permille": accuracy,
+                "timeliness_permille": timeliness,
+                "stall_ns_saved": stall_ns_saved,
+            }));
+        }
+    }
+
+    let report = serde_json::json!({
+        "bench": "prefetch",
+        "seed": SEED,
+        "machines": machines,
+        "warmup_windows": warmup,
+        "timed_windows": windows,
+        "decompress_ns_per_page": decompress_ns,
+        "available_parallelism": available,
+        "host_cpus": available,
+        "caveat": caveat,
+        "results": rows,
+    });
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("BENCH_prefetch.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&report).expect("report serializes"))
+        .expect("write bench report");
+    eprintln!("wrote {}", out.display());
+}

@@ -120,6 +120,7 @@ pub fn validate_bench_report(report: &serde_json::Value) -> Result<(), Vec<Strin
                 "warmup_windows",
                 "timed_windows",
                 "available_parallelism",
+                "host_cpus",
                 "caveat",
                 "results",
             ],
@@ -132,6 +133,7 @@ pub fn validate_bench_report(report: &serde_json::Value) -> Result<(), Vec<Strin
                 "total_windows",
                 "reps",
                 "available_parallelism",
+                "host_cpus",
                 "caveat",
                 "results",
             ],
@@ -144,6 +146,7 @@ pub fn validate_bench_report(report: &serde_json::Value) -> Result<(), Vec<Strin
                 "seed",
                 "reps",
                 "available_parallelism",
+                "host_cpus",
                 "caveat",
                 "ratio",
                 "results",
@@ -158,7 +161,7 @@ pub fn validate_bench_report(report: &serde_json::Value) -> Result<(), Vec<Strin
             "compress_pages_per_sec",
         ),
         "backends" => (
-            &["pages", "available_parallelism", "caveat", "results"],
+            &["pages", "available_parallelism", "host_cpus", "caveat", "results"],
             &[
                 "backend",
                 "threads",
@@ -174,6 +177,7 @@ pub fn validate_bench_report(report: &serde_json::Value) -> Result<(), Vec<Strin
             &[
                 "seed",
                 "available_parallelism",
+                "host_cpus",
                 "caveat",
                 "sweep",
                 "fleet",
@@ -181,6 +185,34 @@ pub fn validate_bench_report(report: &serde_json::Value) -> Result<(), Vec<Strin
                 "results",
             ],
             &["threads"],
+            "windows_per_sec",
+        ),
+        "prefetch" => (
+            &[
+                "seed",
+                "machines",
+                "warmup_windows",
+                "timed_windows",
+                "decompress_ns_per_page",
+                "available_parallelism",
+                "host_cpus",
+                "caveat",
+                "results",
+            ],
+            &[
+                "template",
+                "mode",
+                "threads",
+                "demand_promotions",
+                "prefetch_issued",
+                "prefetch_used",
+                "prefetch_wasted",
+                "prefetch_late",
+                "coverage_permille",
+                "accuracy_permille",
+                "timeliness_permille",
+                "stall_ns_saved",
+            ],
             "windows_per_sec",
         ),
         other => return Err(vec![format!("unknown bench `{other}`")]),
@@ -273,6 +305,56 @@ pub fn validate_bench_report(report: &serde_json::Value) -> Result<(), Vec<Strin
             }
         }
     }
+    // The prefetch report is the promotion-prediction deliverable. Beyond
+    // the shared key/throughput checks: every predictor mode must be
+    // present (a sweep that silently dropped the no-prefetch baseline or
+    // one of the predictors can't support a comparison), every row must
+    // conserve its accuracy counters (`used + wasted == issued` — the
+    // same identity the kernel tests pin), and at least one prefetching
+    // row must show a positive promotion-stall reduction against the
+    // baseline, the headline the trajectory exists to track.
+    if bench == "prefetch" {
+        if let Ok(rows) = report.field("results").and_then(|v| v.elements()) {
+            for mode in ["none", "stride", "stride_markov"] {
+                let present = rows
+                    .iter()
+                    .any(|row| row.field("mode").and_then(|v| v.str()) == Ok(mode));
+                if !present {
+                    problems.push(format!("no results for mode `{mode}`"));
+                }
+            }
+            let mut any_saved = false;
+            for (i, row) in rows.iter().enumerate() {
+                let count = |key: &str| {
+                    row.field(key)
+                        .and_then(|v| v.number())
+                        .map(|n| n.as_f64())
+                };
+                if let (Ok(issued), Ok(used), Ok(wasted)) = (
+                    count("prefetch_issued"),
+                    count("prefetch_used"),
+                    count("prefetch_wasted"),
+                ) {
+                    if used + wasted != issued {
+                        problems.push(format!(
+                            "results[{i}]: prefetch_used {used} + prefetch_wasted \
+                             {wasted} != prefetch_issued {issued}"
+                        ));
+                    }
+                }
+                if let Ok(saved) = count("stall_ns_saved") {
+                    any_saved |= saved > 0.0;
+                }
+            }
+            if !any_saved {
+                problems.push(
+                    "no row shows a positive stall_ns_saved: prefetching \
+                     reduced promotion stalls on no template"
+                        .into(),
+                );
+            }
+        }
+    }
     // The fleet_scale report is the scale-out deliverable: its thread
     // section must be monotone in thread count (a shuffled or duplicated
     // sweep would make trend diffs across reports meaningless), the SoA
@@ -281,14 +363,27 @@ pub fn validate_bench_report(report: &serde_json::Value) -> Result<(), Vec<Strin
     // and sit inside it — a cutoff whose page-level tier wandered away
     // from the stat recurrence must fail the build, not ship a report.
     if bench == "fleet_scale" {
-        if let Ok(rows) = report.field("results").and_then(|v| v.elements()) {
-            let threads: Vec<f64> = rows
-                .iter()
-                .filter_map(|r| r.field("threads").and_then(|v| v.number()).ok())
-                .map(|n| n.as_f64())
-                .collect();
-            if threads.len() != rows.len() || threads.windows(2).any(|w| w[0] >= w[1]) {
-                problems.push("results thread counts must be strictly increasing".into());
+        // On a 1-CPU host every thread count measures the same serial
+        // schedule, so harnesses may legitimately collapse or repeat
+        // entries; the strictly-increasing gate only holds reports from
+        // multi-CPU hosts to the monotone-sweep contract. A report that
+        // omits `host_cpus` entirely is still flagged by the key check
+        // above and conservatively held to the strict gate here.
+        let multi_cpu = report
+            .field("host_cpus")
+            .and_then(|v| v.number())
+            .map(|n| n.as_f64() > 1.0)
+            .unwrap_or(true);
+        if multi_cpu {
+            if let Ok(rows) = report.field("results").and_then(|v| v.elements()) {
+                let threads: Vec<f64> = rows
+                    .iter()
+                    .filter_map(|r| r.field("threads").and_then(|v| v.number()).ok())
+                    .map(|n| n.as_f64())
+                    .collect();
+                if threads.len() != rows.len() || threads.windows(2).any(|w| w[0] >= w[1]) {
+                    problems.push("results thread counts must be strictly increasing".into());
+                }
             }
         }
         for (section, key) in [
@@ -374,6 +469,7 @@ mod tests {
             "warmup_windows": 2u64,
             "timed_windows": 3u64,
             "available_parallelism": 4u64,
+            "host_cpus": 4u64,
             "caveat": "noisy",
             "results": rows,
         })
@@ -390,6 +486,7 @@ mod tests {
             "total_windows": 480u64,
             "reps": 1u64,
             "available_parallelism": 4u64,
+            "host_cpus": 4u64,
             "caveat": "noisy",
             "results": rows,
         })
@@ -457,6 +554,7 @@ mod tests {
             "seed": 0xC0DECu64,
             "reps": 3u64,
             "available_parallelism": 4u64,
+            "host_cpus": 4u64,
             "caveat": "noisy",
             "ratio": ratio,
             "results": rows,
@@ -482,6 +580,7 @@ mod tests {
             "bench": "backends",
             "pages": 1_000u64,
             "available_parallelism": 4u64,
+            "host_cpus": 4u64,
             "caveat": "noisy",
             "results": rows,
         })
@@ -534,10 +633,50 @@ mod tests {
             "bench": "fleet_scale",
             "seed": 42u64,
             "available_parallelism": 4u64,
+            "host_cpus": 4u64,
             "caveat": "noisy",
             "sweep": sweep,
             "fleet": fleet,
             "fidelity": fidelity,
+            "results": rows,
+        })
+    }
+
+    fn prefetch_report() -> Value {
+        let mut rows = Vec::new();
+        for template in ["web-frontend", "bigtable"] {
+            for (mode, issued, used, wasted, saved) in [
+                ("none", 0u64, 0u64, 0u64, 0u64),
+                ("stride", 500u64, 400u64, 100u64, 2_560_000u64),
+                ("stride_markov", 800u64, 650u64, 150u64, 4_160_000u64),
+            ] {
+                rows.push(serde_json::json!({
+                    "template": template,
+                    "mode": mode,
+                    "threads": 4u64,
+                    "windows_per_sec": 12.5f64,
+                    "demand_promotions": 1_000u64 - used,
+                    "prefetch_issued": issued,
+                    "prefetch_used": used,
+                    "prefetch_wasted": wasted,
+                    "prefetch_late": used / 10,
+                    "coverage_permille": used,
+                    "accuracy_permille": (used * 1000).checked_div(issued).unwrap_or(0),
+                    "timeliness_permille": 900u64,
+                    "stall_ns_saved": saved,
+                }));
+            }
+        }
+        serde_json::json!({
+            "bench": "prefetch",
+            "seed": 42u64,
+            "machines": 6u64,
+            "warmup_windows": 6u64,
+            "timed_windows": 24u64,
+            "decompress_ns_per_page": 6_400u64,
+            "available_parallelism": 4u64,
+            "host_cpus": 4u64,
+            "caveat": "noisy",
             "results": rows,
         })
     }
@@ -549,6 +688,66 @@ mod tests {
         assert_eq!(validate_bench_report(&codecs_report()), Ok(()));
         assert_eq!(validate_bench_report(&backends_report()), Ok(()));
         assert_eq!(validate_bench_report(&fleet_scale_report()), Ok(()));
+        assert_eq!(validate_bench_report(&prefetch_report()), Ok(()));
+    }
+
+    #[test]
+    fn prefetch_report_requires_every_mode() {
+        // Dropping the baseline rows kills the comparison the report is
+        // for, even though each surviving row validates on its own.
+        let mut r = prefetch_report();
+        for (k, slot) in entries(&mut r).iter_mut() {
+            if k == "results" {
+                match slot {
+                    Value::Array(rows) => rows.retain(|row| {
+                        row.field("mode").and_then(|v| v.str()) != Ok("none")
+                    }),
+                    other => panic!("results is {}", other.kind()),
+                }
+            }
+        }
+        let problems = validate_bench_report(&r).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("mode `none`")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn prefetch_counters_must_conserve() {
+        // used + wasted == issued is the same identity the kernel pins;
+        // a report that breaks it lost pages somewhere in the plumbing.
+        let mut r = prefetch_report();
+        set_key(first_row(&mut r), "prefetch_issued", serde_json::json!(7u64));
+        let problems = validate_bench_report(&r).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("prefetch_issued 7")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn prefetch_report_must_show_a_stall_reduction() {
+        // The acceptance headline: at least one prefetching row beats the
+        // no-prefetch baseline. All-zero savings fail the gate.
+        let mut r = prefetch_report();
+        for (k, slot) in entries(&mut r).iter_mut() {
+            if k == "results" {
+                match slot {
+                    Value::Array(rows) => {
+                        for row in rows.iter_mut() {
+                            set_key(row, "stall_ns_saved", serde_json::json!(0u64));
+                        }
+                    }
+                    other => panic!("results is {}", other.kind()),
+                }
+            }
+        }
+        let problems = validate_bench_report(&r).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("stall_ns_saved")),
+            "{problems:?}"
+        );
     }
 
     #[test]
@@ -565,6 +764,21 @@ mod tests {
         let mut r = fleet_scale_report();
         set_key(first_row(&mut r), "windows_per_sec", serde_json::json!(0.0f64));
         assert!(validate_bench_report(&r).is_err(), "zero throughput passed");
+    }
+
+    #[test]
+    fn single_cpu_hosts_are_exempt_from_thread_monotonicity() {
+        // On a 1-vCPU runner every thread count measures the same serial
+        // schedule, so an out-of-order or repeated sweep is not a schema
+        // violation — only multi-CPU hosts are held to the strict gate.
+        let mut r = fleet_scale_report();
+        set_key(&mut r, "host_cpus", serde_json::json!(1u64));
+        set_key(first_row(&mut r), "threads", serde_json::json!(8u64));
+        assert_eq!(validate_bench_report(&r), Ok(()));
+        // The same shuffled sweep on a multi-CPU host still fails.
+        let mut r = fleet_scale_report();
+        set_key(first_row(&mut r), "threads", serde_json::json!(8u64));
+        assert!(validate_bench_report(&r).is_err(), "shuffled sweep passed");
     }
 
     #[test]

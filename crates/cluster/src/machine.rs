@@ -269,6 +269,10 @@ impl Machine {
             decompress_ns: cpu.decompress_ns,
             demoted_pages: ms.demoted_pages,
             tier_io_ns: cpu.tier_io_ns,
+            prefetch_issued: ms.prefetch_issued,
+            prefetch_used: ms.prefetch_used,
+            prefetch_wasted: ms.prefetch_wasted,
+            prefetch_late: ms.prefetch_late,
             jobs: self.jobs.len(),
         });
 
@@ -438,6 +442,56 @@ mod tests {
         // The un-chained machines in every other test report zeros.
         let kernel_stats = m.kernel().machine_stats();
         assert_eq!(kernel_stats.demoted_pages, last.demoted_pages);
+    }
+
+    #[test]
+    fn prefetch_counters_flow_into_machine_snapshots() {
+        use sdfm_kernel::{PrefetchConfig, PrefetchMode};
+        let mut m = Machine::new(
+            MachineId::new(0),
+            ClusterId::new(0),
+            KernelConfig {
+                capacity: PageCount::new(20_000),
+                prefetch: PrefetchConfig {
+                    mode: PrefetchMode::StrideMarkov,
+                    ..PrefetchConfig::default()
+                },
+                ..KernelConfig::default()
+            },
+            AgentParams::new(95.0, SimDuration::from_mins(4)).unwrap(),
+            SloConfig::default(),
+            SimDuration::from_secs(300),
+        );
+        let p = small_profile(5_000, 10_000, JobPriority::Batch);
+        m.try_place(JobId::new(1), &p, SimTime::ZERO, 1);
+        let mut db = TelemetryDb::new();
+        for minute in 1..=30u64 {
+            m.step_minute(SimTime::ZERO + MINUTE * minute, &mut db);
+        }
+        // The snapshot mirrors the kernel's cumulative counters exactly,
+        // and they obey the resolution bound (used + wasted ≤ issued;
+        // equality only once every issued page has resolved).
+        let last = db.machine_snapshots().last().unwrap();
+        let ks = m.kernel().machine_stats();
+        assert_eq!(
+            (
+                last.prefetch_issued,
+                last.prefetch_used,
+                last.prefetch_wasted,
+                last.prefetch_late
+            ),
+            (
+                ks.prefetch_issued,
+                ks.prefetch_used,
+                ks.prefetch_wasted,
+                ks.prefetch_late
+            ),
+            "telemetry diverged from kernel counters"
+        );
+        assert!(
+            ks.prefetch_used + ks.prefetch_wasted <= ks.prefetch_issued,
+            "resolved prefetches exceed issues"
+        );
     }
 
     #[test]

@@ -68,6 +68,14 @@ pub struct MachineSnapshot {
     /// Machine-level device-tier I/O time so far (ns) — demotion stores
     /// plus fault-back loads across the chain.
     pub tier_io_ns: u64,
+    /// Cumulative prefetched promotions across the machine's memcgs.
+    pub prefetch_issued: u64,
+    /// Cumulative prefetched pages demand-touched while resident.
+    pub prefetch_used: u64,
+    /// Cumulative prefetched pages re-reclaimed or freed untouched.
+    pub prefetch_wasted: u64,
+    /// Cumulative demand faults that beat the prefetch drain.
+    pub prefetch_late: u64,
     /// Jobs running.
     pub jobs: usize,
 }
@@ -168,6 +176,10 @@ mod tests {
             decompress_ns: 0,
             demoted_pages: [0; sdfm_kernel::MAX_TIERS],
             tier_io_ns: 0,
+            prefetch_issued: 0,
+            prefetch_used: 0,
+            prefetch_wasted: 0,
+            prefetch_late: 0,
             jobs: 1,
         }
     }

@@ -40,7 +40,7 @@ pub struct Fig8 {
 pub fn figure8(scale: &Scale) -> Fig8 {
     let mut sim = FleetSim::new(scale.fleet_config(), scale.seed ^ 0xF8);
     for _ in 0..scale.warmup_windows {
-        sim.step_window();
+        sim.step_window().expect("fleet window step");
     }
     let cost = sim.cost();
     let window_secs = sim.window().as_secs() as f64;
@@ -53,7 +53,7 @@ pub fn figure8(scale: &Scale) -> Fig8 {
     let mut jobs: BTreeMap<u64, Acc> = BTreeMap::new();
     let mut machines: BTreeMap<(u64, usize), Acc> = BTreeMap::new();
     for _ in 0..scale.measure_windows {
-        let s = sim.step_window();
+        let s = sim.step_window().expect("fleet window step");
         for j in &s.per_job {
             // Rejected attempts burn the same compression cycles as stored
             // pages (§5.1) — the overhead figure must include them.

@@ -64,7 +64,7 @@ pub fn figure5(scale: &Scale) -> (Vec<Fig5Point>, AgentParams) {
                      phase: RolloutPhase,
                      windows: usize| {
         for _ in 0..windows {
-            let s = sim.step_window();
+            let s = sim.step_window().expect("fleet window step");
             *hours += window_hours;
             points.push(Fig5Point {
                 hours: *hours,
@@ -136,12 +136,12 @@ pub fn phase_steady_coverage(points: &[Fig5Point], phase: RolloutPhase) -> f64 {
 pub fn figure6(scale: &Scale) -> Vec<super::coldness::ClusterDistribution> {
     let mut sim = FleetSim::new(scale.fleet_config(), scale.seed ^ 0xF16);
     for _ in 0..scale.warmup_windows {
-        sim.step_window();
+        sim.step_window().expect("fleet window step");
     }
     // Accumulate per-machine cold/far over the measurement span.
     let mut per_machine: BTreeMap<(u64, usize), (u64, u64)> = BTreeMap::new();
     for _ in 0..scale.measure_windows {
-        let s = sim.step_window();
+        let s = sim.step_window().expect("fleet window step");
         for j in &s.per_job {
             let e = per_machine
                 .entry((j.cluster.raw(), j.machine))
@@ -196,11 +196,11 @@ pub fn figure7(scale: &Scale, tuned: AgentParams) -> Fig7 {
         cfg.params = params;
         let mut sim = FleetSim::new(cfg, seed);
         for _ in 0..scale.warmup_windows {
-            sim.step_window();
+            sim.step_window().expect("fleet window step");
         }
         let mut rates = Vec::new();
         for _ in 0..scale.measure_windows {
-            let s = sim.step_window();
+            let s = sim.step_window().expect("fleet window step");
             rates.extend(
                 s.per_job
                     .iter()

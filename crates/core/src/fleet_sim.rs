@@ -21,7 +21,10 @@ use serde::{Deserialize, Serialize};
 use sdfm_agent::{AgentParams, JobController, SloConfig};
 use sdfm_compress::codec::CodecKind;
 use sdfm_compress::measure::ClassPayloadTable;
-use sdfm_kernel::{ChainPolicy, CostModel, CpuAccounting, Kernel, KernelConfig, StorePressure};
+use sdfm_kernel::{
+    ChainPolicy, CostModel, CpuAccounting, Kernel, KernelConfig, PrefetchPolicy,
+    PrefetchWindowCounts, StorePressure,
+};
 use sdfm_pool::WorkerPool;
 use sdfm_types::arith::permille_of;
 use sdfm_types::histogram::{PageAge, PromotionHistogram};
@@ -72,6 +75,38 @@ impl Default for RatioSource {
     }
 }
 
+/// Errors from the fleet window step. These all indicate a simulator
+/// invariant breaking mid-window — a worker dying or the sharded
+/// reassembly losing a job — and are surfaced as typed values so callers
+/// decide whether to abort or retry instead of the simulator panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetSimError {
+    /// A parallel window worker panicked; the payload is the panic
+    /// message surfaced by the engine.
+    WorkerPanicked(String),
+    /// The machine-boundary shard cuts failed to cover a job: the slot at
+    /// `index` came back empty during index-ordered reassembly.
+    MissingJobSlot {
+        /// The original job index whose window stat never arrived.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for FleetSimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetSimError::WorkerPanicked(msg) => {
+                write!(f, "fleet window worker panicked: {msg}")
+            }
+            FleetSimError::MissingJobSlot { index } => {
+                write!(f, "job index {index} missing from sharded window step")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetSimError {}
+
 /// Fleet simulation parameters.
 #[derive(Debug, Clone)]
 pub struct FleetSimConfig {
@@ -100,6 +135,13 @@ pub struct FleetSimConfig {
     /// the ladder, and a disabled job's store demotes instead of writing
     /// back. `None` (the default) keeps the two-tier behavior unchanged.
     pub chain: Option<ChainPolicy>,
+    /// Optional correlation prefetcher (stride + Markov next-page
+    /// prediction) sitting between the demotion chain and the promotion
+    /// path. Stat-tier jobs apply the policy's statistical window
+    /// recurrence ([`PrefetchPolicy::window_counts`]); page-level jobs
+    /// below the fidelity cutoff run the real per-memcg predictor. `None`
+    /// (the default) keeps the demand-fault-only behavior, bit for bit.
+    pub prefetch: Option<PrefetchPolicy>,
     /// Worker threads for the per-job window step (1 = sequential). The
     /// output is identical at any thread count: each job's state is
     /// self-contained, and results are aggregated in job order.
@@ -132,6 +174,7 @@ impl FleetSimConfig {
             ratio_source: RatioSource::default(),
             pressure: StorePressure::PAPER_DEFAULT,
             chain: None,
+            prefetch: None,
             // 0 = unrequested: honors `SDFM_THREADS`, then host parallelism,
             // so CI runs on different hosts resolve reproducibly.
             threads: sdfm_pool::resolve_threads(0),
@@ -202,6 +245,18 @@ pub struct JobWindowStat {
     pub ssd_faults: u64,
     /// Device pages faulted back from the remote tier this window.
     pub remote_faults: u64,
+    /// Predicted pages the prefetcher promoted ahead of demand this
+    /// window (each a charged decompression, like any promotion).
+    pub prefetch_issued: u64,
+    /// Issued prefetches whose demand fault was fully hidden (these are
+    /// *excluded* from `promotions`, which counts demand stalls).
+    pub prefetch_used: u64,
+    /// Issued prefetches reclaimed again untouched (mispredictions the
+    /// store recompresses — wasted promote/compress cycles).
+    pub prefetch_wasted: u64,
+    /// Demand faults that beat the scan-cadence drain to a correctly
+    /// predicted page (timeliness loss; these stay in `promotions`).
+    pub prefetch_late: u64,
     /// The job's CPU footprint (cores).
     pub cpu_cores: f64,
 }
@@ -227,6 +282,14 @@ pub struct FleetWindowStats {
     pub ssd_pages: u64,
     /// Sum of pages parked on the remote tier (chain runs only).
     pub remote_pages: u64,
+    /// Sum of prefetched promotions issued this window.
+    pub prefetch_issued: u64,
+    /// Sum of issued prefetches whose demand fault was hidden.
+    pub prefetch_used: u64,
+    /// Sum of issued prefetches reclaimed again untouched.
+    pub prefetch_wasted: u64,
+    /// Sum of demand faults that beat the prefetch drain.
+    pub prefetch_late: u64,
     /// Per-job detail.
     pub per_job: Vec<JobWindowStat>,
 }
@@ -499,6 +562,13 @@ impl FleetSim {
                 capacity,
                 codec: CodecKind::Lzo,
                 cost: self.config.cost,
+                // Below the cutoff the policy runs for real: the kernel's
+                // per-memcg predictor, drained at kstaled cadence.
+                prefetch: self
+                    .config
+                    .prefetch
+                    .map(|p| p.kernel_config())
+                    .unwrap_or_default(),
             });
             let mut driver = PageLevelDriver::new(id, profile, seed);
             driver
@@ -585,6 +655,7 @@ impl FleetSim {
         min_threshold: PageAge,
         pressure: StorePressure,
         chain: Option<ChainPolicy>,
+        prefetch: Option<PrefetchPolicy>,
     ) -> JobWindowStat {
         let obs = match &mut j.engine {
             JobEngine::Stat(model) => model.observe(now, window),
@@ -610,6 +681,22 @@ impl FleetSim {
         } else {
             (0, 0, 0)
         };
+        // Prefetch recurrence (shared with the offline model): of the
+        // window's would-be demand promotions, the policy's coverage and
+        // aggressiveness decide how many were predicted and promoted
+        // ahead of demand (`used` — those stalls vanish), how many extra
+        // mispredictions rode along (`wasted` — promoted and recompressed
+        // for nothing), and how many correct predictions lost the race to
+        // the fault (`late` — they stall like any demand miss). With no
+        // policy every count is zero and the arithmetic below reduces to
+        // the pre-prefetch expressions bit for bit.
+        let pf = match prefetch {
+            Some(p) if enabled => p.window_counts(promos),
+            _ => PrefetchWindowCounts::default(),
+        };
+        // Demand promotions the job actually stalls on; `used ≤ promos`
+        // by construction of the recurrence.
+        let demand_promos = promos - pf.used;
         // CPU events: only pages *entering* the store compress. An enabled
         // window is charged the growth beyond what is still stored, plus
         // the re-compression of pages that faulted out and went cold again
@@ -641,7 +728,11 @@ impl FleetSim {
                 j.remote_pages -= remote_faults;
                 0
             };
-            let events = store_target.saturating_sub(j.store_pages) + promos;
+            // Every page leaving the store goes cold again and
+            // recompresses: demand promotions plus issued prefetches,
+            // i.e. `promos + wasted` (used prefetches replace demand
+            // faults one for one).
+            let events = store_target.saturating_sub(j.store_pages) + promos + pf.wasted;
             j.store_pages = store_target;
             let fresh_rejects = reject_candidates.saturating_sub(j.rejected_marked);
             j.rejected_marked = j.rejected_marked.max(reject_candidates);
@@ -678,7 +769,7 @@ impl FleetSim {
             None => (0, 0),
         };
         let demote_events = ssd_demotions + remote_demotions;
-        let rate = PromotionRate::from_count(promos, window)
+        let rate = PromotionRate::from_count(demand_promos, window)
             .normalized(decision.working_set)
             .fraction_per_min();
         // The frames the store occupies at the job's realized ratio —
@@ -696,13 +787,15 @@ impl FleetSim {
             working_set: decision.working_set.get(),
             cold_pages: cold_min,
             far_pages: far,
-            promotions: promos,
+            promotions: demand_promos,
             threshold_scans: threshold.as_scans(),
             enabled,
             normalized_rate: rate,
             compress_events,
             rejected_events,
-            decompress_events: promos + writeback_events + demote_events,
+            // Every store departure decompresses exactly once: demand
+            // promotions, prefetched promotions, writebacks, demotions.
+            decompress_events: demand_promos + pf.issued + writeback_events + demote_events,
             store_pages: j.store_pages,
             store_frames,
             ratio_permille: j.ratio_permille,
@@ -713,6 +806,10 @@ impl FleetSim {
             remote_demotions,
             ssd_faults,
             remote_faults,
+            prefetch_issued: pf.issued,
+            prefetch_used: pf.used,
+            prefetch_wasted: pf.wasted,
+            prefetch_late: pf.late,
             cpu_cores: j.cpu_cores,
         }
     }
@@ -727,13 +824,22 @@ impl FleetSim {
     /// runs sequentially on the sim-level RNG. The result — including the
     /// order of `per_job` and the RNG stream — is bit-for-bit identical
     /// at any thread count and under either [`ParallelEngine`].
-    pub fn step_window(&mut self) -> FleetWindowStats {
+    ///
+    /// # Errors
+    ///
+    /// [`FleetSimError`] when a parallel worker panics or the sharded
+    /// reassembly comes back with a hole — both simulator bugs surfaced
+    /// as typed values rather than panics, so harnesses decide how to
+    /// fail. The window's side effects (job state, CPU ledger) are
+    /// undefined after an error; callers should not step further.
+    pub fn step_window(&mut self) -> Result<FleetWindowStats, FleetSimError> {
         self.now += self.config.window;
         let now = self.now;
         let window = self.config.window;
         let min_threshold = self.config.slo.min_threshold;
         let pressure = self.config.pressure;
         let chain = self.config.chain;
+        let prefetch = self.config.prefetch;
         let mut stats = FleetWindowStats {
             at: now,
             total_pages: 0,
@@ -743,15 +849,25 @@ impl FleetSim {
             store_frames: 0,
             ssd_pages: 0,
             remote_pages: 0,
+            prefetch_issued: 0,
+            prefetch_used: 0,
+            prefetch_wasted: 0,
+            prefetch_late: 0,
             per_job: Vec::with_capacity(self.jobs.len()),
         };
 
         let workers = self.config.threads.max(1).min(self.jobs.len().max(1));
         if workers <= 1 {
             for j in &mut self.jobs {
-                stats
-                    .per_job
-                    .push(Self::step_job(j, now, window, min_threshold, pressure, chain));
+                stats.per_job.push(Self::step_job(
+                    j,
+                    now,
+                    window,
+                    min_threshold,
+                    pressure,
+                    chain,
+                    prefetch,
+                ));
             }
         } else {
             // Shard at MACHINE granularity. Jobs are ordered by index
@@ -809,7 +925,7 @@ impl FleetSim {
                                 buf.clear();
                                 buf.extend(seg.iter_mut().map(|(i, j)| {
                                     let stat = Self::step_job(
-                                        j, now, window, min_threshold, pressure, chain,
+                                        j, now, window, min_threshold, pressure, chain, prefetch,
                                     );
                                     (*i, stat)
                                 }));
@@ -817,42 +933,48 @@ impl FleetSim {
                         })
                         .collect();
                     if let Err(e) = pool.run(tasks) {
-                        // A job-step panic is a simulator bug, not a
-                        // recoverable condition; re-raise it with context
-                        // instead of silently dropping the window.
-                        panic!("fleet window worker panicked: {e}");
+                        // A job-step panic is a simulator bug; surface it
+                        // as a typed error instead of tearing the caller
+                        // down with a re-raised panic.
+                        return Err(FleetSimError::WorkerPanicked(e.to_string()));
                     }
                 }
                 ParallelEngine::SpawnPerCall => {
-                    thread::scope(|s| {
+                    if let Err(e) = thread::scope(|s| {
                         for (seg, buf) in segments.into_iter().zip(self.scratch.iter_mut()) {
                             s.spawn(move |_| {
                                 buf.clear();
                                 buf.extend(seg.iter_mut().map(|(i, j)| {
                                     let stat = Self::step_job(
-                                        j, now, window, min_threshold, pressure, chain,
+                                        j, now, window, min_threshold, pressure, chain, prefetch,
                                     );
                                     (*i, stat)
                                 }));
                             });
                         }
-                    })
-                    .expect("fleet window worker panicked");
+                    }) {
+                        return Err(FleetSimError::WorkerPanicked(format!("{e:?}")));
+                    }
                 }
             }
             // Index-ordered reassembly: every original index appears in
             // exactly one segment, so slotting by index reproduces the
-            // sequential `per_job` order bit for bit.
+            // sequential `per_job` order bit for bit. That partition is
+            // an invariant of the machine-boundary cuts, and it is
+            // *checked*: a hole is reported as a typed error rather than
+            // assumed away.
             let mut slots: Vec<Option<JobWindowStat>> = vec![None; len];
             for buf in &mut self.scratch {
                 for (i, stat) in buf.drain(..) {
                     slots[i] = Some(stat);
                 }
             }
-            stats.per_job.extend(slots.into_iter().map(|s| {
-                // sdfm-lint: allow(P1) reason="the machine-boundary cuts partition 0..len exactly, so every slot is filled"
-                s.expect("job index missing from sharded window step")
-            }));
+            for (index, slot) in slots.into_iter().enumerate() {
+                match slot {
+                    Some(stat) => stats.per_job.push(stat),
+                    None => return Err(FleetSimError::MissingJobSlot { index }),
+                }
+            }
         }
         let cost = self.config.cost;
         for s in &stats.per_job {
@@ -863,6 +985,10 @@ impl FleetSim {
             stats.store_frames += s.store_frames;
             stats.ssd_pages += s.ssd_pages;
             stats.remote_pages += s.remote_pages;
+            stats.prefetch_issued += s.prefetch_issued;
+            stats.prefetch_used += s.prefetch_used;
+            stats.prefetch_wasted += s.prefetch_wasted;
+            stats.prefetch_late += s.prefetch_late;
             // Device traffic is priced by the chain's backend configs:
             // demotions pay the tier's store cost, fault-backs its fault
             // cost — the same per-op arithmetic the page-level chain
@@ -908,12 +1034,17 @@ impl FleetSim {
                 self.spawn_job(old.cluster_idx, old.machine, profile, false);
             }
         }
-        stats
+        Ok(stats)
     }
 
     /// Runs `windows` windows, returning all stats (callers doing long
     /// runs should prefer folding over [`step_window`](Self::step_window)).
-    pub fn run_windows(&mut self, windows: usize) -> Vec<FleetWindowStats> {
+    ///
+    /// # Errors
+    ///
+    /// The first [`FleetSimError`] any window surfaces; windows already
+    /// stepped are discarded.
+    pub fn run_windows(&mut self, windows: usize) -> Result<Vec<FleetWindowStats>, FleetSimError> {
         (0..windows).map(|_| self.step_window()).collect()
     }
 
@@ -964,7 +1095,7 @@ mod tests {
         let mut sim = small_sim(2);
         let mut last = None;
         for _ in 0..24 {
-            last = Some(sim.step_window());
+            last = Some(sim.step_window().unwrap());
         }
         let s = last.unwrap();
         assert!(
@@ -985,11 +1116,11 @@ mod tests {
         let mut sim = small_sim(3);
         // Warm up two hours, then observe one hour.
         for _ in 0..24 {
-            sim.step_window();
+            sim.step_window().unwrap();
         }
         let mut rates = Vec::new();
         for _ in 0..12 {
-            let s = sim.step_window();
+            let s = sim.step_window().unwrap();
             rates.extend(
                 s.per_job
                     .iter()
@@ -1013,7 +1144,7 @@ mod tests {
         let initial: Vec<JobId> = sim.jobs.iter().map(|j| j.id).collect();
         // Batch jobs live as little as an hour; run a simulated day.
         for _ in 0..288 {
-            sim.step_window();
+            sim.step_window().unwrap();
         }
         let now: Vec<JobId> = sim.jobs.iter().map(|j| j.id).collect();
         let survivors = now.iter().filter(|id| initial.contains(id)).count();
@@ -1030,8 +1161,8 @@ mod tests {
         let mut far_a = 0u64;
         let mut far_b = 0u64;
         for _ in 0..12 {
-            far_a += a.step_window().far_pages;
-            far_b += b.step_window().far_pages;
+            far_a += a.step_window().unwrap().far_pages;
+            far_b += b.step_window().unwrap().far_pages;
         }
         assert!(far_a > 0);
         assert_eq!(far_b, 0, "infinite warmup must disable far memory");
@@ -1042,7 +1173,7 @@ mod tests {
         let mut a = small_sim(7);
         let mut b = small_sim(7);
         for _ in 0..3 {
-            assert_eq!(a.step_window(), b.step_window());
+            assert_eq!(a.step_window().unwrap(), b.step_window().unwrap());
         }
     }
 
@@ -1058,7 +1189,7 @@ mod tests {
             cfg.noise_sigma = 0.1;
             cfg.threads = 3;
             let mut sim = FleetSim::new(cfg, 13);
-            let windows = sim.run_windows(8);
+            let windows = sim.run_windows(8).unwrap();
             serde_json::to_string(&windows).expect("fleet stats serialize")
         };
         let (a, b) = (run(), run());
@@ -1079,9 +1210,9 @@ mod tests {
         let mut eight = sim_with_threads(8);
         // Long enough to cross warmup boundaries and churn at least once.
         for w in 0..16 {
-            let a = seq.step_window();
-            let b = two.step_window();
-            let c = eight.step_window();
+            let a = seq.step_window().unwrap();
+            let b = two.step_window().unwrap();
+            let c = eight.step_window().unwrap();
             assert_eq!(a, b, "1 vs 2 threads diverged at window {w}");
             assert_eq!(a, c, "1 vs 8 threads diverged at window {w}");
         }
@@ -1103,8 +1234,8 @@ mod tests {
         let mut pooled = sim_with_engine(ParallelEngine::PersistentPool);
         let mut spawned = sim_with_engine(ParallelEngine::SpawnPerCall);
         for w in 0..12 {
-            let a = pooled.step_window();
-            let b = spawned.step_window();
+            let a = pooled.step_window().unwrap();
+            let b = spawned.step_window().unwrap();
             assert_eq!(a, b, "engines diverged at window {w}");
         }
     }
@@ -1123,7 +1254,7 @@ mod tests {
         sim.set_params(always_on);
         let mut steady = None;
         for _ in 0..12 {
-            steady = Some(sim.step_window());
+            steady = Some(sim.step_window().unwrap());
         }
         let steady = steady.unwrap();
         assert!(steady.far_pages > 0, "no far memory built up");
@@ -1131,7 +1262,7 @@ mod tests {
         // Disable fleet-wide: the store keeps most of its contents (the
         // lifecycle policy decays it by one window's step, no more).
         sim.set_params(never_on);
-        let off = sim.step_window();
+        let off = sim.step_window().unwrap();
         assert_eq!(off.far_pages, 0);
         assert_eq!(
             off.per_job.iter().map(|j| j.compress_events).sum::<u64>(),
@@ -1146,7 +1277,7 @@ mod tests {
         // Re-enable: only growth beyond the still-stored pages (plus the
         // steady promotion trickle) may be charged — not the full reservoir.
         sim.set_params(always_on);
-        let back = sim.step_window();
+        let back = sim.step_window().unwrap();
         assert!(back.far_pages > 0, "re-enable produced no far memory");
         let compress: u64 = back.per_job.iter().map(|j| j.compress_events).sum();
         assert!(
@@ -1173,7 +1304,7 @@ mod tests {
         sim.set_params(always_on);
         let mut steady = None;
         for _ in 0..12 {
-            steady = Some(sim.step_window());
+            steady = Some(sim.step_window().unwrap());
         }
         let steady = steady.unwrap();
         assert!(steady.far_pages > 0, "no far memory built up");
@@ -1185,7 +1316,7 @@ mod tests {
         // The fleet store is a few hundred thousand pages; the geometric
         // phase plus per-job linear tails drain it well inside 200 windows.
         for w in 0..200 {
-            let s = sim.step_window();
+            let s = sim.step_window().unwrap();
             let writebacks: u64 = s.per_job.iter().map(|j| j.writeback_events).sum();
             let decompressions: u64 = s.per_job.iter().map(|j| j.decompress_events).sum();
             assert_eq!(s.far_pages, 0, "disabled fleet reported far memory");
@@ -1222,7 +1353,7 @@ mod tests {
         // After a full drain, a re-enable pays for the whole cold mass
         // again — the delta-charging shortcut no longer applies.
         sim.set_params(AgentParams::new(98.0, SimDuration::ZERO).unwrap());
-        let back = sim.step_window();
+        let back = sim.step_window().unwrap();
         let compress: u64 = back.per_job.iter().map(|j| j.compress_events).sum();
         let promos: u64 = back.per_job.iter().map(|j| j.promotions).sum();
         assert_eq!(
@@ -1245,7 +1376,7 @@ mod tests {
         let mut sim = small_sim(19);
         let mut last = None;
         for _ in 0..16 {
-            last = Some(sim.step_window());
+            last = Some(sim.step_window().unwrap());
         }
         let s = last.unwrap();
         assert!(s.store_pages > 0, "no store built up");
@@ -1286,7 +1417,7 @@ mod tests {
         cfg.churn = false;
         let mut sim = FleetSim::new(cfg, 9);
         sim.set_params(AgentParams::new(98.0, SimDuration::ZERO).unwrap());
-        let first_windows = sim.run_windows(12);
+        let first_windows = sim.run_windows(12).unwrap();
         let rejected_total: u64 = first_windows
             .iter()
             .flat_map(|w| w.per_job.iter())
@@ -1294,7 +1425,7 @@ mod tests {
             .sum();
         assert!(rejected_total > 0, "no rejections ever charged");
         // Steady state: the cold mass is marked; new rejections dry up.
-        let late = sim.step_window();
+        let late = sim.step_window().unwrap();
         let late_rejects: u64 = late.per_job.iter().map(|j| j.rejected_events).sum();
         let late_compress: u64 = late.per_job.iter().map(|j| j.compress_events).sum();
         assert!(
@@ -1323,7 +1454,7 @@ mod tests {
         let mut sim = FleetSim::new(cfg, 21);
         let mut last = None;
         for _ in 0..10 {
-            last = Some(sim.step_window());
+            last = Some(sim.step_window().unwrap());
         }
         let s = last.unwrap();
         assert!(s.store_pages > 0);
@@ -1352,7 +1483,7 @@ mod tests {
                 42, // independent of the cached default: measured per run
             ));
             let mut sim = FleetSim::new(cfg, 23);
-            let windows = sim.run_windows(8);
+            let windows = sim.run_windows(8).unwrap();
             serde_json::to_string(&windows).expect("fleet stats serialize")
         };
         let (a, b, c) = (run(1), run(1), run(4));
@@ -1373,10 +1504,10 @@ mod tests {
             let always_on = AgentParams::new(98.0, SimDuration::ZERO).unwrap();
             let never_on = AgentParams::new(98.0, SimDuration::from_hours(10_000)).unwrap();
             sim.set_params(always_on);
-            let mut out = sim.run_windows(6);
+            let mut out = sim.run_windows(6).unwrap();
             // Disable mid-run: every job's store decays in parallel.
             sim.set_params(never_on);
-            out.extend(sim.run_windows(6));
+            out.extend(sim.run_windows(6).unwrap());
             serde_json::to_string(&out).expect("fleet stats serialize")
         };
         let (one, two, four) = (run(1), run(2), run(4));
@@ -1404,7 +1535,7 @@ mod tests {
             // A tight per-job SSD quota so overflow reaches the remote tier.
             cfg.chain = Some(ChainPolicy::paper_default(64));
             let mut sim = FleetSim::new(cfg, 31);
-            let windows = sim.run_windows(16);
+            let windows = sim.run_windows(16).unwrap();
             serde_json::to_string(&windows).expect("fleet stats serialize")
         };
         let (one, again, two, four) = (run(1), run(1), run(2), run(4));
@@ -1450,7 +1581,7 @@ mod tests {
             cfg.threads = threads;
             cfg.fidelity_cutoff = 3;
             let mut sim = FleetSim::new(cfg, 37);
-            let windows = sim.run_windows(6);
+            let windows = sim.run_windows(6).unwrap();
             serde_json::to_string(&windows).expect("fleet stats serialize")
         };
         let (one, again, two, four) = (run(1), run(1), run(2), run(4));
@@ -1477,7 +1608,7 @@ mod tests {
             cfg.threads = 2;
             cfg.fidelity_cutoff = cutoff;
             let mut sim = FleetSim::new(cfg, 41);
-            sim.run_windows(6)
+            sim.run_windows(6).unwrap()
         };
         let base = run(0);
         let cut = run(2);
@@ -1522,7 +1653,7 @@ mod tests {
         sim.set_params(AgentParams::new(98.0, SimDuration::ZERO).unwrap());
         let mut steady = None;
         for _ in 0..12 {
-            steady = Some(sim.step_window());
+            steady = Some(sim.step_window().unwrap());
         }
         let steady = steady.unwrap();
         assert!(steady.store_pages > 0, "no store built up");
@@ -1530,7 +1661,7 @@ mod tests {
         sim.set_params(AgentParams::new(98.0, SimDuration::from_hours(10_000)).unwrap());
         let mut prev = steady.store_pages + steady.ssd_pages + steady.remote_pages;
         for w in 0..40 {
-            let s = sim.step_window();
+            let s = sim.step_window().unwrap();
             let writebacks: u64 = s.per_job.iter().map(|j| j.writeback_events).sum();
             let demoted: u64 = s
                 .per_job
@@ -1553,5 +1684,136 @@ mod tests {
         let cpu = sim.cpu_accounting();
         assert!(cpu.tier_io_events > 0, "no tier I/O charged");
         assert!(cpu.tier_io_ns > 0);
+    }
+
+    /// The ISSUE acceptance gate: with the prefetcher enabled, two
+    /// same-seed runs serialize to the same bytes and the trajectory is
+    /// bit-identical at threads 1, 2, and 4.
+    #[test]
+    fn prefetch_enabled_is_bit_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut cfg = FleetSimConfig::new(2);
+            cfg.noise_sigma = 0.1;
+            cfg.threads = threads;
+            cfg.prefetch = Some(PrefetchPolicy::paper_default(
+                sdfm_kernel::PrefetchMode::StrideMarkov,
+            ));
+            let mut sim = FleetSim::new(cfg, 43);
+            let windows = sim.run_windows(12).unwrap();
+            serde_json::to_string(&windows).expect("fleet stats serialize")
+        };
+        let (one, again, two, four) = (run(1), run(1), run(2), run(4));
+        assert!(one == again, "two same-seed prefetch runs diverged");
+        assert!(one == two, "1 vs 2 threads diverged with prefetch on");
+        assert!(one == four, "1 vs 4 threads diverged with prefetch on");
+        // The stage actually fired somewhere in the run.
+        let parsed: Vec<FleetWindowStats> = serde_json::from_str(&one).unwrap();
+        let issued: u64 = parsed.iter().map(|w| w.prefetch_issued).sum();
+        assert!(issued > 0, "prefetcher never issued anything");
+    }
+
+    /// Prefetch under the fidelity cutoff: page-level kernels run the
+    /// real per-memcg predictor while stat jobs use the recurrence, and
+    /// the combined trajectory still serializes identically at threads
+    /// 1, 2, and 4.
+    #[test]
+    fn prefetch_under_fidelity_cutoff_is_bit_identical() {
+        let run = |threads: usize| {
+            let mut cfg = FleetSimConfig::new(1);
+            cfg.noise_sigma = 0.1;
+            cfg.threads = threads;
+            cfg.fidelity_cutoff = 2;
+            cfg.prefetch = Some(PrefetchPolicy::paper_default(
+                sdfm_kernel::PrefetchMode::Stride,
+            ));
+            let mut sim = FleetSim::new(cfg, 47);
+            let windows = sim.run_windows(6).unwrap();
+            serde_json::to_string(&windows).expect("fleet stats serialize")
+        };
+        let (one, again, two, four) = (run(1), run(1), run(2), run(4));
+        assert!(one == again, "two same-seed cutoff+prefetch runs diverged");
+        assert!(one == two, "1 vs 2 threads diverged (cutoff + prefetch)");
+        assert!(one == four, "1 vs 4 threads diverged (cutoff + prefetch)");
+    }
+
+    /// Accuracy-counter conservation and ledger balance: per job per
+    /// window `used + wasted == issued`, every decompression source adds
+    /// up, and hidden faults actually reduce reported demand promotions
+    /// relative to the same seed without prefetching.
+    #[test]
+    fn prefetch_counters_conserve_and_hide_demand_faults() {
+        let run = |prefetch: Option<PrefetchPolicy>| {
+            let mut cfg = FleetSimConfig::new(2);
+            cfg.noise_sigma = 0.0;
+            cfg.churn = false;
+            cfg.prefetch = prefetch;
+            let mut sim = FleetSim::new(cfg, 51);
+            sim.set_params(AgentParams::new(98.0, SimDuration::ZERO).unwrap());
+            sim.run_windows(12).unwrap()
+        };
+        let base = run(None);
+        let with = run(Some(PrefetchPolicy::paper_default(
+            sdfm_kernel::PrefetchMode::StrideMarkov,
+        )));
+        let mut issued_total = 0u64;
+        for w in &with {
+            assert_eq!(
+                w.prefetch_used + w.prefetch_wasted,
+                w.prefetch_issued,
+                "window-level conservation broke"
+            );
+            for j in &w.per_job {
+                assert_eq!(
+                    j.prefetch_used + j.prefetch_wasted,
+                    j.prefetch_issued,
+                    "per-job conservation broke"
+                );
+                assert_eq!(
+                    j.decompress_events,
+                    j.promotions
+                        + j.prefetch_issued
+                        + j.writeback_events
+                        + j.ssd_demotions
+                        + j.remote_demotions,
+                    "decompression sources do not add up"
+                );
+            }
+            issued_total += w.prefetch_issued;
+        }
+        assert!(issued_total > 0, "prefetcher never issued anything");
+        let demand =
+            |ws: &[FleetWindowStats]| -> u64 { ws.iter().flat_map(|w| &w.per_job).map(|j| j.promotions).sum() };
+        let (base_promos, with_promos) = (demand(&base), demand(&with));
+        assert!(
+            with_promos < base_promos,
+            "prefetching hid no demand faults: {with_promos} vs {base_promos}"
+        );
+        // No-prefetch windows report all-zero counters.
+        for w in &base {
+            assert_eq!(w.prefetch_issued + w.prefetch_used + w.prefetch_wasted + w.prefetch_late, 0);
+        }
+    }
+
+    /// A policy with zero aggressiveness issues nothing and must be
+    /// byte-identical to running with no policy at all — the `None`
+    /// default therefore reproduces the pre-prefetch trajectory bit for
+    /// bit (the same arithmetic with every count pinned to zero).
+    #[test]
+    fn zero_aggressiveness_prefetch_is_inert() {
+        let run = |prefetch: Option<PrefetchPolicy>| {
+            let mut cfg = FleetSimConfig::new(2);
+            cfg.noise_sigma = 0.1;
+            cfg.threads = 3;
+            cfg.prefetch = prefetch;
+            let mut sim = FleetSim::new(cfg, 53);
+            let windows = sim.run_windows(8).unwrap();
+            serde_json::to_string(&windows).expect("fleet stats serialize")
+        };
+        let none = run(None);
+        let zero = run(Some(PrefetchPolicy::new(
+            sdfm_kernel::PrefetchMode::StrideMarkov,
+            0,
+        )));
+        assert!(none == zero, "zero-aggressiveness policy perturbed the run");
     }
 }

@@ -10,6 +10,7 @@ use crate::kreclaimd::{self, ReclaimOutcome};
 use crate::kstaled::{self, ScanOutcome};
 use crate::memcg::{MemCgroup, MemcgStats};
 use crate::page::{Page, PageContent, PageState};
+use crate::prefetch::PrefetchConfig;
 use crate::tiering::{Tier1Config, Tier1Stats};
 use crate::writeback::{
     self, DemotionOutcome, HostPressureOutcome, LifecycleOutcome, StorePressure, WritebackOutcome,
@@ -30,6 +31,8 @@ pub struct KernelConfig {
     pub codec: CodecKind,
     /// Per-page compression costs.
     pub cost: CostModel,
+    /// Correlation prefetcher configuration (off by default).
+    pub prefetch: PrefetchConfig,
 }
 
 impl Default for KernelConfig {
@@ -39,6 +42,7 @@ impl Default for KernelConfig {
             capacity: PageCount::new(262_144),
             codec: CodecKind::Lzo,
             cost: CostModel::PAPER_DEFAULT,
+            prefetch: PrefetchConfig::default(),
         }
     }
 }
@@ -62,6 +66,14 @@ pub struct MachineStats {
     pub free: PageCount,
     /// Live memcgs.
     pub jobs: usize,
+    /// Cumulative prefetched promotions across all memcgs.
+    pub prefetch_issued: u64,
+    /// Cumulative prefetched pages demand-touched while resident.
+    pub prefetch_used: u64,
+    /// Cumulative prefetched pages re-reclaimed or freed untouched.
+    pub prefetch_wasted: u64,
+    /// Cumulative demand faults that beat the prefetch drain.
+    pub prefetch_late: u64,
 }
 
 impl MachineStats {
@@ -175,10 +187,17 @@ impl Kernel {
     /// the job's page tables reference store state that no longer exists
     /// (the memcg is torn down either way).
     pub fn remove_memcg(&mut self, job: JobId) -> Result<MemcgStats, KernelError> {
-        let cg = self
+        let mut cg = self
             .memcgs
             .remove(&job)
             .ok_or(KernelError::NoSuchMemcg { job })?;
+        // Prefetched pages the job never demand-touched resolve as wasted
+        // at teardown, closing the used+wasted==issued conservation law.
+        for idx in 0..cg.pages.len() {
+            if cg.pages.prefetched(idx) {
+                cg.stats.prefetch_wasted += 1;
+            }
+        }
         for state in cg.pages.states() {
             match state {
                 PageState::Zswapped(h) => self.zswap.discard(h)?,
@@ -353,7 +372,17 @@ impl Kernel {
             .ok_or(KernelError::NoSuchMemcg { job })?;
         let n = n.min(cg.pages.len());
         for _ in 0..n {
+            // The prefetched-pending mark is SoA-only and does not survive
+            // `pop`; read it before the entry leaves the table.
+            let was_prefetched = cg
+                .pages
+                .len()
+                .checked_sub(1)
+                .is_some_and(|last| cg.pages.prefetched(last));
             let Some(page) = cg.pages.pop() else { break };
+            if was_prefetched {
+                cg.stats.prefetch_wasted += 1;
+            }
             match page.state {
                 PageState::Zswapped(h) => {
                     cg.stats.zswapped_pages -= 1;
@@ -390,6 +419,7 @@ impl Kernel {
     /// [`KernelError::NoSuchMemcg`] / [`KernelError::NoSuchPage`].
     pub fn touch(&mut self, job: JobId, page: PageId, write: bool) -> Result<bool, KernelError> {
         let cost = self.config.cost;
+        let prefetch = self.config.prefetch;
         let cg = self
             .memcgs
             .get_mut(&job)
@@ -414,7 +444,10 @@ impl Kernel {
                 cg.pages.set_state(idx, PageState::Resident);
                 cg.stats.zswapped_pages -= 1;
                 cg.stats.zswapped_bytes -= size;
-                cg.stats.resident_pages += 1;
+                // Frames, not entries: a (directly constructed) huge
+                // zswapped entry re-residents its whole span, consistent
+                // with `huge_page_scan_counts_entries_but_promotes_frames`.
+                cg.stats.resident_pages += cg.pages.span(idx) as u64;
                 cg.stats.decompressions += 1;
                 self.cpu.charge_decompress(&cost);
                 true
@@ -434,12 +467,26 @@ impl Kernel {
                 self.cpu.charge_tier_io(ns);
                 cg.pages.set_state(idx, PageState::Resident);
                 cg.stats.demoted_pages[t as usize] -= 1;
-                cg.stats.resident_pages += 1;
+                cg.stats.resident_pages += cg.pages.span(idx) as u64;
                 cg.stats.demoted_loads[t as usize] += 1;
                 true
             }
-            PageState::Resident => false,
+            PageState::Resident => {
+                if cg.pages.prefetched(idx) {
+                    // The prefetched page got its demand touch: the stall
+                    // was fully hidden.
+                    cg.pages.set_prefetched(idx, false);
+                    cg.stats.prefetch_used += 1;
+                }
+                false
+            }
         };
+        if promoted && cg.prefetcher.cancel(idx as u64) {
+            // Predicted correctly, but the demand fault arrived before the
+            // scan-cadence drain issued it.
+            cg.stats.prefetch_late += 1;
+        }
+        cg.prefetcher.record(idx as u64, &prefetch);
         cg.pages.set_accessed(idx, true);
         if write {
             cg.pages.set_dirty(idx, true);
@@ -452,7 +499,9 @@ impl Kernel {
         Ok(promoted)
     }
 
-    /// Runs one kstaled scan over every memcg.
+    /// Runs one kstaled scan over every memcg, then drains each memcg's
+    /// prefetch queue (predicted promotions ride the scan cadence, so the
+    /// prefetcher issues exactly once per scan period).
     pub fn run_scan(&mut self) -> ScanOutcome {
         self.scans += 1;
         let mut total = ScanOutcome::default();
@@ -464,7 +513,80 @@ impl Kernel {
             total.incompressible_cleared += o.incompressible_cleared;
             total.incompressible_marked += o.incompressible_marked;
         }
+        if self.config.prefetch.enabled() {
+            let jobs: Vec<JobId> = self.memcgs.keys().copied().collect();
+            for job in jobs {
+                self.drain_prefetch(job);
+            }
+        }
         total
+    }
+
+    /// Promotes one memcg's queued predictions, up to the configured
+    /// drain budget. Each issued page pays exactly what a demand fault
+    /// pays — a charged decompression out of zswap or charged tier I/O
+    /// out of a device — but lands *before* the demand touch. The page
+    /// comes back hot (it is expected imminently) carrying the
+    /// prefetched-pending mark until a demand touch (used) or a later
+    /// reclaim (wasted) resolves it. Predictions that no longer point at
+    /// far memory, or that the store cannot serve, are dropped without
+    /// being counted as issued — a speculative promotion must never turn
+    /// into an error or a phantom counter.
+    fn drain_prefetch(&mut self, job: JobId) {
+        let cost = self.config.cost;
+        let budget = self.config.prefetch.drain_budget();
+        if budget == 0 {
+            return;
+        }
+        let mut free = self.free_frames().get();
+        let Some(cg) = self.memcgs.get_mut(&job) else {
+            return;
+        };
+        for idx64 in cg.prefetcher.drain(budget) {
+            let idx = idx64 as usize;
+            let Some(state) = cg.pages.get_state(idx) else {
+                continue;
+            };
+            let span = cg.pages.span(idx) as u64;
+            if free < span {
+                // Prefetching must never create memory pressure: stop
+                // issuing when the machine is out of frames.
+                break;
+            }
+            match state {
+                PageState::Zswapped(h) => {
+                    let Some(size) = self.zswap.stored_size(h) else {
+                        continue;
+                    };
+                    if self.zswap.load(h).is_err() {
+                        continue;
+                    }
+                    cg.pages.set_state(idx, PageState::Resident);
+                    cg.stats.zswapped_pages -= 1;
+                    cg.stats.zswapped_bytes -= size as u64;
+                    cg.stats.resident_pages += span;
+                    cg.stats.decompressions += 1;
+                    self.cpu.charge_decompress(&cost);
+                }
+                PageState::Demoted(t) => {
+                    let Some(tier) = self.chain.as_mut().and_then(|c| c.tier_mut(t as usize))
+                    else {
+                        continue;
+                    };
+                    let ns = tier.load_page();
+                    self.cpu.charge_tier_io(ns);
+                    cg.pages.set_state(idx, PageState::Resident);
+                    cg.stats.demoted_pages[t as usize] -= 1;
+                    cg.stats.resident_pages += span;
+                    cg.stats.demoted_loads[t as usize] += 1;
+                }
+                PageState::Resident => continue,
+            }
+            free = free.saturating_sub(span);
+            cg.stats.prefetch_issued += 1;
+            cg.pages.set_prefetched(idx, true);
+            cg.pages.set_age(idx, PageAge::HOT);
+        }
     }
 
     /// Number of kstaled scans run.
@@ -585,6 +707,10 @@ impl Kernel {
                 match self.zswap.store(cg.pages.content(idx))? {
                     crate::zswap::StoreOutcome::Stored(h) => {
                         self.cpu.charge_compress(&cost);
+                        if cg.pages.prefetched(idx) {
+                            cg.pages.set_prefetched(idx, false);
+                            cg.stats.prefetch_wasted += 1;
+                        }
                         cg.pages.set_state(idx, PageState::Zswapped(h));
                         cg.stats.resident_pages -= 1;
                         cg.stats.zswapped_pages += 1;
@@ -612,6 +738,10 @@ impl Kernel {
                         detail: "warm device tier filled mid-check",
                     })?;
                     self.cpu.charge_tier_io(ns);
+                    if cg.pages.prefetched(idx) {
+                        cg.pages.set_prefetched(idx, false);
+                        cg.stats.prefetch_wasted += 1;
+                    }
                     cg.pages.set_state(idx, PageState::Demoted(dev as u8));
                     cg.stats.resident_pages -= 1;
                     cg.stats.demoted_pages[dev] += 1;
@@ -685,6 +815,10 @@ impl Kernel {
                 match self.zswap.store(cg.pages.content(idx))? {
                     crate::zswap::StoreOutcome::Stored(h) => {
                         self.cpu.charge_compress(&cost);
+                        if cg.pages.prefetched(idx) {
+                            cg.pages.set_prefetched(idx, false);
+                            cg.stats.prefetch_wasted += 1;
+                        }
                         cg.pages.set_state(idx, PageState::Zswapped(h));
                         cg.stats.resident_pages -= 1;
                         cg.stats.zswapped_pages += 1;
@@ -885,10 +1019,16 @@ impl Kernel {
             .map(|cg| cg.stats().zswapped_pages)
             .sum();
         let mut demoted_pages = [0u64; MAX_TIERS];
+        let mut prefetch = [0u64; 4];
         for cg in self.memcgs.values() {
             for (sum, tier) in demoted_pages.iter_mut().zip(cg.stats().demoted_pages) {
                 *sum += tier;
             }
+            let s = cg.stats();
+            prefetch[0] += s.prefetch_issued;
+            prefetch[1] += s.prefetch_used;
+            prefetch[2] += s.prefetch_wasted;
+            prefetch[3] += s.prefetch_late;
         }
         MachineStats {
             capacity: self.config.capacity,
@@ -898,6 +1038,10 @@ impl Kernel {
             demoted_pages,
             free: self.free_frames(),
             jobs: self.memcgs.len(),
+            prefetch_issued: prefetch[0],
+            prefetch_used: prefetch[1],
+            prefetch_wasted: prefetch[2],
+            prefetch_late: prefetch[3],
         }
     }
 
@@ -1289,6 +1433,169 @@ mod tests {
         assert_eq!(k.chain().unwrap().device_resident_pages(), 0);
         let stats = k.chain_stats().unwrap();
         assert_eq!(stats[1].discards + stats[2].discards, 20);
+    }
+
+    fn prefetch_kernel(capacity: u64, mode: crate::PrefetchMode) -> (Kernel, JobId) {
+        let mut k = Kernel::new(KernelConfig {
+            capacity: PageCount::new(capacity),
+            prefetch: crate::PrefetchConfig {
+                mode,
+                ..crate::PrefetchConfig::default()
+            },
+            ..KernelConfig::default()
+        });
+        let job = JobId::new(1);
+        k.create_memcg(job, PageCount::new(capacity)).unwrap();
+        (k, job)
+    }
+
+    /// Forces the job's huge entry at index 0 into zswap *without*
+    /// splitting it — direct state surgery the split-first reclaim path
+    /// never produces, isolating the entries-vs-frames discipline on the
+    /// promotion side.
+    fn zswap_huge_entry_whole(k: &mut Kernel, job: JobId) {
+        let content = k.memcgs[&job].pages.content(0).clone();
+        let h = match k.zswap.store(&content).unwrap() {
+            crate::zswap::StoreOutcome::Stored(h) => h,
+            o => panic!("synthetic page must fit the store: {o:?}"),
+        };
+        let size = k.zswap.stored_size(h).unwrap() as u64;
+        let cg = k.memcgs.get_mut(&job).unwrap();
+        assert!(cg.pages.is_huge(0));
+        cg.pages.set_state(0, PageState::Zswapped(h));
+        cg.stats.resident_pages -= crate::page::HUGE_SPAN as u64;
+        cg.stats.zswapped_pages += 1;
+        cg.stats.zswapped_bytes += size;
+    }
+
+    /// Satellite regression for the promotion path's side of
+    /// `huge_page_scan_counts_entries_but_promotes_frames`: a predicted
+    /// huge-page promotion moves [`crate::page::HUGE_SPAN`] frames but
+    /// one entry (one issue, one decompression).
+    #[test]
+    fn prefetched_huge_page_promotion_moves_frames_but_one_entry() {
+        let (mut k, job) = prefetch_kernel(10_000, crate::PrefetchMode::Stride);
+        k.alloc_huge_pages(job, 1, |_| PageContent::synthetic_of_len(600))
+            .unwrap();
+        zswap_huge_entry_whole(&mut k, job);
+        let cfg = k.config.prefetch;
+        k.memcgs
+            .get_mut(&job)
+            .unwrap()
+            .prefetcher
+            .enqueue(0, &cfg);
+        k.run_scan();
+        let s = k.memcg(job).unwrap().stats();
+        assert_eq!(s.prefetch_issued, 1, "one entry issued");
+        assert_eq!(s.decompressions, 1, "one decompression");
+        assert_eq!(
+            s.resident_pages,
+            crate::page::HUGE_SPAN as u64,
+            "the whole span re-residented"
+        );
+        assert_eq!(s.zswapped_pages, 0);
+        assert_eq!(s.usage(), PageCount::new(crate::page::HUGE_SPAN as u64));
+    }
+
+    /// The demand side of the same discipline: a fault on a huge zswapped
+    /// entry restores all its frames while counting one decompression.
+    #[test]
+    fn demand_fault_on_huge_zswapped_entry_restores_frames() {
+        let (mut k, job) = prefetch_kernel(10_000, crate::PrefetchMode::Off);
+        k.alloc_huge_pages(job, 1, |_| PageContent::synthetic_of_len(600))
+            .unwrap();
+        zswap_huge_entry_whole(&mut k, job);
+        assert!(k.touch(job, PageId::new(0), false).unwrap());
+        let s = k.memcg(job).unwrap().stats();
+        assert_eq!(s.resident_pages, crate::page::HUGE_SPAN as u64);
+        assert_eq!(s.decompressions, 1);
+    }
+
+    fn compressed_prefetch_job(n: usize) -> (Kernel, JobId) {
+        let (mut k, job) = prefetch_kernel(10_000, crate::PrefetchMode::Stride);
+        k.set_zswap_enabled(job, true).unwrap();
+        k.alloc_pages(job, n, |_| PageContent::synthetic_of_len(600))
+            .unwrap();
+        for _ in 0..4 {
+            k.run_scan();
+        }
+        k.reclaim_job(job, PageAge::from_scans(2)).unwrap();
+        assert_eq!(k.memcg(job).unwrap().stats().zswapped_pages, n as u64);
+        (k, job)
+    }
+
+    /// The accuracy-counter conservation law: once every issued page has
+    /// resolved (demand-touched, reclaimed, or torn down),
+    /// `prefetch_used + prefetch_wasted == prefetch_issued`.
+    #[test]
+    fn prefetch_counters_conserve_issued() {
+        let (mut k, job) = compressed_prefetch_job(32);
+        // Sequential demand faults arm the stride and queue a prediction
+        // for page 3.
+        for i in 0..3 {
+            k.touch(job, PageId::new(i), false).unwrap();
+        }
+        k.run_scan(); // drain issues page 3
+        let s = k.memcg(job).unwrap().stats();
+        assert_eq!(s.prefetch_issued, 1);
+        assert_eq!(s.prefetch_late, 0);
+        // The demand touch lands on the already-resident prefetched page:
+        // the stall was hidden.
+        assert!(!k.touch(job, PageId::new(3), false).unwrap());
+        let s = k.memcg(job).unwrap().stats();
+        assert_eq!(s.prefetch_used, 1);
+        k.run_scan(); // issues the follow-on prediction (page 4)
+        let fin = k.remove_memcg(job).unwrap();
+        assert_eq!(fin.prefetch_issued, 2);
+        assert_eq!(fin.prefetch_used, 1);
+        assert_eq!(fin.prefetch_wasted, 1, "page 4 resolved at teardown");
+        assert_eq!(
+            fin.prefetch_used + fin.prefetch_wasted,
+            fin.prefetch_issued,
+            "conservation"
+        );
+    }
+
+    /// A demand fault that beats the scan-cadence drain to a correctly
+    /// predicted page counts as late, and the stale queue entry is gone.
+    #[test]
+    fn demand_fault_beating_drain_counts_late() {
+        let (mut k, job) = compressed_prefetch_job(16);
+        for i in 0..3 {
+            k.touch(job, PageId::new(i), false).unwrap();
+        }
+        assert!(k.memcgs[&job].prefetcher.is_queued(3));
+        // Page 3 is demand-faulted before any scan drains the queue.
+        assert!(k.touch(job, PageId::new(3), false).unwrap());
+        let s = k.memcg(job).unwrap().stats();
+        assert_eq!(s.prefetch_late, 1);
+        assert_eq!(s.prefetch_issued, 0);
+        assert!(!k.memcgs[&job].prefetcher.is_queued(3));
+        // Machine stats surface the counters.
+        let ms = k.machine_stats();
+        assert_eq!(ms.prefetch_late, 1);
+        assert_eq!(ms.prefetch_issued, 0);
+    }
+
+    /// Wasted resolution on the re-reclaim path: an issued page that ages
+    /// back out untouched flips to wasted, and the flag is consumed.
+    #[test]
+    fn untouched_prefetch_resolves_wasted_on_reclaim() {
+        let (mut k, job) = compressed_prefetch_job(16);
+        for i in 0..3 {
+            k.touch(job, PageId::new(i), false).unwrap();
+        }
+        k.run_scan(); // issues page 4's predecessor (page 3)
+        assert_eq!(k.memcg(job).unwrap().stats().prefetch_issued, 1);
+        // Never touch page 3 again; age it back past the threshold.
+        for _ in 0..4 {
+            k.run_scan();
+        }
+        k.reclaim_job(job, PageAge::from_scans(2)).unwrap();
+        let s = k.memcg(job).unwrap().stats();
+        assert_eq!(s.prefetch_wasted, 1);
+        assert!(s.zswapped_pages >= 1);
+        assert_eq!(s.prefetch_used + s.prefetch_wasted, s.prefetch_issued);
     }
 
     #[test]

@@ -68,6 +68,12 @@ pub fn reclaim_memcg(
         match store.store(cg.pages.content(i))? {
             StoreOutcome::Stored(handle) => {
                 cpu.charge_compress(cost);
+                if cg.pages.prefetched(i) {
+                    // A prefetched page aging back out untouched resolves
+                    // as wasted (accuracy accounting).
+                    cg.pages.set_prefetched(i, false);
+                    cg.stats.prefetch_wasted += 1;
+                }
                 cg.pages.set_state(i, PageState::Zswapped(handle));
                 outcome.reclaimed += 1;
                 cg.stats.resident_pages -= 1;

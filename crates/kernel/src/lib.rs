@@ -51,6 +51,7 @@ pub mod kstaled;
 pub mod memcg;
 pub mod page;
 pub mod page_table;
+pub mod prefetch;
 pub mod thermostat;
 pub mod tiering;
 pub mod writeback;
@@ -65,6 +66,9 @@ pub use kernel::{Kernel, KernelConfig, MachineStats};
 pub use memcg::{MemCgroup, MemcgStats};
 pub use page::{Page, PageContent, PageState};
 pub use page_table::PageTable;
+pub use prefetch::{
+    PrefetchConfig, PrefetchMode, PrefetchPolicy, PrefetchWindowCounts, Prefetcher,
+};
 pub use thermostat::{ThermostatEstimate, ThermostatSampler};
 pub use tiering::{Tier1Config, Tier1Stats};
 pub use writeback::{

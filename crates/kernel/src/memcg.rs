@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::backend::MAX_TIERS;
 use crate::page_table::PageTable;
+use crate::prefetch::Prefetcher;
 use sdfm_types::histogram::{ColdAgeHistogram, PageAge, PromotionHistogram};
 use sdfm_types::ids::JobId;
 use sdfm_types::size::PageCount;
@@ -43,6 +44,20 @@ pub struct MemcgStats {
     /// decay, soft-limit restoration, host pressure) — distinct from
     /// `decompressions`, which counts access-driven promotions.
     pub writebacks: u64,
+    /// Cumulative predicted pages the prefetcher promoted ahead of demand
+    /// (each also counts in `decompressions` or `demoted_loads`, since it
+    /// pays the same promotion cost).
+    pub prefetch_issued: u64,
+    /// Cumulative issued prefetches later demand-touched while resident
+    /// (coverage: these faults were fully hidden).
+    pub prefetch_used: u64,
+    /// Cumulative issued prefetches reclaimed, freed, or torn down before
+    /// any demand touch (accuracy loss). Once every issued page resolves,
+    /// `prefetch_used + prefetch_wasted == prefetch_issued`.
+    pub prefetch_wasted: u64,
+    /// Cumulative demand faults that found their page predicted but still
+    /// queued (timeliness loss: right prediction, drain too late).
+    pub prefetch_late: u64,
 }
 
 impl MemcgStats {
@@ -74,6 +89,7 @@ pub struct MemCgroup {
     pub(crate) cold_hist: ColdAgeHistogram,
     pub(crate) promo_hist: PromotionHistogram,
     pub(crate) stats: MemcgStats,
+    pub(crate) prefetcher: Prefetcher,
 }
 
 impl MemCgroup {
@@ -88,6 +104,7 @@ impl MemCgroup {
             cold_hist: ColdAgeHistogram::new(),
             promo_hist: PromotionHistogram::new(),
             stats: MemcgStats::default(),
+            prefetcher: Prefetcher::new(),
         }
     }
 

@@ -47,6 +47,10 @@ const INCOMPRESSIBLE: u8 = 1 << 3;
 const POISONED: u8 = 1 << 4;
 /// A poisoned page was accessed (read back by the sampler).
 const SAMPLE_FAULTED: u8 = 1 << 5;
+/// Promoted by the prefetcher and not yet demand-touched. SoA-only: the
+/// bit tracks pending prefetch accuracy accounting in place, so it does
+/// not round-trip through [`Page`] views (`pack`/`unpack` ignore it).
+const PREFETCHED: u8 = 1 << 6;
 
 fn pack(flags: PageFlags, sample_faulted: bool) -> u8 {
     (u8::from(flags.accessed) * ACCESSED)
@@ -275,6 +279,17 @@ impl PageTable {
         self.set_bit(idx, SAMPLE_FAULTED, v);
     }
 
+    /// The prefetched-pending bit: the entry was promoted by the
+    /// prefetcher and has not resolved to used or wasted yet.
+    pub fn prefetched(&self, idx: usize) -> bool {
+        self.flags[idx] & PREFETCHED != 0
+    }
+
+    /// Sets or clears the prefetched-pending bit.
+    pub fn set_prefetched(&mut self, idx: usize, v: bool) {
+        self.set_bit(idx, PREFETCHED, v);
+    }
+
     fn set_bit(&mut self, idx: usize, bit: u8, v: bool) {
         if v {
             self.flags[idx] |= bit;
@@ -326,7 +341,9 @@ impl PageTable {
         let clones = (span - 1) as usize;
         self.spans[idx] = 1;
         let age = self.ages[idx];
-        let bits = self.flags[idx];
+        // Clone everything except the prefetched-pending mark: the issue
+        // counted one entry, so exactly one entry must resolve it.
+        let bits = self.flags[idx] & !PREFETCHED;
         let state = self.cold[idx].state;
         self.ages.resize(self.ages.len() + clones, age);
         self.flags.resize(self.flags.len() + clones, bits);

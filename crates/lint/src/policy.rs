@@ -280,6 +280,30 @@ mod tests {
     }
 
     #[test]
+    fn prefetch_module_is_rule_scoped() {
+        // The correlation prefetcher (kernel/src/prefetch.rs) sits between
+        // the demotion chain and the promotion path and issues promotions
+        // on its own authority; a determinism or accounting slip there
+        // silently corrupts every fault-rate and CPU-cost figure
+        // downstream. CI runs this test by name so a scope refactor cannot
+        // drop the module from enforcement: determinism (D1/D2/T1), panic
+        // safety (P1), unit and rounding discipline (U1/U2), waivers (W0).
+        let pf = classify("crates/kernel/src/prefetch.rs");
+        assert!(!pf.test_file);
+        for rule in [Rule::D1, Rule::D2, Rule::T1, Rule::P1, Rule::U1, Rule::U2, Rule::W0] {
+            assert!(pf.enforces(rule), "prefetch.rs must enforce {rule:?}");
+        }
+        // The stat-tier recurrence consuming PrefetchPolicy stays scoped,
+        // as do the memcg/kstaled integration points feeding the queue.
+        assert!(classify("crates/core/src/fleet_sim.rs").enforces(Rule::D1));
+        assert!(classify("crates/kernel/src/memcg.rs").enforces(Rule::P1));
+        assert!(classify("crates/kernel/src/kreclaimd.rs").enforces(Rule::P1));
+        // The trajectory harness comparing predictor modes is measurement
+        // code, outside simulator-state enforcement.
+        assert!(classify("crates/bench/benches/prefetch.rs").test_file);
+    }
+
+    #[test]
     fn p2_follows_control_plane_and_w0_follows_any_scope() {
         assert!(classify("crates/agent/src/node_agent.rs").enforces(Rule::P2));
         assert!(classify("crates/cluster/src/machine.rs").enforces(Rule::P2));

@@ -2,7 +2,7 @@
 
 use crate::trace::JobTrace;
 use sdfm_agent::{best_threshold_for_window, AgentParams, JobController, SloConfig};
-use sdfm_kernel::{ChainPolicy, CostModel, StorePressure};
+use sdfm_kernel::{ChainPolicy, CostModel, PrefetchPolicy, PrefetchWindowCounts, StorePressure};
 use sdfm_types::histogram::{PageAge, PromotionHistogram};
 use sdfm_types::rate::{NormalizedPromotionRate, PromotionRate};
 use sdfm_types::time::SimTime;
@@ -45,6 +45,17 @@ pub struct WindowOutcome {
     /// Pages parked on the remote tier at window end (chain replays
     /// only).
     pub remote_pages: u64,
+    /// Predicted pages promoted ahead of demand this window (prefetch
+    /// replays only; zero otherwise).
+    pub prefetch_issued: u64,
+    /// Issued prefetches whose demand fault was hidden — these are
+    /// excluded from `promotions`, which counts realized demand stalls.
+    pub prefetch_used: u64,
+    /// Issued prefetches reclaimed again untouched (mispredictions).
+    pub prefetch_wasted: u64,
+    /// Demand faults that beat the scan-cadence drain to a correctly
+    /// predicted page (still counted in `promotions`).
+    pub prefetch_late: u64,
 }
 
 /// A replayed job.
@@ -156,6 +167,25 @@ pub fn replay_job_with_chain(
     cost: &CostModel,
     chain: Option<ChainPolicy>,
 ) -> JobReplayOutcome {
+    replay_job_with_prefetch(trace, params, slo, pressure, cost, chain, None)
+}
+
+/// [`replay_job_with_chain`] with an optional correlation-prefetch
+/// policy: each enabled window runs the same
+/// [`PrefetchPolicy::window_counts`] recurrence as the fleet simulator —
+/// hidden faults leave `promotions` (they no longer stall the job), and
+/// the issued/used/wasted/late split lands in the outcome's prefetch
+/// counters. `None` reproduces [`replay_job_with_chain`] bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_job_with_prefetch(
+    trace: &JobTrace,
+    params: &AgentParams,
+    slo: &SloConfig,
+    pressure: StorePressure,
+    cost: &CostModel,
+    chain: Option<ChainPolicy>,
+    prefetch: Option<PrefetchPolicy>,
+) -> JobReplayOutcome {
     let mut windows = Vec::with_capacity(trace.records.len());
     let mut store: u64 = 0;
     let mut ssd: u64 = 0;
@@ -191,7 +221,16 @@ pub fn replay_job_with_chain(
         } else {
             (0, 0)
         };
-        let rate = PromotionRate::from_count(promos, record.window).normalized(record.working_set);
+        // The shared prefetch recurrence: `used` faults are fully hidden
+        // and leave the demand promotion count; `late` predictions were
+        // right but lost the race and still stall.
+        let pf = match prefetch {
+            Some(p) if enabled => p.window_counts(promos),
+            _ => PrefetchWindowCounts::default(),
+        };
+        let demand_promos = promos - pf.used;
+        let rate =
+            PromotionRate::from_count(demand_promos, record.window).normalized(record.working_set);
         // The store trajectory, chain-aware: while enabled the job's
         // *total* far footprint tracks `cold` — device residency comes
         // off the top (shrinkage faults the warmest device pages back,
@@ -230,13 +269,17 @@ pub fn replay_job_with_chain(
             threshold,
             cold_pages: cold,
             potential_cold_pages: potential,
-            promotions: promos,
+            promotions: demand_promos,
             working_set: record.working_set.get(),
             normalized_rate: rate,
             store_pages: store,
             store_frames: cost.store_frames(store),
             ssd_pages: ssd,
             remote_pages: remote,
+            prefetch_issued: pf.issued,
+            prefetch_used: pf.used,
+            prefetch_wasted: pf.wasted,
+            prefetch_late: pf.late,
         });
 
         // Update the pool with this window's best threshold, mirroring the
@@ -496,6 +539,65 @@ mod tests {
         for w in &a.windows {
             assert_eq!(w.ssd_pages, 0);
             assert_eq!(w.remote_pages, 0);
+        }
+    }
+
+    #[test]
+    fn prefetch_replay_hides_faults_and_conserves_counters() {
+        use sdfm_kernel::PrefetchMode;
+        let trace = JobTrace::new(
+            JobId::new(1),
+            (1..=10).map(|i| steady_record(i * 300)).collect(),
+        );
+        let p = params(98.0, 0);
+        let slo = SloConfig::default();
+        let base = replay_job_with_chain(
+            &trace,
+            &p,
+            &slo,
+            StorePressure::PAPER_DEFAULT,
+            &CostModel::PAPER_DEFAULT,
+            None,
+        );
+        let with = replay_job_with_prefetch(
+            &trace,
+            &p,
+            &slo,
+            StorePressure::PAPER_DEFAULT,
+            &CostModel::PAPER_DEFAULT,
+            None,
+            Some(PrefetchPolicy::paper_default(PrefetchMode::StrideMarkov)),
+        );
+        let sum = |o: &JobReplayOutcome, f: fn(&WindowOutcome) -> u64| -> u64 {
+            o.windows.iter().map(f).sum()
+        };
+        assert!(sum(&with, |w| w.prefetch_issued) > 0, "nothing issued");
+        assert_eq!(
+            sum(&with, |w| w.prefetch_used) + sum(&with, |w| w.prefetch_wasted),
+            sum(&with, |w| w.prefetch_issued),
+            "conservation broke"
+        );
+        assert!(
+            sum(&with, |w| w.promotions) < sum(&base, |w| w.promotions),
+            "prefetching hid no demand faults"
+        );
+        // `None` reproduces the chain replay bit for bit, with all-zero
+        // counters.
+        let none = replay_job_with_prefetch(
+            &trace,
+            &p,
+            &slo,
+            StorePressure::PAPER_DEFAULT,
+            &CostModel::PAPER_DEFAULT,
+            None,
+            None,
+        );
+        assert_eq!(none, base);
+        for w in &none.windows {
+            assert_eq!(
+                w.prefetch_issued + w.prefetch_used + w.prefetch_wasted + w.prefetch_late,
+                0
+            );
         }
     }
 

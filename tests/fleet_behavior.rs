@@ -13,13 +13,13 @@ fn sim(seed: u64) -> FleetSim {
 fn fleet_reaches_paper_scale_coverage_within_slo() {
     let mut s = sim(1);
     for _ in 0..36 {
-        s.step_window();
+        s.step_window().expect("fleet window step");
     }
     let mut far = 0u64;
     let mut cold = 0u64;
     let mut rates = Vec::new();
     for _ in 0..24 {
-        let w = s.step_window();
+        let w = s.step_window().expect("fleet window step");
         far += w.far_pages;
         cold += w.cold_pages;
         rates.extend(
@@ -50,12 +50,12 @@ fn aggressive_tuning_increases_coverage_monotonically() {
         cfg.params = AgentParams::new(k, SimDuration::from_mins(10)).expect("valid");
         let mut s = FleetSim::new(cfg, 7);
         for _ in 0..30 {
-            s.step_window();
+            s.step_window().expect("fleet window step");
         }
         let mut far = 0u64;
         let mut cold = 0u64;
         for _ in 0..18 {
-            let w = s.step_window();
+            let w = s.step_window().expect("fleet window step");
             far += w.far_pages;
             cold += w.cold_pages;
         }
@@ -81,7 +81,7 @@ fn bursts_show_up_as_threshold_pool_outliers() {
     let mut s = sim(13);
     let mut thresholds = std::collections::HashMap::<u64, Vec<u8>>::new();
     for _ in 0..96 {
-        let w = s.step_window();
+        let w = s.step_window().expect("fleet window step");
         for j in &w.per_job {
             thresholds
                 .entry(j.job.raw())
@@ -109,7 +109,7 @@ fn fleet_sim_is_fully_deterministic() {
     let mut a = sim(42);
     let mut b = sim(42);
     for _ in 0..10 {
-        assert_eq!(a.step_window(), b.step_window());
+        assert_eq!(a.step_window().unwrap(), b.step_window().unwrap());
     }
 }
 
@@ -122,7 +122,7 @@ fn diurnal_pattern_moves_fleet_cold_memory() {
     let mut cold_by_hour = [0u64; 24];
     let mut total_by_hour = [0u64; 24];
     for _ in 0..288 {
-        let stats = s.step_window();
+        let stats = s.step_window().expect("fleet window step");
         let hour = (stats.at.second_of_day() / 3600) as usize;
         cold_by_hour[hour] += stats.cold_pages;
         total_by_hour[hour] += stats.total_pages;

@@ -15,11 +15,11 @@ fn monitor(params: AgentParams, seed: u64) -> f64 {
     cfg.params = params;
     let mut sim = FleetSim::new(cfg, seed);
     for _ in 0..18 {
-        sim.step_window();
+        sim.step_window().expect("fleet window step");
     }
     let mut rates = Vec::new();
     for _ in 0..12 {
-        let s = sim.step_window();
+        let s = sim.step_window().expect("fleet window step");
         rates.extend(
             s.per_job
                 .iter()
